@@ -1,0 +1,203 @@
+(* xvmcli — inspect documents, evaluate paths, materialize views and run
+   incremental maintenance from the command line. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_store path = Store.of_document (Xml_parse.document (read_file path))
+
+let resolve_view ~name ~query =
+  match (name, query) with
+  | Some n, None -> Xmark_views.find n
+  | None, Some q -> View_parser.parse ~name:"cli" q
+  | _ -> invalid_arg "give exactly one of --name or --query"
+
+(* {1 gen} *)
+
+let gen_cmd =
+  let run size_kb seed output =
+    let doc = Xmark_gen.document ~seed ~target_kb:size_kb in
+    let text = Xml_tree.serialize ~decl:true doc in
+    (match output with
+    | None -> print_string text
+    | Some path ->
+      let oc = open_out_bin path in
+      output_string oc text;
+      close_out oc);
+    Printf.eprintf "generated %d bytes\n" (String.length text)
+  in
+  let size =
+    Arg.(value & opt int 100 & info [ "size-kb" ] ~doc:"Approximate size in KB.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate an XMark-style auction document.")
+    Term.(const run $ size $ seed $ output)
+
+(* {1 eval} *)
+
+let eval_cmd =
+  let run doc path limit =
+    let store = load_store doc in
+    let hits = Xpath.eval (Store.root store) (Xpath.parse path) in
+    Printf.printf "%d nodes match %s\n" (List.length hits) path;
+    List.iteri
+      (fun i n ->
+        if i < limit then
+          Printf.printf "  %s  %s\n"
+            (Dewey.to_string ~dict:(Store.dict store) (Store.id_of store n))
+            (let s = Xml_tree.serialize n in
+             if String.length s > 100 then String.sub s 0 100 ^ "…" else s))
+      hits
+  in
+  let doc = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC") in
+  let path = Arg.(required & pos 1 (some string) None & info [] ~docv:"XPATH") in
+  let limit =
+    Arg.(value & opt int 10 & info [ "limit" ] ~doc:"Max nodes to print.")
+  in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Evaluate an XPath over a document.")
+    Term.(const run $ doc $ path $ limit)
+
+(* {1 view} *)
+
+let print_view ~limit store mv =
+  Printf.printf "%d tuples (%d embeddings)\n" (Mview.cardinality mv)
+    (Mview.total_count mv);
+  let dict = Store.dict store in
+  List.iteri
+    (fun i (_, count, cells) ->
+      if i < limit then begin
+        let cell (c : Mview.cell) =
+          let id = Dewey.to_string ~dict c.Mview.cell_id in
+          match (c.Mview.cell_value, c.Mview.cell_content) with
+          | Some v, _ -> Printf.sprintf "%s=%S" id v
+          | None, Some ct ->
+            Printf.sprintf "%s cont=%s" id
+              (if String.length ct > 40 then String.sub ct 0 40 ^ "…" else ct)
+          | None, None -> id
+        in
+        Printf.printf "  [%d] %s\n" count
+          (String.concat " " (Array.to_list (Array.map cell cells)))
+      end)
+    (Mview.dump mv)
+
+let view_cmd =
+  let run doc vname vquery limit save load =
+    let store = load_store doc in
+    let pat = resolve_view ~name:vname ~query:vquery in
+    Printf.printf "view: %s\n" (Pattern.to_string pat);
+    let mv, t =
+      Timing.duration (fun () ->
+          match load with
+          | Some path -> Mview_codec.load_from_file store pat path
+          | None -> Mview.materialize store pat)
+    in
+    Printf.printf "%s in %.1f ms; "
+      (match load with Some _ -> "loaded" | None -> "materialized")
+      (t *. 1000.);
+    print_view ~limit store mv;
+    match save with
+    | Some path ->
+      Mview_codec.save_to_file mv path;
+      Printf.printf "saved to %s\n" path
+    | None -> ()
+  in
+  let doc = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC") in
+  let vname =
+    Arg.(value & opt (some string) None & info [ "name" ] ~doc:"Built-in view (Q1…Q17).")
+  in
+  let vquery =
+    Arg.(value & opt (some string) None & info [ "query" ] ~doc:"View statement.")
+  in
+  let limit = Arg.(value & opt int 10 & info [ "limit" ] ~doc:"Max tuples to print.") in
+  let save =
+    Arg.(value & opt (some string) None & info [ "save" ] ~doc:"Persist the view to a file.")
+  in
+  let load =
+    Arg.(value & opt (some file) None & info [ "load" ] ~doc:"Load the view from a file instead of evaluating.")
+  in
+  Cmd.v
+    (Cmd.info "view" ~doc:"Materialize (or load) a view over a document.")
+    Term.(const run $ doc $ vname $ vquery $ limit $ save $ load)
+
+(* {1 maintain} *)
+
+let maintain_cmd =
+  let run doc vname vquery updates check =
+    let store = load_store doc in
+    let pat = resolve_view ~name:vname ~query:vquery in
+    let mv = Mview.materialize store pat in
+    Printf.printf "view %s: %d tuples\n" (Pattern.to_string pat) (Mview.cardinality mv);
+    List.iter
+      (fun text ->
+        let stmt = Update.parse text in
+        let r = Maint.propagate mv stmt in
+        let b = r.Maint.timing in
+        Printf.printf
+          "%s\n  +%d -%d tuples, %d refreshed, %d/%d terms%s\n  find %.1f ms | delta %.1f ms | expr %.1f ms | exec %.1f ms | aux %.1f ms\n"
+          (Update.to_string stmt) r.Maint.embeddings_added r.Maint.embeddings_removed
+          r.Maint.tuples_modified r.Maint.terms_surviving r.Maint.terms_developed
+          (if r.Maint.fallback_recompute then " [fallback recompute]" else "")
+          (b.Timing.find_target *. 1000.) (b.Timing.compute_delta *. 1000.)
+          (b.Timing.get_expression *. 1000.) (b.Timing.execute *. 1000.)
+          (b.Timing.update_aux *. 1000.))
+      updates;
+    Printf.printf "final view: %d tuples\n" (Mview.cardinality mv);
+    if check then begin
+      let fresh = Mview.materialize ~policy:Mview.Leaves store pat in
+      Printf.printf "consistent with recomputation: %b\n" (Recompute.equal mv fresh)
+    end
+  in
+  let doc = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC") in
+  let vname =
+    Arg.(value & opt (some string) None & info [ "name" ] ~doc:"Built-in view (Q1…Q17).")
+  in
+  let vquery =
+    Arg.(value & opt (some string) None & info [ "query" ] ~doc:"View statement.")
+  in
+  let updates =
+    Arg.(
+      value & opt_all string []
+      & info [ "u"; "update" ]
+          ~doc:"Update statement: 'delete PATH' or 'insert into PATH FRAGMENT'.")
+  in
+  let check =
+    Arg.(value & flag & info [ "check" ] ~doc:"Verify against recomputation.")
+  in
+  Cmd.v
+    (Cmd.info "maintain" ~doc:"Apply updates and maintain a view incrementally.")
+    Term.(const run $ doc $ vname $ vquery $ updates $ check)
+
+(* {1 workload} *)
+
+let workload_cmd =
+  let run () =
+    Printf.printf "views:\n";
+    List.iter
+      (fun (n, p) -> Printf.printf "  %-4s %s\n" n (Pattern.to_string p))
+      Xmark_views.all;
+    Printf.printf "updates:\n";
+    List.iter
+      (fun u ->
+        Printf.printf "  %-7s (%-2s) %s\n" u.Xmark_updates.name u.Xmark_updates.cls
+          u.Xmark_updates.path)
+      Xmark_updates.all
+  in
+  Cmd.v
+    (Cmd.info "workload" ~doc:"List the built-in benchmark views and updates.")
+    Term.(const run $ const ())
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info = Cmd.info "xvmcli" ~doc:"Algebraic XML view maintenance toolbox." in
+  exit (Cmd.eval (Cmd.group ~default info [ gen_cmd; eval_cmd; view_cmd; maintain_cmd; workload_cmd ]))

@@ -1,0 +1,1 @@
+examples/auction_site.ml: List Maint Mview Pattern Printf Recompute Store Timing Update View_set Xmark_gen Xmark_views

@@ -1,0 +1,1 @@
+examples/pul_pipeline.ml: List Mview Printf Pul_optim Store Timing Update Xmark_gen Xmark_views

@@ -1,0 +1,1 @@
+examples/pul_pipeline.mli:

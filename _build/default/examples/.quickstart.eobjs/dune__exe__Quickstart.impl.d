@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dewey List Maint Mview Pattern Printf Recompute Store String Update View_parser Xml_parse

@@ -1,0 +1,1 @@
+examples/schema_guard.ml: Dtd List Printf Store Xml_parse Xml_tree Xpath

@@ -1,0 +1,1 @@
+examples/view_service.ml: Array Dewey Filename List Maint Mview Mview_codec Option Pattern Printf Rewrite Store Sys Timing Unix Update Xmark_gen

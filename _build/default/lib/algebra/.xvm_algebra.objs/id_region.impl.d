@@ -1,0 +1,1 @@
+lib/algebra/id_region.ml: Array Dewey List

@@ -1,0 +1,1 @@
+lib/algebra/id_region.mli: Dewey

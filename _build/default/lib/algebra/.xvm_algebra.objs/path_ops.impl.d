@@ -1,0 +1,1 @@
+lib/algebra/path_ops.ml: Array Dewey Hashtbl Label_dict Seq

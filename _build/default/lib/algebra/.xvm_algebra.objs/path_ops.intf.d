@@ -1,0 +1,1 @@
+lib/algebra/path_ops.mli: Dewey Label_dict

@@ -1,0 +1,1 @@
+lib/algebra/plan.ml: Array Dewey List Pattern Seq Store String Struct_join Tuple_table Xml_tree

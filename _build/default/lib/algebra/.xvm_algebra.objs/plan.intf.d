@@ -1,0 +1,1 @@
+lib/algebra/plan.mli: Dewey Pattern Store Tuple_table

@@ -1,0 +1,1 @@
+lib/algebra/struct_join.ml: Array Dewey Hashtbl List Pattern Tuple_table

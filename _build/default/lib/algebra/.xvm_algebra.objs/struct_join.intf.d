@@ -1,0 +1,1 @@
+lib/algebra/struct_join.mli: Pattern Tuple_table

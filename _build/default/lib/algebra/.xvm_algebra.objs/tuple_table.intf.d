@@ -1,0 +1,1 @@
+lib/algebra/tuple_table.mli: Dewey

@@ -1,0 +1,52 @@
+(* Roots are normalized to a disjoint, document-ordered set (a root nested
+   inside another is dropped). For disjoint roots, the only root that can
+   be an ancestor-or-self of [id] is [id]'s predecessor in document order:
+   any other prefix root would have to contain that predecessor too. This
+   makes membership a binary search plus one prefix test, with no
+   allocation. *)
+
+type t = Dewey.t array
+
+let of_roots roots =
+  let sorted = List.sort_uniq Dewey.compare roots in
+  let keep = ref [] in
+  List.iter
+    (fun id ->
+      match !keep with
+      | last :: _ when Dewey.is_ancestor_or_self last id -> ()
+      | _ -> keep := id :: !keep)
+    sorted;
+  Array.of_list (List.rev !keep)
+
+let is_empty t = Array.length t = 0
+
+(* Greatest root ≤ id in document order, if any. *)
+let predecessor t id =
+  let lo = ref 0 and hi = ref (Array.length t - 1) and best = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Dewey.compare t.(mid) id <= 0 then begin
+      best := mid;
+      lo := mid + 1
+    end
+    else hi := mid - 1
+  done;
+  !best
+
+let mem t id =
+  Array.length t > 0
+  &&
+  let p = predecessor t id in
+  p >= 0 && Dewey.is_ancestor_or_self t.(p) id
+
+let strictly_inside t id =
+  Array.length t > 0
+  &&
+  let p = predecessor t id in
+  p >= 0 && Dewey.is_ancestor t.(p) id
+
+let root_of t id =
+  if Array.length t = 0 then None
+  else
+    let p = predecessor t id in
+    if p >= 0 && Dewey.is_ancestor_or_self t.(p) id then Some t.(p) else None

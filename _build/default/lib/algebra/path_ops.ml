@@ -1,0 +1,27 @@
+let path_filter ids cond =
+  Array.of_seq (Seq.filter (fun id -> cond (Dewey.label_path id)) (Array.to_seq ids))
+
+let has_label_ancestor ?(self = false) dict ~label id =
+  label = "*"
+  ||
+  match Label_dict.find dict label with
+  | None -> false
+  | Some lab -> Dewey.has_ancestor_label ~self id ~lab
+
+let path_navigate ids =
+  let seen = Hashtbl.create (Array.length ids) in
+  let out = ref [] in
+  Array.iter
+    (fun id ->
+      match Dewey.parent id with
+      | None -> ()
+      | Some p ->
+        let key = Dewey.encode p in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.add seen key ();
+          out := p :: !out
+        end)
+    ids;
+  let arr = Array.of_list !out in
+  Array.sort Dewey.compare arr;
+  arr

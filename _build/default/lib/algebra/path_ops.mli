@@ -1,0 +1,18 @@
+(** The ID-based physical operators of Section 3.4: {e Path Filter} checks
+    that a node lies on a path satisfying a label condition, {e Path
+    Navigate} maps node identifiers to their parents' — both using only
+    the identifiers, never the tree. *)
+
+(** [path_filter ids cond] keeps the identifiers whose root-to-node label
+    path satisfies [cond]. *)
+val path_filter : Dewey.t array -> (int array -> bool) -> Dewey.t array
+
+(** [has_label_ancestor ?self dict ~label id] — label-path test used by the
+    pruning rules (Props 3.8 and 4.7): does some strict ancestor (or the
+    node itself with [self]) carry [label]? A [*] label matches any. *)
+val has_label_ancestor :
+  ?self:bool -> Label_dict.t -> label:string -> Dewey.t -> bool
+
+(** [path_navigate ids] is the deduplicated list of parent identifiers in
+    document order. *)
+val path_navigate : Dewey.t array -> Dewey.t array

@@ -1,0 +1,66 @@
+let entries_matching store pat i =
+  let tag = pat.Pattern.tags.(i) in
+  if tag = "*" then begin
+    (* Union of all element relations, re-sorted into document order. *)
+    let all =
+      List.concat_map
+        (fun label ->
+          if String.length label > 0 && (label.[0] = '@' || label.[0] = '#') then []
+          else Array.to_list (Store.relation store label))
+        (Store.relation_labels store)
+    in
+    let arr = Array.of_list all in
+    Array.sort (fun a b -> Dewey.compare a.Store.id b.Store.id) arr;
+    arr
+  end
+  else Store.relation store tag
+
+let root_anchor_ok pat i id =
+  i <> 0 || pat.Pattern.axes.(0) = Pattern.Descendant || Dewey.depth id = 1
+
+let atom_of_store store pat i =
+  let entries = entries_matching store pat i in
+  let keep e =
+    root_anchor_ok pat i e.Store.id
+    &&
+    match pat.Pattern.vpreds.(i) with
+    | None -> true
+    | Some c -> Xml_tree.string_value e.Store.node = c
+  in
+  let selected = Array.of_seq (Seq.filter keep (Array.to_seq entries)) in
+  Tuple_table.of_ids ~node:i (Array.map (fun e -> e.Store.id) selected)
+
+(* Columns an evaluation of the subtree at [j] would produce. *)
+let rec subtree_cols pat ~within j =
+  j
+  :: List.concat_map
+       (fun c -> if within c then subtree_cols pat ~within c else [])
+       (Pattern.children pat j)
+
+let rec eval_subtree pat ~atom ~within ~root =
+  let table = ref (atom root) in
+  List.iter
+    (fun j ->
+      if within j then
+        if Tuple_table.is_empty !table then
+          (* Short-circuit, but keep the column set complete so that
+             consumers can still address every pattern node. *)
+          table :=
+            Tuple_table.create
+              ~cols:
+                (Array.append !table.Tuple_table.cols
+                   (Array.of_list (subtree_cols pat ~within j)))
+        else begin
+          let sub = eval_subtree pat ~atom ~within ~root:j in
+          table :=
+            Struct_join.join !table sub ~parent:root ~child:j
+              ~axis:pat.Pattern.axes.(j)
+        end)
+    (Pattern.children pat root);
+  !table
+
+let eval store pat =
+  eval_subtree pat
+    ~atom:(fun i -> atom_of_store store pat i)
+    ~within:(fun _ -> true)
+    ~root:0

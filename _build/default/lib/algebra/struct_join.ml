@@ -1,0 +1,46 @@
+(* The ancestor side is hashed by join column; each descendant-side
+   binding probes with its identifier's step-prefixes. Keys are (id,
+   prefix-length) pairs hashed structurally, so no intermediate prefix or
+   string is ever materialized. *)
+
+module Prefix_key = struct
+  type t = Dewey.t * int
+
+  let equal (a, ka) (b, kb) = Dewey.prefix_equal a ka b kb
+  let hash (id, k) = Dewey.prefix_hash id k
+end
+
+module Prefix_tbl = Hashtbl.Make (Prefix_key)
+
+let join left right ~parent ~child ~axis =
+  let ppos = Tuple_table.col_pos left parent in
+  let cpos = Tuple_table.col_pos right child in
+  let cols = Array.append left.Tuple_table.cols right.Tuple_table.cols in
+  let by_parent : Dewey.t array list Prefix_tbl.t =
+    Prefix_tbl.create (max 16 (Tuple_table.length left))
+  in
+  Array.iter
+    (fun row ->
+      let id = row.(ppos) in
+      let key = (id, Dewey.depth id) in
+      let prev = try Prefix_tbl.find by_parent key with Not_found -> [] in
+      Prefix_tbl.replace by_parent key (row :: prev))
+    left.Tuple_table.rows;
+  let out = ref [] in
+  let probe rrow cid k =
+    match Prefix_tbl.find_opt by_parent (cid, k) with
+    | None -> ()
+    | Some lrows -> List.iter (fun lrow -> out := Array.append lrow rrow :: !out) lrows
+  in
+  Array.iter
+    (fun rrow ->
+      let cid = rrow.(cpos) in
+      let depth = Dewey.depth cid in
+      match axis with
+      | Pattern.Child -> if depth > 1 then probe rrow cid (depth - 1)
+      | Pattern.Descendant ->
+        for k = depth - 1 downto 1 do
+          probe rrow cid k
+        done)
+    right.Tuple_table.rows;
+  Tuple_table.of_rows ~cols (Array.of_list (List.rev !out))

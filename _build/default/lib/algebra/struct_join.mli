@@ -1,0 +1,20 @@
+(** Structural joins over tuple tables, exploiting the prefix structure of
+    Dewey identifiers: the ancestors of a node are exactly the step-prefixes
+    of its identifier, so an ancestor–descendant join probes a hash of the
+    ancestor side with the (few) prefixes of each descendant-side binding —
+    the ID-based equivalent of the Stack-Tree structural join the paper
+    builds on. *)
+
+(** [join left right ~parent ~child ~axis] joins on the structural
+    predicate [left.parent ≺ right.child] (axis [Child]) or
+    [left.parent ≺≺ right.child] (axis [Descendant]). Output columns are
+    [left.cols @ right.cols].
+    @raise Not_found if [parent] (resp. [child]) is not a column of
+    [left] (resp. [right]). *)
+val join :
+  Tuple_table.t ->
+  Tuple_table.t ->
+  parent:int ->
+  child:int ->
+  axis:Pattern.axis ->
+  Tuple_table.t

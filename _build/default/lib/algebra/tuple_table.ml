@@ -1,0 +1,31 @@
+type t = { cols : int array; mutable rows : Dewey.t array array }
+
+let create ~cols = { cols; rows = [||] }
+let of_rows ~cols rows = { cols; rows }
+
+let of_ids ~node ids = { cols = [| node |]; rows = Array.map (fun id -> [| id |]) ids }
+
+let length t = Array.length t.rows
+let is_empty t = Array.length t.rows = 0
+
+let col_pos t node =
+  let n = Array.length t.cols in
+  let rec go i =
+    if i >= n then raise Not_found else if t.cols.(i) = node then i else go (i + 1)
+  in
+  go 0
+
+let append_row t row = t.rows <- Array.append t.rows [| row |]
+let append_rows t rows = t.rows <- Array.append t.rows rows
+
+let filter t keep =
+  if not (Array.for_all keep t.rows) then
+    t.rows <- Array.of_seq (Seq.filter keep (Array.to_seq t.rows))
+
+let sort_by_node t node =
+  let pos = col_pos t node in
+  let rows = Array.copy t.rows in
+  Array.sort (fun a b -> Dewey.compare a.(pos) b.(pos)) rows;
+  t.rows <- rows
+
+let copy t = { cols = Array.copy t.cols; rows = Array.copy t.rows }

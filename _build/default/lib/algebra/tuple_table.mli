@@ -1,0 +1,31 @@
+(** Tuple tables: the intermediate results of the algebraic evaluation.
+
+    A table binds a fixed set of pattern-node indices (its columns) to
+    structural identifiers; every row is one partial embedding. *)
+
+type t = { cols : int array; mutable rows : Dewey.t array array }
+
+val create : cols:int array -> t
+val of_rows : cols:int array -> Dewey.t array array -> t
+
+(** Single-column table over pattern node [node]. *)
+val of_ids : node:int -> Dewey.t array -> t
+
+val length : t -> int
+val is_empty : t -> bool
+
+(** [col_pos t node] is the row offset of pattern node [node].
+    @raise Not_found if the node is not a column. *)
+val col_pos : t -> int -> int
+
+val append_row : t -> Dewey.t array -> unit
+val append_rows : t -> Dewey.t array array -> unit
+
+(** [filter t keep] drops rows not satisfying [keep], in place. *)
+val filter : t -> (Dewey.t array -> bool) -> unit
+
+(** [sort_by_node t node] sorts rows by document order of the [node]
+    column. *)
+val sort_by_node : t -> int -> unit
+
+val copy : t -> t

@@ -1,0 +1,1 @@
+lib/baseline/ivma.ml: Array Buffer Dewey Hashtbl Lazy List Maint Mview Pattern Plan Seq Store Timing Tuple_table Update Xml_tree

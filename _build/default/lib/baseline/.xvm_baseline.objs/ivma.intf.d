@@ -1,0 +1,1 @@
+lib/baseline/ivma.mli: Mview Update

@@ -1,0 +1,1 @@
+lib/baseline/recompute.ml: Array Char Dewey List Mview Printf Store String Timing Update

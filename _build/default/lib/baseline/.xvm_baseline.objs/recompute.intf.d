@@ -1,0 +1,1 @@
+lib/baseline/recompute.mli: Mview Pattern Store Update

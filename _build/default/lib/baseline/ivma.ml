@@ -1,0 +1,149 @@
+type report = {
+  elapsed : float;
+  invocations : int;
+  embeddings_added : int;
+  embeddings_removed : int;
+}
+
+let node_matches pat i id node =
+  Pattern.tag_matches pat.Pattern.tags.(i) node
+  && Pattern.vpred_holds pat i node
+  && Plan.root_anchor_ok pat i id
+
+(* Evaluate the view with pattern position [fixed] bound to exactly [id],
+   and every other position bound to its canonical relation amended by
+   [extra] (nodes already processed in this node-at-a-time run) minus
+   [excluded]. *)
+let eval_with_fixed mv ~fixed ~id ~extra ~excluded =
+  let pat = mv.Mview.pat in
+  let store = mv.Mview.store in
+  let atom j =
+    if j = fixed then Tuple_table.of_ids ~node:j [| id |]
+    else begin
+      let base = Plan.atom_of_store store pat j in
+      let rows =
+        Array.of_seq
+          (Seq.filter
+             (fun row -> not (Hashtbl.mem excluded (Dewey.encode row.(0))))
+             (Array.to_seq base.Tuple_table.rows))
+      in
+      let extra_rows =
+        List.filter_map
+          (fun (xid, xnode) ->
+            if node_matches pat j xid xnode then Some [| xid |] else None)
+          extra
+      in
+      Tuple_table.of_rows ~cols:[| j |] (Array.append rows (Array.of_list extra_rows))
+    end
+  in
+  Plan.eval_subtree pat ~atom ~within:(fun _ -> true) ~root:0
+
+let binding_key pat t row =
+  let buf = Buffer.create 32 in
+  for i = 0 to Pattern.node_count pat - 1 do
+    Buffer.add_string buf (Dewey.encode row.(Tuple_table.col_pos t i))
+  done;
+  Buffer.contents buf
+
+let no_excluded : (string, unit) Hashtbl.t = Hashtbl.create 1
+
+let propagate mv u =
+  let pat = mv.Mview.pat in
+  let store = mv.Mview.store in
+  let targets = Update.targets store u in
+  match u with
+  | Update.Replace_value _ ->
+    invalid_arg "Ivma.propagate: replace-value is not a node-level operation"
+  | Update.Insert _ ->
+    let app = Update.apply_insert store u ~targets in
+    let new_nodes =
+      List.concat_map
+        (fun (_tid, forest) ->
+          List.concat_map
+            (fun tree ->
+              List.map
+                (fun n -> (Store.id_of store n, n))
+                (Xml_tree.descendants_or_self tree))
+            forest)
+        app.Update.pairs
+    in
+    let new_nodes =
+      List.sort (fun (a, _) (b, _) -> Dewey.compare a b) new_nodes
+    in
+    let added = ref 0 in
+    let (), elapsed =
+      Timing.duration (fun () ->
+          let seen = Hashtbl.create 64 in
+          let processed = ref [] in
+          List.iter
+            (fun (id, node) ->
+              for i = 0 to Pattern.node_count pat - 1 do
+                if node_matches pat i id node then begin
+                  let t =
+                    eval_with_fixed mv ~fixed:i ~id ~extra:!processed
+                      ~excluded:no_excluded
+                  in
+                  Array.iter
+                    (fun row ->
+                      let key = binding_key pat t row in
+                      if not (Hashtbl.mem seen key) then begin
+                        Hashtbl.add seen key ();
+                        Mview.add_binding mv (fun j ->
+                            row.(Tuple_table.col_pos t j));
+                        incr added
+                      end)
+                    t.Tuple_table.rows
+                end
+              done;
+              processed := (id, node) :: !processed)
+            new_nodes;
+          ignore (Maint.refresh_payloads mv (Maint.Ins app));
+          Store.commit store)
+    in
+    {
+      elapsed;
+      invocations = List.length new_nodes;
+      embeddings_added = !added;
+      embeddings_removed = 0;
+    }
+  | Update.Delete _ ->
+    let app = Update.apply_delete store ~targets in
+    (* Bottom-up: remove one node at a time, leaves first. *)
+    let doomed =
+      List.sort (fun (a, _) (b, _) -> Dewey.compare b a) (Lazy.force app.Update.deleted)
+    in
+    let removed_count = ref 0 in
+    let (), elapsed =
+      Timing.duration (fun () ->
+          let seen = Hashtbl.create 64 in
+          let removed = Hashtbl.create 64 in
+          List.iter
+            (fun (id, node) ->
+              for i = 0 to Pattern.node_count pat - 1 do
+                if node_matches pat i id node then begin
+                  let t =
+                    eval_with_fixed mv ~fixed:i ~id ~extra:[] ~excluded:removed
+                  in
+                  Array.iter
+                    (fun row ->
+                      let key = binding_key pat t row in
+                      if not (Hashtbl.mem seen key) then begin
+                        Hashtbl.add seen key ();
+                        Mview.remove_binding mv (fun j ->
+                            row.(Tuple_table.col_pos t j));
+                        incr removed_count
+                      end)
+                    t.Tuple_table.rows
+                end
+              done;
+              Hashtbl.replace removed (Dewey.encode id) ())
+            doomed;
+          ignore (Maint.refresh_payloads mv (Maint.Del app));
+          Store.commit store)
+    in
+    {
+      elapsed;
+      invocations = List.length doomed;
+      embeddings_added = 0;
+      embeddings_removed = !removed_count;
+    }

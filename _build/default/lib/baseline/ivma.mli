@@ -1,0 +1,20 @@
+(** Node-at-a-time incremental view maintenance — a re-implementation of
+    the IVMA algorithm of Sawires et al. (SIGMOD 2005) on our store, used
+    as the paper's closest competitor (Section 6.6).
+
+    IVMA propagates {e one node} insertion/removal per invocation: a bulk
+    update adding or removing [n] nodes triggers [n] consecutive
+    maintenance calls, each of which checks the node against every view
+    position and recomputes the matching bindings. Use it on a view
+    materialized with the [Leaves] policy (it maintains no snowcaps). *)
+
+type report = {
+  elapsed : float;  (** total propagation time, seconds *)
+  invocations : int;  (** number of per-node maintenance calls *)
+  embeddings_added : int;
+  embeddings_removed : int;
+}
+
+(** [propagate mv u] applies [u] to the document and maintains [mv] by
+    repeated node-level propagation. *)
+val propagate : Mview.t -> Update.t -> report

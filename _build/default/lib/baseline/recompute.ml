@@ -1,0 +1,47 @@
+let recompute_after store u ~pat =
+  let targets = Update.targets store u in
+  (match u with
+  | Update.Insert _ -> ignore (Update.apply_insert store u ~targets)
+  | Update.Delete _ -> ignore (Update.apply_delete store ~targets)
+  | Update.Replace_value { text; _ } ->
+    ignore (Update.apply_replace store ~text ~targets));
+  Store.commit store;
+  let mv, elapsed =
+    Timing.duration (fun () -> Mview.materialize ~policy:Mview.Leaves store pat)
+  in
+  (mv, elapsed)
+
+let cell_repr (c : Mview.cell) =
+  (Dewey.encode c.Mview.cell_id, c.Mview.cell_value, c.Mview.cell_content)
+
+let dump_repr mv =
+  List.map
+    (fun (key, count, cells) ->
+      (key, count, Array.to_list (Array.map cell_repr cells)))
+    (Mview.dump mv)
+
+let equal a b = dump_repr a = dump_repr b
+
+let diff a b =
+  let da = dump_repr a and db = dump_repr b in
+  if da = db then None
+  else begin
+    let summarize side (key, count, cells) =
+      Some
+        (Printf.sprintf "%s: key=%s count=%d cells=%d" side
+           (String.concat "" (List.map (fun c -> Printf.sprintf "%02x" (Char.code c))
+                (List.init (String.length key) (String.get key))))
+           count (List.length cells))
+    in
+    let rec first_diff la lb =
+      match (la, lb) with
+      | [], [] -> Some "views differ (unlocated)"
+      | x :: _, [] -> summarize "only-left" x
+      | [], y :: _ -> summarize "only-right" y
+      | x :: ra, y :: rb ->
+        if x = y then first_diff ra rb
+        else if x < y then summarize "only-left" x
+        else summarize "only-right" y
+    in
+    first_diff da db
+  end

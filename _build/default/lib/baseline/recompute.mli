@@ -1,0 +1,15 @@
+(** The trivial maintenance baseline (Section 6.5): apply the update to
+    the document and re-evaluate the view from scratch. *)
+
+(** [recompute_after store u ~pat] applies [u], commits, and materializes
+    [pat] anew. Returns the fresh view and the recomputation time alone
+    (excluding target location and document mutation), in seconds. *)
+val recompute_after :
+  Store.t -> Update.t -> pat:Pattern.t -> Mview.t * float
+
+(** [equal a b]: same projected tuples, derivation counts and payloads —
+    the oracle used by the test suite. *)
+val equal : Mview.t -> Mview.t -> bool
+
+(** Human-readable first difference, for test diagnostics. *)
+val diff : Mview.t -> Mview.t -> string option

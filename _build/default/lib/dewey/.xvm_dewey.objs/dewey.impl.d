@@ -1,0 +1,1 @@
+lib/dewey/dewey.ml: Array Buffer Char Label_dict Stdlib String Sys

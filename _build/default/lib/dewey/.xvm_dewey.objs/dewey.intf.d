@@ -1,0 +1,1 @@
+lib/dewey/dewey.mli: Label_dict

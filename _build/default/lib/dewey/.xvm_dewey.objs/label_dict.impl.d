@@ -1,0 +1,1 @@
+lib/dewey/label_dict.ml: Array Hashtbl

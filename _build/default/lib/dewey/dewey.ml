@@ -1,0 +1,182 @@
+type step = { lab : int; ord : int array }
+type t = step array
+
+module Ord = struct
+  type o = int array
+
+  let first = [| 1 |]
+  let after o = [| o.(0) + 1 |]
+  let before o = [| o.(0) - 1 |]
+
+  let compare a b =
+    let la = Array.length a and lb = Array.length b in
+    let rec go i =
+      if i >= la && i >= lb then 0
+      else if i >= la then -1
+      else if i >= lb then 1
+      else
+        let c = Stdlib.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+  (* An ordinal strictly between [a] and [b] always exists: either there is
+     room at the first diverging component, or we extend [a] (extensions of
+     [a] sort after [a] and, sharing [a]'s diverging component, before
+     [b]). *)
+  let between a b =
+    if compare a b >= 0 then invalid_arg "Dewey.Ord.between: a >= b";
+    let la = Array.length a in
+    let rec go i =
+      if i >= la then
+        (* [a] is a strict prefix of [b]. *)
+        Array.append a [| b.(i) - 1; 1 |]
+      else if a.(i) < b.(i) then
+        if b.(i) - a.(i) >= 2 then Array.append (Array.sub a 0 i) [| a.(i) + 1 |]
+        else Array.append a [| 1 |]
+      else go (i + 1)
+    in
+    go 0
+end
+
+let of_steps steps =
+  if Array.length steps = 0 then invalid_arg "Dewey.of_steps: empty";
+  steps
+
+let root ~lab = [| { lab; ord = Ord.first } |]
+let child parent ~lab ~ord = Array.append parent [| { lab; ord } |]
+let depth t = Array.length t
+let label t = t.(Array.length t - 1).lab
+let label_path t = Array.map (fun s -> s.lab) t
+let last_ord t = t.(Array.length t - 1).ord
+
+let parent t =
+  let n = Array.length t in
+  if n <= 1 then None else Some (Array.sub t 0 (n - 1))
+
+let ancestors t =
+  let n = Array.length t in
+  let rec go i acc = if i = 0 then acc else go (i - 1) (Array.sub t 0 i :: acc) in
+  go (n - 1) []
+
+let has_ancestor_label ?(self = false) t ~lab =
+  let n = Array.length t in
+  let stop = if self then n else n - 1 in
+  let rec go i = i < stop && (t.(i).lab = lab || go (i + 1)) in
+  go 0
+
+let step_equal a b = a.lab = b.lab && a.ord = b.ord
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i =
+    if i >= la && i >= lb then 0
+    else if i >= la then -1
+    else if i >= lb then 1
+    else
+      let c = Ord.compare a.(i).ord b.(i).ord in
+      if c <> 0 then c
+      else
+        let c = Stdlib.compare a.(i).lab b.(i).lab in
+        if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let equal a b = Array.length a = Array.length b && Array.for_all2 step_equal a b
+
+let prefix_hash t k =
+  let h = ref 17 in
+  for i = 0 to k - 1 do
+    let s = t.(i) in
+    h := (!h * 31) + s.lab;
+    for j = 0 to Array.length s.ord - 1 do
+      h := (!h * 31) + s.ord.(j)
+    done
+  done;
+  !h
+
+let hash t = prefix_hash t (Array.length t)
+
+let prefix_equal a ka b kb =
+  ka = kb
+  &&
+  let rec go i = i >= ka || ((a.(i).lab = b.(i).lab && a.(i).ord = b.(i).ord) && go (i + 1)) in
+  go 0
+
+let is_prefix a d =
+  let la = Array.length a in
+  la <= Array.length d
+  &&
+  let rec go i = i >= la || (step_equal a.(i) d.(i) && go (i + 1)) in
+  go 0
+
+let is_parent p c = Array.length c = Array.length p + 1 && is_prefix p c
+let is_ancestor a d = Array.length a < Array.length d && is_prefix a d
+let is_ancestor_or_self a d = Array.length a <= Array.length d && is_prefix a d
+
+(* Zig-zag varint codec. *)
+
+let add_varint buf v =
+  let v = ref v in
+  let continue = ref true in
+  while !continue do
+    let byte = !v land 0x7f in
+    v := !v lsr 7;
+    if !v = 0 then begin
+      Buffer.add_char buf (Char.chr byte);
+      continue := false
+    end
+    else Buffer.add_char buf (Char.chr (byte lor 0x80))
+  done
+
+let zigzag v = (v lsl 1) lxor (v asr (Sys.int_size - 1))
+let unzigzag v = (v lsr 1) lxor (-(v land 1))
+
+let encode t =
+  let buf = Buffer.create (Array.length t * 4) in
+  add_varint buf (Array.length t);
+  Array.iter
+    (fun s ->
+      add_varint buf s.lab;
+      add_varint buf (Array.length s.ord);
+      Array.iter (fun o -> add_varint buf (zigzag o)) s.ord)
+    t;
+  Buffer.contents buf
+
+let decode s =
+  let pos = ref 0 in
+  let read_varint () =
+    let v = ref 0 and shift = ref 0 and continue = ref true in
+    while !continue do
+      if !pos >= String.length s then invalid_arg "Dewey.decode: truncated";
+      let byte = Char.code s.[!pos] in
+      incr pos;
+      v := !v lor ((byte land 0x7f) lsl !shift);
+      shift := !shift + 7;
+      if byte land 0x80 = 0 then continue := false
+    done;
+    !v
+  in
+  let nsteps = read_varint () in
+  if nsteps = 0 then invalid_arg "Dewey.decode: empty";
+  let steps =
+    Array.init nsteps (fun _ ->
+        let lab = read_varint () in
+        let nord = read_varint () in
+        let ord = Array.init nord (fun _ -> unzigzag (read_varint ())) in
+        { lab; ord })
+  in
+  if !pos <> String.length s then invalid_arg "Dewey.decode: trailing bytes";
+  steps
+
+let to_string ?dict t =
+  let step_str s =
+    let lab =
+      match dict with Some d -> Label_dict.label d s.lab | None -> string_of_int s.lab
+    in
+    let ord =
+      String.concat "_" (Array.to_list (Array.map string_of_int s.ord))
+    in
+    lab ^ ord
+  in
+  String.concat "." (Array.to_list (Array.map step_str t))

@@ -1,0 +1,30 @@
+type t = {
+  codes : (string, int) Hashtbl.t;
+  mutable labels : string array;
+  mutable count : int;
+}
+
+let create () = { codes = Hashtbl.create 64; labels = Array.make 64 ""; count = 0 }
+
+let code t label =
+  match Hashtbl.find_opt t.codes label with
+  | Some c -> c
+  | None ->
+    let c = t.count in
+    if c >= Array.length t.labels then begin
+      let grown = Array.make (2 * Array.length t.labels) "" in
+      Array.blit t.labels 0 grown 0 c;
+      t.labels <- grown
+    end;
+    t.labels.(c) <- label;
+    t.count <- c + 1;
+    Hashtbl.add t.codes label c;
+    c
+
+let find t label = Hashtbl.find_opt t.codes label
+
+let label t c =
+  if c < 0 || c >= t.count then invalid_arg "Label_dict.label: unknown code";
+  t.labels.(c)
+
+let size t = t.count

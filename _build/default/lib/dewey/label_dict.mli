@@ -1,0 +1,21 @@
+(** Dictionary mapping XML node labels (element names, ["@attr"] attribute
+    names, ["#text"]) to dense integer codes, as used inside structural
+    Dewey identifiers. A dictionary is mutable and grows on demand. *)
+
+type t
+
+val create : unit -> t
+
+(** [code dict label] returns the code for [label], allocating a fresh one
+    if the label was never seen. *)
+val code : t -> string -> int
+
+(** [find dict label] returns the code for [label] if already allocated. *)
+val find : t -> string -> int option
+
+(** [label dict code] returns the label for [code].
+    @raise Invalid_argument if [code] was never allocated. *)
+val label : t -> int -> string
+
+(** Number of distinct labels registered so far. *)
+val size : t -> int

@@ -1,0 +1,1 @@
+lib/pattern/embed.ml: Array List Pattern Store Xml_tree

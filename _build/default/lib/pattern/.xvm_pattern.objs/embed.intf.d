@@ -1,0 +1,1 @@
+lib/pattern/embed.mli: Dewey Pattern Store

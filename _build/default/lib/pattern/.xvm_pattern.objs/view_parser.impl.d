@@ -1,0 +1,1 @@
+lib/pattern/view_parser.ml: Hashtbl List Pattern Printf String Xpath

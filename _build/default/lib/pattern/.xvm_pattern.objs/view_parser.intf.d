@@ -1,0 +1,1 @@
+lib/pattern/view_parser.mli: Pattern

@@ -1,0 +1,43 @@
+let rec cartesian = function
+  | [] -> [ [] ]
+  | choices :: rest ->
+    let tails = cartesian rest in
+    List.concat_map (fun c -> List.map (fun t -> c @ t) tails) choices
+
+let strict_descendants node =
+  match Xml_tree.descendants_or_self node with
+  | [] -> []
+  | _self :: rest -> rest
+
+(* Bindings of the pattern subtree rooted at [i], with [i] bound to [dn];
+   each binding is an association list (pattern index, document node). *)
+let rec bind pat i dn =
+  if not (Pattern.tag_matches pat.Pattern.tags.(i) dn && Pattern.vpred_holds pat i dn)
+  then []
+  else
+    let per_child =
+      List.map
+        (fun j ->
+          let candidates =
+            match pat.Pattern.axes.(j) with
+            | Pattern.Child -> dn.Xml_tree.children
+            | Pattern.Descendant -> strict_descendants dn
+          in
+          List.concat_map (fun c -> bind pat j c) candidates)
+        (Pattern.children pat i)
+    in
+    List.map (fun tail -> (i, dn) :: tail) (cartesian per_child)
+
+let embeddings store pat =
+  let root = Store.root store in
+  let top_candidates =
+    match pat.Pattern.axes.(0) with
+    | Pattern.Child -> [ root ]
+    | Pattern.Descendant -> Xml_tree.descendants_or_self root
+  in
+  let bindings = List.concat_map (fun c -> bind pat 0 c) top_candidates in
+  let k = Pattern.node_count pat in
+  List.map
+    (fun binding ->
+      Array.init k (fun i -> Store.id_of store (List.assoc i binding)))
+    bindings

@@ -1,0 +1,13 @@
+(** Reference (naive) tree-embedding semantics of patterns, including
+    derivation counts — used as the correctness oracle for the algebraic
+    evaluator and the maintenance algorithms.
+
+    An embedding maps every pattern node to a document node such that
+    labels match, value predicates hold and [/] / [//] edges are respected
+    (Section 2.2). *)
+
+(** [embeddings store pat] enumerates all embeddings; each result array is
+    indexed by pattern-node index and holds the identifier of the bound
+    document node. Exponential in the worst case: meant for small
+    documents and tests. *)
+val embeddings : Store.t -> Pattern.t -> Dewey.t array list

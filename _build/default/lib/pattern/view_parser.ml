@@ -1,0 +1,300 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* Mutable pattern nodes under construction. *)
+type bnode = {
+  tag : string;
+  axis : Pattern.axis;
+  mutable store_id : bool;
+  mutable store_val : bool;
+  mutable store_cont : bool;
+  mutable vpred : string option;
+  mutable kids : bnode list;
+}
+
+let bnode tag axis =
+  { tag; axis; store_id = false; store_val = false; store_cont = false;
+    vpred = None; kids = [] }
+
+let tag_of_test = function
+  | Xpath.Name s -> s
+  | Xpath.Star -> "*"
+  | Xpath.Attr a -> "@" ^ a
+
+let axis_of = function Xpath.Child -> Pattern.Child | Xpath.Descendant -> Pattern.Descendant
+
+(* Attach an XPath path below [anchor]; returns the node bound to the last
+   step. Predicates become existential branches (conjunctive only). *)
+let rec attach_path anchor (path : Xpath.path) =
+  match path with
+  | [] -> anchor
+  | step :: rest ->
+    let child = bnode (tag_of_test step.Xpath.test) (axis_of step.Xpath.axis) in
+    anchor.kids <- anchor.kids @ [ child ];
+    List.iter (attach_pred child) step.Xpath.preds;
+    attach_path child rest
+
+and attach_pred node = function
+  | Xpath.Exists p -> ignore (attach_path node p)
+  | Xpath.Eq ([], lit) -> node.vpred <- Some lit
+  | Xpath.Eq (p, lit) ->
+    let last = attach_path node p in
+    last.vpred <- Some lit
+  | Xpath.And (a, b) ->
+    attach_pred node a;
+    attach_pred node b
+  | Xpath.Or _ -> fail "disjunctive predicates are not allowed in views"
+
+let to_spec root =
+  let rec conv b =
+    Pattern.n ~axis:b.axis ~id:b.store_id ~value:b.store_val ~content:b.store_cont
+      ?vpred:b.vpred b.tag (List.map conv b.kids)
+  in
+  conv root
+
+(* {1 Lexical helpers over the raw statement} *)
+
+type lexer = { src : string; mutable pos : int }
+
+let skip_ws lx =
+  while
+    lx.pos < String.length lx.src
+    && (match lx.src.[lx.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    lx.pos <- lx.pos + 1
+  done
+
+let looking_at lx s =
+  let n = String.length s in
+  lx.pos + n <= String.length lx.src && String.sub lx.src lx.pos n = s
+
+let eat lx s =
+  if looking_at lx s then begin
+    lx.pos <- lx.pos + String.length s;
+    true
+  end
+  else false
+
+let expect lx s = if not (eat lx s) then fail "expected %S at offset %d" s lx.pos
+
+let is_word_char c =
+  match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> true | _ -> false
+
+let keyword lx kw =
+  skip_ws lx;
+  let n = String.length kw in
+  if
+    looking_at lx kw
+    && (lx.pos + n = String.length lx.src || not (is_word_char lx.src.[lx.pos + n]))
+  then begin
+    lx.pos <- lx.pos + n;
+    true
+  end
+  else false
+
+let read_var lx =
+  skip_ws lx;
+  expect lx "$";
+  let start = lx.pos in
+  while lx.pos < String.length lx.src && is_word_char lx.src.[lx.pos] do
+    lx.pos <- lx.pos + 1
+  done;
+  if lx.pos = start then fail "expected a variable name at offset %d" start;
+  String.sub lx.src start (lx.pos - start)
+
+let read_literal lx =
+  skip_ws lx;
+  let quote =
+    if eat lx "\"" then '"'
+    else if eat lx "'" then '\''
+    else fail "expected a string literal at offset %d" lx.pos
+  in
+  let start = lx.pos in
+  while lx.pos < String.length lx.src && lx.src.[lx.pos] <> quote do
+    lx.pos <- lx.pos + 1
+  done;
+  if lx.pos >= String.length lx.src then fail "unterminated literal";
+  let s = String.sub lx.src start (lx.pos - start) in
+  lx.pos <- lx.pos + 1;
+  s
+
+(* Read a path (starting with '/' or '//') up to a delimiter that cannot
+   belong to it. Bracket depth tracks predicates. *)
+let read_path_text lx =
+  skip_ws lx;
+  let start = lx.pos in
+  let depth = ref 0 in
+  let continue = ref true in
+  while !continue && lx.pos < String.length lx.src do
+    (match lx.src.[lx.pos] with
+    | '[' -> incr depth
+    | ']' -> if !depth = 0 then continue := false else decr depth
+    | ',' | '}' | '<' | '\n' when !depth = 0 -> continue := false
+    | ' ' | '\t' | '\r' when !depth = 0 -> continue := false
+    | '=' when !depth = 0 -> continue := false
+    | _ -> ());
+    if !continue then lx.pos <- lx.pos + 1
+  done;
+  String.sub lx.src start (lx.pos - start)
+
+let parse_xpath s =
+  try Xpath.parse s with Xpath.Parse_error m -> fail "bad path %S: %s" s m
+
+(* {1 The statement parser} *)
+
+type env = {
+  vars : (string, bnode) Hashtbl.t;  (* variable -> bound pattern node *)
+  mutable root : bnode option;  (* the single absolute anchor *)
+  mutable doc_vars : string list;  (* let-bound document variables *)
+}
+
+let anchor_absolute env path =
+  match (env.root, path) with
+  | _, [] -> fail "empty absolute path"
+  | Some _, _ -> fail "views must have a single absolute anchor"
+  | None, first :: rest ->
+    let root = bnode (tag_of_test first.Xpath.test) (axis_of first.Xpath.axis) in
+    List.iter (attach_pred root) first.Xpath.preds;
+    env.root <- Some root;
+    attach_path root rest
+
+let parse_for_binding env lx =
+  let var = read_var lx in
+  skip_ws lx;
+  if not (keyword lx "in") then fail "expected 'in' after $%s" var;
+  skip_ws lx;
+  if looking_at lx "doc(" then begin
+    expect lx "doc(";
+    let _uri = read_literal lx in
+    expect lx ")";
+    let path = parse_xpath (read_path_text lx) in
+    Hashtbl.replace env.vars var (anchor_absolute env path)
+  end
+  else begin
+    let base = read_var lx in
+    if List.mem base env.doc_vars then begin
+      let path = parse_xpath (read_path_text lx) in
+      Hashtbl.replace env.vars var (anchor_absolute env path)
+    end
+    else
+      match Hashtbl.find_opt env.vars base with
+      | None -> fail "unknown variable $%s" base
+      | Some node ->
+        let path = parse_xpath (read_path_text lx) in
+        Hashtbl.replace env.vars var (attach_path node path)
+  end
+
+let parse_where_cond env lx =
+  skip_ws lx;
+  let target =
+    if looking_at lx "string(" then begin
+      expect lx "string(";
+      let var = read_var lx in
+      expect lx ")";
+      match Hashtbl.find_opt env.vars var with
+      | None -> fail "unknown variable $%s" var
+      | Some node -> node
+    end
+    else begin
+      let var = read_var lx in
+      match Hashtbl.find_opt env.vars var with
+      | None -> fail "unknown variable $%s" var
+      | Some node ->
+        skip_ws lx;
+        if looking_at lx "/" then attach_path node (parse_xpath (read_path_text lx))
+        else node
+    end
+  in
+  skip_ws lx;
+  expect lx "=";
+  let lit = read_literal lx in
+  target.vpred <- Some lit
+
+(* Scan the return clause for view expressions; anything else (element
+   constructors, literal text, braces) is structural noise. *)
+let parse_return env lx =
+  let len = String.length lx.src in
+  while lx.pos < len do
+    skip_ws lx;
+    if lx.pos >= len then ()
+    else if looking_at lx "id(" then begin
+      expect lx "id(";
+      let var = read_var lx in
+      expect lx ")";
+      match Hashtbl.find_opt env.vars var with
+      | None -> fail "unknown variable $%s" var
+      | Some node -> node.store_id <- true
+    end
+    else if looking_at lx "string(" then begin
+      expect lx "string(";
+      let var = read_var lx in
+      expect lx ")";
+      match Hashtbl.find_opt env.vars var with
+      | None -> fail "unknown variable $%s" var
+      | Some node -> node.store_val <- true
+    end
+    else if looking_at lx "$" then begin
+      let var = read_var lx in
+      match Hashtbl.find_opt env.vars var with
+      | None -> fail "unknown variable $%s" var
+      | Some node ->
+        skip_ws lx;
+        if looking_at lx "/" then begin
+          let text = read_path_text lx in
+          (* A trailing /text() selects the string value. *)
+          let wants_val, text =
+            let suffix = "/text()" in
+            if
+              String.length text >= String.length suffix
+              && String.sub text
+                   (String.length text - String.length suffix)
+                   (String.length suffix)
+                 = suffix
+            then (true, String.sub text 0 (String.length text - String.length suffix))
+            else (false, text)
+          in
+          let target =
+            if text = "" then node else attach_path node (parse_xpath text)
+          in
+          if wants_val then target.store_val <- true else target.store_cont <- true
+        end
+        else node.store_cont <- true
+    end
+    else lx.pos <- lx.pos + 1
+  done
+
+let parse ~name q =
+  let lx = { src = q; pos = 0 } in
+  let env = { vars = Hashtbl.create 8; root = None; doc_vars = [] } in
+  skip_ws lx;
+  if keyword lx "let" then begin
+    let var = read_var lx in
+    skip_ws lx;
+    expect lx ":=";
+    skip_ws lx;
+    expect lx "doc(";
+    let _uri = read_literal lx in
+    expect lx ")";
+    env.doc_vars <- var :: env.doc_vars;
+    skip_ws lx;
+    if not (keyword lx "return") then fail "expected 'return' after let clause"
+  end;
+  if not (keyword lx "for") then fail "expected 'for'";
+  parse_for_binding env lx;
+  skip_ws lx;
+  while eat lx "," do
+    parse_for_binding env lx;
+    skip_ws lx
+  done;
+  if keyword lx "where" then begin
+    parse_where_cond env lx;
+    while keyword lx "and" do
+      parse_where_cond env lx
+    done
+  end;
+  if not (keyword lx "return") then fail "expected 'return'";
+  parse_return env lx;
+  match env.root with
+  | None -> fail "view has no absolute anchor"
+  | Some root -> Pattern.compile ~name (to_spec root)

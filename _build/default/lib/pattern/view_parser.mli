@@ -1,0 +1,23 @@
+(** Parser for the conjunctive XQuery view dialect of Figure 3 of the
+    paper, compiled into a tree pattern.
+
+    Supported shape (whitespace-insensitive, case-sensitive keywords):
+    {[
+      [let $d := doc("uri") return]
+      for $x1 in [doc("uri") | $d | $xj] PATH
+          [, $xi in [$d | $xj] PATH] ...
+      [where COND [and COND] ...]
+      return RETURN
+    ]}
+    where [PATH] is an XPath{/,//,*,[]} path whose predicates are
+    conjunctive; [COND] is [$x = "c"], [string($x) = "c"] or
+    [$x/PATH = "c"]; and [RETURN] is arbitrary element-constructor text in
+    which the expressions [$x], [id($x)], [string($x)], [$x/PATH] and
+    [$x/PATH/text()] select what the view stores ([cont], [ID], [val],
+    descendant [cont], descendant [val] respectively). *)
+
+exception Parse_error of string
+
+(** [parse ~name q] compiles a view statement to its tree pattern.
+    @raise Parse_error on malformed input or non-conjunctive predicates. *)
+val parse : name:string -> string -> Pattern.t

@@ -1,0 +1,1 @@
+lib/puloptim/deferred.ml: Dewey List Mview Pul_optim Timing

@@ -1,0 +1,1 @@
+lib/puloptim/deferred.mli: Mview Update

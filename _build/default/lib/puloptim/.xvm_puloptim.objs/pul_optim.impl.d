@@ -1,0 +1,1 @@
+lib/puloptim/pul_optim.ml: Array Dewey Hashtbl List Maint Mview Printf Store Update Xml_tree

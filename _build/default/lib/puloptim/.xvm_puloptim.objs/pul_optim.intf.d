@@ -1,0 +1,1 @@
+lib/puloptim/pul_optim.mli: Dewey Maint Mview Store Update Xml_tree

@@ -1,0 +1,96 @@
+type flush_report = {
+  ops_queued : int;
+  ops_propagated : int;
+  conflicts_forced_flush : int;
+  elapsed : float;
+}
+
+type t = {
+  mv : Mview.t;
+  reduce : bool;
+  mutable queue : Pul_optim.op list; (* in statement order *)
+  mutable forced : int;
+  mutable total_queued : int;
+  mutable total_propagated : int;
+  mutable total_elapsed : float;
+}
+
+let create ?(reduce = true) mv =
+  {
+    mv;
+    reduce;
+    queue = [];
+    forced = 0;
+    total_queued = 0;
+    total_propagated = 0;
+    total_elapsed = 0.;
+  }
+
+let pending t = List.length t.queue
+
+let flush t =
+  let queued = List.length t.queue in
+  let ops = t.queue in
+  t.queue <- [];
+  let propagated = ref 0 in
+  let (), elapsed =
+    Timing.duration (fun () ->
+        let ops = if t.reduce then Pul_optim.reduce ops else ops in
+        List.iter
+          (fun op ->
+            (* A queued operation whose target vanished through an earlier
+               one in the same batch is a no-op (its view effect was
+               subsumed); only materialized propagations count. *)
+            match Pul_optim.propagate_op ~on_missing:`Skip t.mv op with
+            | Some _ -> incr propagated
+            | None -> ())
+          ops)
+  in
+  t.total_queued <- t.total_queued + queued;
+  t.total_propagated <- t.total_propagated + !propagated;
+  t.total_elapsed <- t.total_elapsed +. elapsed;
+  {
+    ops_queued = queued;
+    ops_propagated = !propagated;
+    conflicts_forced_flush = t.forced;
+    elapsed;
+  }
+
+(* Statements are lowered against the unflushed snapshot, in order; the
+   only unsound case is a new operation targeting a node the queue
+   already deletes (the statement should have seen it gone). *)
+let unsafe_wrt_queue queue ops =
+  List.exists
+    (fun op_new ->
+      let tid = Pul_optim.target op_new in
+      List.exists
+        (function
+          | Pul_optim.Del { target } ->
+            Dewey.equal target tid || Dewey.is_ancestor target tid
+          | Pul_optim.Ins _ -> false)
+        queue)
+    ops
+
+let update t u =
+  let store = t.mv.Mview.store in
+  let ops = Pul_optim.atomic_ops store u in
+  if t.queue <> [] && unsafe_wrt_queue t.queue ops then begin
+    t.forced <- t.forced + 1;
+    ignore (flush t);
+    (* Re-lower against the now-updated document. *)
+    let ops = Pul_optim.atomic_ops store u in
+    t.queue <- ops
+  end
+  else t.queue <- t.queue @ ops
+
+let view t =
+  if t.queue <> [] then ignore (flush t);
+  t.mv
+
+let totals t =
+  {
+    ops_queued = t.total_queued;
+    ops_propagated = t.total_propagated;
+    conflicts_forced_flush = t.forced;
+    elapsed = t.total_elapsed;
+  }

@@ -1,0 +1,48 @@
+(** Deferred (lazy) view maintenance — Section 5's motivating mode: when a
+    sequence of updates hits the document, their propagation to the view
+    can be deferred and applied only when the view is consulted, after
+    the pending-update-list optimizations have shrunk the work.
+
+    A deferred session queues statement-level updates {e without} touching
+    the document. Each statement is lowered to atomic operations against
+    the current snapshot when queued; the queue preserves statement
+    order, so this is sound except when a new statement targets a node
+    the queue already deletes (an override in the sense of the LO / NLO
+    conflict rules) — then the queue is flushed first, falling back to
+    immediate semantics. At flush time the whole queue is reduced with
+    rules O1 / O3 / I5 and the surviving operations are applied and
+    propagated one by one.
+
+    Readers of the {e document} between queue and flush see the
+    pre-update snapshot; readers of the {e view} trigger a flush. *)
+
+type t
+
+type flush_report = {
+  ops_queued : int;  (** atomic operations accumulated since last flush *)
+  ops_propagated : int;  (** operations left after reduction *)
+  conflicts_forced_flush : int;  (** times a conflicting statement flushed early *)
+  elapsed : float;  (** seconds spent in the last flush *)
+}
+
+(** [create ?reduce mv] starts a deferred session over a materialized
+    view. [reduce] (default [true]) controls whether flushes apply the
+    reduction rules — disable it to measure their benefit. *)
+val create : ?reduce:bool -> Mview.t -> t
+
+(** Number of queued atomic operations. *)
+val pending : t -> int
+
+(** [update t u] queues [u]; flushes first if [u] conflicts with the
+    queued operations. *)
+val update : t -> Update.t -> unit
+
+(** [flush t] propagates the queued operations (reduced when enabled) and
+    empties the queue. *)
+val flush : t -> flush_report
+
+(** [view t] flushes if needed and returns the now-fresh view. *)
+val view : t -> Mview.t
+
+(** Cumulative statistics since [create]. *)
+val totals : t -> flush_report

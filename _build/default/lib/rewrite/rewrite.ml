@@ -1,0 +1,131 @@
+type row = { count : int; cells : Mview.cell array }
+
+(* Structural identity of two patterns: same preorder tags, axes and
+   parent links. *)
+let same_shape (q : Pattern.t) (v : Pattern.t) =
+  Pattern.node_count q = Pattern.node_count v
+  && q.Pattern.tags = v.Pattern.tags
+  && q.Pattern.axes = v.Pattern.axes
+  && q.Pattern.parents = v.Pattern.parents
+
+let match_view ~query ~view =
+  if not (same_shape query view) then None
+  else begin
+    let k = Pattern.node_count query in
+    let ok = ref true in
+    for i = 0 to k - 1 do
+      let qa = query.Pattern.annots.(i) and va = view.Pattern.annots.(i) in
+      (* Everything the query stores, the view must store. *)
+      if
+        (qa.Pattern.store_id && not va.Pattern.store_id)
+        || (qa.Pattern.store_val && not va.Pattern.store_val)
+        || (qa.Pattern.store_cont && not va.Pattern.store_cont)
+      then ok := false;
+      (* Predicates: the view may only be less selective; an extra query
+         predicate must be checkable on a stored value. *)
+      match (query.Pattern.vpreds.(i), view.Pattern.vpreds.(i)) with
+      | None, None -> ()
+      | Some q, Some v -> if q <> v then ok := false
+      | Some _, None -> if not view.Pattern.annots.(i).Pattern.store_val then ok := false
+      | None, Some _ -> ok := false
+    done;
+    if not !ok then None
+    else begin
+      (* Positions of the query's stored nodes inside the view's stored
+         list. *)
+      let view_stored = Array.of_list (Pattern.stored_nodes view) in
+      let pos_of node =
+        let rec go p = if view_stored.(p) = node then p else go (p + 1) in
+        go 0
+      in
+      Some (Array.of_list (List.map pos_of (Pattern.stored_nodes query)))
+    end
+  end
+
+let answer mv query =
+  let view = mv.Mview.pat in
+  match match_view ~query ~view with
+  | None -> None
+  | Some positions ->
+    (* Residual predicates of the query, as (stored-position, literal). *)
+    let residual = ref [] in
+    Array.iteri
+      (fun vpos node ->
+        match (query.Pattern.vpreds.(node), view.Pattern.vpreds.(node)) with
+        | Some c, None -> residual := (vpos, c) :: !residual
+        | _ -> ())
+      (Array.of_list (Pattern.stored_nodes view));
+    let rows = ref [] in
+    Mview.iter_entries mv (fun e ->
+        let keep =
+          List.for_all
+            (fun (vpos, c) ->
+              match e.Mview.cells.(vpos).Mview.cell_value with
+              | Some v -> v = c
+              | None -> false)
+            !residual
+        in
+        if keep then begin
+          let cells = Array.map (fun p -> e.Mview.cells.(p)) positions in
+          rows := { count = e.Mview.count; cells } :: !rows
+        end);
+    Some !rows
+
+let stored_position mv node =
+  let stored = mv.Mview.stored in
+  let rec go p =
+    if p >= Array.length stored then
+      invalid_arg "Rewrite: pattern node does not store its ID"
+    else if stored.(p) = node then p
+    else go (p + 1)
+  in
+  go 0
+
+module Dewey_tbl = Hashtbl.Make (struct
+  type t = Dewey.t
+
+  let equal = Dewey.equal
+  let hash = Dewey.hash
+end)
+
+let join_rows left right ~lpos ~rpos ~matches =
+  (* Hash the left side on its join ID, probe with the right side using
+     [matches] to enumerate candidate keys. *)
+  let tbl = Dewey_tbl.create (max 16 (Mview.cardinality left)) in
+  Mview.iter_entries left (fun e ->
+      let key = e.Mview.cells.(lpos).Mview.cell_id in
+      let prev = try Dewey_tbl.find tbl key with Not_found -> [] in
+      Dewey_tbl.replace tbl key (e :: prev));
+  let out = ref [] in
+  Mview.iter_entries right (fun re ->
+      let rid = re.Mview.cells.(rpos).Mview.cell_id in
+      List.iter
+        (fun key ->
+          match Dewey_tbl.find_opt tbl key with
+          | None -> ()
+          | Some les ->
+            List.iter
+              (fun le ->
+                out :=
+                  {
+                    count = le.Mview.count * re.Mview.count;
+                    cells = Array.append le.Mview.cells re.Mview.cells;
+                  }
+                  :: !out)
+              les)
+        (matches rid));
+  !out
+
+let id_join left right ~on:(i, j) =
+  let lpos = stored_position left i and rpos = stored_position right j in
+  join_rows left right ~lpos ~rpos ~matches:(fun rid -> [ rid ])
+
+let structural_join left right ~ancestor ~descendant ~axis =
+  let lpos = stored_position left ancestor in
+  let rpos = stored_position right descendant in
+  let matches rid =
+    match axis with
+    | Pattern.Child -> ( match Dewey.parent rid with None -> [] | Some p -> [ p ])
+    | Pattern.Descendant -> Dewey.ancestors rid
+  in
+  join_rows left right ~lpos ~rpos ~matches

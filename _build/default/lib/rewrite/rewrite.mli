@@ -1,0 +1,48 @@
+(** Answering queries from materialized views without touching the base
+    document — the reason the paper's views store structural IDs in the
+    first place: "storing IDs in views enables combining several views in
+    order to answer a query" (Section 2.2).
+
+    Three rewriting situations are covered:
+
+    - {e exact}: the query pattern is structurally identical to the view
+      and asks only for attributes the view stores;
+    - {e filter}: additionally, the query carries extra [[val = c]]
+      predicates on nodes whose value the view stores — answered by
+      filtering the view's tuples;
+    - {e ID join}: two views are stitched on a shared stored node, one
+      providing the node itself, the other an ancestor/descendant
+      context (the "tree-pattern stitching" enabled by structural IDs). *)
+
+(** One answer row: the cells of the query's stored nodes (in preorder),
+    with its derivation count. *)
+type row = { count : int; cells : Mview.cell array }
+
+(** [match_view ~query ~view] checks that [view] can answer [query]:
+    same tree shape, tags and axes; every view predicate present in the
+    query; every query-stored attribute stored by the view; and any
+    extra query predicate sits on a node whose value the view stores.
+    Returns the positions, within the view's stored-node list, of the
+    query's stored nodes. *)
+val match_view : query:Pattern.t -> view:Pattern.t -> int array option
+
+(** [answer mv query] answers [query] from the view alone; [None] when
+    {!match_view} fails. *)
+val answer : Mview.t -> Pattern.t -> row list option
+
+(** [id_join left right ~on:(i, j)] joins the tuples of two views over
+    one document, on equality of the IDs stored at [left] pattern node
+    [i] and [right] pattern node [j]. Derivation counts multiply. The
+    result rows concatenate the left cells with the right cells.
+    @raise Invalid_argument if [i] (resp. [j]) is not a stored node. *)
+val id_join : Mview.t -> Mview.t -> on:int * int -> row list
+
+(** [structural_join left right ~ancestor ~descendant ~axis] stitches two
+    views on a structural predicate between stored IDs: the node at
+    [left] position [ancestor] must be the parent ([Child]) or an
+    ancestor ([Descendant]) of the node at [right] position
+    [descendant].
+    @raise Invalid_argument if either position is not stored. *)
+val structural_join :
+  Mview.t -> Mview.t -> ancestor:int -> descendant:int -> axis:Pattern.axis ->
+  row list

@@ -1,0 +1,263 @@
+type entry = { id : Dewey.t; node : Xml_tree.node }
+
+module Dewey_tbl = Hashtbl.Make (struct
+  type t = Dewey.t
+
+  let equal = Dewey.equal
+  let hash = Dewey.hash
+end)
+
+type rel = { mutable sorted : entry array }
+
+type t = {
+  root : Xml_tree.node;
+  dict : Label_dict.t;
+  ids : (int, Dewey.t) Hashtbl.t; (* node serial -> id *)
+  nodes : Xml_tree.node Dewey_tbl.t; (* id -> node *)
+  rels : (int, rel) Hashtbl.t; (* label code -> canonical relation *)
+  mutable staged_adds : entry list; (* newest first *)
+  detached : Xml_tree.node Dewey_tbl.t;
+      (* detached subtree roots, unregistered at commit *)
+  mutable live : int;
+}
+
+let root t = t.root
+let dict t = t.dict
+
+(* A node inside a detached-but-uncommitted subtree is already dead for
+   the outside world; its identifier still resolves internally so that
+   Δ⁻ tables can be extracted from the subtree. The ancestors-or-self of
+   an identifier are its step-prefixes, so the probe is O(depth). *)
+let in_detached t id =
+  Dewey_tbl.length t.detached > 0
+  && (Dewey_tbl.mem t.detached id
+     || List.exists (fun a -> Dewey_tbl.mem t.detached a) (Dewey.ancestors id))
+
+let raw_id t node = Hashtbl.find t.ids node.Xml_tree.serial
+
+let id_of = raw_id
+
+let mem t node =
+  match Hashtbl.find_opt t.ids node.Xml_tree.serial with
+  | None -> false
+  | Some id -> not (in_detached t id)
+
+let node_of t id =
+  if in_detached t id then None else Dewey_tbl.find_opt t.nodes id
+
+let node_count t = t.live
+
+let rel_of t lab_code =
+  match Hashtbl.find_opt t.rels lab_code with
+  | Some r -> r
+  | None ->
+    let r = { sorted = [||] } in
+    Hashtbl.add t.rels lab_code r;
+    r
+
+let register t node id =
+  Hashtbl.replace t.ids node.Xml_tree.serial id;
+  Dewey_tbl.replace t.nodes id node;
+  t.live <- t.live + 1
+
+let unregister t node =
+  let serial = node.Xml_tree.serial in
+  match Hashtbl.find_opt t.ids serial with
+  | None -> ()
+  | Some id ->
+    Hashtbl.remove t.ids serial;
+    Dewey_tbl.remove t.nodes id
+
+(* Assign IDs to [node] (child of the node identified by [parent_id], with
+   ordinal [ord]) and all its descendants; stage every new entry. *)
+let rec assign t node ~parent_id ~ord =
+  let lab = Label_dict.code t.dict (Xml_tree.label node) in
+  let id =
+    match parent_id with
+    | None -> Dewey.root ~lab
+    | Some pid -> Dewey.child pid ~lab ~ord
+  in
+  register t node id;
+  t.staged_adds <- { id; node } :: t.staged_adds;
+  List.iteri
+    (fun i child -> assign t child ~parent_id:(Some id) ~ord:[| i + 1 |])
+    node.Xml_tree.children
+
+let of_document ?dict root =
+  let dict = match dict with Some d -> d | None -> Label_dict.create () in
+  let t =
+    {
+      root;
+      dict;
+      ids = Hashtbl.create 4096;
+      nodes = Dewey_tbl.create 4096;
+      rels = Hashtbl.create 64;
+      staged_adds = [];
+      detached = Dewey_tbl.create 16;
+      live = 0;
+    }
+  in
+  assign t root ~parent_id:None ~ord:Dewey.Ord.first;
+  (* Inline commit of the initial load. *)
+  let by_label = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let lab = Dewey.label e.id in
+      let prev = try Hashtbl.find by_label lab with Not_found -> [] in
+      Hashtbl.replace by_label lab (e :: prev))
+    t.staged_adds;
+  Hashtbl.iter
+    (fun lab entries ->
+      let arr = Array.of_list entries in
+      Array.sort (fun a b -> Dewey.compare a.id b.id) arr;
+      (rel_of t lab).sorted <- arr)
+    by_label;
+  t.staged_adds <- [];
+  t
+
+let relation t label =
+  match Label_dict.find t.dict label with
+  | None -> [||]
+  | Some code -> (
+    match Hashtbl.find_opt t.rels code with None -> [||] | Some r -> r.sorted)
+
+let relation_labels t =
+  Hashtbl.fold
+    (fun code r acc ->
+      if Array.length r.sorted > 0 then Label_dict.label t.dict code :: acc else acc)
+    t.rels []
+
+let attach t ~parent forest =
+  let parent_id = id_of t parent in
+  (* Ordinal of the first new child: strictly after the last existing one. *)
+  let last_ord =
+    match List.rev parent.Xml_tree.children with
+    | [] -> None
+    | last :: _ -> Some (Dewey.last_ord (id_of t last))
+  in
+  let ord = ref (match last_ord with None -> Dewey.Ord.first | Some o -> Dewey.Ord.after o) in
+  List.iter
+    (fun tree ->
+      assign t tree ~parent_id:(Some parent_id) ~ord:!ord;
+      ord := Dewey.Ord.after !ord)
+    forest;
+  Xml_tree.append_children parent forest
+
+let attach_beside t ~sibling ~where forest =
+  let parent =
+    match sibling.Xml_tree.parent with
+    | Some p -> p
+    | None -> invalid_arg "Store.attach_beside: sibling has no parent"
+  in
+  let parent_id = id_of t parent in
+  let sib_ord = Dewey.last_ord (id_of t sibling) in
+  (* Bounds: the neighbours' ordinals on the chosen side. *)
+  let neighbour =
+    let rec scan prev = function
+      | [] -> None
+      | c :: rest ->
+        if c == sibling then
+          match where with
+          | `Before -> prev
+          | `After -> ( match rest with [] -> None | n :: _ -> Some n)
+        else scan (Some c) rest
+    in
+    scan None parent.Xml_tree.children
+  in
+  let lo, hi =
+    match where with
+    | `Before -> (Option.map (fun n -> Dewey.last_ord (id_of t n)) neighbour, Some sib_ord)
+    | `After -> (Some sib_ord, Option.map (fun n -> Dewey.last_ord (id_of t n)) neighbour)
+  in
+  let fresh_ord lo hi =
+    match (lo, hi) with
+    | Some lo, Some hi -> Dewey.Ord.between lo hi
+    | None, Some hi -> Dewey.Ord.before hi
+    | Some lo, None -> Dewey.Ord.after lo
+    | None, None -> Dewey.Ord.first
+  in
+  let lo = ref lo in
+  List.iter
+    (fun tree ->
+      let ord = fresh_ord !lo hi in
+      assign t tree ~parent_id:(Some parent_id) ~ord;
+      lo := Some ord)
+    forest;
+  Xml_tree.insert_children parent ~anchor:sibling ~where forest
+
+(* Detaching is O(1) apart from the tree unlink: the subtree stays
+   internally resolvable (for Δ⁻ extraction) until [commit] sweeps it. *)
+let detach t node =
+  (match node.Xml_tree.parent with
+  | Some parent -> Xml_tree.remove_child parent node
+  | None -> ());
+  match Hashtbl.find_opt t.ids node.Xml_tree.serial with
+  | None -> ()
+  | Some id -> Dewey_tbl.replace t.detached id node
+
+let commit t =
+  if t.staged_adds <> [] then begin
+    let by_label = Hashtbl.create 16 in
+    List.iter
+      (fun e ->
+        (* An entry staged and then detached before commit must not enter
+           the relation. *)
+        if Hashtbl.mem t.ids e.node.Xml_tree.serial && not (in_detached t e.id) then begin
+          let lab = Dewey.label e.id in
+          let prev = try Hashtbl.find by_label lab with Not_found -> [] in
+          Hashtbl.replace by_label lab (e :: prev)
+        end)
+      t.staged_adds;
+    Hashtbl.iter
+      (fun lab entries ->
+        let r = rel_of t lab in
+        let fresh = Array.of_list entries in
+        Array.sort (fun a b -> Dewey.compare a.id b.id) fresh;
+        (* Merge the (small) sorted batch into the sorted relation. *)
+        let old = r.sorted in
+        let merged = Array.make (Array.length old + Array.length fresh) fresh.(0) in
+        let i = ref 0 and j = ref 0 in
+        for k = 0 to Array.length merged - 1 do
+          if
+            !j >= Array.length fresh
+            || (!i < Array.length old && Dewey.compare old.(!i).id fresh.(!j).id <= 0)
+          then begin
+            merged.(k) <- old.(!i);
+            incr i
+          end
+          else begin
+            merged.(k) <- fresh.(!j);
+            incr j
+          end
+        done;
+        r.sorted <- merged)
+      by_label;
+    t.staged_adds <- []
+  end;
+  if Dewey_tbl.length t.detached > 0 then begin
+    (* Sweep the detached subtrees out of the identifier indexes, noting
+       which labels lost nodes; only those relations need purging. *)
+    let touched = Hashtbl.create 16 in
+    Dewey_tbl.iter
+      (fun _ subtree ->
+        Xml_tree.iter
+          (fun n ->
+            match Hashtbl.find_opt t.ids n.Xml_tree.serial with
+            | None -> ()
+            | Some id ->
+              Hashtbl.replace touched (Dewey.label id) ();
+              unregister t n;
+              t.live <- t.live - 1)
+          subtree)
+      t.detached;
+    Dewey_tbl.reset t.detached;
+    Hashtbl.iter
+      (fun lab () ->
+        match Hashtbl.find_opt t.rels lab with
+        | None -> ()
+        | Some r ->
+          let live e = Hashtbl.mem t.ids e.node.Xml_tree.serial in
+          if not (Array.for_all live r.sorted) then
+            r.sorted <- Array.of_seq (Seq.filter live (Array.to_seq r.sorted)))
+      touched
+  end

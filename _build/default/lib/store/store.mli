@@ -1,0 +1,68 @@
+(** Document store: assigns structural Dewey identifiers to every node of a
+    document and maintains the {e virtual canonical relations} [R_a] — for
+    each label [a], the list of [(ID, node)] entries of the [a]-labeled
+    nodes in document order (Section 2.2 of the paper; [val] and [cont] are
+    computed from the node on demand).
+
+    Updates follow a two-phase discipline so that view-maintenance code can
+    evaluate algebraic terms against the {e pre-update} canonical relations
+    while the tree (and the IDs of freshly inserted nodes) already reflect
+    the update:
+
+    + {!attach} / {!detach} mutate the tree, assign or invalidate IDs, and
+      stage the change;
+    + {!commit} folds staged changes into the canonical relations. *)
+
+type t
+
+type entry = { id : Dewey.t; node : Xml_tree.node }
+
+(** [of_document ?dict root] indexes a document. *)
+val of_document : ?dict:Label_dict.t -> Xml_tree.node -> t
+
+val root : t -> Xml_tree.node
+val dict : t -> Label_dict.t
+
+(** Total number of indexed (live) nodes. *)
+val node_count : t -> int
+
+(** [id_of store node].
+    @raise Not_found if [node] does not belong to the store. *)
+val id_of : t -> Xml_tree.node -> Dewey.t
+
+(** [mem store node]: the node is live (indexed and not detached). *)
+val mem : t -> Xml_tree.node -> bool
+
+(** [node_of store id] finds a live node by identifier. *)
+val node_of : t -> Dewey.t -> Xml_tree.node option
+
+(** [relation store label] is the committed canonical relation of [label],
+    sorted in document order. Returns [||] for unseen labels. *)
+val relation : t -> string -> entry array
+
+(** Labels having a non-empty committed relation. *)
+val relation_labels : t -> string list
+
+(** {1 Updates} *)
+
+(** [attach store ~parent forest] appends the trees of [forest] as the last
+    children of [parent], assigns IDs to every new node and stages them for
+    {!commit}. The forest nodes must be detached (no parent). *)
+val attach : t -> parent:Xml_tree.node -> Xml_tree.node list -> unit
+
+(** [attach_beside store ~sibling ~where forest] inserts the trees of
+    [forest] immediately before or after [sibling], assigning fresh
+    ordinals strictly between the neighbours' — no existing identifier is
+    touched (the dynamic-Dewey "no relabeling" property).
+    @raise Invalid_argument if [sibling] has no parent. *)
+val attach_beside :
+  t -> sibling:Xml_tree.node -> where:[ `Before | `After ] ->
+  Xml_tree.node list -> unit
+
+(** [detach store node] removes the subtree rooted at [node] from the tree
+    and stages the removal of all its nodes. IDs of detached nodes resolve
+    to [None] immediately. *)
+val detach : t -> Xml_tree.node -> unit
+
+(** Folds staged insertions and removals into the canonical relations. *)
+val commit : t -> unit

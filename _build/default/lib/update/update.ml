@@ -1,0 +1,191 @@
+type placement = Into | Before | After
+
+type t =
+  | Delete of Xpath.path
+  | Insert of {
+      target : Xpath.path;
+      forest : Xml_tree.node -> Xml_tree.node list;
+      placement : placement;
+    }
+  | Replace_value of { target : Xpath.path; text : string }
+
+let delete s = Delete (Xpath.parse s)
+
+let insert_at placement path fragment =
+  let target = Xpath.parse path in
+  let template = Xml_parse.fragment fragment in
+  Insert { target; forest = (fun _ -> List.map Xml_tree.copy template); placement }
+
+let insert ~into fragment = insert_at Into into fragment
+let insert_before ~target fragment = insert_at Before target fragment
+let insert_after ~target fragment = insert_at After target fragment
+
+let insert_forest ~into forest = Insert { target = into; forest; placement = Into }
+
+let replace_value ~target text = Replace_value { target = Xpath.parse target; text }
+
+let parse s =
+  let s = String.trim s in
+  let prefix p =
+    String.length s >= String.length p && String.sub s 0 (String.length p) = p
+  in
+  let after p = String.trim (String.sub s (String.length p) (String.length s - String.length p)) in
+  let split_on_fragment what rest =
+    match String.index_opt rest '<' with
+    | None -> invalid_arg (Printf.sprintf "Update.parse: missing fragment in %s" what)
+    | Some i ->
+      (String.trim (String.sub rest 0 i), String.sub rest i (String.length rest - i))
+  in
+  if prefix "delete" then delete (after "delete")
+  else if prefix "insert into" then begin
+    let path, frag = split_on_fragment "'insert into'" (after "insert into") in
+    insert ~into:path frag
+  end
+  else if prefix "for" then begin
+    (* The statement form of Section 2.3:
+       for $x in PATH insert FRAGMENT [into $x] *)
+    let rest = after "for" in
+    match String.index_opt rest ' ' with
+    | None -> invalid_arg "Update.parse: malformed for clause"
+    | Some i ->
+      let _var = String.sub rest 0 i in
+      let rest = String.trim (String.sub rest i (String.length rest - i)) in
+      if not (prefix "for" || String.length rest > 3 && String.sub rest 0 3 = "in ") then
+        invalid_arg "Update.parse: expected 'in' after the variable";
+      let rest = String.trim (String.sub rest 2 (String.length rest - 2)) in
+      let insert_kw = " insert " in
+      let rec find_kw i =
+        if i + String.length insert_kw > String.length rest then
+          invalid_arg "Update.parse: expected 'insert' in for clause"
+        else if String.sub rest i (String.length insert_kw) = insert_kw then i
+        else find_kw (i + 1)
+      in
+      let k = find_kw 0 in
+      let path = String.trim (String.sub rest 0 k) in
+      let tail = String.sub rest (k + String.length insert_kw) (String.length rest - k - String.length insert_kw) in
+      let _, frag = split_on_fragment "'for … insert'" tail in
+      (* A trailing "into $x" after the fragment is implied and ignored. *)
+      let frag =
+        match String.rindex_opt frag '>' with
+        | Some j -> String.sub frag 0 (j + 1)
+        | None -> frag
+      in
+      insert ~into:path frag
+  end
+  else invalid_arg "Update.parse: expected 'delete …', 'insert into …' or 'for … insert …'"
+
+let to_string = function
+  | Delete p -> "delete " ^ Xpath.to_string p
+  | Replace_value { target; text } ->
+    Printf.sprintf "replace value of %s with %S" (Xpath.to_string target) text
+  | Insert { target; placement; _ } ->
+    let mode =
+      match placement with Into -> "into" | Before -> "before" | After -> "after"
+    in
+    Printf.sprintf "insert %s %s <...>" mode (Xpath.to_string target)
+
+let targets store u =
+  let path =
+    match u with
+    | Delete p -> p
+    | Insert { target; _ } | Replace_value { target; _ } -> target
+  in
+  (* After a root deletion the store's tree handle dangles; only live
+     (still indexed) nodes are valid targets. *)
+  List.filter (Store.mem store) (Xpath.eval (Store.root store) path)
+
+type applied_insert = { pairs : (Dewey.t * Xml_tree.node list) list }
+
+type applied_delete = {
+  roots : Dewey.t list;
+  root_nodes : Xml_tree.node list;
+  deleted : (Dewey.t * Xml_tree.node) list Lazy.t;
+}
+
+let apply_insert store u ~targets =
+  let forest, placement =
+    match u with
+    | Insert { forest; placement; _ } -> (forest, placement)
+    | Delete _ | Replace_value _ -> invalid_arg "Update.apply_insert: not an insertion"
+  in
+  let pairs =
+    List.filter_map
+      (fun target ->
+        (* The pair records the node whose content changes: the target for
+           into-insertions, its parent for sibling insertions. A sibling
+           insertion at the document root is a no-op (no siblings). *)
+        match placement with
+        | Into ->
+          let copies = forest target in
+          Store.attach store ~parent:target copies;
+          Some (Store.id_of store target, copies)
+        | Before | After -> (
+          match target.Xml_tree.parent with
+          | None -> None
+          | Some parent ->
+            let copies = forest target in
+            let where = match placement with Before -> `Before | _ -> `After in
+            Store.attach_beside store ~sibling:target ~where copies;
+            Some (Store.id_of store parent, copies)))
+      targets
+  in
+  { pairs }
+
+let apply_insert_at store ~target forest =
+  Store.attach store ~parent:target forest;
+  { pairs = [ (Store.id_of store target, forest) ] }
+
+let apply_replace store ~text ~targets =
+  let text_children =
+    List.concat_map
+      (fun target ->
+        List.filter
+          (fun c -> c.Xml_tree.kind = Xml_tree.Text)
+          target.Xml_tree.children)
+      targets
+  in
+  let pairs =
+    List.map
+      (fun target ->
+        let fresh = if text = "" then [] else [ Xml_tree.text text ] in
+        (Store.id_of store target, fresh))
+      targets
+  in
+  (* Detach the old text, then attach the replacement. *)
+  let roots = List.map (Store.id_of store) text_children in
+  List.iter (Store.detach store) text_children;
+  let deleted = lazy (List.map2 (fun id n -> (id, n)) roots text_children) in
+  List.iter2
+    (fun target (_, fresh) -> if fresh <> [] then Store.attach store ~parent:target fresh)
+    targets pairs;
+  ({ roots; root_nodes = text_children; deleted }, { pairs })
+
+let apply_delete store ~targets =
+  (* Skip targets nested below an earlier target: detaching the ancestor
+     already removes them, and their nodes must be collected only once. *)
+  let picked = Hashtbl.create 16 in
+  let root_nodes = ref [] in
+  List.iter
+    (fun target ->
+      let rec inside n =
+        Hashtbl.mem picked n.Xml_tree.serial
+        || match n.Xml_tree.parent with None -> false | Some p -> inside p
+      in
+      if not (inside target) then begin
+        Hashtbl.replace picked target.Xml_tree.serial ();
+        root_nodes := target :: !root_nodes
+      end)
+    targets;
+  let root_nodes = List.rev !root_nodes in
+  let roots = List.map (Store.id_of store) root_nodes in
+  List.iter (Store.detach store) root_nodes;
+  (* Identifiers inside detached subtrees resolve until the commit, so the
+     full enumeration can run lazily, during Δ⁻ computation. *)
+  let deleted =
+    lazy
+      (List.concat_map
+         (fun root ->
+           List.map (fun n -> (Store.id_of store n, n)) (Xml_tree.descendants_or_self root))
+         root_nodes)
+  in
+  { roots; root_nodes; deleted }

@@ -1,0 +1,1 @@
+lib/viewmaint/advisor.ml: Array Lattice List Mview Pattern Stdlib Store String

@@ -1,0 +1,1 @@
+lib/viewmaint/advisor.mli: Lattice Mview Pattern Store

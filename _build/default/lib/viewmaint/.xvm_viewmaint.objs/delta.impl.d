@@ -1,0 +1,1 @@
+lib/viewmaint/delta.ml: Array Dewey Id_region List Pattern Plan Store Tuple_table Update Xml_tree

@@ -1,0 +1,1 @@
+lib/viewmaint/delta.mli: Dewey Id_region Pattern Store Tuple_table Update

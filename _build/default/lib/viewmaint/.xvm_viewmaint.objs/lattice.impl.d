@@ -1,0 +1,1 @@
+lib/viewmaint/lattice.ml: Array List Pattern Stdlib String

@@ -1,0 +1,1 @@
+lib/viewmaint/lattice.mli: Pattern

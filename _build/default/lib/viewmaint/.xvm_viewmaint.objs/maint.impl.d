@@ -1,0 +1,1 @@
+lib/viewmaint/maint.ml: Array Delta Dewey Hashtbl Id_region Label_dict Lattice List Mview Path_ops Pattern Plan Store String Struct_join Timing Tuple_table Update Xml_tree

@@ -1,0 +1,1 @@
+lib/viewmaint/maint.mli: Delta Lattice Mview Store Timing Tuple_table Update Xml_tree

@@ -1,0 +1,1 @@
+lib/viewmaint/mview.ml: Array Buffer Dewey Hashtbl Lattice List Option Pattern Plan Stdlib Store Tuple_table Xml_tree

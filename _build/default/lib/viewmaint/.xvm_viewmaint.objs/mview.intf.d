@@ -1,0 +1,1 @@
+lib/viewmaint/mview.mli: Dewey Hashtbl Lattice Pattern Store Tuple_table

@@ -1,0 +1,1 @@
+lib/viewmaint/mview_codec.ml: Array Buffer Char Dewey List Mview Pattern String

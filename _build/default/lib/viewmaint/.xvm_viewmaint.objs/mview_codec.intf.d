@@ -1,0 +1,1 @@
+lib/viewmaint/mview_codec.mli: Mview Pattern Store

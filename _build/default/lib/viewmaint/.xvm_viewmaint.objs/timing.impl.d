@@ -1,0 +1,1 @@
+lib/viewmaint/timing.ml: Unix

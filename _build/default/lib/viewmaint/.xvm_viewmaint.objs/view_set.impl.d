@@ -1,0 +1,1 @@
+lib/viewmaint/view_set.ml: List Maint Mview Pattern Printf Store Timing Update

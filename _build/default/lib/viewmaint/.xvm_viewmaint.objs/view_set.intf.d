@@ -1,0 +1,1 @@
+lib/viewmaint/view_set.mli: Maint Mview Pattern Store Update

@@ -1,0 +1,74 @@
+type profile = (string * float) list
+
+let default_rate = 1.0
+
+let uniform = []
+
+let rate profile label =
+  match List.assoc_opt label profile with Some r -> r | None -> default_rate
+
+(* Relation cardinality for a pattern node's tag; [*] counts all element
+   relations. *)
+let relation_size store pat i =
+  let tag = pat.Pattern.tags.(i) in
+  if tag = "*" then
+    List.fold_left
+      (fun acc label ->
+        if String.length label > 0 && (label.[0] = '@' || label.[0] = '#') then acc
+        else acc + Array.length (Store.relation store label))
+      0
+      (Store.relation_labels store)
+  else Array.length (Store.relation store tag)
+
+let score store pat ~profile s =
+  let k = Pattern.node_count pat in
+  (* Term frequency: a term with R-part [s] needs Δs on every outside
+     node simultaneously; bound it by the scarcest outside rate. *)
+  let freq = ref infinity in
+  let saved = ref 0. in
+  let smallest_inside = ref infinity in
+  for i = 0 to k - 1 do
+    let tag = pat.Pattern.tags.(i) in
+    if Lattice.mem s i then begin
+      let size = float_of_int (relation_size store pat i) in
+      saved := !saved +. size;
+      if size < !smallest_inside then smallest_inside := size
+    end
+    else freq := min !freq (rate profile tag)
+  done;
+  let freq = if !freq = infinity then 0. else !freq in
+  (* Cardinality estimate for the materialized result: joins are
+     selective, so the smallest participating relation bounds it. *)
+  let est_size = if !smallest_inside = infinity then 0. else !smallest_inside in
+  (* Upkeep is paid on every update that touches the snowcap's labels. *)
+  let upkeep_rate =
+    let total = ref 0. in
+    for i = 0 to k - 1 do
+      if Lattice.mem s i then total := !total +. rate profile pat.Pattern.tags.(i)
+    done;
+    !total
+  in
+  (freq *. !saved) -. (0.1 *. ((upkeep_rate *. est_size) +. est_size))
+
+let choose ?max_mats store pat ~profile =
+  let limit =
+    match max_mats with Some m -> m | None -> max 0 (Pattern.node_count pat - 1)
+  in
+  let scored =
+    List.filter_map
+      (fun s ->
+        (* A single-node snowcap duplicates a lattice leaf (the canonical
+           relation itself); never worth materializing. *)
+        if Lattice.size s <= 1 then None
+        else
+          let v = score store pat ~profile s in
+          if v > 0. then Some (s, v) else None)
+      (Lattice.proper_snowcaps pat)
+  in
+  let sorted = List.sort (fun (_, a) (_, b) -> Stdlib.compare b a) scored in
+  List.filteri (fun i _ -> i < limit) (List.map fst sorted)
+
+let policy ?max_mats store pat ~profile =
+  match choose ?max_mats store pat ~profile with
+  | [] -> Mview.Leaves
+  | sets -> Mview.Chosen sets

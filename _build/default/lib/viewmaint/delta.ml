@@ -1,0 +1,68 @@
+type t = {
+  tables : Tuple_table.t array;
+  region : Id_region.t;
+  target_ids : Dewey.t list;
+}
+
+(* extr-pattern over a list of (id, node) pairs: one pass per pattern node
+   keeps each table in insertion order; a final sort restores document
+   order. *)
+let build_tables pat pairs =
+  let k = Pattern.node_count pat in
+  Array.init k (fun i ->
+      let matching =
+        List.filter_map
+          (fun (id, node) ->
+            if
+              Pattern.tag_matches pat.Pattern.tags.(i) node
+              && Pattern.vpred_holds pat i node
+              && Plan.root_anchor_ok pat i id
+            then Some id
+            else None)
+          pairs
+      in
+      let arr = Array.of_list matching in
+      Array.sort Dewey.compare arr;
+      Tuple_table.of_ids ~node:i arr)
+
+let of_insert store pat (applied : Update.applied_insert) =
+  let pairs = ref [] in
+  let roots = ref [] in
+  List.iter
+    (fun (_target_id, forest) ->
+      List.iter
+        (fun tree ->
+          roots := Store.id_of store tree :: !roots;
+          Xml_tree.iter (fun n -> pairs := (Store.id_of store n, n) :: !pairs) tree)
+        forest)
+    applied.Update.pairs;
+  {
+    tables = build_tables pat (List.rev !pairs);
+    region = Id_region.of_roots !roots;
+    target_ids = List.map fst applied.Update.pairs;
+  }
+
+(* Δ⁻ extraction is set-oriented: the deleted [l]-nodes are exactly the
+   entries of the (pre-update) canonical relation R_l lying inside the
+   deleted region, so each table is one filtered relation scan instead of
+   a walk over every deleted node. *)
+let of_delete store pat (applied : Update.applied_delete) =
+  let region = Id_region.of_roots applied.Update.roots in
+  let k = Pattern.node_count pat in
+  let tables =
+    Array.init k (fun i ->
+        let entries = Plan.entries_matching store pat i in
+        let matching = ref [] in
+        Array.iter
+          (fun e ->
+            if
+              Id_region.mem region e.Store.id
+              && Pattern.vpred_holds pat i e.Store.node
+              && Plan.root_anchor_ok pat i e.Store.id
+            then matching := e.Store.id :: !matching)
+          entries;
+        Tuple_table.of_ids ~node:i (Array.of_list (List.rev !matching)))
+  in
+  { tables; region; target_ids = applied.Update.roots }
+
+let nonempty t i = not (Tuple_table.is_empty t.tables.(i))

@@ -1,0 +1,24 @@
+(** Δ⁺ / Δ⁻ tables (algorithm CD+ of Section 3.5 and its deletion
+    counterpart CD-): for every view node, the inserted (resp. deleted)
+    document nodes that match the node's tag and value predicate, in
+    document order. Also carries the ID-level context used by the
+    data-driven pruning rules (Props 3.6, 3.8 and 4.7). *)
+
+type t = {
+  tables : Tuple_table.t array;
+      (** indexed by pattern node: single-column table σ_n(Δ_n) *)
+  region : Id_region.t;  (** inserted / deleted subtree roots *)
+  target_ids : Dewey.t list;
+      (** insertion points (parents of new trees) or deletion roots *)
+}
+
+(** [of_insert store pat applied] extracts Δ⁺ from a pending update list
+    whose forests are already attached (so every new node has an ID). *)
+val of_insert : Store.t -> Pattern.t -> Update.applied_insert -> t
+
+(** [of_delete store pat applied] extracts Δ⁻ from the snapshot of the
+    deleted subtrees. *)
+val of_delete : Store.t -> Pattern.t -> Update.applied_delete -> t
+
+(** [nonempty d i]: Δ table of pattern node [i] is non-empty. *)
+val nonempty : t -> int -> bool

@@ -1,0 +1,65 @@
+type nset = bool array
+
+let full pat = Array.make (Pattern.node_count pat) true
+let empty pat = Array.make (Pattern.node_count pat) false
+let size s = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 s
+let mem s i = s.(i)
+let equal a b = a = b
+
+let subset a b =
+  let n = Array.length a in
+  let rec go i = i >= n || ((not a.(i)) || b.(i)) && go (i + 1) in
+  go 0
+
+(* Enumerate parent-closed inclusion masks over the preorder array: node 0
+   is always in; node i may be in only if its parent is. *)
+let snowcaps pat =
+  let k = Pattern.node_count pat in
+  let acc = ref [] in
+  let mask = Array.make k false in
+  mask.(0) <- true;
+  let rec go i =
+    if i >= k then acc := Array.copy mask :: !acc
+    else begin
+      (* excluded *)
+      mask.(i) <- false;
+      go (i + 1);
+      (* included, if the parent is *)
+      if mask.(pat.Pattern.parents.(i)) then begin
+        mask.(i) <- true;
+        go (i + 1);
+        mask.(i) <- false
+      end
+    end
+  in
+  go 1;
+  List.sort (fun a b -> Stdlib.compare (size a) (size b)) !acc
+
+let proper_snowcaps pat =
+  let k = Pattern.node_count pat in
+  List.filter (fun s -> size s < k) (snowcaps pat)
+
+let chain pat =
+  let k = Pattern.node_count pat in
+  let prefixes = ref [] in
+  for len = k - 1 downto 1 do
+    prefixes := Array.init k (fun i -> i < len) :: !prefixes
+  done;
+  !prefixes
+
+let tops pat ~inside =
+  let out = ref [] in
+  for i = Array.length inside - 1 downto 0 do
+    if inside.(i) then begin
+      let p = pat.Pattern.parents.(i) in
+      if p = -1 || not inside.(p) then out := i :: !out
+    end
+  done;
+  !out
+
+let to_string pat s =
+  let parts = ref [] in
+  for i = Array.length s - 1 downto 0 do
+    if s.(i) then parts := pat.Pattern.tags.(i) :: !parts
+  done;
+  "{" ^ String.concat "," !parts ^ "}"

@@ -1,0 +1,38 @@
+(** The sub-pattern lattice of a view (Section 3.5) restricted to what the
+    maintenance algorithms consume: its {e snowcaps}.
+
+    A snowcap is a non-empty subtree of the view pattern closed under
+    parents (Definition 3.11). By Proposition 3.12, the union terms that
+    survive update-independent pruning are exactly those whose
+    [R]-sub-expression is a snowcap, so enumerating snowcaps enumerates
+    the surviving terms. *)
+
+(** A set of pattern-node indices, as an inclusion mask. *)
+type nset = bool array
+
+val full : Pattern.t -> nset
+val empty : Pattern.t -> nset
+val size : nset -> int
+val mem : nset -> int -> bool
+val equal : nset -> nset -> bool
+
+(** [subset a b]: every node of [a] is in [b]. *)
+val subset : nset -> nset -> bool
+
+(** All snowcaps of the pattern, ascending size; the last one is the full
+    pattern. Exponential in pattern width — view patterns are small. *)
+val snowcaps : Pattern.t -> nset list
+
+(** Snowcaps other than the full pattern. *)
+val proper_snowcaps : Pattern.t -> nset list
+
+(** One snowcap per lattice level (sizes 1 … k-1): the preorder prefixes.
+    This is the "minimal yet sufficient set, one per level, first at each
+    level" materialization policy of Section 6.7. *)
+val chain : Pattern.t -> nset list
+
+(** [tops pat ~inside]: nodes of [inside] whose parent is outside — the
+    roots of the forest induced by a downward-closed complement. *)
+val tops : Pattern.t -> inside:nset -> int list
+
+val to_string : Pattern.t -> nset -> string

@@ -1,0 +1,484 @@
+type report = {
+  timing : Timing.breakdown;
+  terms_developed : int;
+  terms_surviving : int;
+  embeddings_added : int;
+  embeddings_removed : int;
+  tuples_modified : int;
+  fallback_recompute : bool;
+}
+
+type applied =
+  | Ins of Update.applied_insert
+  | Del of Update.applied_delete
+  | Repl of Update.applied_delete * Update.applied_insert
+
+type kind = KInsert | KDelete
+
+let set_find b t = b.Timing.find_target <- b.Timing.find_target +. t
+let set_apply b t = b.Timing.apply_doc <- b.Timing.apply_doc +. t
+let set_delta b t = b.Timing.compute_delta <- b.Timing.compute_delta +. t
+let set_expr b t = b.Timing.get_expression <- b.Timing.get_expression +. t
+let set_exec b t = b.Timing.execute <- b.Timing.execute +. t
+let set_aux b t = b.Timing.update_aux <- b.Timing.update_aux +. t
+
+let apply_only store u =
+  let b = Timing.zero () in
+  let targets = Timing.timed b set_find (fun () -> Update.targets store u) in
+  let applied =
+    Timing.timed b set_apply (fun () ->
+        match u with
+        | Update.Insert _ -> Ins (Update.apply_insert store u ~targets)
+        | Update.Delete _ -> Del (Update.apply_delete store ~targets)
+        | Update.Replace_value { text; _ } ->
+          let d, i = Update.apply_replace store ~text ~targets in
+          Repl (d, i))
+  in
+  (applied, b)
+
+(* {1 Value-predicate guard}
+
+   Inserting or deleting text below an existing node can change the
+   node's string value and thereby flip a [[val = c]] selection the delta
+   model assumes stable. The only nodes at risk are ancestors-or-self of
+   the update targets whose tag matches a vpred-carrying view node; their
+   pre-update status is recorded before the mutation and re-checked
+   afterwards. Attribute and text values are immutable, so only element
+   tags are watched. *)
+
+type watches = (int * Dewey.t * bool) list
+
+let vpred_watches mv targets =
+  let pat = mv.Mview.pat in
+  let store = mv.Mview.store in
+  let vnodes = ref [] in
+  Array.iteri
+    (fun i vp ->
+      match vp with
+      | Some _ when String.length pat.Pattern.tags.(i) > 0 && pat.Pattern.tags.(i).[0] <> '@' ->
+        vnodes := i :: !vnodes
+      | Some _ | None -> ())
+    pat.Pattern.vpreds;
+  if !vnodes = [] then []
+  else begin
+    let seen = Hashtbl.create 16 in
+    let out = ref [] in
+    let watch node =
+      if not (Hashtbl.mem seen node.Xml_tree.serial) then begin
+        Hashtbl.add seen node.Xml_tree.serial ();
+        List.iter
+          (fun i ->
+            if Pattern.tag_matches pat.Pattern.tags.(i) node then
+              out := (i, Store.id_of store node, Pattern.vpred_holds pat i node) :: !out)
+          !vnodes
+      end
+    in
+    let rec up node =
+      watch node;
+      match node.Xml_tree.parent with None -> () | Some p -> up p
+    in
+    List.iter up targets;
+    !out
+  end
+
+let watches_flipped mv watches =
+  List.exists
+    (fun (i, id, pre) ->
+      match Store.node_of mv.Mview.store id with
+      | None -> false (* deleted: the structural deltas cover it *)
+      | Some node -> Pattern.vpred_holds mv.Mview.pat i node <> pre)
+    watches
+
+(* {1 Union terms: candidates, pruning, evaluation} *)
+
+(* Candidate terms for maintaining the sub-pattern [scope]: by Prop 3.12
+   one per snowcap strictly inside [scope], plus the all-Δ term (the empty
+   R-part). *)
+let candidate_terms mv ~scope =
+  Lattice.empty mv.Mview.pat
+  :: List.filter
+       (fun s -> Lattice.subset s scope && not (Lattice.equal s scope))
+       mv.Mview.all_snowcaps
+
+(* Data-driven pruning: Props 3.6 / 3.8 for insertions, the Δ⁻ pruning of
+   Section 4.3 (Prop 4.7) for deletions. The update-independent pruning of
+   Props 3.3 / 4.2 is already encoded in the snowcap enumeration. *)
+let term_survives mv (delta : Delta.t) ~scope ~kind s =
+  let pat = mv.Mview.pat in
+  let dict = Store.dict mv.Mview.store in
+  let ok = ref true in
+  Array.iteri
+    (fun j in_scope ->
+      if !ok && in_scope && not s.(j) then
+        if not (Delta.nonempty delta j) then ok := false
+        else begin
+          (* Crossing edge: R-parent above a Δ-child. *)
+          let p = pat.Pattern.parents.(j) in
+          if p >= 0 && s.(p) && pat.Pattern.tags.(p) <> "*" then begin
+            let ptag = pat.Pattern.tags.(p) in
+            let survives =
+              match kind with
+              | KInsert -> (
+                (* Prop 3.8: some insertion point must carry [ptag] on its
+                   root path ([//] edge) or be labeled [ptag] ([/] edge: a
+                   new child of an old node is an inserted root, whose
+                   parent is the insertion point itself). *)
+                match pat.Pattern.axes.(j) with
+                | Pattern.Descendant ->
+                  List.exists
+                    (fun tid ->
+                      Path_ops.has_label_ancestor ~self:true dict ~label:ptag tid)
+                    delta.Delta.target_ids
+                | Pattern.Child -> (
+                  match Label_dict.find dict ptag with
+                  | None -> false
+                  | Some code ->
+                    List.exists (fun tid -> Dewey.label tid = code) delta.Delta.target_ids))
+              | KDelete -> (
+                (* Prop 4.7, strengthened: some deleted [j]-node must have
+                   an ancestor (resp. parent) labeled [ptag] that {e
+                   survives} the deletion — a witness inside the deleted
+                   region is itself gone (the argument of Prop 4.2), so
+                   such terms are empty too. An ancestor of a deleted node
+                   survives iff it is a strict ancestor of the node's
+                   deletion root. *)
+                let region = delta.Delta.region in
+                let rows = delta.Delta.tables.(j).Tuple_table.rows in
+                match pat.Pattern.axes.(j) with
+                | Pattern.Descendant ->
+                  Array.exists
+                    (fun row ->
+                      let anchor =
+                        match Id_region.root_of region row.(0) with
+                        | Some r -> r
+                        | None -> row.(0)
+                      in
+                      Path_ops.has_label_ancestor ~self:false dict ~label:ptag anchor)
+                    rows
+                | Pattern.Child -> (
+                  match Label_dict.find dict ptag with
+                  | None -> false
+                  | Some code ->
+                    Array.exists
+                      (fun row ->
+                        match Dewey.parent row.(0) with
+                        | None -> false
+                        | Some pid ->
+                          Dewey.label pid = code && not (Id_region.mem region pid))
+                      rows))
+            in
+            if not survives then ok := false
+          end
+        end)
+    scope;
+  !ok
+
+(* Evaluate one union term over [scope]: the R-part is the snowcap [s_set]
+   (materialized table when available, otherwise recomputed from the
+   lattice leaves), the Δ-part is the rest of [scope], joined along the
+   crossing edges. For deletions ([survivors_only]) the R-part is
+   restricted to nodes outside the deleted region: R \ Δ⁻. *)
+let eval_term mv (delta : Delta.t) ~scope ~s_set ~survivors_only =
+  let pat = mv.Mview.pat in
+  let store = mv.Mview.store in
+  let datom i = delta.Delta.tables.(i) in
+  let d_set = Array.mapi (fun i in_scope -> in_scope && not s_set.(i)) scope in
+  if Lattice.size s_set = 0 then
+    Plan.eval_subtree pat ~atom:datom ~within:(Lattice.mem d_set) ~root:0
+  else begin
+    let region = delta.Delta.region in
+    let survivor_row row =
+      Array.for_all (fun id -> not (Id_region.mem region id)) row
+    in
+    let s_table =
+      match Mview.mat_for mv s_set with
+      | Some table ->
+        if survivors_only then begin
+          let t = Tuple_table.copy table in
+          Tuple_table.filter t survivor_row;
+          t
+        end
+        else table
+      | None ->
+        let atom i =
+          let a = Plan.atom_of_store store pat i in
+          if survivors_only then
+            Tuple_table.filter a (fun row -> not (Id_region.mem region row.(0)));
+          a
+        in
+        Plan.eval_subtree pat ~atom ~within:(Lattice.mem s_set) ~root:0
+    in
+    let result = ref s_table in
+    List.iter
+      (fun j ->
+        if not (Tuple_table.is_empty !result) then begin
+          let d = Plan.eval_subtree pat ~atom:datom ~within:(Lattice.mem d_set) ~root:j in
+          result :=
+            Struct_join.join !result d ~parent:pat.Pattern.parents.(j) ~child:j
+              ~axis:pat.Pattern.axes.(j)
+        end)
+      (Lattice.tops pat ~inside:d_set);
+    !result
+  end
+
+(* {1 Tuple modification: PIMT (Alg. 4) and PDMT} *)
+
+let refresh_affected mv affected =
+  if Array.length mv.Mview.cvn = 0 || Hashtbl.length affected = 0 then 0
+  else begin
+    let modified = ref 0 in
+    Mview.iter_entries mv (fun e ->
+        Array.iteri
+          (fun p i ->
+            let a = mv.Mview.pat.Pattern.annots.(i) in
+            if a.Pattern.store_val || a.Pattern.store_cont then begin
+              let cell = e.Mview.cells.(p) in
+              if Hashtbl.mem affected (Dewey.encode cell.Mview.cell_id) then
+                if Mview.refresh_cell mv ~stored_node:i cell then incr modified
+            end)
+          mv.Mview.stored);
+    !modified
+  end
+
+let pimt mv (app : Update.applied_insert) =
+  (* Content / value of a node changes iff it is an insertion point or one
+     of its ancestors. *)
+  let affected = Hashtbl.create 64 in
+  List.iter
+    (fun (tid, _) ->
+      Hashtbl.replace affected (Dewey.encode tid) ();
+      List.iter (fun a -> Hashtbl.replace affected (Dewey.encode a) ()) (Dewey.ancestors tid))
+    app.Update.pairs;
+  refresh_affected mv affected
+
+let pdmt mv (app : Update.applied_delete) =
+  (* Only strict ancestors of a deleted root survive with changed
+     content. *)
+  let affected = Hashtbl.create 64 in
+  List.iter
+    (fun root ->
+      List.iter (fun a -> Hashtbl.replace affected (Dewey.encode a) ()) (Dewey.ancestors root))
+    app.Update.roots;
+  refresh_affected mv affected
+
+let refresh_payloads mv = function
+  | Ins app | Repl (_, app) -> pimt mv app
+  | Del app -> pdmt mv app
+
+(* {1 Snowcap (auxiliary structure) maintenance} *)
+
+let align_rows table ~to_cols =
+  if Tuple_table.is_empty table then [||]
+  else begin
+    let positions = Array.map (fun c -> Tuple_table.col_pos table c) to_cols in
+    Array.map (fun row -> Array.map (fun p -> row.(p)) positions) table.Tuple_table.rows
+  end
+
+(* Prop 3.13: each materialized snowcap is maintained from smaller
+   snowcaps, lattice leaves and Δ⁺ tables. All additions are computed
+   against the pre-update state before any table is touched. *)
+let maintain_mats_insert mv delta =
+  let additions =
+    List.map
+      (fun (scope, table) ->
+        let terms =
+          List.filter
+            (term_survives mv delta ~scope ~kind:KInsert)
+            (candidate_terms mv ~scope)
+        in
+        let rows =
+          List.concat_map
+            (fun s ->
+              let t = eval_term mv delta ~scope ~s_set:s ~survivors_only:false in
+              Array.to_list (align_rows t ~to_cols:table.Tuple_table.cols))
+            terms
+        in
+        (table, rows))
+      mv.Mview.mats
+  in
+  List.iter
+    (fun (table, rows) -> Tuple_table.append_rows table (Array.of_list rows))
+    additions
+
+let maintain_mats_delete mv (delta : Delta.t) =
+  let region = delta.Delta.region in
+  List.iter
+    (fun (_scope, table) ->
+      Tuple_table.filter table (fun row ->
+          Array.for_all (fun id -> not (Id_region.mem region id)) row))
+    mv.Mview.mats
+
+(* {1 Drivers} *)
+
+let full_scope mv = Lattice.full mv.Mview.pat
+
+let propagate_applied ?(commit = true) ?(watches = []) ?(prune = true) mv applied =
+  let b = Timing.zero () in
+  let store = mv.Mview.store in
+  if watches_flipped mv watches then begin
+    (* Exact fallback: a predicate flipped on an existing node, outside
+       the delta model; rebuild from the (committed) relations. *)
+    Timing.timed b set_exec (fun () ->
+        Store.commit store;
+        Mview.rebuild mv);
+    {
+      timing = b;
+      terms_developed = 0;
+      terms_surviving = 0;
+      embeddings_added = 0;
+      embeddings_removed = 0;
+      tuples_modified = 0;
+      fallback_recompute = true;
+    }
+  end
+  else
+  match applied with
+  | Repl (_app_del, app_ins) ->
+    if Array.exists (( = ) "#text") mv.Mview.pat.Pattern.tags then begin
+      (* Text nodes participate structurally in this view: take the exact
+         rebuild path (replace-value swaps text nodes wholesale). *)
+      Timing.timed b set_exec (fun () ->
+          Store.commit store;
+          Mview.rebuild mv);
+      {
+        timing = b;
+        terms_developed = 0;
+        terms_surviving = 0;
+        embeddings_added = 0;
+        embeddings_removed = 0;
+        tuples_modified = 0;
+        fallback_recompute = true;
+      }
+    end
+    else begin
+      (* A pure value change: no element or attribute binding appears or
+         disappears (predicate flips were guarded above), so no embedding
+         is created or destroyed — only val/cont payloads of the targets
+         and their ancestors need refreshing. *)
+      let modified = ref 0 in
+      Timing.timed b set_exec (fun () -> modified := pimt mv app_ins);
+      Timing.timed b set_aux (fun () -> if commit then Store.commit store);
+      {
+        timing = b;
+        terms_developed = 0;
+        terms_surviving = 0;
+        embeddings_added = 0;
+        embeddings_removed = 0;
+        tuples_modified = !modified;
+        fallback_recompute = false;
+      }
+    end
+  | Ins app ->
+    let delta =
+      Timing.timed b set_delta (fun () -> Delta.of_insert store mv.Mview.pat app)
+    in
+    let scope = full_scope mv in
+    let candidates = candidate_terms mv ~scope in
+    let terms =
+      Timing.timed b set_expr (fun () ->
+          if prune then
+            List.filter (term_survives mv delta ~scope ~kind:KInsert) candidates
+          else candidates)
+    in
+    let added = ref 0 and modified = ref 0 in
+    Timing.timed b set_exec (fun () ->
+        List.iter
+          (fun s ->
+            let t = eval_term mv delta ~scope ~s_set:s ~survivors_only:false in
+            Array.iter
+              (fun row ->
+                Mview.add_binding mv (fun i -> row.(Tuple_table.col_pos t i));
+                incr added)
+              t.Tuple_table.rows)
+          terms;
+        modified := pimt mv app);
+    Timing.timed b set_aux (fun () ->
+        maintain_mats_insert mv delta;
+        if commit then Store.commit store);
+    {
+      timing = b;
+      terms_developed = List.length candidates;
+      terms_surviving = List.length terms;
+      embeddings_added = !added;
+      embeddings_removed = 0;
+      tuples_modified = !modified;
+      fallback_recompute = false;
+    }
+  | Del app ->
+    let delta =
+      Timing.timed b set_delta (fun () -> Delta.of_delete store mv.Mview.pat app)
+    in
+    let scope = full_scope mv in
+    let candidates = candidate_terms mv ~scope in
+    let terms =
+      Timing.timed b set_expr (fun () ->
+          if prune then
+            List.filter (term_survives mv delta ~scope ~kind:KDelete) candidates
+          else candidates)
+    in
+    let removed = ref 0 and modified = ref 0 in
+    Timing.timed b set_exec (fun () ->
+        List.iter
+          (fun s ->
+            let t = eval_term mv delta ~scope ~s_set:s ~survivors_only:true in
+            Array.iter
+              (fun row ->
+                Mview.remove_binding mv (fun i -> row.(Tuple_table.col_pos t i));
+                incr removed)
+              t.Tuple_table.rows)
+          terms;
+        modified := pdmt mv app);
+    Timing.timed b set_aux (fun () ->
+        maintain_mats_delete mv delta;
+        if commit then Store.commit store);
+    {
+      timing = b;
+      terms_developed = List.length candidates;
+      terms_surviving = List.length terms;
+      embeddings_added = 0;
+      embeddings_removed = !removed;
+      tuples_modified = !modified;
+      fallback_recompute = false;
+    }
+
+let propagate ?prune mv u =
+  let b = Timing.zero () in
+  let store = mv.Mview.store in
+  let targets = Timing.timed b set_find (fun () -> Update.targets store u) in
+  let watches = vpred_watches mv targets in
+  let applied =
+    Timing.timed b set_apply (fun () ->
+        match u with
+        | Update.Insert _ -> Ins (Update.apply_insert store u ~targets)
+        | Update.Delete _ -> Del (Update.apply_delete store ~targets)
+        | Update.Replace_value { text; _ } ->
+          let d, i = Update.apply_replace store ~text ~targets in
+          Repl (d, i))
+  in
+  let r = propagate_applied ~commit:true ~watches ?prune mv applied in
+  r.timing.Timing.find_target <- b.Timing.find_target;
+  r.timing.Timing.apply_doc <- b.Timing.apply_doc;
+  r
+
+let propagate_insert ?prune mv u =
+  match u with
+  | Update.Insert _ -> propagate ?prune mv u
+  | Update.Delete _ | Update.Replace_value _ ->
+    invalid_arg "Maint.propagate_insert: not an insertion"
+
+let propagate_delete ?prune mv u =
+  match u with
+  | Update.Delete _ -> propagate ?prune mv u
+  | Update.Insert _ | Update.Replace_value _ ->
+    invalid_arg "Maint.propagate_delete: not a deletion"
+
+module Terms = struct
+  let candidates mv ~scope = candidate_terms mv ~scope
+
+  let survives mv delta ~scope ~kind s =
+    let kind = match kind with `Insert -> KInsert | `Delete -> KDelete in
+    term_survives mv delta ~scope ~kind s
+
+  let eval mv delta ~scope ~s_set ~survivors_only =
+    eval_term mv delta ~scope ~s_set ~survivors_only
+end

@@ -1,0 +1,116 @@
+(** The paper's update-propagation algorithms.
+
+    Insertions run the combined PINT/PIMT driver (Algorithms 1–4): develop
+    the union terms (Proposition 3.12: one per snowcap, plus the all-Δ
+    term), prune them with the update semantics and the Δ⁺-driven rules
+    (Props 3.3, 3.6, 3.8), evaluate the survivors with structural joins
+    (ET-INS), add the resulting embeddings to the view with derivation
+    counting, refresh the [val]/[cont] payloads whose nodes gained
+    descendants (PIMT), and finally maintain the materialized snowcaps
+    bottom-up (Proposition 3.13) and commit the canonical relations.
+
+    Deletions run the combined PDDT/PDMT driver (Algorithms 5–6): the
+    deletion expression is evaluated in its derivation-count-exact form —
+    for every proper snowcap [S], the term [⋈_{n∈S}(R_n \ Δ⁻_n) ⋈
+    ⋈_{n∉S}Δ⁻_n] — pruned by Props 4.2, 4.3 and 4.7; every resulting
+    embedding decrements its tuple's derivation count, removing the tuple
+    at zero; payloads of surviving ancestors are refreshed (PDMT); snowcap
+    tables and relations are purged. *)
+
+type report = {
+  timing : Timing.breakdown;
+  terms_developed : int;  (** candidate union terms for the view *)
+  terms_surviving : int;  (** terms left after data-driven pruning *)
+  embeddings_added : int;
+  embeddings_removed : int;
+  tuples_modified : int;  (** payload refreshes by PIMT / PDMT *)
+  fallback_recompute : bool;
+      (** [true] when a value-predicate flip forced a full rebuild *)
+}
+
+(** [propagate ?prune mv u] applies [u] to the underlying document {e and}
+    incrementally maintains [mv]. When several views share one store,
+    apply the update through one of them and use {!propagate_applied} for
+    the others. [prune] (default [true]) controls the {e data-driven}
+    pruning rules (Props 3.6 / 3.8 / 4.7); disabling it evaluates every
+    candidate term — still correct (pruned terms are provably empty),
+    only slower. The update-independent pruning of Props 3.3 / 4.2 is
+    structural and always applies. *)
+val propagate : ?prune:bool -> Mview.t -> Update.t -> report
+
+val propagate_insert : ?prune:bool -> Mview.t -> Update.t -> report
+val propagate_delete : ?prune:bool -> Mview.t -> Update.t -> report
+
+(** {1 Sharing one document update across several views}
+
+    [apply_only store u] performs the document side of [u] (find targets,
+    mutate, assign IDs) without touching any view; the returned
+    application can then be propagated to any number of views over the
+    same store with [propagate_applied]. The store is committed by the
+    {e last} propagation ([~commit:true]). *)
+
+type applied =
+  | Ins of Update.applied_insert
+  | Del of Update.applied_delete
+  | Repl of Update.applied_delete * Update.applied_insert
+      (** replace-value: the removed text nodes and the content-changed
+          targets with their fresh text *)
+
+val apply_only : Store.t -> Update.t -> applied * Timing.breakdown
+
+(** {1 Value-predicate guard}
+
+    The paper's delta model assumes that an update only {e adds to} or
+    {e removes from} the canonical relations; but inserting or deleting
+    text below an {e existing} node watched by a [[val = c]] predicate can
+    flip that node's selection status. Watches record, before the
+    document mutates, the predicate status of the (rare) candidate nodes
+    — the target ancestors carrying a vpred-matching tag. If a flip is
+    detected after application, the propagation falls back to an exact
+    full rebuild of the view ([fallback_recompute] is set). *)
+
+type watches
+
+(** [vpred_watches mv targets] must be called {e before} the document is
+    mutated. *)
+val vpred_watches : Mview.t -> Xml_tree.node list -> watches
+
+(** [watches_flipped mv watches] — re-check the watches after the
+    document mutated; [true] means the incremental path is unsound for
+    this view and propagation will rebuild instead. *)
+val watches_flipped : Mview.t -> watches -> bool
+
+(** [propagate_applied ?commit ?watches mv applied] incrementally
+    maintains [mv]. Without [watches], predicate flips are assumed absent
+    (true whenever updates never put text below a vpred-matching
+    ancestor). *)
+val propagate_applied :
+  ?commit:bool -> ?watches:watches -> ?prune:bool -> Mview.t -> applied -> report
+
+(** {1 Union-term introspection}
+
+    The term machinery, exposed for tests (pruning-soundness oracles) and
+    ablation benchmarks. *)
+module Terms : sig
+  (** Candidate terms for maintaining the sub-pattern [scope]: the
+      R-parts, i.e. one snowcap strictly inside [scope] per term, plus the
+      all-Δ term (the empty set). *)
+  val candidates : Mview.t -> scope:Lattice.nset -> Lattice.nset list
+
+  (** Data-driven pruning verdict for one term. *)
+  val survives :
+    Mview.t -> Delta.t -> scope:Lattice.nset -> kind:[ `Insert | `Delete ] ->
+    Lattice.nset -> bool
+
+  (** Evaluate one term; [survivors_only] restricts the R-part to
+      [R \ Δ⁻] (the deletion reading). *)
+  val eval :
+    Mview.t -> Delta.t -> scope:Lattice.nset -> s_set:Lattice.nset ->
+    survivors_only:bool -> Tuple_table.t
+end
+
+(** The tuple-modification pass alone (PIMT for insertions, PDMT for
+    deletions): refresh the [val]/[cont] payloads affected by [applied];
+    returns the number of refreshed cells. Exposed for baselines that
+    maintain tuples by other means. *)
+val refresh_payloads : Mview.t -> applied -> int

@@ -1,0 +1,167 @@
+type policy = Snowcaps | Leaves | Chosen of Lattice.nset list
+
+type cell = {
+  cell_id : Dewey.t;
+  mutable cell_value : string option;
+  mutable cell_content : string option;
+}
+
+type entry = { mutable count : int; cells : cell array }
+
+type t = {
+  pat : Pattern.t;
+  store : Store.t;
+  policy : policy;
+  stored : int array;
+  cvn : int array;
+  all_snowcaps : Lattice.nset list;
+  mutable mats : (Lattice.nset * Tuple_table.t) list;
+  entries : (string, entry) Hashtbl.t;
+}
+
+(* Dewey encodings are self-delimiting, so their concatenation is an
+   injective key for the projected tuple. *)
+let key_of mv get =
+  let buf = Buffer.create 32 in
+  Array.iter (fun i -> Buffer.add_string buf (Dewey.encode (get i))) mv.stored;
+  Buffer.contents buf
+
+let make_cell mv i id =
+  let annot = mv.pat.Pattern.annots.(i) in
+  let node = Store.node_of mv.store id in
+  let value =
+    if annot.Pattern.store_val then Option.map Xml_tree.string_value node else None
+  in
+  let content =
+    if annot.Pattern.store_cont then Option.map Xml_tree.serialize node else None
+  in
+  { cell_id = id; cell_value = value; cell_content = content }
+
+let add_binding mv get =
+  let key = key_of mv get in
+  match Hashtbl.find_opt mv.entries key with
+  | Some e -> e.count <- e.count + 1
+  | None ->
+    let cells = Array.map (fun i -> make_cell mv i (get i)) mv.stored in
+    Hashtbl.add mv.entries key { count = 1; cells }
+
+let remove_binding mv get =
+  let key = key_of mv get in
+  match Hashtbl.find_opt mv.entries key with
+  | None -> invalid_arg "Mview.remove_binding: tuple not in view"
+  | Some e ->
+    e.count <- e.count - 1;
+    if e.count <= 0 then Hashtbl.remove mv.entries key
+
+let mat_for mv s =
+  List.find_map
+    (fun (set, table) -> if Lattice.equal set s then Some table else None)
+    mv.mats
+
+let set_mats mv mats = mv.mats <- mats
+
+let refresh_cell mv ~stored_node cell =
+  match Store.node_of mv.store cell.cell_id with
+  | None -> false
+  | Some node ->
+    let annot = mv.pat.Pattern.annots.(stored_node) in
+    if annot.Pattern.store_val then cell.cell_value <- Some (Xml_tree.string_value node);
+    if annot.Pattern.store_cont then cell.cell_content <- Some (Xml_tree.serialize node);
+    annot.Pattern.store_val || annot.Pattern.store_cont
+
+let populate_mats mv =
+  let pat = mv.pat and store = mv.store in
+  let materialize_sets sets =
+    mv.mats <-
+      List.map
+        (fun s ->
+          let table =
+            Plan.eval_subtree pat
+              ~atom:(fun i -> Plan.atom_of_store store pat i)
+              ~within:(Lattice.mem s) ~root:0
+          in
+          (s, table))
+        sets
+  in
+  match mv.policy with
+  | Leaves -> ()
+  | Snowcaps -> materialize_sets (Lattice.chain pat)
+  | Chosen sets ->
+    let all = mv.all_snowcaps in
+    List.iter
+      (fun s ->
+        if not (List.exists (Lattice.equal s) all) then
+          invalid_arg "Mview.materialize: Chosen set is not a snowcap of the view")
+      sets;
+    materialize_sets sets
+
+let populate mv =
+  let pat = mv.pat and store = mv.store in
+  let full = Plan.eval store pat in
+  let positions = Array.map (fun i -> Tuple_table.col_pos full i) mv.stored in
+  Array.iter
+    (fun row ->
+      (* [get] is only consulted on stored nodes. *)
+      let get i =
+        let rec find p = if mv.stored.(p) = i then row.(positions.(p)) else find (p + 1) in
+        find 0
+      in
+      add_binding mv get)
+    full.Tuple_table.rows;
+  populate_mats mv
+
+let materialize ?(policy = Snowcaps) store pat =
+  let mv =
+    {
+      pat;
+      store;
+      policy;
+      stored = Array.of_list (Pattern.stored_nodes pat);
+      cvn = Array.of_list (Pattern.cvn pat);
+      all_snowcaps = Lattice.snowcaps pat;
+      mats = [];
+      entries = Hashtbl.create 1024;
+    }
+  in
+  populate mv;
+  mv
+
+let rebuild mv =
+  Hashtbl.reset mv.entries;
+  mv.mats <- [];
+  populate mv
+
+let empty_shell ?(policy = Snowcaps) store pat =
+  let mv =
+    {
+      pat;
+      store;
+      policy;
+      stored = Array.of_list (Pattern.stored_nodes pat);
+      cvn = Array.of_list (Pattern.cvn pat);
+      all_snowcaps = Lattice.snowcaps pat;
+      mats = [];
+      entries = Hashtbl.create 1024;
+    }
+  in
+  populate_mats mv;
+  mv
+
+let restore_entry mv ~count ~cells =
+  if Array.length cells <> Array.length mv.stored then
+    invalid_arg "Mview.restore_entry: cell arity mismatch";
+  let buf = Buffer.create 32 in
+  Array.iter (fun c -> Buffer.add_string buf (Dewey.encode c.cell_id)) cells;
+  Hashtbl.replace mv.entries (Buffer.contents buf) { count; cells }
+
+let cardinality mv = Hashtbl.length mv.entries
+
+let total_count mv = Hashtbl.fold (fun _ e acc -> acc + e.count) mv.entries 0
+
+let iter_entries mv f = Hashtbl.iter (fun _ e -> f e) mv.entries
+
+let dump mv =
+  let items =
+    Hashtbl.fold (fun key e acc -> (key, e.count, e.cells) :: acc) mv.entries []
+  in
+  List.sort (fun (a, _, _) (b, _, _) -> Stdlib.compare a b) items

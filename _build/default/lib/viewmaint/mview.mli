@@ -1,0 +1,100 @@
+(** Materialized views with derivation counts.
+
+    A materialized view keeps, per distinct projected tuple (the stored
+    attributes of the annotated pattern nodes), a derivation count — the
+    number of embeddings projecting to it (Section 2.2) — plus the
+    materialized [val] / [cont] payloads. Depending on the materialization
+    {e policy} (Section 6.7) it also keeps auxiliary snowcap tables:
+
+    - [Snowcaps]: one snowcap per lattice level (the preorder-prefix
+      chain) is materialized, besides the lattice leaves (the canonical
+      relations held by the store);
+    - [Leaves]: nothing is materialized; interior joins are recomputed
+      from the canonical relations on the fly. *)
+
+type policy =
+  | Snowcaps  (** one snowcap per lattice level (the preorder-prefix chain) *)
+  | Leaves  (** nothing materialized; interior joins recomputed on the fly *)
+  | Chosen of Lattice.nset list
+      (** an explicit set of snowcaps, e.g. from the cost-based
+          {!Advisor}. Each set must be a snowcap of the pattern. *)
+
+type cell = {
+  cell_id : Dewey.t;
+  mutable cell_value : string option;
+  mutable cell_content : string option;
+}
+
+type entry = { mutable count : int; cells : cell array }
+
+type t = private {
+  pat : Pattern.t;
+  store : Store.t;
+  policy : policy;
+  stored : int array;  (** annotated pattern nodes, preorder *)
+  cvn : int array;  (** pattern nodes storing val or cont *)
+  all_snowcaps : Lattice.nset list;  (** cached, ascending size *)
+  mutable mats : (Lattice.nset * Tuple_table.t) list;
+  entries : (string, entry) Hashtbl.t;
+}
+
+(** [materialize ?policy store pat] evaluates the pattern algebraically
+    over the committed relations and materializes the view and (under
+    [Snowcaps], the default) its auxiliary snowcap tables. *)
+val materialize : ?policy:policy -> Store.t -> Pattern.t -> t
+
+(** [rebuild mv] discards the view contents and snowcap tables and
+    re-evaluates them from the store's committed relations — the exact
+    fallback used when an update changes the string value of an existing
+    node watched by a value predicate (see [Maint]). *)
+val rebuild : t -> unit
+
+(** {1 Contents} *)
+
+(** Number of distinct (projected) tuples. *)
+val cardinality : t -> int
+
+(** Sum of derivation counts = number of embeddings. *)
+val total_count : t -> int
+
+val iter_entries : t -> (entry -> unit) -> unit
+
+(** Deterministic dump [(key, count, cells)] sorted by key — for tests and
+    display; the key is the concatenated encoding of the stored IDs. *)
+val dump : t -> (string * int * cell array) list
+
+(** {1 Maintenance primitives} (used by [Maint]) *)
+
+(** Projection key of a full binding. *)
+val key_of : t -> (int -> Dewey.t) -> string
+
+(** [add_binding mv get] registers one new embedding; [get] maps pattern
+    node index to the bound identifier. Creates the entry (computing
+    payloads from the current document) or bumps its count. *)
+val add_binding : t -> (int -> Dewey.t) -> unit
+
+(** [remove_binding mv get] decrements the derivation count of the
+    projected tuple, removing it at zero.
+    @raise Invalid_argument if the tuple is absent (view out of sync). *)
+val remove_binding : t -> (int -> Dewey.t) -> unit
+
+(** Materialized table for exactly this snowcap, if any. *)
+val mat_for : t -> Lattice.nset -> Tuple_table.t option
+
+(** Replace the materialized snowcap tables. *)
+val set_mats : t -> (Lattice.nset * Tuple_table.t) list -> unit
+
+(** Recompute the [val] / [cont] payload of [cell] from the current
+    document; returns [true] if it was present and refreshed. *)
+val refresh_cell : t -> stored_node:int -> cell -> bool
+
+(** {1 Restoration primitives} (used by [Mview_codec])
+
+    [empty_shell] builds a view with no tuples but with the auxiliary
+    snowcap tables of the given policy evaluated from the store;
+    [restore_entry] injects one persisted tuple verbatim.
+    @raise Invalid_argument on a cell-arity mismatch. *)
+
+val empty_shell : ?policy:policy -> Store.t -> Pattern.t -> t
+
+val restore_entry : t -> count:int -> cells:cell array -> unit

@@ -1,0 +1,114 @@
+exception Corrupt of string
+
+let magic = "XVM1"
+
+let add_varint buf v =
+  let v = ref v in
+  let continue = ref true in
+  while !continue do
+    let byte = !v land 0x7f in
+    v := !v lsr 7;
+    if !v = 0 then begin
+      Buffer.add_char buf (Char.chr byte);
+      continue := false
+    end
+    else Buffer.add_char buf (Char.chr (byte lor 0x80))
+  done
+
+let add_string buf s =
+  add_varint buf (String.length s);
+  Buffer.add_string buf s
+
+let add_opt buf = function
+  | None -> Buffer.add_char buf '\x00'
+  | Some s ->
+    Buffer.add_char buf '\x01';
+    add_string buf s
+
+let save mv =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  add_varint buf (Pattern.node_count mv.Mview.pat);
+  add_varint buf (Array.length mv.Mview.stored);
+  add_varint buf (Mview.cardinality mv);
+  Mview.iter_entries mv (fun e ->
+      add_varint buf e.Mview.count;
+      Array.iter
+        (fun c ->
+          add_string buf (Dewey.encode c.Mview.cell_id);
+          add_opt buf c.Mview.cell_value;
+          add_opt buf c.Mview.cell_content)
+        e.Mview.cells);
+  Buffer.contents buf
+
+type reader = { src : string; mutable pos : int }
+
+let read_byte r =
+  if r.pos >= String.length r.src then raise (Corrupt "truncated");
+  let b = Char.code r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  b
+
+let read_varint r =
+  let v = ref 0 and shift = ref 0 and continue = ref true in
+  while !continue do
+    let byte = read_byte r in
+    v := !v lor ((byte land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if byte land 0x80 = 0 then continue := false
+  done;
+  !v
+
+let read_string r =
+  let n = read_varint r in
+  if r.pos + n > String.length r.src then raise (Corrupt "truncated string");
+  let s = String.sub r.src r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let read_opt r =
+  match read_byte r with
+  | 0 -> None
+  | 1 -> Some (read_string r)
+  | _ -> raise (Corrupt "bad option tag")
+
+let load ?policy store pat data =
+  let r = { src = data; pos = 0 } in
+  if String.length data < 4 || String.sub data 0 4 <> magic then
+    raise (Corrupt "bad magic");
+  r.pos <- 4;
+  let k = read_varint r in
+  if k <> Pattern.node_count pat then raise (Corrupt "pattern node count mismatch");
+  let stored = read_varint r in
+  if stored <> List.length (Pattern.stored_nodes pat) then
+    raise (Corrupt "stored-attribute arity mismatch");
+  let entries = read_varint r in
+  let mv = Mview.empty_shell ?policy store pat in
+  for _ = 1 to entries do
+    let count = read_varint r in
+    let cells =
+      Array.init stored (fun _ ->
+          let id =
+            try Dewey.decode (read_string r)
+            with Invalid_argument m -> raise (Corrupt m)
+          in
+          let value = read_opt r in
+          let content = read_opt r in
+          { Mview.cell_id = id; cell_value = value; cell_content = content })
+    in
+    Mview.restore_entry mv ~count ~cells
+  done;
+  if r.pos <> String.length data then raise (Corrupt "trailing bytes");
+  mv
+
+let save_to_file mv path =
+  let oc = open_out_bin path in
+  output_string oc (save mv);
+  close_out oc
+
+let load_from_file ?policy store pat path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let data = really_input_string ic n in
+  close_in ic;
+  load ?policy store pat data

@@ -1,0 +1,22 @@
+(** Binary persistence for materialized views: tuples, derivation counts
+    and val/cont payloads are serialized compactly (Dewey identifiers use
+    their varint codec); auxiliary snowcap tables are re-derived at load
+    time from the view policy. Views can thus be shut down and reopened
+    with a store without re-evaluating the pattern. *)
+
+(** [save mv] serializes the view contents. *)
+val save : Mview.t -> string
+
+exception Corrupt of string
+
+(** [load ?policy store pat data] reconstructs a materialized view saved
+    from an equal pattern over an equally-identified document.
+    @raise Corrupt on malformed input or a pattern/arity mismatch. *)
+val load : ?policy:Mview.policy -> Store.t -> Pattern.t -> string -> Mview.t
+
+(** [save_to_file mv path] / [load_from_file ?policy store pat path] —
+    file-based convenience wrappers. *)
+val save_to_file : Mview.t -> string -> unit
+
+val load_from_file :
+  ?policy:Mview.policy -> Store.t -> Pattern.t -> string -> Mview.t

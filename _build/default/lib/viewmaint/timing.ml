@@ -1,0 +1,33 @@
+type breakdown = {
+  mutable find_target : float;
+  mutable apply_doc : float;
+  mutable compute_delta : float;
+  mutable get_expression : float;
+  mutable execute : float;
+  mutable update_aux : float;
+}
+
+let zero () =
+  {
+    find_target = 0.;
+    apply_doc = 0.;
+    compute_delta = 0.;
+    get_expression = 0.;
+    execute = 0.;
+    update_aux = 0.;
+  }
+
+let maintenance_total b =
+  b.find_target +. b.compute_delta +. b.get_expression +. b.execute +. b.update_aux
+
+let now () = Unix.gettimeofday ()
+
+let duration f =
+  let start = now () in
+  let result = f () in
+  (result, now () -. start)
+
+let timed b setter f =
+  let result, elapsed = duration f in
+  setter b elapsed;
+  result

@@ -1,0 +1,26 @@
+(** Per-phase timing of one update-propagation run — the five components
+    reported by the paper's experiments (Section 6.1), plus the document
+    update itself (which the paper attributes to the update process, not
+    to view maintenance). All times in seconds. *)
+
+type breakdown = {
+  mutable find_target : float;  (** locate the update's target nodes *)
+  mutable apply_doc : float;  (** mutate the document, assign new IDs *)
+  mutable compute_delta : float;  (** build the Δ⁺ / Δ⁻ tables *)
+  mutable get_expression : float;  (** develop and prune the union terms *)
+  mutable execute : float;  (** evaluate terms, add/remove/modify tuples *)
+  mutable update_aux : float;  (** refresh snowcaps and canonical relations *)
+}
+
+val zero : unit -> breakdown
+
+(** Sum of the five view-maintenance phases (excludes [apply_doc]),
+    matching the paper's reported totals. *)
+val maintenance_total : breakdown -> float
+
+(** [timed b setter f] runs [f], adds the elapsed wall-clock time into the
+    field selected by [setter], and returns [f]'s result. *)
+val timed : breakdown -> (breakdown -> float -> unit) -> (unit -> 'a) -> 'a
+
+(** Wall-clock duration of a thunk, in seconds. *)
+val duration : (unit -> 'a) -> 'a * float

@@ -1,0 +1,83 @@
+type t = { store : Store.t; mutable views : Mview.t list (* reverse order *) }
+
+let create store = { store; views = [] }
+
+let store t = t.store
+
+let name_of mv = mv.Mview.pat.Pattern.name
+
+let find t name = List.find_opt (fun mv -> name_of mv = name) t.views
+
+let add t ?policy pat =
+  (match find t pat.Pattern.name with
+  | Some _ ->
+    invalid_arg
+      (Printf.sprintf "View_set.add: a view named %S already exists" pat.Pattern.name)
+  | None -> ());
+  let mv = Mview.materialize ?policy t.store pat in
+  t.views <- mv :: t.views;
+  mv
+
+let remove t name = t.views <- List.filter (fun mv -> name_of mv <> name) t.views
+
+let views t = List.rev t.views
+
+let update t u =
+  let views = views t in
+  match views with
+  | [] ->
+    (* No views: still apply the document side. *)
+    let _, _ = Maint.apply_only t.store u in
+    Store.commit t.store;
+    []
+  | _ ->
+    let b = Timing.zero () in
+    let targets =
+      Timing.timed b
+        (fun b v -> b.Timing.find_target <- v)
+        (fun () -> Update.targets t.store u)
+    in
+    (* Predicate watches must be recorded per view before the mutation. *)
+    let watched = List.map (fun mv -> (mv, Maint.vpred_watches mv targets)) views in
+    let applied =
+      Timing.timed b
+        (fun b v -> b.Timing.apply_doc <- v)
+        (fun () ->
+          match u with
+          | Update.Insert _ -> Maint.Ins (Update.apply_insert t.store u ~targets)
+          | Update.Delete _ -> Maint.Del (Update.apply_delete t.store ~targets)
+          | Update.Replace_value { text; _ } ->
+            let d, i = Update.apply_replace t.store ~text ~targets in
+            Maint.Repl (d, i))
+    in
+    (* A view whose value predicate flipped takes the rebuild path, which
+       commits the store — so all incremental propagations (needing the
+       pre-update relations) must run first. *)
+    let clean, flipped =
+      List.partition (fun (mv, watches) -> not (Maint.watches_flipped mv watches)) watched
+    in
+    let n_clean = List.length clean in
+    let clean_reports =
+      List.mapi
+        (fun i (mv, watches) ->
+          let commit = flipped = [] && i = n_clean - 1 in
+          (mv, Maint.propagate_applied ~commit ~watches mv applied))
+        clean
+    in
+    let flipped_reports =
+      List.map
+        (fun (mv, watches) -> (mv, Maint.propagate_applied ~watches mv applied))
+        flipped
+    in
+    (* Restore the set's insertion order. *)
+    let all = clean_reports @ flipped_reports in
+    let reports =
+      List.filter_map (fun mv -> List.find_opt (fun (m, _) -> m == mv) all) views
+    in
+    (* Attribute the shared phases to the first report. *)
+    (match reports with
+    | (_, first) :: _ ->
+      first.Maint.timing.Timing.find_target <- b.Timing.find_target;
+      first.Maint.timing.Timing.apply_doc <- b.Timing.apply_doc
+    | [] -> ());
+    reports

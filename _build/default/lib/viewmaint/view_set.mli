@@ -1,0 +1,32 @@
+(** A set of materialized views over one store, maintained together: each
+    update statement locates its targets and mutates the document {e
+    once}, then propagates to every view (the canonical relations commit
+    after the last propagation). This is the "several views materialized"
+    deployment the paper's Section 3.5 discusses. *)
+
+type t
+
+val create : Store.t -> t
+
+val store : t -> Store.t
+
+(** [add set ?policy pat] materializes a new view in the set and returns
+    it. Views are keyed by their pattern's [name].
+    @raise Invalid_argument if a view with the same name exists. *)
+val add : t -> ?policy:Mview.policy -> Pattern.t -> Mview.t
+
+(** [find set name] — the view named [name], if any. *)
+val find : t -> string -> Mview.t option
+
+(** [remove set name] drops a view from the set (the store is
+    untouched). *)
+val remove : t -> string -> unit
+
+(** Views in insertion order. *)
+val views : t -> Mview.t list
+
+(** [update set u] applies [u] to the document once and incrementally
+    maintains every view; reports are in view insertion order. The
+    find-targets and document-mutation times appear in the first report
+    only (they are shared work). *)
+val update : t -> Update.t -> (Mview.t * Maint.report) list

@@ -1,0 +1,1 @@
+lib/xmark/xmark_gen.ml: Array Buffer List Printf Random Xml_tree

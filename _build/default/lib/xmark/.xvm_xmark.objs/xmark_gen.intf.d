@@ -1,0 +1,1 @@
+lib/xmark/xmark_gen.mli: Xml_tree

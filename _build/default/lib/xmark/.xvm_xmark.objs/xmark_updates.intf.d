@@ -1,0 +1,1 @@
+lib/xmark/xmark_updates.mli: Update

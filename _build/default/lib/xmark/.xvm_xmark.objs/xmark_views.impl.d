@@ -1,0 +1,1 @@
+lib/xmark/xmark_views.ml: List Pattern String

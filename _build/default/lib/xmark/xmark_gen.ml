@@ -1,0 +1,213 @@
+let words =
+  [|
+    "auction"; "bid"; "rare"; "vintage"; "collector"; "mint"; "condition";
+    "shipping"; "priority"; "estate"; "antique"; "original"; "boxed";
+    "limited"; "edition"; "signed"; "certificate"; "guarantee"; "payment";
+    "quality"; "bronze"; "silver"; "golden"; "ivory"; "amber"; "walnut";
+    "maple"; "engraved"; "imported"; "handmade"; "restored"; "pristine";
+  |]
+
+let continents = [| "africa"; "asia"; "australia"; "europe"; "namerica"; "samerica" |]
+
+let cities = [| "Lille"; "Glasgow"; "Paris"; "Potenza"; "Berlin"; "Oslo"; "Porto" |]
+
+let el ?(children = []) name = Xml_tree.element ~children name
+let txt s = Xml_tree.text s
+let attr = Xml_tree.attribute
+
+let rand_words st n =
+  let buf = Buffer.create 32 in
+  for i = 0 to n - 1 do
+    if i > 0 then Buffer.add_char buf ' ';
+    Buffer.add_string buf words.(Random.State.int st (Array.length words))
+  done;
+  Buffer.contents buf
+
+let maybe st p node = if Random.State.float st 1.0 < p then [ node () ] else []
+
+let increase_values = [| "1.50"; "3.00"; "4.50"; "6.00"; "7.50"; "9.00"; "13.50" |]
+
+let gen_person st i =
+  let profile () =
+    el "profile"
+      ~children:
+        ((if Random.State.float st 1.0 < 0.7 then
+            [ attr "income" (string_of_int (20000 + Random.State.int st 80000)) ]
+          else [])
+        @ [ el "business" ~children:[ txt "Yes" ] ]
+        @ maybe st 0.5 (fun () -> el "gender" ~children:[ txt "male" ])
+        @ maybe st 0.5 (fun () ->
+              el "age" ~children:[ txt (string_of_int (18 + Random.State.int st 60)) ])
+        @ maybe st 0.6 (fun () ->
+              el "interest"
+                ~children:[ attr "category" (Printf.sprintf "category%d" (Random.State.int st 20)) ]))
+  in
+  el "person"
+    ~children:
+      ([
+         attr "id" (Printf.sprintf "person%d" i);
+         el "name" ~children:[ txt (rand_words st 2) ];
+         el "emailaddress" ~children:[ txt (Printf.sprintf "mailto:p%d@auctions.example" i) ];
+       ]
+      @ maybe st 0.5 (fun () ->
+            el "phone" ~children:[ txt (Printf.sprintf "+33 %07d" (Random.State.int st 9999999)) ])
+      @ maybe st 0.6 (fun () ->
+            el "address"
+              ~children:
+                [
+                  el "street" ~children:[ txt (rand_words st 2) ];
+                  el "city"
+                    ~children:[ txt cities.(Random.State.int st (Array.length cities)) ];
+                  el "country" ~children:[ txt "France" ];
+                  el "zipcode" ~children:[ txt (string_of_int (10000 + Random.State.int st 89999)) ];
+                ])
+      @ maybe st 0.5 (fun () ->
+            el "homepage"
+              ~children:[ txt (Printf.sprintf "https://people.example/p%d" i) ])
+      @ maybe st 0.5 (fun () ->
+            el "creditcard" ~children:[ txt (Printf.sprintf "%04d %04d" (Random.State.int st 9999) (Random.State.int st 9999)) ])
+      @ maybe st 0.8 profile
+      @ maybe st 0.3 (fun () -> el "watches"))
+
+let gen_item st ~continent:_ i =
+  el "item"
+    ~children:
+      ([ attr "id" (Printf.sprintf "item%d" i);
+         el "location" ~children:[ txt cities.(Random.State.int st (Array.length cities)) ];
+         el "quantity" ~children:[ txt (string_of_int (1 + Random.State.int st 5)) ] ]
+      @ maybe st 0.95 (fun () -> el "name" ~children:[ txt (rand_words st 3) ])
+      @ [ el "payment" ~children:[ txt "Creditcard, Personal Check, Cash" ] ]
+      @ maybe st 0.9 (fun () ->
+            el "description"
+              ~children:
+                [
+                  el "parlist"
+                    ~children:
+                      [
+                        el "listitem" ~children:[ txt (rand_words st 12) ];
+                        el "listitem" ~children:[ txt (rand_words st 8) ];
+                      ];
+                ])
+      @ maybe st 0.5 (fun () ->
+            el "mailbox"
+              ~children:
+                [
+                  el "mail"
+                    ~children:
+                      [
+                        el "from" ~children:[ txt (rand_words st 2) ];
+                        el "to" ~children:[ txt (rand_words st 2) ];
+                        el "date" ~children:[ txt "07/05/2026" ];
+                        el "text" ~children:[ txt (rand_words st 10) ];
+                      ];
+                ]))
+
+let gen_bidder st ~n_persons =
+  el "bidder"
+    ~children:
+      [
+        el "date" ~children:[ txt "07/05/2026" ];
+        el "time" ~children:[ txt (Printf.sprintf "%02d:%02d:00" (Random.State.int st 24) (Random.State.int st 60)) ];
+        (* Bidders favour a small pool of frequent buyers so that selective
+           references (e.g. Q4's person12) keep matching at any scale. *)
+        el "personref"
+          ~children:
+            [ attr "person" (Printf.sprintf "person%d" (Random.State.int st (min 40 n_persons))) ];
+        el "increase"
+          ~children:[ txt increase_values.(Random.State.int st (Array.length increase_values)) ];
+      ]
+
+let gen_open_auction st i ~n_persons ~n_items =
+  let bidders = List.init (Random.State.int st 5) (fun _ -> gen_bidder st ~n_persons) in
+  el "open_auction"
+    ~children:
+      ([ attr "id" (Printf.sprintf "open_auction%d" i);
+         el "initial" ~children:[ txt increase_values.(Random.State.int st 3) ] ]
+      @ maybe st 0.5 (fun () -> el "reserve" ~children:[ txt "25.00" ])
+      @ bidders
+      @ [ el "current" ~children:[ txt increase_values.(Random.State.int st (Array.length increase_values)) ] ]
+      @ maybe st 0.5 (fun () -> el "privacy" ~children:[ txt "Yes" ])
+      @ [
+          el "itemref" ~children:[ attr "item" (Printf.sprintf "item%d" (Random.State.int st (max 1 n_items))) ];
+          el "seller" ~children:[ attr "person" (Printf.sprintf "person%d" (Random.State.int st n_persons)) ];
+          el "annotation"
+            ~children:
+              [
+                el "author" ~children:[ attr "person" (Printf.sprintf "person%d" (Random.State.int st n_persons)) ];
+                el "description" ~children:[ txt (rand_words st 8) ];
+              ];
+          el "quantity" ~children:[ txt "1" ];
+          el "type" ~children:[ txt "Regular" ];
+          el "interval"
+            ~children:
+              [
+                el "start" ~children:[ txt "07/01/2026" ];
+                el "end" ~children:[ txt "08/01/2026" ];
+              ];
+        ])
+
+let gen_closed_auction st ~n_persons ~n_items =
+  el "closed_auction"
+    ~children:
+      [
+        el "seller" ~children:[ attr "person" (Printf.sprintf "person%d" (Random.State.int st n_persons)) ];
+        el "buyer" ~children:[ attr "person" (Printf.sprintf "person%d" (Random.State.int st n_persons)) ];
+        el "itemref" ~children:[ attr "item" (Printf.sprintf "item%d" (Random.State.int st (max 1 n_items))) ];
+        el "price" ~children:[ txt increase_values.(Random.State.int st (Array.length increase_values)) ];
+        el "date" ~children:[ txt "06/15/2026" ];
+        el "quantity" ~children:[ txt "1" ];
+        el "type" ~children:[ txt "Regular" ];
+        el "annotation" ~children:[ el "description" ~children:[ txt (rand_words st 6) ] ];
+      ]
+
+let gen_category st i =
+  el "category"
+    ~children:
+      [
+        attr "id" (Printf.sprintf "category%d" i);
+        el "name" ~children:[ txt (rand_words st 2) ];
+        el "description" ~children:[ txt (rand_words st 6) ];
+      ]
+
+(* Approximate serialized bytes per generated entity, used to derive
+   counts from the size target; the actual size is within ~20 %. *)
+let person_bytes = 330
+let item_bytes = 460
+let open_bytes = 560
+let closed_bytes = 330
+let category_bytes = 110
+
+let document ~seed ~target_kb =
+  let st = Random.State.make [| seed; target_kb |] in
+  let budget = target_kb * 1024 in
+  let n_persons = max 14 (budget * 25 / 100 / person_bytes) in
+  let n_items = max 6 (budget * 30 / 100 / item_bytes) in
+  let n_open = max 4 (budget * 25 / 100 / open_bytes) in
+  let n_closed = max 2 (budget * 12 / 100 / closed_bytes) in
+  let n_categories = max 2 (budget * 4 / 100 / category_bytes) in
+  let regions =
+    el "regions"
+      ~children:
+        (Array.to_list
+           (Array.mapi
+              (fun r continent ->
+                let count = (n_items / Array.length continents) + (if r < n_items mod Array.length continents then 1 else 0) in
+                el continent
+                  ~children:(List.init count (fun i -> gen_item st ~continent (r + (i * Array.length continents)))))
+              continents))
+  in
+  let categories =
+    el "categories" ~children:(List.init n_categories (gen_category st))
+  in
+  let people = el "people" ~children:(List.init n_persons (gen_person st)) in
+  let open_auctions =
+    el "open_auctions"
+      ~children:(List.init n_open (fun i -> gen_open_auction st i ~n_persons ~n_items))
+  in
+  let closed_auctions =
+    el "closed_auctions"
+      ~children:(List.init n_closed (fun _ -> gen_closed_auction st ~n_persons ~n_items))
+  in
+  el "site" ~children:[ regions; categories; people; open_auctions; closed_auctions ]
+
+let actual_bytes = Xml_tree.serialized_size

@@ -1,0 +1,18 @@
+(** Deterministic XMark-style document generator.
+
+    Emits auction documents with the element vocabulary the paper's views
+    and updates touch — [site/people/person] (with optional [phone],
+    [address], [homepage], [creditcard], [profile@income]),
+    [site/open_auctions/open_auction] (with [bidder/increase],
+    [personref], [privacy], [reserve], …), [site/regions/<continent>/item]
+    (with [name], [description], [mailbox], …), categories and closed
+    auctions — scaled to an approximate serialized size. Same seed and
+    size ⇒ same document. *)
+
+(** [document ~seed ~target_kb] generates a document whose serialization
+    is roughly [target_kb] kilobytes. *)
+val document : seed:int -> target_kb:int -> Xml_tree.node
+
+(** Serialized size of a generated document, in bytes (convenience
+    re-export of [Xml_tree.serialized_size]). *)
+val actual_bytes : Xml_tree.node -> int

@@ -1,0 +1,97 @@
+type t = { name : string; cls : string; path : string; fragment : string }
+
+let name_fragment first =
+  Printf.sprintf
+    "<name>%s<name>and</name><name>some</name><name>test</name><name>nodes</name></name>"
+    first
+
+let increase_fragment amount =
+  Printf.sprintf
+    "<increase>inserted %s<increase>and</increase><increase>some</increase><increase>test</increase><increase>nodes</increase></increase>"
+    amount
+
+let item_fragment ?(location = "Unknown") ?(description = false) label =
+  Printf.sprintf
+    "<item><location>%s</location><quantity>1</quantity><name>%s Item</name><payment>Creditcard, Personal Check, Cash</payment>%s</item>"
+    location label
+    (if description then "<description>Test description</description>" else "")
+
+let all =
+  [
+    (* Linear *)
+    { name = "X1_L"; cls = "L"; path = "/site/people/person"; fragment = name_fragment "Martin" };
+    { name = "X2_L"; cls = "L"; path = "/site/open_auctions/open_auction/bidder";
+      fragment = increase_fragment "100.00" };
+    { name = "B3_L"; cls = "L"; path = "//open_auction/bidder";
+      fragment = increase_fragment "300.00" };
+    { name = "E6_L"; cls = "L"; path = "/site/regions/*/item";
+      fragment = item_fragment "E6_L" };
+    { name = "X17_L"; cls = "L"; path = "/site/regions//item";
+      fragment = item_fragment ~description:true "X17_L" };
+    (* Linear with boolean filter *)
+    { name = "B7_LB"; cls = "LB"; path = "//person[profile/@income]";
+      fragment = name_fragment "Jim" };
+    { name = "B3_LB"; cls = "LB";
+      path = "/site/open_auctions/open_auction[reserve]/bidder";
+      fragment = increase_fragment "4.50" };
+    { name = "B5_LB"; cls = "LB"; path = "/site/regions/*/item[name]";
+      fragment = item_fragment "B5_LB" };
+    (* AND predicates *)
+    { name = "A6_A"; cls = "A"; path = "/site/people/person[phone and homepage]";
+      fragment = name_fragment "Mimma" };
+    { name = "X3_A"; cls = "A";
+      path = "/site/open_auctions/open_auction[privacy and bidder]/bidder";
+      fragment = increase_fragment "150.00" };
+    { name = "B1_A"; cls = "A"; path = "/site/regions[namerica or samerica]//item";
+      fragment = item_fragment ~location:"Canada" "B1_A" };
+    { name = "E6_A"; cls = "A"; path = "/site/regions/*/item[description][name]";
+      fragment = item_fragment "E6_A" };
+    { name = "X20_A"; cls = "A"; path = "/site/regions//item[description][name]";
+      fragment = item_fragment ~description:true "X20_A" };
+    { name = "X16_A"; cls = "A"; path = "/site/regions/namerica/item[description and name]";
+      fragment = item_fragment ~description:true "X16_A" };
+    (* OR predicates *)
+    { name = "A7_O"; cls = "O"; path = "/site/people/person[phone or homepage]";
+      fragment = name_fragment "Ioana" };
+    { name = "X4_O"; cls = "O";
+      path = "/site/open_auctions/open_auction[bidder or privacy]/bidder";
+      fragment = increase_fragment "200.00" };
+    { name = "X7_O"; cls = "O"; path = "/site/regions//item[description or name]";
+      fragment = item_fragment "X7_O" };
+    { name = "B1_O"; cls = "O"; path = "/site/regions[namerica or samerica]/item";
+      fragment = item_fragment ~location:"Canada" ~description:true "B1_O" };
+    (* AND + OR predicates *)
+    { name = "A8_AO"; cls = "AO";
+      path = "/site/people/person[address and (phone or homepage) and (creditcard or profile)]";
+      fragment = name_fragment "Angela" };
+    { name = "X5_AO"; cls = "AO";
+      path = "/site/open_auctions/open_auction[current and (bidder or reserve)]/bidder";
+      fragment = increase_fragment "250.00" };
+    { name = "X8_AO"; cls = "AO";
+      path = "/site/regions//item[description and (name or mailbox)]";
+      fragment = item_fragment ~location:"New Zealand" "X8_AO" };
+  ]
+
+let find name =
+  match List.find_opt (fun u -> u.name = name) all with
+  | Some u -> u
+  | None -> raise Not_found
+
+let insert u = Update.insert ~into:u.path u.fragment
+let delete u = Update.delete u.path
+
+let breakdown_pairs =
+  [
+    ("Q1", [ "X1_L"; "A6_A"; "A7_O"; "A8_AO"; "B7_LB" ]);
+    ("Q2", [ "X2_L"; "X3_A"; "X4_O"; "X5_AO"; "B3_LB" ]);
+    ("Q3", [ "X2_L"; "X3_A"; "X4_O"; "X5_AO"; "B3_LB" ]);
+    ("Q4", [ "X2_L"; "X3_A"; "X4_O"; "X5_AO"; "B3_LB" ]);
+    ("Q6", [ "B1_A"; "B5_LB"; "E6_L"; "X7_O"; "X8_AO" ]);
+    ("Q13", [ "B1_O"; "B5_LB"; "X16_A"; "X17_L"; "X8_AO" ]);
+    ("Q17", [ "X1_L"; "A6_A"; "A7_O"; "A8_AO"; "B7_LB" ]);
+  ]
+
+let figure20_pairs =
+  List.concat_map
+    (fun (view, updates) -> List.map (fun u -> (view, u)) updates)
+    breakdown_pairs

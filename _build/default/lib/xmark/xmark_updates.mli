@@ -1,0 +1,30 @@
+(** The update test set of Appendix A: XPathMark-style target paths in
+    five syntactic classes — Linear (L), Linear-Boolean (LB), And (A),
+    Or (O) and And-Or (AO) — each usable as an insertion (append the
+    fragment under every target, as in the appendix) or as a deletion
+    (delete every target, as in Section 6). *)
+
+type t = {
+  name : string;  (** e.g. ["X1_L"] *)
+  cls : string;  (** "L", "LB", "A", "O" or "AO" *)
+  path : string;  (** the target XPath *)
+  fragment : string;  (** the XML forest inserted under each target *)
+}
+
+val all : t list
+
+(** [find name] looks an update up by name.
+    @raise Not_found on unknown names. *)
+val find : string -> t
+
+(** [insert u] / [delete u] build the two statement variants. *)
+val insert : t -> Update.t
+
+val delete : t -> Update.t
+
+(** The 35 (view, update) pairs of Figures 20 / 21, as
+    [(view-name, update-name)]. *)
+val figure20_pairs : (string * string) list
+
+(** The (view, update) pairs broken down per view in Figures 18 / 19. *)
+val breakdown_pairs : (string * string list) list

@@ -1,0 +1,138 @@
+let n = Pattern.n
+let child = Pattern.Child
+
+(* Q1: for $b in /site/people/person[@id] return $b/name/text() *)
+let q1 =
+  Pattern.compile ~name:"Q1"
+    (n ~axis:child ~id:true "site"
+       [
+         n ~axis:child ~id:true "people"
+           [
+             n ~axis:child ~id:true "person"
+               [
+                 n ~axis:child ~id:true "@id" [];
+                 n ~axis:child ~id:true ~value:true "name" [];
+               ];
+           ];
+       ])
+
+(* Q2: for $b in /site/open_auctions/open_auction return $b/bidder/increase *)
+let q2 =
+  Pattern.compile ~name:"Q2"
+    (n ~axis:child ~id:true "site"
+       [
+         n ~axis:child ~id:true "open_auctions"
+           [
+             n ~axis:child ~id:true "open_auction"
+               [
+                 n ~axis:child ~id:true "bidder"
+                   [ n ~axis:child ~id:true ~content:true "increase" [] ];
+               ];
+           ];
+       ])
+
+(* Q3: … where $b/bidder/increase/text() = "4.50" return that text. The
+   existential branch and the returned branch are distinct, as in the
+   XQuery semantics. *)
+let q3 =
+  Pattern.compile ~name:"Q3"
+    (n ~axis:child ~id:true "site"
+       [
+         n ~axis:child ~id:true "open_auctions"
+           [
+             n ~axis:child ~id:true "open_auction"
+               [
+                 n ~axis:child "bidder"
+                   [ n ~axis:child ~vpred:"4.50" "increase" [] ];
+                 n ~axis:child ~id:true "bidder"
+                   [ n ~axis:child ~id:true ~value:true "increase" [] ];
+               ];
+           ];
+       ])
+
+(* Q4: … where $b/bidder/personref[@person = "person12"] return increases *)
+let q4 =
+  Pattern.compile ~name:"Q4"
+    (n ~axis:child ~id:true "site"
+       [
+         n ~axis:child ~id:true "open_auctions"
+           [
+             n ~axis:child ~id:true "open_auction"
+               [
+                 n ~axis:child "bidder"
+                   [
+                     n ~axis:child "personref"
+                       [ n ~axis:child ~vpred:"person12" "@person" [] ];
+                   ];
+                 n ~axis:child ~id:true "bidder"
+                   [ n ~axis:child ~id:true ~value:true "increase" [] ];
+               ];
+           ];
+       ])
+
+(* Q6: for $b in /site/regions return $b//item *)
+let q6 =
+  Pattern.compile ~name:"Q6"
+    (n ~axis:child ~id:true "site"
+       [
+         n ~axis:child ~id:true "regions"
+           [ n ~id:true ~content:true "item" [] ];
+       ])
+
+(* Q13: for $i in /site/regions/namerica/item
+        return $i/name/text(), $i/description *)
+let q13 =
+  Pattern.compile ~name:"Q13"
+    (n ~axis:child ~id:true "site"
+       [
+         n ~axis:child ~id:true "regions"
+           [
+             n ~axis:child ~id:true "namerica"
+               [
+                 n ~axis:child ~id:true "item"
+                   [
+                     n ~axis:child ~id:true ~value:true "name" [];
+                     n ~axis:child ~id:true ~content:true "description" [];
+                   ];
+               ];
+           ];
+       ])
+
+(* Q17: for $b in /site/people/person[homepage] return $b/name/text() *)
+let q17 =
+  Pattern.compile ~name:"Q17"
+    (n ~axis:child ~id:true "site"
+       [
+         n ~axis:child ~id:true "people"
+           [
+             n ~axis:child ~id:true "person"
+               [
+                 n ~axis:child "homepage" [];
+                 n ~axis:child ~id:true ~value:true "name" [];
+               ];
+           ];
+       ])
+
+let all =
+  [ ("Q1", q1); ("Q2", q2); ("Q3", q3); ("Q4", q4); ("Q6", q6); ("Q13", q13); ("Q17", q17) ]
+
+let find name =
+  let target = String.uppercase_ascii name in
+  match List.assoc_opt target all with
+  | Some v -> v
+  | None -> raise Not_found
+
+(* Fig. 24: /site/people/person[@id]/name with varying val+cont
+   placement. Node order (preorder): site, people, person, @id, name. *)
+let q1_annotation_variants =
+  let id_only = { Pattern.store_id = true; store_val = false; store_cont = false } in
+  let vc = { Pattern.store_id = true; store_val = true; store_cont = true } in
+  let variant name annots = Pattern.rename (Pattern.with_annots q1 annots) name in
+  [
+    ("IDs", variant "Q1-IDs" [| id_only; id_only; id_only; id_only; id_only |]);
+    ("VC Leaf", variant "Q1-VC-Leaf" [| id_only; id_only; id_only; id_only; vc |]);
+    ("VC Root", variant "Q1-VC-Root" [| vc; id_only; id_only; id_only; id_only |]);
+    ( "VC All Nodes but Root",
+      variant "Q1-VC-NotRoot" [| id_only; vc; vc; vc; vc |] );
+    ("VC All Nodes", variant "Q1-VC-All" [| vc; vc; vc; vc; vc |]);
+  ]

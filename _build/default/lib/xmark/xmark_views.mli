@@ -1,0 +1,32 @@
+(** The XMark benchmark queries used as views in the paper's evaluation
+    (Section 6.2 and Appendix A.6), expressed in the tree-pattern dialect.
+    Every node stores its ID; the return expressions of the original
+    queries determine the [val] / [cont] annotations. *)
+
+val q1 : Pattern.t  (** persons with an [@id]; returns the name value *)
+
+val q2 : Pattern.t  (** bidder increases of open auctions (content) *)
+
+val q3 : Pattern.t
+(** increases of auctions having some increase equal to ["4.50"] *)
+
+val q4 : Pattern.t
+(** increases of auctions with a bidder referencing person12 *)
+
+val q6 : Pattern.t  (** all items under regions (content) *)
+
+val q13 : Pattern.t  (** North-American items: name value + description *)
+
+val q17 : Pattern.t  (** persons with a homepage; returns the name value *)
+
+(** All views, keyed by name ("Q1" … "Q17"). *)
+val all : (string * Pattern.t) list
+
+(** [find name] looks a view up by name (case-insensitive).
+    @raise Not_found on unknown names. *)
+val find : string -> Pattern.t
+
+(** The annotation variants of Q1 used by the Fig. 24 experiment: IDs
+    only, val+cont on the leaf, on the root, on all nodes but the root,
+    and on all nodes. *)
+val q1_annotation_variants : (string * Pattern.t) list

@@ -1,0 +1,1 @@
+lib/xml/xml_parse.mli: Xml_tree

@@ -1,0 +1,212 @@
+exception Parse_error of string
+
+type state = { src : string; mutable pos : int }
+
+let fail st msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let looking_at st prefix =
+  let n = String.length prefix in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = prefix
+
+let expect st prefix =
+  if looking_at st prefix then st.pos <- st.pos + String.length prefix
+  else fail st (Printf.sprintf "expected %S" prefix)
+
+let skip_ws st =
+  while
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') -> true
+    | Some _ | None -> false
+  do
+    advance st
+  done
+
+let is_name_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' | ':' -> true
+  | _ -> false
+
+let read_name st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_name_char c | None -> false) do
+    advance st
+  done;
+  if st.pos = start then fail st "expected a name";
+  String.sub st.src start (st.pos - start)
+
+let read_entity st =
+  expect st "&";
+  let name = ref "" in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Some ';' ->
+      advance st;
+      continue := false
+    | Some c when is_name_char c || c = '#' ->
+      name := !name ^ String.make 1 c;
+      advance st
+    | Some _ | None -> fail st "malformed entity reference"
+  done;
+  match !name with
+  | "lt" -> "<"
+  | "gt" -> ">"
+  | "amp" -> "&"
+  | "quot" -> "\""
+  | "apos" -> "'"
+  | n when String.length n > 1 && n.[0] = '#' ->
+    let code =
+      try
+        if n.[1] = 'x' then int_of_string ("0x" ^ String.sub n 2 (String.length n - 2))
+        else int_of_string (String.sub n 1 (String.length n - 1))
+      with Failure _ -> fail st "malformed character reference"
+    in
+    if code < 0x80 then String.make 1 (Char.chr code) else "?"
+  | _ -> fail st "unknown entity"
+
+let read_quoted st =
+  let quote =
+    match peek st with
+    | Some (('"' | '\'') as q) ->
+      advance st;
+      q
+    | Some _ | None -> fail st "expected a quoted value"
+  in
+  let buf = Buffer.create 16 in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Some c when c = quote ->
+      advance st;
+      continue := false
+    | Some '&' -> Buffer.add_string buf (read_entity st)
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st
+    | None -> fail st "unterminated attribute value"
+  done;
+  Buffer.contents buf
+
+let skip_misc st =
+  let continue = ref true in
+  while !continue do
+    skip_ws st;
+    if looking_at st "<!--" then begin
+      let rec find i =
+        if i + 3 > String.length st.src then None
+        else if String.sub st.src i 3 = "-->" then Some (i + 3)
+        else find (i + 1)
+      in
+      match find (st.pos + 4) with
+      | Some p -> st.pos <- p
+      | None -> fail st "unterminated comment"
+    end
+    else if looking_at st "<?" then begin
+      match String.index_from_opt st.src st.pos '>' with
+      | Some p -> st.pos <- p + 1
+      | None -> fail st "unterminated processing instruction"
+    end
+    else if looking_at st "<!DOCTYPE" then begin
+      match String.index_from_opt st.src st.pos '>' with
+      | Some p -> st.pos <- p + 1
+      | None -> fail st "unterminated doctype"
+    end
+    else continue := false
+  done
+
+let is_blank s =
+  let n = String.length s in
+  let rec go i =
+    i >= n || (match s.[i] with ' ' | '\t' | '\n' | '\r' -> go (i + 1) | _ -> false)
+  in
+  go 0
+
+let rec read_element st =
+  expect st "<";
+  let name = read_name st in
+  let attrs = ref [] in
+  let rec read_attrs () =
+    skip_ws st;
+    match peek st with
+    | Some c when is_name_char c ->
+      let attr_name = read_name st in
+      skip_ws st;
+      expect st "=";
+      skip_ws st;
+      let value = read_quoted st in
+      attrs := Xml_tree.attribute attr_name value :: !attrs;
+      read_attrs ()
+    | Some _ | None -> ()
+  in
+  read_attrs ();
+  skip_ws st;
+  if looking_at st "/>" then begin
+    expect st "/>";
+    Xml_tree.element ~children:(List.rev !attrs) name
+  end
+  else begin
+    expect st ">";
+    let content = read_content st in
+    expect st "</";
+    let close = read_name st in
+    if close <> name then fail st (Printf.sprintf "mismatched </%s>" close);
+    skip_ws st;
+    expect st ">";
+    Xml_tree.element ~children:(List.rev !attrs @ content) name
+  end
+
+and read_content st =
+  let items = ref [] in
+  let buf = Buffer.create 16 in
+  let flush_text () =
+    if Buffer.length buf > 0 then begin
+      let s = Buffer.contents buf in
+      Buffer.clear buf;
+      if not (is_blank s) then items := Xml_tree.text s :: !items
+    end
+  in
+  let continue = ref true in
+  while !continue do
+    if looking_at st "</" then begin
+      flush_text ();
+      continue := false
+    end
+    else if looking_at st "<!--" then begin
+      flush_text ();
+      skip_misc st
+    end
+    else
+      match peek st with
+      | Some '<' ->
+        flush_text ();
+        items := read_element st :: !items
+      | Some '&' -> Buffer.add_string buf (read_entity st)
+      | Some c ->
+        Buffer.add_char buf c;
+        advance st
+      | None -> fail st "unterminated element content"
+  done;
+  List.rev !items
+
+let document s =
+  let st = { src = s; pos = 0 } in
+  skip_misc st;
+  let root = read_element st in
+  skip_misc st;
+  if st.pos <> String.length s then fail st "trailing content after root element";
+  root
+
+let fragment s =
+  let st = { src = s; pos = 0 } in
+  let roots = ref [] in
+  skip_misc st;
+  while st.pos < String.length s do
+    roots := read_element st :: !roots;
+    skip_misc st
+  done;
+  List.rev !roots

@@ -1,0 +1,16 @@
+(** Minimal XML parser covering the documents and update fragments used in
+    this project: elements, attributes, text, character entities, comments
+    and an optional prolog. Namespaces, CDATA and DTD-internal subsets are
+    out of scope. *)
+
+exception Parse_error of string
+
+(** [document s] parses a full document (one root element).
+    Whitespace-only text between elements is dropped.
+    @raise Parse_error on malformed input. *)
+val document : string -> Xml_tree.node
+
+(** [fragment s] parses a forest of sibling elements, e.g. the [xml]
+    operand of an insertion statement.
+    @raise Parse_error on malformed input. *)
+val fragment : string -> Xml_tree.node list

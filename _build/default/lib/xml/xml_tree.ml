@@ -1,0 +1,168 @@
+type kind = Element | Attribute | Text
+
+type node = {
+  serial : int;
+  kind : kind;
+  name : string;
+  text : string;
+  mutable children : node list;
+  mutable parent : node option;
+}
+
+let next_serial =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    !counter
+
+let make kind name text =
+  { serial = next_serial (); kind; name; text; children = []; parent = None }
+
+let append_child parent child =
+  (match child.parent with
+  | Some _ -> invalid_arg "Xml_tree.append_child: child already attached"
+  | None -> ());
+  child.parent <- Some parent;
+  parent.children <- parent.children @ [ child ]
+
+let append_children parent kids =
+  List.iter
+    (fun child ->
+      match child.parent with
+      | Some _ -> invalid_arg "Xml_tree.append_children: child already attached"
+      | None -> child.parent <- Some parent)
+    kids;
+  parent.children <- parent.children @ kids
+
+let element ?(children = []) name =
+  let n = make Element name "" in
+  append_children n children;
+  n
+
+let text s = make Text "#text" s
+let attribute name value = make Attribute name value
+
+let remove_children parent pred =
+  let keep, drop = List.partition (fun c -> not (pred c)) parent.children in
+  List.iter (fun c -> c.parent <- None) drop;
+  parent.children <- keep
+
+let remove_child parent child =
+  remove_children parent (fun c -> c == child)
+
+let insert_children parent ~anchor ~where kids =
+  if not (List.memq anchor parent.children) then
+    invalid_arg "Xml_tree.insert_children: anchor is not a child";
+  List.iter
+    (fun kid ->
+      match kid.parent with
+      | Some _ -> invalid_arg "Xml_tree.insert_children: kid already attached"
+      | None -> kid.parent <- Some parent)
+    kids;
+  parent.children <-
+    List.concat_map
+      (fun c ->
+        if c == anchor then
+          match where with `Before -> kids @ [ c ] | `After -> c :: kids
+        else [ c ])
+      parent.children
+
+let rec copy n =
+  let fresh = make n.kind n.name n.text in
+  append_children fresh (List.map copy n.children);
+  fresh
+
+let label n =
+  match n.kind with
+  | Element -> n.name
+  | Attribute -> "@" ^ n.name
+  | Text -> "#text"
+
+let rec iter f n =
+  f n;
+  List.iter (iter f) n.children
+
+let descendants_or_self n =
+  let acc = ref [] in
+  iter (fun m -> acc := m :: !acc) n;
+  List.rev !acc
+
+let element_children n = List.filter (fun c -> c.kind = Element) n.children
+let attribute_node n name =
+  List.find_opt (fun c -> c.kind = Attribute && c.name = name) n.children
+
+let size n =
+  let count = ref 0 in
+  iter (fun _ -> incr count) n;
+  !count
+
+let string_value n =
+  match n.kind with
+  | Attribute | Text -> n.text
+  | Element ->
+    let buf = Buffer.create 32 in
+    iter (fun m -> if m.kind = Text then Buffer.add_string buf m.text) n;
+    Buffer.contents buf
+
+let is_ancestor a d =
+  let rec up n = match n.parent with
+    | None -> false
+    | Some p -> p == a || up p
+  in
+  up d
+
+let escape buf s ~attr =
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' when attr -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s
+
+let rec add_to_buffer buf n =
+  match n.kind with
+  | Text -> escape buf n.text ~attr:false
+  | Attribute ->
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf n.name;
+    Buffer.add_string buf "=\"";
+    escape buf n.text ~attr:true;
+    Buffer.add_char buf '"'
+  | Element ->
+    let attrs, content = List.partition (fun c -> c.kind = Attribute) n.children in
+    Buffer.add_char buf '<';
+    Buffer.add_string buf n.name;
+    List.iter (add_to_buffer buf) attrs;
+    if content = [] then Buffer.add_string buf "/>"
+    else begin
+      Buffer.add_char buf '>';
+      List.iter (add_to_buffer buf) content;
+      Buffer.add_string buf "</";
+      Buffer.add_string buf n.name;
+      Buffer.add_char buf '>'
+    end
+
+let serialize ?(decl = false) n =
+  let buf = Buffer.create 1024 in
+  if decl then Buffer.add_string buf "<?xml version=\"1.0\"?>\n";
+  add_to_buffer buf n;
+  Buffer.contents buf
+
+let serialized_size n =
+  (* Cheap upper-bound-free estimate: serialize into a throwaway buffer is
+     avoided; count tag and text bytes directly. *)
+  let total = ref 0 in
+  iter
+    (fun m ->
+      match m.kind with
+      | Text -> total := !total + String.length m.text
+      | Attribute -> total := !total + String.length m.name + String.length m.text + 4
+      | Element ->
+        let has_content = List.exists (fun c -> c.kind <> Attribute) m.children in
+        let tag = String.length m.name in
+        total := !total + (if has_content then (2 * tag) + 5 else tag + 3))
+    n;
+  !total

@@ -1,0 +1,1 @@
+test/test_advisor.ml: Advisor Alcotest Array Lattice List Maint Mview Pattern QCheck Recompute Store Tutil Xmark_gen Xmark_updates Xmark_views Xml_tree

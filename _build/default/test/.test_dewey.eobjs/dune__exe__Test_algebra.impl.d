@@ -1,0 +1,1 @@
+test/test_algebra.ml: Alcotest Array Dewey Id_region Label_dict List Option Path_ops Pattern Plan QCheck Store Struct_join Tuple_table Tutil Xml_parse

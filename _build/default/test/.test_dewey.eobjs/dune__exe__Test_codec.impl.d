@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Filename Maint Mview Mview_codec Pattern Recompute Store String Sys Xmark_gen Xmark_updates Xmark_views Xml_parse

@@ -1,0 +1,1 @@
+test/test_dewey.ml: Alcotest Array Dewey List QCheck String Tutil

@@ -1,0 +1,1 @@
+test/test_dtd.ml: Alcotest Dtd List Option Printf Xml_parse Xml_tree

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Ivma List Maint Mview Printf Recompute Store Update Xmark_gen Xmark_updates Xmark_views

@@ -1,0 +1,1 @@
+test/test_lattice.ml: Alcotest Array Lattice List Pattern QCheck Tutil

@@ -1,0 +1,1 @@
+test/test_maint.ml: Alcotest Array Delta Dewey Lattice List Maint Mview Pattern Plan QCheck Recompute Store String Tuple_table Tutil Update View_set Xml_parse Xml_tree

@@ -1,0 +1,1 @@
+test/test_pattern.ml: Alcotest Array Dewey Embed List Pattern Plan QCheck Store Tuple_table Tutil View_parser Xml_parse

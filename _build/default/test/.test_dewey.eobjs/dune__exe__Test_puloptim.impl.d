@@ -1,0 +1,1 @@
+test/test_puloptim.ml: Alcotest Deferred List Maint Mview Option Pattern Pul_optim Recompute Store Update Xml_parse Xml_tree Xpath

@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Array List Mview Pattern Rewrite Store Xml_parse

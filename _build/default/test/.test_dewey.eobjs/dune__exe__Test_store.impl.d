@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Array Dewey Label_dict List Store Xml_parse Xml_tree

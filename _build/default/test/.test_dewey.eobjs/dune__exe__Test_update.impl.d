@@ -1,0 +1,1 @@
+test/test_update.ml: Alcotest Array Dewey Label_dict Lazy List Store String Update Xml_parse Xml_tree Xpath

@@ -1,0 +1,1 @@
+test/test_xmark.ml: Alcotest List Mview Store Update Xmark_gen Xmark_updates Xmark_views Xml_parse Xml_tree Xpath

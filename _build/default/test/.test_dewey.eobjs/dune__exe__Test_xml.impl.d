@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest List Option String Tutil Xml_parse Xml_tree

@@ -1,0 +1,1 @@
+test/test_xpath.ml: Alcotest Array List Tutil Xml_parse Xml_tree Xpath

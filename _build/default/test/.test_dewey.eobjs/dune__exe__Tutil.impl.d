@@ -1,0 +1,1 @@
+test/tutil.ml: Array Dewey Embed Fun Hashtbl List Mview Pattern QCheck QCheck_alcotest Store String Update Xml_tree Xpath

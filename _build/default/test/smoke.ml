@@ -1,0 +1,82 @@
+(* Quick end-to-end exercise used during development; kept as a sanity
+   executable (not part of the alcotest suites). *)
+
+let doc_text =
+  {|<a><c><b><d>x</d></b><b/></c><f><c><b>y</b></c><b/></f></a>|}
+
+let () =
+  let root = Xml_parse.document doc_text in
+  let store = Store.of_document root in
+  Printf.printf "nodes: %d\n" (Store.node_count store);
+  (* XPath *)
+  let hits = Xpath.eval root (Xpath.parse "//c//b") in
+  Printf.printf "//c//b hits: %d\n" (List.length hits);
+  (* Pattern: //a{id}[//c]//b{id} *)
+  let pat =
+    Pattern.compile ~name:"v"
+      (Pattern.n "a" ~id:true [ Pattern.n "c" []; Pattern.n "b" ~id:true [] ])
+  in
+  let emb = Embed.embeddings store pat in
+  let alg = Plan.eval store pat in
+  Printf.printf "embeddings: %d algebraic: %d\n" (List.length emb)
+    (Tuple_table.length alg);
+  let mv = Mview.materialize store pat in
+  Printf.printf "view tuples: %d total count: %d\n" (Mview.cardinality mv)
+    (Mview.total_count mv);
+  (* Insert under //f a subtree with a c/b chain. *)
+  let u = Update.insert ~into:"//f" "<c><b>new</b></c>" in
+  let r = Maint.propagate mv u in
+  Printf.printf "insert: terms %d/%d added %d modified %d\n" r.Maint.terms_surviving
+    r.Maint.terms_developed r.Maint.embeddings_added r.Maint.tuples_modified;
+  (* Compare with recomputation on a fresh copy of the original document. *)
+  let root2 = Xml_parse.document doc_text in
+  let store2 = Store.of_document root2 in
+  let mv2, _ = Recompute.recompute_after store2 (Update.insert ~into:"//f" "<c><b>new</b></c>") ~pat in
+  (match Recompute.diff mv mv2 with
+  | None -> print_endline "insert: maintained == recomputed"
+  | Some d -> Printf.printf "MISMATCH: %s\n" d);
+  (* Delete //c//b and compare again. *)
+  let del = Update.delete "//c//b" in
+  let rd = Maint.propagate mv del in
+  Printf.printf "delete: terms %d/%d removed %d modified %d\n"
+    rd.Maint.terms_surviving rd.Maint.terms_developed rd.Maint.embeddings_removed
+    rd.Maint.tuples_modified;
+  let root3 = Xml_parse.document doc_text in
+  let store3 = Store.of_document root3 in
+  let _ = Recompute.recompute_after store3 (Update.insert ~into:"//f" "<c><b>new</b></c>") ~pat in
+  let mv3, _ = Recompute.recompute_after store3 del ~pat in
+  (match Recompute.diff mv mv3 with
+  | None -> print_endline "delete: maintained == recomputed"
+  | Some d -> Printf.printf "MISMATCH: %s\n" d)
+
+(* XMark pipeline sanity: generate, materialize every view, run one
+   insert+delete pair per view and compare against recomputation. *)
+let () =
+  print_endline "--- xmark sanity ---";
+  let doc () = Xmark_gen.document ~seed:42 ~target_kb:60 in
+  Printf.printf "doc bytes: %d\n" (Xmark_gen.actual_bytes (doc ()));
+  List.iter
+    (fun (vname, upds) ->
+      let uname = List.hd upds in
+      let u = Xmark_updates.find uname in
+      let pat = Xmark_views.find vname in
+      List.iter
+        (fun (tag, stmt) ->
+          let store = Store.of_document (doc ()) in
+          let mv = Mview.materialize store pat in
+          let before = Mview.cardinality mv in
+          let r = Maint.propagate mv stmt in
+          let store2 = Store.of_document (doc ()) in
+          let mv2, _ = Recompute.recompute_after store2 stmt ~pat in
+          let verdict =
+            match Recompute.diff mv mv2 with
+            | None -> "ok"
+            | Some d -> "MISMATCH " ^ d
+          in
+          Printf.printf
+            "%-4s %-6s %-6s tuples %4d -> %4d (added %d removed %d mod %d terms %d/%d) %s\n"
+            vname uname tag before (Mview.cardinality mv) r.Maint.embeddings_added
+            r.Maint.embeddings_removed r.Maint.tuples_modified r.Maint.terms_surviving
+            r.Maint.terms_developed verdict)
+        [ ("ins", Xmark_updates.insert u); ("del", Xmark_updates.delete u) ])
+    Xmark_updates.breakdown_pairs

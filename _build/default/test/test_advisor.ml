@@ -1,0 +1,110 @@
+(* Tests for the cost-based snowcap advisor and the Chosen policy. *)
+
+let doc () = Xmark_gen.document ~seed:21 ~target_kb:80
+
+let test_choose_valid () =
+  let store = Store.of_document (doc ()) in
+  let pat = Xmark_views.q4 in
+  let chosen = Advisor.choose store pat ~profile:Advisor.uniform in
+  let all = Lattice.snowcaps pat in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "is a snowcap" true (List.exists (Lattice.equal s) all);
+      Alcotest.(check bool) "not a leaf duplicate" true (Lattice.size s > 1);
+      Alcotest.(check bool) "proper" true (Lattice.size s < Pattern.node_count pat))
+    chosen;
+  Alcotest.(check bool) "bounded by lattice levels" true
+    (List.length chosen <= Pattern.node_count pat - 1)
+
+let test_profile_sensitivity () =
+  let store = Store.of_document (doc ()) in
+  let pat = Xmark_views.q1 in
+  (* If nothing ever changes, no snowcap is worth keeping. *)
+  let dead_profile =
+    List.map (fun tag -> (tag, 0.)) (Array.to_list pat.Pattern.tags)
+  in
+  Alcotest.(check int) "no updates, no snowcaps" 0
+    (List.length (Advisor.choose store pat ~profile:dead_profile));
+  Alcotest.(check bool) "degenerates to Leaves" true
+    (Advisor.policy store pat ~profile:dead_profile = Mview.Leaves);
+  (* Frequent leaf-level updates make ancestor snowcaps attractive. *)
+  let name_heavy = [ ("name", 100.); ("site", 0.); ("people", 0.) ] in
+  let chosen = Advisor.choose store pat ~profile:name_heavy in
+  Alcotest.(check bool) "some snowcap chosen" true (chosen <> []);
+  (* The best snowcap excludes the hot node (terms fire for Δname). *)
+  let name_idx = 4 in
+  let best = List.hd chosen in
+  Alcotest.(check bool) "hot leaf outside the R-part" false (Lattice.mem best name_idx)
+
+let test_max_mats () =
+  let store = Store.of_document (doc ()) in
+  let pat = Xmark_views.q4 in
+  let profile = [ ("increase", 50.); ("bidder", 10.) ] in
+  let chosen = Advisor.choose ~max_mats:2 store pat ~profile in
+  Alcotest.(check bool) "at most two" true (List.length chosen <= 2)
+
+let test_chosen_policy_maintains () =
+  let pat = Xmark_views.q1 in
+  let run policy stmt =
+    let store = Store.of_document (doc ()) in
+    let mv = Mview.materialize ~policy store pat in
+    let r = Maint.propagate mv stmt in
+    ignore r;
+    mv
+  in
+  List.iter
+    (fun stmt ->
+      let store0 = Store.of_document (doc ()) in
+      let policy = Advisor.policy store0 pat ~profile:[ ("name", 10.) ] in
+      let mv = run policy stmt in
+      let store2 = Store.of_document (doc ()) in
+      let oracle, _ = Recompute.recompute_after store2 stmt ~pat in
+      match Recompute.diff mv oracle with
+      | None -> ()
+      | Some d -> Alcotest.fail ("Chosen policy diverged: " ^ d))
+    [
+      Xmark_updates.insert (Xmark_updates.find "X1_L");
+      Xmark_updates.delete (Xmark_updates.find "A6_A");
+    ]
+
+let test_chosen_rejects_non_snowcap () =
+  let store = Store.of_document (doc ()) in
+  let pat = Xmark_views.q1 in
+  (* {site, person} without people is not parent-closed. *)
+  let bad = [| true; false; true; false; false |] in
+  Alcotest.(check bool) "invalid set rejected" true
+    (match Mview.materialize ~policy:(Mview.Chosen [ bad ]) store pat with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let golden_chosen =
+  Tutil.qtest ~count:150 "maintain = recompute (advisor-chosen policy)"
+    (QCheck.triple Tutil.arb_doc Tutil.arb_pattern Tutil.arb_update)
+    (fun (doc, pat, stmt) ->
+      let store = Store.of_document (Xml_tree.copy doc) in
+      let policy = Advisor.policy store pat ~profile:Advisor.uniform in
+      let mv = Mview.materialize ~policy store pat in
+      let _ = Maint.propagate mv stmt in
+      let store2 = Store.of_document (Xml_tree.copy doc) in
+      let mv2, _ = Recompute.recompute_after store2 stmt ~pat in
+      match Recompute.diff mv mv2 with
+      | None -> true
+      | Some d -> QCheck.Test.fail_reportf "diverged: %s" d)
+
+let () =
+  Alcotest.run "advisor"
+    [
+      ( "choice",
+        [
+          Alcotest.test_case "valid snowcaps" `Quick test_choose_valid;
+          Alcotest.test_case "profile sensitivity" `Quick test_profile_sensitivity;
+          Alcotest.test_case "max_mats" `Quick test_max_mats;
+        ] );
+      ( "chosen policy",
+        [
+          Alcotest.test_case "maintains correctly" `Quick test_chosen_policy_maintains;
+          Alcotest.test_case "rejects non-snowcaps" `Quick
+            test_chosen_rejects_non_snowcap;
+          golden_chosen;
+        ] );
+    ]

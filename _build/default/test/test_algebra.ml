@@ -1,0 +1,153 @@
+(* Tests for tuple tables, structural joins and the ID-based physical
+   operators. *)
+
+let store_of s = Store.of_document (Xml_parse.document s)
+
+let fixture () =
+  store_of {|<a><c><b>x</b><b/></c><f><c><b>y</b></c><b/></f><c/></a>|}
+
+let atom store pat i = Plan.atom_of_store store pat i
+
+let pat_cb =
+  Pattern.compile ~name:"cb" (Pattern.n "c" ~id:true [ Pattern.n "b" ~id:true [] ])
+
+(* Naive nested-loop structural join used as the oracle. *)
+let naive_join left right ~ppos ~cpos ~axis =
+  let out = ref [] in
+  Array.iter
+    (fun l ->
+      Array.iter
+        (fun r ->
+          let ok =
+            match axis with
+            | Pattern.Child -> Dewey.is_parent l.(ppos) r.(cpos)
+            | Pattern.Descendant -> Dewey.is_ancestor l.(ppos) r.(cpos)
+          in
+          if ok then out := Array.append l r :: !out)
+        right)
+    left;
+  List.sort compare (List.map (Array.map Dewey.encode) !out) |> List.map Array.to_list
+
+let join_result t =
+  List.sort compare
+    (Array.to_list (Array.map (fun r -> Array.to_list (Array.map Dewey.encode r)) t.Tuple_table.rows))
+
+let test_join_fixture () =
+  let s = fixture () in
+  let c = atom s pat_cb 0 and b = atom s pat_cb 1 in
+  let joined = Struct_join.join c b ~parent:0 ~child:1 ~axis:Pattern.Descendant in
+  Alcotest.(check int) "c ancestor of b pairs" 3 (Tuple_table.length joined);
+  let joined_child = Struct_join.join c b ~parent:0 ~child:1 ~axis:Pattern.Child in
+  Alcotest.(check int) "c parent of b pairs" 3 (Tuple_table.length joined_child);
+  Alcotest.(check (list (list string))) "same as naive"
+    (naive_join c.Tuple_table.rows b.Tuple_table.rows ~ppos:0 ~cpos:0
+       ~axis:Pattern.Descendant)
+    (join_result joined)
+
+let test_join_random =
+  Tutil.qtest ~count:200 "structural join = nested loop"
+    (QCheck.triple Tutil.arb_doc
+       (QCheck.oneofl [ Pattern.Child; Pattern.Descendant ])
+       (QCheck.pair (QCheck.oneofa Tutil.labels) (QCheck.oneofa Tutil.labels)))
+    (fun (d, axis, (l1, l2)) ->
+      let store = Store.of_document d in
+      let pat =
+        Pattern.compile ~name:"j" (Pattern.n l1 ~id:true [ Pattern.n ~axis l2 ~id:true [] ])
+      in
+      let left = atom store pat 0 and right = atom store pat 1 in
+      let joined = Struct_join.join left right ~parent:0 ~child:1 ~axis in
+      join_result joined
+      = naive_join left.Tuple_table.rows right.Tuple_table.rows ~ppos:0 ~cpos:0 ~axis)
+
+let test_tuple_table () =
+  let t = Tuple_table.of_ids ~node:7 [| Dewey.root ~lab:1 |] in
+  Alcotest.(check int) "col_pos" 0 (Tuple_table.col_pos t 7);
+  Alcotest.(check bool) "missing col raises" true
+    (match Tuple_table.col_pos t 3 with exception Not_found -> true | _ -> false);
+  Alcotest.(check int) "length" 1 (Tuple_table.length t);
+  Tuple_table.filter t (fun _ -> false);
+  Alcotest.(check bool) "filter empties" true (Tuple_table.is_empty t)
+
+let test_sort_by_node () =
+  let a = Dewey.root ~lab:0 in
+  let b = Dewey.child a ~lab:1 ~ord:[| 1 |] in
+  let c = Dewey.child a ~lab:1 ~ord:[| 2 |] in
+  let t = Tuple_table.of_ids ~node:0 [| c; a; b |] in
+  Tuple_table.sort_by_node t 0;
+  Alcotest.(check bool) "sorted" true
+    (Dewey.equal t.Tuple_table.rows.(0).(0) a
+    && Dewey.equal t.Tuple_table.rows.(1).(0) b
+    && Dewey.equal t.Tuple_table.rows.(2).(0) c)
+
+let test_id_region () =
+  let a = Dewey.root ~lab:0 in
+  let b = Dewey.child a ~lab:1 ~ord:[| 1 |] in
+  let c = Dewey.child b ~lab:2 ~ord:[| 1 |] in
+  let other = Dewey.child a ~lab:1 ~ord:[| 2 |] in
+  let region = Id_region.of_roots [ b ] in
+  Alcotest.(check bool) "root in region" true (Id_region.mem region b);
+  Alcotest.(check bool) "descendant in region" true (Id_region.mem region c);
+  Alcotest.(check bool) "ancestor not in region" false (Id_region.mem region a);
+  Alcotest.(check bool) "sibling not in region" false (Id_region.mem region other);
+  Alcotest.(check bool) "strictly inside excludes the root" false
+    (Id_region.strictly_inside region b);
+  Alcotest.(check bool) "strictly inside descendant" true
+    (Id_region.strictly_inside region c);
+  Alcotest.(check bool) "empty region" true
+    (Id_region.is_empty (Id_region.of_roots []) && not (Id_region.mem (Id_region.of_roots []) a))
+
+let test_path_ops () =
+  let s = fixture () in
+  let dict = Store.dict s in
+  let rb = Store.relation s "b" in
+  let ids = Array.map (fun e -> e.Store.id) rb in
+  (* Path Filter: b nodes below a c. *)
+  let c_code = Option.get (Label_dict.find dict "c") in
+  let under_c =
+    Path_ops.path_filter ids (fun path ->
+        Array.exists (fun l -> l = c_code) (Array.sub path 0 (Array.length path - 1)))
+  in
+  Alcotest.(check int) "path filter" 3 (Array.length under_c);
+  Alcotest.(check bool) "has_label_ancestor agrees" true
+    (Array.for_all (fun id -> Path_ops.has_label_ancestor dict ~label:"c" id) under_c);
+  Alcotest.(check bool) "star label always true" true
+    (Path_ops.has_label_ancestor dict ~label:"*" ids.(0));
+  (* Path Navigate: parents of the b nodes are the two c's and f. *)
+  let parents = Path_ops.path_navigate ids in
+  Alcotest.(check int) "navigate dedups" 3 (Array.length parents)
+
+let test_plan_scope () =
+  (* eval_subtree with a restricted scope only joins the included nodes. *)
+  let s = fixture () in
+  let pat =
+    Pattern.compile ~name:"p"
+      (Pattern.n "a" ~id:true [ Pattern.n "c" ~id:true [ Pattern.n "b" ~id:true [] ] ])
+  in
+  let within = [| true; true; false |] in
+  let t =
+    Plan.eval_subtree pat ~atom:(atom s pat) ~within:(fun i -> within.(i)) ~root:0
+  in
+  Alcotest.(check int) "a-c pairs only" 3 (Tuple_table.length t);
+  Alcotest.(check bool) "no b column" true
+    (match Tuple_table.col_pos t 2 with exception Not_found -> true | _ -> false)
+
+let () =
+  Alcotest.run "algebra"
+    [
+      ( "joins",
+        [
+          Alcotest.test_case "fixture join" `Quick test_join_fixture;
+          test_join_random;
+        ] );
+      ( "tables",
+        [
+          Alcotest.test_case "tuple table" `Quick test_tuple_table;
+          Alcotest.test_case "sort by node" `Quick test_sort_by_node;
+        ] );
+      ( "id ops",
+        [
+          Alcotest.test_case "id region" `Quick test_id_region;
+          Alcotest.test_case "path filter/navigate" `Quick test_path_ops;
+          Alcotest.test_case "scoped plan" `Quick test_plan_scope;
+        ] );
+    ]

@@ -1,0 +1,81 @@
+(* Tests for materialized-view persistence. *)
+
+let doc () = Xmark_gen.document ~seed:33 ~target_kb:60
+
+let test_roundtrip () =
+  let store = Store.of_document (doc ()) in
+  let mv = Mview.materialize store Xmark_views.q13 in
+  let data = Mview_codec.save mv in
+  let loaded = Mview_codec.load store Xmark_views.q13 data in
+  match Recompute.diff mv loaded with
+  | None -> ()
+  | Some d -> Alcotest.fail ("roundtrip diverged: " ^ d)
+
+let test_loaded_view_maintains () =
+  (* A reloaded view keeps maintaining correctly (snowcaps are rebuilt at
+     load time). *)
+  let stmt = Xmark_updates.insert (Xmark_updates.find "X17_L") in
+  let store = Store.of_document (doc ()) in
+  let mv = Mview.materialize store Xmark_views.q13 in
+  let data = Mview_codec.save mv in
+  let loaded = Mview_codec.load store Xmark_views.q13 data in
+  let _ = Maint.propagate loaded stmt in
+  let store2 = Store.of_document (doc ()) in
+  let oracle, _ = Recompute.recompute_after store2 stmt ~pat:Xmark_views.q13 in
+  match Recompute.diff loaded oracle with
+  | None -> ()
+  | Some d -> Alcotest.fail ("loaded view diverged after update: " ^ d)
+
+let test_file_roundtrip () =
+  let store = Store.of_document (doc ()) in
+  let mv = Mview.materialize store Xmark_views.q1 in
+  let path = Filename.temp_file "xvm" ".view" in
+  Mview_codec.save_to_file mv path;
+  let loaded = Mview_codec.load_from_file store Xmark_views.q1 path in
+  Sys.remove path;
+  Alcotest.(check bool) "file roundtrip" true (Recompute.equal mv loaded)
+
+let test_corrupt () =
+  let store = Store.of_document (doc ()) in
+  let mv = Mview.materialize store Xmark_views.q1 in
+  let data = Mview_codec.save mv in
+  let corrupt s =
+    match Mview_codec.load store Xmark_views.q1 s with
+    | exception Mview_codec.Corrupt _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "bad magic" true (corrupt ("ZZZZ" ^ data));
+  Alcotest.(check bool) "truncated" true
+    (corrupt (String.sub data 0 (String.length data - 3)));
+  Alcotest.(check bool) "trailing" true (corrupt (data ^ "x"));
+  Alcotest.(check bool) "wrong pattern" true
+    (match Mview_codec.load store Xmark_views.q4 data with
+    | exception Mview_codec.Corrupt _ -> true
+    | _ -> false)
+
+let test_counts_preserved () =
+  (* Derivation counts survive the roundtrip. *)
+  let root = Xml_parse.document {|<a><c><b/><b/></c><f><b/></f></a>|} in
+  let store = Store.of_document root in
+  let pat =
+    Pattern.compile ~name:"a[b]" (Pattern.n "a" ~id:true [ Pattern.n "b" [] ])
+  in
+  let mv = Mview.materialize store pat in
+  Alcotest.(check int) "count 3" 3 (Mview.total_count mv);
+  let loaded = Mview_codec.load store pat (Mview_codec.save mv) in
+  Alcotest.(check int) "count preserved" 3 (Mview.total_count loaded);
+  Alcotest.(check int) "one tuple" 1 (Mview.cardinality loaded)
+
+let () =
+  Alcotest.run "codec"
+    [
+      ( "persistence",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "loaded view maintains" `Quick test_loaded_view_maintains;
+          Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+          Alcotest.test_case "corruption detected" `Quick test_corrupt;
+          Alcotest.test_case "derivation counts preserved" `Quick
+            test_counts_preserved;
+        ] );
+    ]

@@ -1,0 +1,144 @@
+(* Unit and property tests for the dynamic Dewey identifiers. *)
+
+let ord = QCheck.Gen.(map Array.of_list (list_size (int_range 1 4) (int_range (-3) 5)))
+
+let arb_ord =
+  QCheck.make ord ~print:(fun o ->
+      String.concat "_" (Array.to_list (Array.map string_of_int o)))
+
+let arb_ord_pair = QCheck.pair arb_ord arb_ord
+
+(* A small random identifier builder. *)
+let gen_id =
+  QCheck.Gen.(
+    let* depth = int_range 1 5 in
+    let rec build i acc =
+      if i >= depth then pure acc
+      else
+        let* lab = int_range 0 6 in
+        let* o = ord in
+        build (i + 1) (Dewey.child acc ~lab ~ord:o)
+    in
+    let* root_lab = int_range 0 6 in
+    build 1 (Dewey.root ~lab:root_lab))
+
+let arb_id = QCheck.make gen_id ~print:(fun id -> Dewey.to_string id)
+
+let test_ord_between =
+  Tutil.qtest "Ord.between is strictly between" arb_ord_pair (fun (a, b) ->
+      let c = Dewey.Ord.compare a b in
+      QCheck.assume (c <> 0);
+      let lo, hi = if c < 0 then (a, b) else (b, a) in
+      let m = Dewey.Ord.between lo hi in
+      Dewey.Ord.compare lo m < 0 && Dewey.Ord.compare m hi < 0)
+
+let test_ord_after_before =
+  Tutil.qtest "Ord.after/before bracket their input" arb_ord (fun o ->
+      Dewey.Ord.compare o (Dewey.Ord.after o) < 0
+      && Dewey.Ord.compare (Dewey.Ord.before o) o < 0)
+
+let test_codec =
+  Tutil.qtest "encode/decode roundtrip" arb_id (fun id ->
+      Dewey.equal (Dewey.decode (Dewey.encode id)) id)
+
+let test_codec_injective =
+  Tutil.qtest "distinct ids encode distinctly" (QCheck.pair arb_id arb_id)
+    (fun (a, b) ->
+      QCheck.assume (not (Dewey.equal a b));
+      Dewey.encode a <> Dewey.encode b)
+
+let test_parent_ancestor =
+  Tutil.qtest "child/parent/ancestor coherence" arb_id (fun id ->
+      let c = Dewey.child id ~lab:3 ~ord:Dewey.Ord.first in
+      Dewey.is_parent id c
+      && Dewey.is_ancestor id c
+      && Dewey.is_ancestor_or_self id c
+      && Dewey.is_ancestor_or_self id id
+      && (not (Dewey.is_ancestor id id))
+      && (match Dewey.parent c with Some p -> Dewey.equal p id | None -> false)
+      && Dewey.compare id c < 0)
+
+let test_order_total =
+  Tutil.qtest "document order is antisymmetric" (QCheck.pair arb_id arb_id)
+    (fun (a, b) ->
+      let c1 = Dewey.compare a b and c2 = Dewey.compare b a in
+      if Dewey.equal a b then c1 = 0 && c2 = 0 else c1 = -c2 && c1 <> 0)
+
+let test_siblings_order () =
+  let p = Dewey.root ~lab:0 in
+  let o1 = Dewey.Ord.first in
+  let o2 = Dewey.Ord.after o1 in
+  let mid = Dewey.Ord.between o1 o2 in
+  let c1 = Dewey.child p ~lab:1 ~ord:o1 in
+  let c2 = Dewey.child p ~lab:1 ~ord:o2 in
+  let cm = Dewey.child p ~lab:1 ~ord:mid in
+  Alcotest.(check bool) "c1 < cm" true (Dewey.compare c1 cm < 0);
+  Alcotest.(check bool) "cm < c2" true (Dewey.compare cm c2 < 0);
+  Alcotest.(check bool) "siblings are not ancestors" false (Dewey.is_ancestor c1 c2)
+
+let test_label_path () =
+  let id =
+    Dewey.child (Dewey.child (Dewey.root ~lab:5) ~lab:2 ~ord:[| 1 |]) ~lab:9 ~ord:[| 4 |]
+  in
+  Alcotest.(check (array int)) "label path" [| 5; 2; 9 |] (Dewey.label_path id);
+  Alcotest.(check int) "own label" 9 (Dewey.label id);
+  Alcotest.(check int) "depth" 3 (Dewey.depth id);
+  Alcotest.(check bool) "has ancestor 5" true (Dewey.has_ancestor_label id ~lab:5);
+  Alcotest.(check bool) "has ancestor 2" true (Dewey.has_ancestor_label id ~lab:2);
+  Alcotest.(check bool) "self label needs ~self" false (Dewey.has_ancestor_label id ~lab:9);
+  Alcotest.(check bool) "self label with ~self" true
+    (Dewey.has_ancestor_label ~self:true id ~lab:9)
+
+let test_ancestors () =
+  let a = Dewey.root ~lab:0 in
+  let b = Dewey.child a ~lab:1 ~ord:[| 1 |] in
+  let c = Dewey.child b ~lab:2 ~ord:[| 2 |] in
+  let ancs = Dewey.ancestors c in
+  Alcotest.(check int) "two ancestors" 2 (List.length ancs);
+  Alcotest.(check bool) "root first" true (Dewey.equal (List.nth ancs 0) a);
+  Alcotest.(check bool) "then parent" true (Dewey.equal (List.nth ancs 1) b)
+
+let test_no_relabel () =
+  (* Inserting between any two adjacent siblings never requires touching
+     existing identifiers: fresh ordinals keep fitting. *)
+  let p = Dewey.root ~lab:0 in
+  let o1 = ref Dewey.Ord.first in
+  let o2 = ref (Dewey.Ord.after !o1) in
+  for _ = 1 to 64 do
+    let m = Dewey.Ord.between !o1 !o2 in
+    assert (Dewey.Ord.compare !o1 m < 0 && Dewey.Ord.compare m !o2 < 0);
+    o2 := m
+  done;
+  Alcotest.(check bool) "still ordered" true
+    (Dewey.compare (Dewey.child p ~lab:1 ~ord:!o1) (Dewey.child p ~lab:1 ~ord:!o2) < 0)
+
+let test_decode_errors () =
+  Alcotest.check_raises "empty" (Invalid_argument "Dewey.decode: empty") (fun () ->
+      ignore (Dewey.decode "\x00"));
+  Alcotest.check_raises "truncated" (Invalid_argument "Dewey.decode: truncated")
+    (fun () -> ignore (Dewey.decode "\x02\x01"))
+
+let () =
+  Alcotest.run "dewey"
+    [
+      ( "ordinals",
+        [
+          test_ord_between;
+          test_ord_after_before;
+          Alcotest.test_case "sibling insertion order" `Quick test_siblings_order;
+          Alcotest.test_case "no relabeling under splits" `Quick test_no_relabel;
+        ] );
+      ( "structure",
+        [
+          test_parent_ancestor;
+          test_order_total;
+          Alcotest.test_case "label paths" `Quick test_label_path;
+          Alcotest.test_case "ancestors" `Quick test_ancestors;
+        ] );
+      ( "codec",
+        [
+          test_codec;
+          test_codec_injective;
+          Alcotest.test_case "decode errors" `Quick test_decode_errors;
+        ] );
+    ]

@@ -1,0 +1,113 @@
+(* End-to-end integration: every (view, update) pair of the paper's
+   evaluation, both as insertion and deletion, maintained incrementally
+   and checked against full recomputation; plus the IVMA baseline and the
+   two snowcap policies. *)
+
+let doc () = Xmark_gen.document ~seed:42 ~target_kb:80
+
+let check_pair ?policy vname uname stmt () =
+  let pat = Xmark_views.find vname in
+  let store = Store.of_document (doc ()) in
+  let mv = Mview.materialize ?policy store pat in
+  let _ = Maint.propagate mv stmt in
+  let store2 = Store.of_document (doc ()) in
+  let mv2, _ = Recompute.recompute_after store2 stmt ~pat in
+  match Recompute.diff mv mv2 with
+  | None -> ()
+  | Some d -> Alcotest.fail (Printf.sprintf "%s/%s diverged: %s" vname uname d)
+
+let pair_cases =
+  List.concat_map
+    (fun (vname, uname) ->
+      let u = Xmark_updates.find uname in
+      [
+        Alcotest.test_case
+          (Printf.sprintf "%s + insert %s" vname uname)
+          `Quick
+          (check_pair vname uname (Xmark_updates.insert u));
+        Alcotest.test_case
+          (Printf.sprintf "%s + delete %s" vname uname)
+          `Quick
+          (check_pair vname uname (Xmark_updates.delete u));
+      ])
+    Xmark_updates.figure20_pairs
+
+let leaves_cases =
+  List.map
+    (fun (vname, uname) ->
+      let u = Xmark_updates.find uname in
+      Alcotest.test_case
+        (Printf.sprintf "%s + %s (leaves policy)" vname uname)
+        `Quick
+        (check_pair ~policy:Mview.Leaves vname uname (Xmark_updates.insert u)))
+    [ ("Q1", "X1_L"); ("Q3", "B3_LB"); ("Q6", "X7_O"); ("Q13", "X17_L") ]
+
+let ivma_case vname uname mk =
+  Alcotest.test_case (Printf.sprintf "IVMA %s + %s" vname uname) `Quick (fun () ->
+      let pat = Xmark_views.find vname in
+      let u = Xmark_updates.find uname in
+      let stmt = mk u in
+      let store = Store.of_document (doc ()) in
+      let mv = Mview.materialize ~policy:Mview.Leaves store pat in
+      let r = Ivma.propagate mv stmt in
+      Alcotest.(check bool) "at least one invocation" true (r.Ivma.invocations >= 1);
+      let store2 = Store.of_document (doc ()) in
+      let mv2, _ = Recompute.recompute_after store2 stmt ~pat in
+      match Recompute.diff mv mv2 with
+      | None -> ()
+      | Some d -> Alcotest.fail ("IVMA diverged: " ^ d))
+
+let annotation_variant_cases =
+  List.map
+    (fun (label, pat) ->
+      Alcotest.test_case ("Fig24 variant " ^ label) `Quick (fun () ->
+          let stmt = Update.delete "/site/people/person[@id='person0']" in
+          let store = Store.of_document (doc ()) in
+          let mv = Mview.materialize store pat in
+          let _ = Maint.propagate mv stmt in
+          let store2 = Store.of_document (doc ()) in
+          let mv2, _ = Recompute.recompute_after store2 stmt ~pat in
+          match Recompute.diff mv mv2 with
+          | None -> ()
+          | Some d -> Alcotest.fail (label ^ " diverged: " ^ d)))
+    Xmark_views.q1_annotation_variants
+
+let deep_path_cases =
+  (* The Fig. 22/23 experiment paths, including deleting the root. *)
+  List.map
+    (fun path ->
+      Alcotest.test_case ("delete " ^ path) `Quick (fun () ->
+          let pat = Xmark_views.q1 in
+          let stmt = Update.delete path in
+          let store = Store.of_document (doc ()) in
+          let mv = Mview.materialize store pat in
+          let _ = Maint.propagate mv stmt in
+          let expected =
+            if path = "/site" then 0
+            else begin
+              let store2 = Store.of_document (doc ()) in
+              let mv2, _ = Recompute.recompute_after store2 stmt ~pat in
+              Mview.cardinality mv2
+            end
+          in
+          Alcotest.(check int) "cardinality" expected (Mview.cardinality mv)))
+    [
+      "/site"; "/site/people"; "/site/people/person"; "/site/people/person/@id";
+      "/site/people/person/name";
+    ]
+
+let () =
+  Alcotest.run "integration"
+    [
+      ("figure 20/21 pairs", pair_cases);
+      ("leaves policy", leaves_cases);
+      ( "ivma baseline",
+        [
+          ivma_case "Q1" "X1_L" Xmark_updates.insert;
+          ivma_case "Q1" "X1_L" Xmark_updates.delete;
+          ivma_case "Q3" "B3_LB" Xmark_updates.insert;
+          ivma_case "Q6" "E6_L" Xmark_updates.delete;
+        ] );
+      ("fig 24 annotation variants", annotation_variant_cases);
+      ("fig 22/23 path depths", deep_path_cases);
+    ]

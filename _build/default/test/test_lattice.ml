@@ -1,0 +1,101 @@
+(* Tests for the snowcap lattice (Definition 3.11, Prop 3.12). *)
+
+(* The Fig. 6 view: //a[//b//c]//d  (preorder: a=0, b=1, c=2, d=3). *)
+let v1 =
+  Pattern.compile ~name:"v1"
+    (Pattern.n "a" ~id:true
+       [ Pattern.n "b" ~id:true [ Pattern.n "c" ~id:true [] ]; Pattern.n "d" ~id:true [] ])
+
+(* The Fig. 7 view: //a[//b][//c]//d. *)
+let v2 =
+  Pattern.compile ~name:"v2"
+    (Pattern.n "a" ~id:true
+       [ Pattern.n "b" ~id:true []; Pattern.n "c" ~id:true []; Pattern.n "d" ~id:true [] ])
+
+let set_names pat s = Lattice.to_string pat s
+
+let test_snowcaps_v1 () =
+  let scs = Lattice.snowcaps v1 in
+  (* Parent-closed subtrees of a[b[c]][d]: a, ab, ad, abc, abd, abcd. *)
+  Alcotest.(check int) "six snowcaps" 6 (List.length scs);
+  let names = List.map (set_names v1) scs in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) (expected ^ " present") true (List.mem expected names))
+    [ "{a}"; "{a,b}"; "{a,d}"; "{a,b,c}"; "{a,b,d}"; "{a,b,c,d}" ];
+  (* Ascending size. *)
+  let sizes = List.map Lattice.size scs in
+  Alcotest.(check (list int)) "sorted by size" (List.sort compare sizes) sizes
+
+let test_snowcaps_v2 () =
+  (* Subtrees of a[b][c][d]: a plus any subset of {b,c,d} = 8. *)
+  Alcotest.(check int) "eight snowcaps" 8 (List.length (Lattice.snowcaps v2));
+  Alcotest.(check int) "seven proper" 7 (List.length (Lattice.proper_snowcaps v2))
+
+let test_chain () =
+  let chain = Lattice.chain v1 in
+  Alcotest.(check (list string)) "preorder prefixes"
+    [ "{a}"; "{a,b}"; "{a,b,c}" ]
+    (List.map (set_names v1) chain);
+  (* Every chain element is a snowcap. *)
+  let all = Lattice.snowcaps v1 in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "chain element is a snowcap" true
+        (List.exists (Lattice.equal c) all))
+    chain
+
+let test_parent_closed_property =
+  Tutil.qtest ~count:200 "snowcaps are exactly the parent-closed sets"
+    Tutil.arb_pattern (fun pat ->
+      let k = Pattern.node_count pat in
+      QCheck.assume (k <= 6);
+      (* Brute-force all subsets containing the root. *)
+      let closed mask =
+        mask land 1 = 1
+        &&
+        let ok = ref true in
+        for i = 1 to k - 1 do
+          if mask land (1 lsl i) <> 0 && mask land (1 lsl pat.Pattern.parents.(i)) = 0
+          then ok := false
+        done;
+        !ok
+      in
+      let expected = ref 0 in
+      for mask = 1 to (1 lsl k) - 1 do
+        if closed mask then incr expected
+      done;
+      List.length (Lattice.snowcaps pat) = !expected)
+
+let test_tops () =
+  (* Complement of snowcap {a,b} in v1 is {c,d}; its forest roots are c
+     and d. *)
+  let s = [| true; true; false; false |] in
+  let inside = Array.map not s in
+  Alcotest.(check (list int)) "tops" [ 2; 3 ] (Lattice.tops v1 ~inside)
+
+let test_subset () =
+  let a = [| true; false; false; false |] in
+  let b = [| true; true; false; false |] in
+  Alcotest.(check bool) "a ⊆ b" true (Lattice.subset a b);
+  Alcotest.(check bool) "b ⊄ a" false (Lattice.subset b a);
+  Alcotest.(check bool) "refl" true (Lattice.subset a a);
+  Alcotest.(check int) "size" 2 (Lattice.size b);
+  Alcotest.(check bool) "mem" true (Lattice.mem b 1 && not (Lattice.mem b 2))
+
+let () =
+  Alcotest.run "lattice"
+    [
+      ( "snowcaps",
+        [
+          Alcotest.test_case "Fig. 6 view" `Quick test_snowcaps_v1;
+          Alcotest.test_case "Fig. 7 view" `Quick test_snowcaps_v2;
+          Alcotest.test_case "chain" `Quick test_chain;
+          test_parent_closed_property;
+        ] );
+      ( "sets",
+        [
+          Alcotest.test_case "tops" `Quick test_tops;
+          Alcotest.test_case "subset/size/mem" `Quick test_subset;
+        ] );
+    ]

@@ -1,0 +1,426 @@
+(* Tests for the maintenance algorithms: the paper's worked examples
+   (Sections 3 and 4) plus the golden property — incremental maintenance
+   equals full recomputation on random documents, views and updates. *)
+
+let n = Pattern.n
+
+(* //a//b//c with all IDs stored (view v1 of Example 3.1). *)
+let v_abc =
+  Pattern.compile ~name:"v1" (n "a" ~id:true [ n "b" ~id:true [ n "c" ~id:true [] ] ])
+
+let check_matches_recompute ?policy doc_text pat stmt =
+  let store = Store.of_document (Xml_parse.document doc_text) in
+  let mv = Mview.materialize ?policy store pat in
+  let r = Maint.propagate mv stmt in
+  let store2 = Store.of_document (Xml_parse.document doc_text) in
+  let mv2, _ = Recompute.recompute_after store2 stmt ~pat in
+  (match Recompute.diff mv mv2 with
+  | None -> ()
+  | Some d -> Alcotest.fail ("maintained view diverged: " ^ d));
+  (mv, r)
+
+let test_example_3_1_insert () =
+  (* Insert <a><b/><b><c/></b></a>; only terms whose R-part is a snowcap
+     and whose Δ tables are non-empty survive: RaRbΔc, RaΔbΔc, ΔaΔbΔc. *)
+  let doc = {|<r><a><b><c/></b></a><x/></r>|} in
+  let mv, r =
+    check_matches_recompute doc v_abc
+      (Update.insert ~into:"/r/a/b" "<a><b/><b><c/></b></a>")
+  in
+  Alcotest.(check int) "three surviving terms" 3 r.Maint.terms_surviving;
+  Alcotest.(check int) "developed = proper snowcaps + all-delta" 3
+    r.Maint.terms_developed;
+  Alcotest.(check bool) "view grew" true (Mview.cardinality mv > 1)
+
+let test_example_3_4_no_c () =
+  (* xml2 has no c element: every term is pruned, the view is unaffected. *)
+  let doc = {|<r><a><b><c/></b></a></r>|} in
+  let _, r =
+    check_matches_recompute doc v_abc (Update.insert ~into:"/r/a" "<a><b/><b/></a>")
+  in
+  Alcotest.(check int) "no surviving terms" 0 r.Maint.terms_surviving;
+  Alcotest.(check int) "nothing added" 0 r.Maint.embeddings_added
+
+let test_example_3_5_vpred () =
+  (* //a[val=5]//b: the inserted a has value "3…", so σ(Δa) is empty and
+     the view is unaffected. *)
+  let v = Pattern.compile ~name:"v2" (n "a" ~vpred:"3" ~id:true [ n "b" ~id:true [] ]) in
+  let doc = {|<r><a>3<b/></a></r>|} in
+  let _, r =
+    check_matches_recompute doc v (Update.insert ~into:"/r" "<a>5<b/><b/></a>")
+  in
+  Alcotest.(check int) "no embeddings added" 0 r.Maint.embeddings_added
+
+let test_example_3_7_id_pruning () =
+  (* Insert <b><c/></b> under an a-node with no b ancestor: the term
+     RaRbΔc is pruned by the ID-driven rule, leaving only RaΔbΔc (Δa is
+     empty, killing the all-Δ term too). *)
+  let doc = {|<r><a><d/></a></r>|} in
+  let _, r =
+    check_matches_recompute doc v_abc (Update.insert ~into:"/r/a/d" "<b><c/></b>")
+  in
+  Alcotest.(check int) "single surviving term" 1 r.Maint.terms_surviving
+
+let test_example_3_14_pimt () =
+  (* Insertion below a stored-content node modifies existing tuples
+     without adding any. *)
+  let v =
+    Pattern.compile ~name:"vc"
+      (n ~axis:Pattern.Child "a" ~id:true
+         [ n ~axis:Pattern.Child "b" ~id:true [ n "c" ~id:true ~content:true [] ] ])
+  in
+  let doc = {|<a><b><c><d><c>t</c></d></c></b></a>|} in
+  let mv, r =
+    check_matches_recompute doc v (Update.insert ~into:"//d//c" "<extra>some value</extra>")
+  in
+  Alcotest.(check int) "no new tuples" 0 r.Maint.embeddings_added;
+  Alcotest.(check bool) "contents refreshed" true (r.Maint.tuples_modified >= 1);
+  let contains_sub hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let has_extra =
+    List.exists
+      (fun (_, _, cells) ->
+        Array.exists
+          (fun c ->
+            match c.Mview.cell_content with
+            | Some s -> contains_sub s "<extra>some value</extra>"
+            | None -> false)
+          cells)
+      (Mview.dump mv)
+  in
+  Alcotest.(check bool) "refreshed content holds the insertion" true has_extra
+
+(* The document of Fig. 11 / Fig. 12. *)
+let fig11 = {|<a><c><b/></c><f><b/></f></a>|}
+let fig12 = {|<a><c><b/><b/></c><f><c><b/></c><b/></f></a>|}
+
+let test_example_4_1 () =
+  let v = Pattern.compile ~name:"ab" (n "a" ~id:true [ n "b" ~id:true [] ]) in
+  let mv, r = check_matches_recompute fig11 v (Update.delete "//c//b") in
+  Alcotest.(check int) "one embedding removed" 1 r.Maint.embeddings_removed;
+  Alcotest.(check int) "one tuple left" 1 (Mview.cardinality mv)
+
+let test_example_4_5 () =
+  (* View //a[//c]//b with IDs on a, c and b; delete //a/f/c. Of the 8
+     tuples, only 1, 2 and 4 survive. *)
+  let v =
+    Pattern.compile ~name:"v2"
+      (n "a" ~id:true [ n "c" ~id:true []; n "b" ~id:true [] ])
+  in
+  let store = Store.of_document (Xml_parse.document fig12) in
+  let mv = Mview.materialize store v in
+  Alcotest.(check int) "eight tuples initially" 8 (Mview.cardinality mv);
+  let mv, r = check_matches_recompute fig12 v (Update.delete "//a/f/c") in
+  Alcotest.(check int) "five embeddings removed" 5 r.Maint.embeddings_removed;
+  Alcotest.(check int) "three tuples remain" 3 (Mview.cardinality mv)
+
+let test_example_4_8_derivation_counts () =
+  (* //a[//b]: the single tuple has derivation count 2; the first deletion
+     decrements it, the second removes the tuple. *)
+  let v = Pattern.compile ~name:"aexb" (n "a" ~id:true [ n "b" [] ]) in
+  let store = Store.of_document (Xml_parse.document fig11) in
+  let mv = Mview.materialize store v in
+  Alcotest.(check int) "one tuple" 1 (Mview.cardinality mv);
+  Alcotest.(check int) "count two" 2 (Mview.total_count mv);
+  let _ = Maint.propagate mv (Update.delete "//c//b") in
+  Alcotest.(check int) "tuple kept" 1 (Mview.cardinality mv);
+  Alcotest.(check int) "count decremented" 1 (Mview.total_count mv);
+  let _ = Maint.propagate mv (Update.delete "//f//b") in
+  Alcotest.(check int) "tuple removed" 0 (Mview.cardinality mv)
+
+let test_pdmt_content () =
+  (* Deleting below a stored-content node refreshes the ancestor's
+     payload. *)
+  let v =
+    Pattern.compile ~name:"cont" (n ~axis:Pattern.Child "a" ~id:true ~content:true [])
+  in
+  let doc = {|<a><b>x</b><c/></a>|} in
+  let mv, r = check_matches_recompute doc v (Update.delete "//b") in
+  Alcotest.(check bool) "payload refreshed" true (r.Maint.tuples_modified >= 1);
+  let (_, _, cells) = List.hd (Mview.dump mv) in
+  Alcotest.(check (option string)) "content shrank" (Some "<a><c/></a>")
+    cells.(0).Mview.cell_content
+
+let test_multi_view_shared_store () =
+  (* One document update propagated to two views over the same store. *)
+  let v1 = Pattern.compile ~name:"ab" (n "a" ~id:true [ n "b" ~id:true [] ]) in
+  let v2 = Pattern.compile ~name:"ac" (n "a" ~id:true [ n "c" ~id:true [] ]) in
+  let doc = {|<a><c><b/></c><f><b/></f></a>|} in
+  let store = Store.of_document (Xml_parse.document doc) in
+  let mv1 = Mview.materialize store v1 in
+  let mv2 = Mview.materialize store v2 in
+  let stmt = Update.insert ~into:"//f" "<c><b/></c>" in
+  let applied, _ = Maint.apply_only store stmt in
+  let _ = Maint.propagate_applied ~commit:false mv1 applied in
+  let _ = Maint.propagate_applied ~commit:true mv2 applied in
+  let fresh pat =
+    let s2 = Store.of_document (Xml_parse.document doc) in
+    let m, _ = Recompute.recompute_after s2 stmt ~pat in
+    m
+  in
+  Alcotest.(check bool) "view 1 consistent" true (Recompute.equal mv1 (fresh v1));
+  Alcotest.(check bool) "view 2 consistent" true (Recompute.equal mv2 (fresh v2))
+
+let test_view_set () =
+  let doc = {|<a><c><b/>z</c><f><b/></f></a>|} in
+  let store = Store.of_document (Xml_parse.document doc) in
+  let set = View_set.create store in
+  let v1 = Pattern.compile ~name:"ab" (n "a" ~id:true [ n "b" ~id:true [] ]) in
+  (* v2 watches c's value: the text-bearing insertion below c flips it. *)
+  let v2 = Pattern.compile ~name:"cz" (n "c" ~vpred:"z" ~id:true ~content:true []) in
+  let mv1 = View_set.add set v1 in
+  let mv2 = View_set.add set v2 in
+  Alcotest.(check bool) "find" true
+    (match View_set.find set "ab" with Some m -> m == mv1 | None -> false);
+  Alcotest.(check bool) "duplicate name rejected" true
+    (match View_set.add set v1 with exception Invalid_argument _ -> true | _ -> false);
+  let stmts =
+    [
+      Update.insert ~into:"//f" "<b/>";
+      Update.insert ~into:"//c" "<t>q</t>";  (* flips v2's [val='z'] *)
+      Update.delete "//c//b";
+    ]
+  in
+  List.iter
+    (fun stmt ->
+      let reports = View_set.update set stmt in
+      Alcotest.(check int) "one report per view" 2 (List.length reports))
+    stmts;
+  List.iter
+    (fun (mv, pat) ->
+      let store2 = Store.of_document (Xml_parse.document doc) in
+      let oracle =
+        List.fold_left
+          (fun _ stmt ->
+            let m, _ = Recompute.recompute_after store2 stmt ~pat in
+            m)
+          (Mview.materialize store2 pat) stmts
+      in
+      match Recompute.diff mv oracle with
+      | None -> ()
+      | Some d -> Alcotest.fail (pat.Pattern.name ^ " diverged in set: " ^ d))
+    [ (mv1, v1); (mv2, v2) ];
+  View_set.remove set "ab";
+  Alcotest.(check int) "one view left" 1 (List.length (View_set.views set))
+
+let test_dispatch_errors () =
+  let v = Pattern.compile ~name:"a" (n "a" ~id:true []) in
+  let store = Store.of_document (Xml_parse.document "<a/>") in
+  let mv = Mview.materialize store v in
+  Alcotest.check_raises "insert guard"
+    (Invalid_argument "Maint.propagate_insert: not an insertion") (fun () ->
+      ignore (Maint.propagate_insert mv (Update.delete "//a")));
+  Alcotest.check_raises "delete guard"
+    (Invalid_argument "Maint.propagate_delete: not a deletion") (fun () ->
+      ignore (Maint.propagate_delete mv (Update.insert ~into:"//a" "<b/>")))
+
+let test_replace_value () =
+  (* Pure value change: no tuples appear or vanish; payloads refresh. *)
+  let v =
+    Pattern.compile ~name:"rv"
+      (n ~axis:Pattern.Child "a" ~id:true
+         [ n ~axis:Pattern.Child "b" ~id:true ~value:true ~content:true [] ])
+  in
+  let doc = {|<a><b>old</b><b>keep<c/></b></a>|} in
+  let mv, r =
+    check_matches_recompute doc v (Update.replace_value ~target:"/a/b" "new")
+  in
+  Alcotest.(check bool) "no fallback" false r.Maint.fallback_recompute;
+  Alcotest.(check int) "no tuples added" 0 r.Maint.embeddings_added;
+  Alcotest.(check int) "no tuples removed" 0 r.Maint.embeddings_removed;
+  Alcotest.(check bool) "payloads refreshed" true (r.Maint.tuples_modified >= 2);
+  Alcotest.(check int) "same cardinality" 2 (Mview.cardinality mv);
+  (* Non-text children survive a replace (XQuery replaces the value, our
+     semantics swaps the text children). *)
+  let has_c =
+    List.exists
+      (fun (_, _, cells) ->
+        match cells.(1).Mview.cell_content with
+        | Some s -> s = "<b><c/>new</b>" (* fresh text is appended last *)
+        | None -> false)
+      (Mview.dump mv)
+  in
+  Alcotest.(check bool) "element children kept" true has_c;
+  (* Replace flipping a value predicate takes the guarded rebuild. *)
+  let v2 = Pattern.compile ~name:"rvp" (n "b" ~vpred:"hot" ~id:true []) in
+  let mv2, r2 =
+    check_matches_recompute doc v2 (Update.replace_value ~target:"/a/b" "hot")
+  in
+  Alcotest.(check bool) "flip detected" true r2.Maint.fallback_recompute;
+  Alcotest.(check int) "both b's now match" 2 (Mview.cardinality mv2)
+
+let test_vpred_flip_fallback () =
+  (* Inserting text below an existing node watched by a value predicate
+     flips its selection status: the delta model cannot express this, so
+     the propagation must detect it and fall back to an exact rebuild. *)
+  let v =
+    Pattern.compile ~name:"flip"
+      (n ~axis:Pattern.Child "b" ~vpred:"z" ~id:true ~content:true [])
+  in
+  let doc = {|<b>z<a/></b>|} in
+  let mv, r = check_matches_recompute doc v (Update.insert ~into:"//a" "<t>q</t>") in
+  Alcotest.(check bool) "fallback taken" true r.Maint.fallback_recompute;
+  Alcotest.(check int) "tuple dropped: value is now zq" 0 (Mview.cardinality mv);
+  (* Deletion flipping a predicate back on. *)
+  let doc2 = {|<b>z<a>q</a></b>|} in
+  let mv2, r2 = check_matches_recompute doc2 v (Update.delete "//a") in
+  Alcotest.(check bool) "fallback taken on delete" true r2.Maint.fallback_recompute;
+  Alcotest.(check int) "tuple appears: value is now z" 1 (Mview.cardinality mv2)
+
+let test_no_fallback_on_plain_updates () =
+  (* Structural updates that cannot flip any predicate stay on the
+     incremental path. *)
+  let v = Pattern.compile ~name:"p" (n "a" ~vpred:"z" ~id:true [ n "b" ~id:true [] ]) in
+  let doc = {|<r><a>z<b/></a><c/></r>|} in
+  let _, r = check_matches_recompute doc v (Update.insert ~into:"/r/c" "<b/>") in
+  Alcotest.(check bool) "no fallback" false r.Maint.fallback_recompute
+
+(* {1 The golden property} *)
+
+let golden ?policy name =
+  Tutil.qtest ~count:300 name
+    (QCheck.triple Tutil.arb_doc Tutil.arb_pattern Tutil.arb_update)
+    (fun (doc, pat, stmt) ->
+      let store = Store.of_document (Xml_tree.copy doc) in
+      let mv = Mview.materialize ?policy store pat in
+      let _ = Maint.propagate mv stmt in
+      let store2 = Store.of_document (Xml_tree.copy doc) in
+      let mv2, _ = Recompute.recompute_after store2 stmt ~pat in
+      match Recompute.diff mv mv2 with
+      | None -> true
+      | Some d -> QCheck.Test.fail_reportf "diverged: %s" d)
+
+let golden_snowcaps = golden ~policy:Mview.Snowcaps "maintain = recompute (snowcaps)"
+let golden_leaves = golden ~policy:Mview.Leaves "maintain = recompute (leaves)"
+
+let golden_no_pruning =
+  (* Pruning is an optimization: with it disabled the same view results
+     must come out. *)
+  Tutil.qtest ~count:150 "maintain without pruning = recompute"
+    (QCheck.triple Tutil.arb_doc Tutil.arb_pattern Tutil.arb_update)
+    (fun (doc, pat, stmt) ->
+      let store = Store.of_document (Xml_tree.copy doc) in
+      let mv = Mview.materialize store pat in
+      let _ = Maint.propagate ~prune:false mv stmt in
+      let store2 = Store.of_document (Xml_tree.copy doc) in
+      let mv2, _ = Recompute.recompute_after store2 stmt ~pat in
+      match Recompute.diff mv mv2 with
+      | None -> true
+      | Some d -> QCheck.Test.fail_reportf "diverged: %s" d)
+
+let pruning_soundness =
+  (* Props 3.6 / 3.8 / 4.7 as an executable statement: every term rejected
+     by the data-driven pruning evaluates to the empty table. *)
+  Tutil.qtest ~count:200 "pruned terms are provably empty"
+    (QCheck.triple Tutil.arb_doc Tutil.arb_pattern Tutil.arb_update)
+    (fun (doc, pat, stmt) ->
+      let store = Store.of_document (Xml_tree.copy doc) in
+      let mv = Mview.materialize store pat in
+      let targets = Update.targets store stmt in
+      QCheck.assume
+        (match stmt with Update.Replace_value _ -> false | _ -> true);
+      let kind, delta, survivors_only =
+        match stmt with
+        | Update.Insert _ ->
+          let app = Update.apply_insert store stmt ~targets in
+          (`Insert, Delta.of_insert store pat app, false)
+        | Update.Delete _ ->
+          let app = Update.apply_delete store ~targets in
+          (`Delete, Delta.of_delete store pat app, true)
+        | Update.Replace_value _ -> assert false
+      in
+      let scope = Lattice.full pat in
+      List.for_all
+        (fun s ->
+          Maint.Terms.survives mv delta ~scope ~kind s
+          || Tuple_table.is_empty
+               (Maint.Terms.eval mv delta ~scope ~s_set:s ~survivors_only))
+        (Maint.Terms.candidates mv ~scope))
+
+let golden_sequence =
+  (* Several updates in a row keep the view consistent. *)
+  Tutil.qtest ~count:150 "update sequences stay consistent"
+    (QCheck.triple Tutil.arb_doc Tutil.arb_pattern
+       (QCheck.list_of_size (QCheck.Gen.int_range 1 4) Tutil.arb_update))
+    (fun (doc, pat, stmts) ->
+      let store = Store.of_document (Xml_tree.copy doc) in
+      let mv = Mview.materialize store pat in
+      List.iter (fun stmt -> ignore (Maint.propagate mv stmt)) stmts;
+      let store2 = Store.of_document (Xml_tree.copy doc) in
+      let mv2 =
+        List.fold_left
+          (fun _ stmt ->
+            let m, _ = Recompute.recompute_after store2 stmt ~pat in
+            m)
+          (Mview.materialize store2 pat) stmts
+      in
+      match Recompute.diff mv mv2 with
+      | None -> true
+      | Some d -> QCheck.Test.fail_reportf "diverged after sequence: %s" d)
+
+let mats_integrity =
+  (* Invariant: after any propagation, every materialized snowcap table
+     equals a fresh evaluation of its sub-pattern over the committed
+     relations. *)
+  Tutil.qtest ~count:200 "snowcap tables stay exact"
+    (QCheck.triple Tutil.arb_doc Tutil.arb_pattern Tutil.arb_update)
+    (fun (doc, pat, stmt) ->
+      let store = Store.of_document (Xml_tree.copy doc) in
+      let mv = Mview.materialize ~policy:Mview.Snowcaps store pat in
+      let _ = Maint.propagate mv stmt in
+      List.for_all
+        (fun (s, table) ->
+          let fresh =
+            Plan.eval_subtree pat
+              ~atom:(fun i -> Plan.atom_of_store store pat i)
+              ~within:(Lattice.mem s) ~root:0
+          in
+          let dump (t : Tuple_table.t) =
+            Array.to_list t.Tuple_table.rows
+            |> List.map (fun row ->
+                   List.sort compare
+                     (Array.to_list
+                        (Array.mapi
+                           (fun p id -> (t.Tuple_table.cols.(p), Dewey.encode id))
+                           row)))
+            |> List.sort compare
+          in
+          dump table = dump fresh)
+        mv.Mview.mats)
+
+let () =
+  Alcotest.run "maint"
+    [
+      ( "paper examples (insert)",
+        [
+          Alcotest.test_case "Example 3.1/3.2 terms" `Quick test_example_3_1_insert;
+          Alcotest.test_case "Example 3.4 data pruning" `Quick test_example_3_4_no_c;
+          Alcotest.test_case "Example 3.5 value pruning" `Quick test_example_3_5_vpred;
+          Alcotest.test_case "Example 3.7 ID pruning" `Quick test_example_3_7_id_pruning;
+          Alcotest.test_case "Example 3.14 PIMT" `Quick test_example_3_14_pimt;
+        ] );
+      ( "paper examples (delete)",
+        [
+          Alcotest.test_case "Example 4.1" `Quick test_example_4_1;
+          Alcotest.test_case "Example 4.5" `Quick test_example_4_5;
+          Alcotest.test_case "Example 4.8 derivation counts" `Quick
+            test_example_4_8_derivation_counts;
+          Alcotest.test_case "PDMT content refresh" `Quick test_pdmt_content;
+        ] );
+      ( "drivers",
+        [
+          Alcotest.test_case "multi-view shared store" `Quick test_multi_view_shared_store;
+          Alcotest.test_case "view set" `Quick test_view_set;
+          Alcotest.test_case "dispatch guards" `Quick test_dispatch_errors;
+          Alcotest.test_case "replace value" `Quick test_replace_value;
+          Alcotest.test_case "vpred flip fallback" `Quick test_vpred_flip_fallback;
+          Alcotest.test_case "no fallback on plain updates" `Quick
+            test_no_fallback_on_plain_updates;
+        ] );
+      ( "golden properties",
+        [ golden_snowcaps; golden_leaves; golden_sequence; golden_no_pruning;
+          pruning_soundness; mats_integrity ] );
+    ]

@@ -1,0 +1,166 @@
+(* Tests for tree patterns, the reference embedding semantics, the
+   algebraic evaluator, and the Fig. 3 view-dialect parser. *)
+
+let doc () =
+  Xml_parse.document {|<a><c><b v="1">x</b><b/></c><f><c><b>y</b></c><b/></f></a>|}
+
+let setup pat_spec =
+  let store = Store.of_document (doc ()) in
+  (store, Pattern.compile ~name:"t" pat_spec)
+
+let sorted_bindings l =
+  List.sort compare
+    (List.map (fun arr -> Array.to_list (Array.map Dewey.encode arr)) l)
+
+let table_bindings pat t =
+  Array.to_list t.Tuple_table.rows
+  |> List.map (fun row ->
+         List.init (Pattern.node_count pat) (fun i ->
+             Dewey.encode row.(Tuple_table.col_pos t i)))
+  |> List.sort compare
+
+let check_equiv store pat =
+  let emb = sorted_bindings (Embed.embeddings store pat) in
+  let alg = table_bindings pat (Plan.eval store pat) in
+  Alcotest.(check int) ("cardinality of " ^ Pattern.to_string pat)
+    (List.length emb) (List.length alg);
+  Alcotest.(check bool) ("bindings of " ^ Pattern.to_string pat) true (emb = alg)
+
+let test_compile () =
+  let pat =
+    Pattern.compile ~name:"v"
+      (Pattern.n "a" ~id:true
+         [ Pattern.n ~axis:Pattern.Child "b" ~value:true [ Pattern.n "c" [] ] ])
+  in
+  Alcotest.(check int) "node count" 3 (Pattern.node_count pat);
+  Alcotest.(check (list int)) "children of root" [ 1 ] (Pattern.children pat 0);
+  Alcotest.(check (list int)) "descendants of root" [ 1; 2 ] (Pattern.descendants pat 0);
+  Alcotest.(check (list int)) "stored nodes" [ 0; 1 ] (Pattern.stored_nodes pat);
+  Alcotest.(check (list int)) "cvn" [ 1 ] (Pattern.cvn pat);
+  (* val/cont forces ID storage *)
+  Alcotest.(check bool) "cvn stores id" true pat.Pattern.annots.(1).Pattern.store_id;
+  Alcotest.(check string) "render" "//a{id}[/b{id,val}[//c]]" (Pattern.to_string pat)
+
+let test_embed_basics () =
+  let store, pat = setup (Pattern.n "a" ~id:true [ Pattern.n "b" ~id:true [] ]) in
+  Alcotest.(check int) "a//b embeddings" 4 (List.length (Embed.embeddings store pat))
+
+let test_vpred () =
+  let store, pat = setup (Pattern.n "b" ~id:true ~vpred:"x" []) in
+  Alcotest.(check int) "value predicate filters" 1
+    (List.length (Embed.embeddings store pat));
+  check_equiv store pat
+
+let test_attr_pattern () =
+  let store, pat =
+    setup (Pattern.n "b" ~id:true [ Pattern.n ~axis:Pattern.Child "@v" ~id:true [] ])
+  in
+  Alcotest.(check int) "attribute child" 1 (List.length (Embed.embeddings store pat));
+  check_equiv store pat
+
+let test_star () =
+  let store, pat =
+    setup (Pattern.n ~axis:Pattern.Child "a" ~id:true [ Pattern.n ~axis:Pattern.Child "*" ~id:true [] ])
+  in
+  Alcotest.(check int) "star children" 2 (List.length (Embed.embeddings store pat));
+  check_equiv store pat
+
+let test_child_root_anchor () =
+  (* A Child-axis root only binds the document root. *)
+  let store, pat = setup (Pattern.n ~axis:Pattern.Child "c" ~id:true []) in
+  Alcotest.(check int) "no c at the root" 0 (List.length (Embed.embeddings store pat));
+  check_equiv store pat
+
+let test_equiv_random =
+  Tutil.qtest ~count:300 "embeddings = algebraic evaluation"
+    (QCheck.pair Tutil.arb_doc Tutil.arb_pattern) (fun (d, pat) ->
+      let store = Store.of_document d in
+      sorted_bindings (Embed.embeddings store pat)
+      = table_bindings pat (Plan.eval store pat))
+
+(* {1 View parser} *)
+
+let test_view_parser_paper_example () =
+  (* The sample view of Fig. 3. *)
+  let pat =
+    View_parser.parse ~name:"sample"
+      {|for $p in doc("confs")//confs//paper, $a in $p/affiliation
+        return <result><pid>{id($p)}</pid><aid>{id($a)}</aid><acont>{$a}</acont></result>|}
+  in
+  Alcotest.(check int) "three nodes" 3 (Pattern.node_count pat);
+  Alcotest.(check string) "shape" "//confs[//paper{id}[/affiliation{id,cont}]]"
+    (Pattern.to_string pat)
+
+let test_view_parser_q1_style () =
+  let pat =
+    View_parser.parse ~name:"q1"
+      {|let $auction := doc("auction.xml") return
+        for $b in $auction/site/people/person[@id]
+        return $b/name/text()|}
+  in
+  Alcotest.(check int) "five nodes" 5 (Pattern.node_count pat);
+  (* name stores the value, @id is an existential branch *)
+  let name_idx = 4 in
+  Alcotest.(check string) "leaf tag" "name" pat.Pattern.tags.(name_idx);
+  Alcotest.(check bool) "value stored" true
+    pat.Pattern.annots.(name_idx).Pattern.store_val
+
+let test_view_parser_where () =
+  let pat =
+    View_parser.parse ~name:"w"
+      {|for $b in doc("d")//open_auction, $i in $b/bidder/increase
+        where $i = "4.50"
+        return <r>{id($b)}</r>|}
+  in
+  Alcotest.(check string) "vpred lands on increase"
+    "//open_auction{id}[/bidder[/increase[val='4.50']]]" (Pattern.to_string pat)
+
+let test_view_parser_semantics () =
+  (* The compiled pattern evaluates like the hand-built one. *)
+  let store = Store.of_document (doc ()) in
+  let parsed =
+    View_parser.parse ~name:"p" {|for $x in doc("d")//a, $y in $x//b return id($y)|}
+  in
+  let manual =
+    Pattern.compile ~name:"m" (Pattern.n "a" [ Pattern.n "b" ~id:true [] ])
+  in
+  Alcotest.(check int) "same results"
+    (List.length (Embed.embeddings store manual))
+    (List.length (Embed.embeddings store parsed))
+
+let test_view_parser_errors () =
+  let bad q =
+    match View_parser.parse ~name:"x" q with
+    | exception View_parser.Parse_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "missing for" true (bad {|return $x|});
+  Alcotest.(check bool) "unknown variable" true
+    (bad {|for $x in doc("d")//a return $y|});
+  Alcotest.(check bool) "disjunctive predicate rejected" true
+    (bad {|for $x in doc("d")//a[b or c] return $x|});
+  Alcotest.(check bool) "two absolute anchors" true
+    (bad {|for $x in doc("d")//a, $y in doc("d")//b return $x|})
+
+let () =
+  Alcotest.run "pattern"
+    [
+      ( "patterns",
+        [
+          Alcotest.test_case "compile" `Quick test_compile;
+          Alcotest.test_case "embeddings" `Quick test_embed_basics;
+          Alcotest.test_case "value predicates" `Quick test_vpred;
+          Alcotest.test_case "attribute nodes" `Quick test_attr_pattern;
+          Alcotest.test_case "star" `Quick test_star;
+          Alcotest.test_case "child root anchor" `Quick test_child_root_anchor;
+          test_equiv_random;
+        ] );
+      ( "view parser",
+        [
+          Alcotest.test_case "paper sample" `Quick test_view_parser_paper_example;
+          Alcotest.test_case "Q1 style" `Quick test_view_parser_q1_style;
+          Alcotest.test_case "where clause" `Quick test_view_parser_where;
+          Alcotest.test_case "semantics" `Quick test_view_parser_semantics;
+          Alcotest.test_case "errors" `Quick test_view_parser_errors;
+        ] );
+    ]

@@ -1,0 +1,275 @@
+(* Tests for the PUL optimization rules of Section 5 (reduction, conflict
+   and aggregation rules) and for atomic-op propagation. *)
+
+(* A document shaped like Fig. 17's relevant core:
+   a / c / b with three d children, each holding a b. *)
+let doc_text = {|<a><c><b><d><b/></d><d><b/></d><d><b/></d></b></c></a>|}
+
+let setup () =
+  let store = Store.of_document (Xml_parse.document doc_text) in
+  let node path = List.hd (Xpath.eval (Store.root store) (Xpath.parse path)) in
+  let nodes path = Xpath.eval (Store.root store) (Xpath.parse path) in
+  (store, node, nodes)
+
+let ins store target frag =
+  Pul_optim.Ins { target = Store.id_of store target; forest = Xml_parse.fragment frag }
+
+let del store target = Pul_optim.Del { target = Store.id_of store target }
+
+let test_example_5_1_reduce () =
+  let store, _, nodes = setup () in
+  let ds = nodes "/a/c/b/d" in
+  let d1 = List.nth ds 0 and d2 = List.nth ds 1 and d3 = List.nth ds 2 in
+  let b_of d = List.hd (Xml_tree.element_children d) in
+  let ops =
+    [
+      ins store (b_of d1) "<b><d/></b>";  (* op1: erased by O1 *)
+      del store (b_of d1);                (* op2 *)
+      ins store (b_of d2) "<b/>";         (* op3: erased by O3 *)
+      del store d2;                       (* op4 *)
+      ins store d3 "<b/>";                (* op5: merged by I5… *)
+      ins store d3 "<d><b/></d>";         (* …with op6 *)
+    ]
+  in
+  let reduced = Pul_optim.reduce ops in
+  Alcotest.(check int) "three operations remain" 3 (List.length reduced);
+  (match reduced with
+  | [ Pul_optim.Del _; Pul_optim.Del _; Pul_optim.Ins { forest; _ } ] ->
+    Alcotest.(check int) "merged forest" 2 (List.length forest)
+  | _ -> Alcotest.fail "unexpected reduction shape");
+  (* Reduction preserves the final document. *)
+  let run ops =
+    let store = Store.of_document (Xml_parse.document doc_text) in
+    List.iter
+      (fun op ->
+        match op with
+        | Pul_optim.Ins { target; forest } ->
+          let node = Option.get (Store.node_of store target) in
+          ignore
+            (Update.apply_insert_at store ~target:node (List.map Xml_tree.copy forest))
+        | Pul_optim.Del { target } ->
+          let node = Option.get (Store.node_of store target) in
+          ignore (Update.apply_delete store ~targets:[ node ]))
+      ops;
+    Store.commit store;
+    Xml_tree.serialize (Store.root store)
+  in
+  Alcotest.(check string) "same final document" (run ops) (run reduced)
+
+let test_example_5_2_conflicts () =
+  let store, _, nodes = setup () in
+  let ds = nodes "/a/c/b/d" in
+  let d1 = List.nth ds 0 and d2 = List.nth ds 1 and d3 = List.nth ds 2 in
+  let b3 = List.hd (Xml_tree.element_children d3) in
+  let pul1 =
+    [ ins store d1 "<d><b/></d>"; del store d2; del store d3 ]
+  in
+  let pul2 =
+    [ ins store d1 "<b/>"; ins store d2 "<b/>"; ins store b3 "<b/>" ]
+  in
+  let cs = Pul_optim.conflicts pul1 pul2 in
+  let has kind = List.exists (fun c -> c.Pul_optim.kind = kind) cs in
+  Alcotest.(check int) "three conflicts" 3 (List.length cs);
+  Alcotest.(check bool) "IO" true (has Pul_optim.Insertion_order);
+  Alcotest.(check bool) "LO" true (has Pul_optim.Local_override);
+  Alcotest.(check bool) "NLO" true (has Pul_optim.Non_local_override);
+  Alcotest.(check (list (pair string string))) "no self conflicts" []
+    (List.map (fun _ -> ("", "")) (Pul_optim.conflicts pul2 []))
+
+let test_example_5_3_aggregate () =
+  let store, _, nodes = setup () in
+  let ds = nodes "/a/c/b/d" in
+  let d1 = List.nth ds 0 and d2 = List.nth ds 1 and d3 = List.nth ds 2 in
+  (* ∆1's third op inserts under d3; apply it so its forest carries IDs,
+     then ∆2 references a node inside that inserted tree (rule D6). *)
+  let f3 = Xml_parse.fragment "<d><b/></d>" in
+  ignore (Update.apply_insert_at store ~target:d3 f3);
+  Store.commit store;
+  let inserted_d = List.hd f3 in
+  let pul1 =
+    [
+      ins store d1 "<c><b/></c>";
+      ins store d2 "<b/>";
+      Pul_optim.Ins { target = Store.id_of store d3; forest = f3 };
+    ]
+  in
+  let pul2 =
+    [
+      ins store d1 "<b/>";  (* A1: merges into pul1's first op *)
+      ins store d2 "<d><b/></d>";  (* A2: merges into pul1's second op *)
+      ins store inserted_d "<b/>";  (* D6: folded into the forest parameter *)
+    ]
+  in
+  let merged = Pul_optim.aggregate store pul1 pul2 in
+  Alcotest.(check int) "three operations" 3 (List.length merged);
+  (match merged with
+  | [ Pul_optim.Ins { forest = f1; _ }; Pul_optim.Ins { forest = f2; _ };
+      Pul_optim.Ins { forest = f3; _ } ] ->
+    Alcotest.(check int) "A1 merged forests" 2 (List.length f1);
+    Alcotest.(check int) "A2 merged forests" 2 (List.length f2);
+    Alcotest.(check int) "D6 keeps one tree" 1 (List.length f3);
+    (* D6 grew the tree parameter itself. *)
+    Alcotest.(check int) "folded insertion visible" 2
+      (List.length (Xml_tree.element_children (List.hd f3)))
+  | _ -> Alcotest.fail "unexpected aggregation shape")
+
+let test_atomic_ops_and_propagation () =
+  (* Lowering a statement to atomic ops and propagating them one by one
+     yields the same view as the statement-level propagation. *)
+  let pat =
+    Pattern.compile ~name:"cb"
+      (Pattern.n "c" ~id:true [ Pattern.n "b" ~id:true [] ])
+  in
+  let stmt = Update.insert ~into:"//d" "<c><b/></c>" in
+  (* Statement-level. *)
+  let store1 = Store.of_document (Xml_parse.document doc_text) in
+  let mv1 = Mview.materialize store1 pat in
+  let _ = Maint.propagate mv1 stmt in
+  (* Node-level via the PUL machinery. *)
+  let store2 = Store.of_document (Xml_parse.document doc_text) in
+  let mv2 = Mview.materialize store2 pat in
+  let ops = Pul_optim.atomic_ops store2 stmt in
+  Alcotest.(check int) "one op per target" 3 (List.length ops);
+  List.iter (fun op -> ignore (Pul_optim.propagate_op mv2 op)) ops;
+  match Recompute.diff mv1 mv2 with
+  | None -> ()
+  | Some d -> Alcotest.fail ("op-wise propagation diverged: " ^ d)
+
+let test_reduced_propagation_consistency () =
+  (* Propagating a reduced op list leaves the view identical to full
+     recomputation after the reduced list. *)
+  let pat =
+    Pattern.compile ~name:"ab" (Pattern.n "a" ~id:true [ Pattern.n "b" ~id:true [] ])
+  in
+  let build () =
+    let store = Store.of_document (Xml_parse.document doc_text) in
+    let ds = Xpath.eval (Store.root store) (Xpath.parse "/a/c/b/d") in
+    let d1 = List.nth ds 0 and d2 = List.nth ds 1 in
+    let ops =
+      [
+        ins store d1 "<b/>";
+        del store d1;
+        ins store d2 "<b/>";
+        ins store d2 "<b><b/></b>";
+      ]
+    in
+    (store, ops)
+  in
+  let store, ops = build () in
+  let reduced = Pul_optim.reduce ops in
+  Alcotest.(check int) "two ops" 2 (List.length reduced);
+  let mv = Mview.materialize store pat in
+  List.iter (fun op -> ignore (Pul_optim.propagate_op mv op)) reduced;
+  let fresh = Mview.materialize ~policy:Mview.Leaves store pat in
+  match Recompute.diff mv fresh with
+  | None -> ()
+  | Some d -> Alcotest.fail ("reduced propagation diverged: " ^ d)
+
+let test_propagate_errors () =
+  let pat = Pattern.compile ~name:"a" (Pattern.n "a" ~id:true []) in
+  let store = Store.of_document (Xml_parse.document "<a><b/></a>") in
+  let mv = Mview.materialize store pat in
+  let b = List.hd (Xml_tree.element_children (Store.root store)) in
+  let op = del store b in
+  ignore (Pul_optim.propagate_op mv op);
+  Alcotest.(check bool) "second application fails" true
+    (match Pul_optim.propagate_op mv op with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* {1 Deferred maintenance} *)
+
+let q1_like =
+  Pattern.compile ~name:"ab" (Pattern.n "a" ~id:true [ Pattern.n "b" ~id:true [] ])
+
+let test_deferred_basic () =
+  let store = Store.of_document (Xml_parse.document doc_text) in
+  let mv = Mview.materialize store q1_like in
+  let before = Mview.cardinality mv in
+  let d = Deferred.create mv in
+  Deferred.update d (Update.insert ~into:"/a/c/b/d" "<b>one</b>");
+  Deferred.update d (Update.insert ~into:"/a/c" "<b>two</b>");
+  Alcotest.(check bool) "operations queued" true (Deferred.pending d > 0);
+  (* The view is stale until consulted. *)
+  Alcotest.(check int) "stale before flush" before (Mview.cardinality mv);
+  let fresh = Deferred.view d in
+  Alcotest.(check int) "nothing pending after view" 0 (Deferred.pending d);
+  (* Same statements propagated immediately on a twin instance. *)
+  let store2 = Store.of_document (Xml_parse.document doc_text) in
+  let mv2 = Mview.materialize store2 q1_like in
+  ignore (Maint.propagate mv2 (Update.insert ~into:"/a/c/b/d" "<b>one</b>"));
+  ignore (Maint.propagate mv2 (Update.insert ~into:"/a/c" "<b>two</b>"));
+  match Recompute.diff fresh mv2 with
+  | None -> ()
+  | Some diff -> Alcotest.fail ("deferred diverged from immediate: " ^ diff)
+
+let test_deferred_reduction () =
+  let run reduce =
+    let store = Store.of_document (Xml_parse.document doc_text) in
+    let mv = Mview.materialize store q1_like in
+    let d = Deferred.create ~reduce mv in
+    (* Two insertion rounds on the same targets (merged by I5), then a
+       deletion of those targets (erasing the insertions — rule O1). *)
+    Deferred.update d (Update.insert ~into:"/a/c/b/d" "<b>x</b>");
+    Deferred.update d (Update.insert ~into:"/a/c/b/d" "<b>y</b>");
+    Deferred.update d (Update.delete "/a/c/b/d");
+    let r = Deferred.flush d in
+    (mv, r)
+  in
+  let mv_red, r_red = run true in
+  let mv_raw, r_raw = run false in
+  Alcotest.(check int) "nine queued" 9 r_raw.Deferred.ops_queued;
+  Alcotest.(check int) "nine propagated without reduction" 9
+    r_raw.Deferred.ops_propagated;
+  Alcotest.(check int) "three propagated with reduction" 3
+    r_red.Deferred.ops_propagated;
+  match Recompute.diff mv_red mv_raw with
+  | None -> ()
+  | Some diff -> Alcotest.fail ("reduced flush diverged: " ^ diff)
+
+let test_deferred_conflict_forces_flush () =
+  let store = Store.of_document (Xml_parse.document doc_text) in
+  let mv = Mview.materialize store q1_like in
+  let d = Deferred.create mv in
+  Deferred.update d (Update.delete "/a/c/b/d");
+  (* Inserting under a node the queue deletes is a NLO/LO conflict. *)
+  Deferred.update d (Update.insert ~into:"/a/c/b/d" "<b>late</b>");
+  let t = Deferred.totals d in
+  Alcotest.(check int) "one forced flush" 1 t.Deferred.conflicts_forced_flush;
+  (* The late insertion re-lowered against the updated document finds no
+     targets: the queue is empty. *)
+  Alcotest.(check int) "nothing re-queued" 0 (Deferred.pending d);
+  let fresh = Deferred.view d in
+  let oracle = Mview.materialize ~policy:Mview.Leaves store q1_like in
+  Alcotest.(check bool) "consistent" true (Recompute.equal fresh oracle)
+
+let () =
+  Alcotest.run "puloptim"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "Example 5.1: reduce (O1, O3, I5)" `Quick
+            test_example_5_1_reduce;
+          Alcotest.test_case "Example 5.2: conflicts (IO, LO, NLO)" `Quick
+            test_example_5_2_conflicts;
+          Alcotest.test_case "Example 5.3: aggregate (A1, A2, D6)" `Quick
+            test_example_5_3_aggregate;
+        ] );
+      ( "propagation",
+        [
+          Alcotest.test_case "atomic ops = statement" `Quick
+            test_atomic_ops_and_propagation;
+          Alcotest.test_case "reduced list consistency" `Quick
+            test_reduced_propagation_consistency;
+          Alcotest.test_case "unresolved targets" `Quick test_propagate_errors;
+        ] );
+      ( "deferred",
+        [
+          Alcotest.test_case "queue, stale view, flush on read" `Quick
+            test_deferred_basic;
+          Alcotest.test_case "reduction shrinks the flush" `Quick
+            test_deferred_reduction;
+          Alcotest.test_case "override forces a flush" `Quick
+            test_deferred_conflict_forces_flush;
+        ] );
+    ]

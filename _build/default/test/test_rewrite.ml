@@ -1,0 +1,167 @@
+(* Tests for answering queries from materialized views. *)
+
+let doc_text =
+  {|<site><people>
+      <person id="p0"><name>ann</name><homepage>h0</homepage></person>
+      <person id="p1"><name>bob</name></person>
+      <person id="p2"><name>ann</name><homepage>h2</homepage></person>
+    </people></site>|}
+
+let n = Pattern.n
+
+(* View: all persons with id + name value stored. *)
+let person_view =
+  Pattern.compile ~name:"persons"
+    (n ~axis:Pattern.Child "site"
+       [
+         n ~axis:Pattern.Child "people"
+           [
+             n ~axis:Pattern.Child ~id:true "person"
+               [ n ~axis:Pattern.Child ~id:true ~value:true "name" [] ];
+           ];
+       ])
+
+(* Second view: persons (ids) with homepages. *)
+let homepage_view =
+  Pattern.compile ~name:"homepages"
+    (n ~axis:Pattern.Child "site"
+       [
+         n ~axis:Pattern.Child "people"
+           [
+             n ~axis:Pattern.Child ~id:true "person"
+               [ n ~axis:Pattern.Child ~id:true ~value:true "homepage" [] ];
+           ];
+       ])
+
+let setup () =
+  let store = Store.of_document (Xml_parse.document doc_text) in
+  (store, Mview.materialize store person_view, Mview.materialize store homepage_view)
+
+let test_exact () =
+  let _, mv, _ = setup () in
+  match Rewrite.answer mv person_view with
+  | None -> Alcotest.fail "view should answer itself"
+  | Some rows -> Alcotest.(check int) "three persons" 3 (List.length rows)
+
+let test_projection () =
+  let _, mv, _ = setup () in
+  (* Same shape, but only the name value is asked for. *)
+  let query =
+    Pattern.compile ~name:"names-only"
+      (n ~axis:Pattern.Child "site"
+         [
+           n ~axis:Pattern.Child "people"
+             [
+               n ~axis:Pattern.Child "person"
+                 [ n ~axis:Pattern.Child ~value:true "name" [] ];
+             ];
+         ])
+  in
+  match Rewrite.answer mv query with
+  | None -> Alcotest.fail "projected query should be answerable"
+  | Some rows ->
+    Alcotest.(check int) "three rows" 3 (List.length rows);
+    let cells = (List.hd rows).Rewrite.cells in
+    Alcotest.(check int) "one stored node" 1 (Array.length cells)
+
+let test_residual_filter () =
+  let _, mv, _ = setup () in
+  (* Extra predicate on the stored value: name = 'ann'. *)
+  let query =
+    Pattern.compile ~name:"anns"
+      (n ~axis:Pattern.Child "site"
+         [
+           n ~axis:Pattern.Child "people"
+             [
+               n ~axis:Pattern.Child ~id:true "person"
+                 [ n ~axis:Pattern.Child ~id:true ~value:true ~vpred:"ann" "name" [] ];
+             ];
+         ])
+  in
+  match Rewrite.answer mv query with
+  | None -> Alcotest.fail "filterable query should be answerable"
+  | Some rows -> Alcotest.(check int) "two anns" 2 (List.length rows)
+
+let test_not_answerable () =
+  let _, mv, _ = setup () in
+  (* Asking for content the view does not store. *)
+  let query =
+    Pattern.compile ~name:"contents"
+      (n ~axis:Pattern.Child "site"
+         [
+           n ~axis:Pattern.Child "people"
+             [
+               n ~axis:Pattern.Child ~content:true "person"
+                 [ n ~axis:Pattern.Child "name" [] ];
+             ];
+         ])
+  in
+  Alcotest.(check bool) "content not stored" true (Rewrite.answer mv query = None);
+  (* Different shape. *)
+  let other = Pattern.compile ~name:"other" (n "person" ~id:true []) in
+  Alcotest.(check bool) "different shape" true (Rewrite.answer mv other = None);
+  (* The view is more selective than the query. *)
+  let narrow =
+    Pattern.compile ~name:"narrow"
+      (n ~axis:Pattern.Child "site"
+         [
+           n ~axis:Pattern.Child "people"
+             [
+               n ~axis:Pattern.Child ~id:true "person"
+                 [ n ~axis:Pattern.Child ~id:true ~value:true ~vpred:"x" "name" [] ];
+             ];
+         ])
+  in
+  let store = Store.of_document (Xml_parse.document doc_text) in
+  let mv_narrow = Mview.materialize store narrow in
+  ignore narrow;
+  Alcotest.(check bool) "narrow view cannot answer broad query" true
+    (Rewrite.answer mv_narrow person_view = None)
+
+let test_id_join () =
+  let _, persons, homepages = setup () in
+  (* Stitch: persons with their homepages, joined on the person ID
+     (pattern node 2 in both views). *)
+  let rows = Rewrite.id_join persons homepages ~on:(2, 2) in
+  Alcotest.(check int) "two persons have homepages" 2 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check int) "cells from both views" 4 (Array.length r.Rewrite.cells);
+      Alcotest.(check int) "count product" 1 r.Rewrite.count)
+    rows
+
+let test_structural_join () =
+  let _, persons, homepages = setup () in
+  (* The name node (position 3 of person_view) and the homepage node
+     (position 3 of homepage_view) are siblings under the same person:
+     join homepage-nodes below person-nodes. *)
+  let rows =
+    Rewrite.structural_join persons homepages ~ancestor:2 ~descendant:3
+      ~axis:Pattern.Child
+  in
+  Alcotest.(check int) "homepages under persons" 2 (List.length rows)
+
+let test_join_errors () =
+  let _, persons, homepages = setup () in
+  Alcotest.(check bool) "unstored node rejected" true
+    (match Rewrite.id_join persons homepages ~on:(0, 2) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let () =
+  Alcotest.run "rewrite"
+    [
+      ( "single view",
+        [
+          Alcotest.test_case "exact" `Quick test_exact;
+          Alcotest.test_case "projection" `Quick test_projection;
+          Alcotest.test_case "residual filter" `Quick test_residual_filter;
+          Alcotest.test_case "not answerable" `Quick test_not_answerable;
+        ] );
+      ( "view joins",
+        [
+          Alcotest.test_case "id join" `Quick test_id_join;
+          Alcotest.test_case "structural join" `Quick test_structural_join;
+          Alcotest.test_case "errors" `Quick test_join_errors;
+        ] );
+    ]

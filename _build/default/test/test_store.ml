@@ -1,0 +1,122 @@
+(* Tests for the document store: ID assignment, canonical relations, and
+   the staged attach/detach/commit update discipline. *)
+
+let fixture () =
+  Store.of_document
+    (Xml_parse.document {|<a><c><b>x</b><b/></c><f><c><b>y</b></c><b/></f></a>|})
+
+let ids_sorted entries =
+  let ids = Array.map (fun e -> e.Store.id) entries in
+  Array.for_all (fun _ -> true) ids
+  &&
+  let ok = ref true in
+  for i = 0 to Array.length ids - 2 do
+    if Dewey.compare ids.(i) ids.(i + 1) >= 0 then ok := false
+  done;
+  !ok
+
+let test_indexing () =
+  let s = fixture () in
+  Alcotest.(check int) "node count" 10 (Store.node_count s);
+  let rb = Store.relation s "b" in
+  Alcotest.(check int) "four b nodes" 4 (Array.length rb);
+  Alcotest.(check bool) "relation in document order" true (ids_sorted rb);
+  Alcotest.(check int) "two c nodes" 2 (Array.length (Store.relation s "c"));
+  Alcotest.(check int) "unknown label" 0 (Array.length (Store.relation s "zzz"));
+  Alcotest.(check bool) "labels include #text" true
+    (List.mem "#text" (Store.relation_labels s))
+
+let test_id_node_inverse () =
+  let s = fixture () in
+  Xml_tree.iter
+    (fun n ->
+      let id = Store.id_of s n in
+      match Store.node_of s id with
+      | Some n' -> Alcotest.(check bool) "inverse" true (n == n')
+      | None -> Alcotest.fail "node_of failed")
+    (Store.root s)
+
+let test_ids_structural () =
+  let s = fixture () in
+  Xml_tree.iter
+    (fun n ->
+      match n.Xml_tree.parent with
+      | None -> ()
+      | Some p ->
+        Alcotest.(check bool) "parent id is parent" true
+          (Dewey.is_parent (Store.id_of s p) (Store.id_of s n)))
+    (Store.root s)
+
+let test_attach_commit () =
+  let s = fixture () in
+  let f = List.nth (Xml_tree.element_children (Store.root s)) 1 in
+  let fresh = Xml_parse.fragment "<b>new</b><c/>" in
+  Store.attach s ~parent:f fresh;
+  (* IDs are assigned immediately... *)
+  let new_b = List.hd fresh in
+  let id = Store.id_of s new_b in
+  Alcotest.(check bool) "new node resolvable" true
+    (match Store.node_of s id with Some n -> n == new_b | None -> false);
+  Alcotest.(check bool) "after existing siblings" true
+    (Dewey.compare (Store.id_of s (List.hd f.Xml_tree.children)) id < 0);
+  (* ...but relations only change at commit. *)
+  Alcotest.(check int) "relation unchanged before commit" 4
+    (Array.length (Store.relation s "b"));
+  Store.commit s;
+  Alcotest.(check int) "relation updated" 5 (Array.length (Store.relation s "b"));
+  Alcotest.(check bool) "still sorted" true (ids_sorted (Store.relation s "b"))
+
+let test_detach_commit () =
+  let s = fixture () in
+  let c1 = List.hd (Xml_tree.element_children (Store.root s)) in
+  let before = Store.node_count s in
+  Store.detach s c1;
+  (* Detached nodes are dead for the outside world immediately… *)
+  Alcotest.(check bool) "mem is false after detach" false (Store.mem s c1);
+  Alcotest.(check bool) "node_of misses after detach" true
+    (let id = Store.id_of s c1 in
+     Store.node_of s id = None);
+  Alcotest.(check int) "relation unchanged before commit" 4
+    (Array.length (Store.relation s "b"));
+  Store.commit s;
+  Alcotest.(check int) "live count drops at commit" (before - 4)
+    (Store.node_count s);
+  Alcotest.(check int) "b relation purged" 2 (Array.length (Store.relation s "b"));
+  Alcotest.(check int) "c relation purged" 1 (Array.length (Store.relation s "c"))
+
+let test_attach_then_detach_before_commit () =
+  let s = fixture () in
+  let f = List.nth (Xml_tree.element_children (Store.root s)) 1 in
+  let fresh = Xml_parse.fragment "<b>ghost</b>" in
+  Store.attach s ~parent:f fresh;
+  Store.detach s (List.hd fresh);
+  Store.commit s;
+  Alcotest.(check int) "ghost never enters the relation" 4
+    (Array.length (Store.relation s "b"))
+
+let test_shared_dict () =
+  let dict = Label_dict.create () in
+  let s1 = Store.of_document ~dict (Xml_parse.document "<a><b/></a>") in
+  let s2 = Store.of_document ~dict (Xml_parse.document "<a><b/></a>") in
+  Alcotest.(check bool) "same codes across stores" true
+    (Dewey.label (Store.id_of s1 (Store.root s1))
+    = Dewey.label (Store.id_of s2 (Store.root s2)))
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "indexing",
+        [
+          Alcotest.test_case "canonical relations" `Quick test_indexing;
+          Alcotest.test_case "id/node inverse" `Quick test_id_node_inverse;
+          Alcotest.test_case "ids are structural" `Quick test_ids_structural;
+          Alcotest.test_case "shared dictionary" `Quick test_shared_dict;
+        ] );
+      ( "updates",
+        [
+          Alcotest.test_case "attach + commit" `Quick test_attach_commit;
+          Alcotest.test_case "detach + commit" `Quick test_detach_commit;
+          Alcotest.test_case "attach then detach" `Quick
+            test_attach_then_detach_before_commit;
+        ] );
+    ]

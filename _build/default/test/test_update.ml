@@ -1,0 +1,184 @@
+(* Tests for the update statements, PUL construction and phased
+   application. *)
+
+let doc_text = {|<a><c><b>x</b><b/></c><f><c><b>y</b></c><b/></f></a>|}
+
+let setup () = Store.of_document (Xml_parse.document doc_text)
+
+let test_parse () =
+  (match Update.parse "delete //c//b" with
+  | Update.Delete p -> Alcotest.(check string) "path" "//c//b" (Xpath.to_string p)
+  | Update.Insert _ | Update.Replace_value _ -> Alcotest.fail "expected a deletion");
+  (match Update.parse "insert into /a/f <b>new</b><c/>" with
+  | Update.Insert { target; forest; _ } ->
+    Alcotest.(check string) "target" "/a/f" (Xpath.to_string target);
+    Alcotest.(check int) "two trees" 2
+      (List.length (forest (Xml_tree.element "dummy")))
+  | Update.Delete _ | Update.Replace_value _ -> Alcotest.fail "expected an insertion");
+  (match Update.parse "for $p in /site/people/person insert <name>x</name> into $p" with
+  | Update.Insert { target; forest; _ } ->
+    Alcotest.(check string) "for-form target" "/site/people/person"
+      (Xpath.to_string target);
+    Alcotest.(check int) "for-form fragment" 1
+      (List.length (forest (Xml_tree.element "dummy")))
+  | Update.Delete _ | Update.Replace_value _ -> Alcotest.fail "expected an insertion");
+  Alcotest.(check bool) "garbage rejected" true
+    (match Update.parse "replace //a" with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "missing fragment rejected" true
+    (match Update.parse "insert into //a" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_to_string () =
+  Alcotest.(check string) "delete" "delete //c//b"
+    (Update.to_string (Update.delete "//c//b"));
+  Alcotest.(check bool) "insert mentions target" true
+    (let s = Update.to_string (Update.insert ~into:"//f" "<x/>") in
+     String.length s > 0 && String.sub s 0 11 = "insert into")
+
+let test_targets () =
+  let store = setup () in
+  let u = Update.delete "//c//b" in
+  Alcotest.(check int) "three targets" 3 (List.length (Update.targets store u))
+
+let test_insert_fresh_copies () =
+  (* Each target receives its own copy of the fragment. *)
+  let store = setup () in
+  let u = Update.insert ~into:"//c" "<b>fresh</b>" in
+  let targets = Update.targets store u in
+  let app = Update.apply_insert store u ~targets in
+  let roots = List.concat_map snd app.Update.pairs in
+  Alcotest.(check int) "two copies" 2 (List.length roots);
+  let serials = List.map (fun n -> n.Xml_tree.serial) roots in
+  Alcotest.(check bool) "distinct nodes" true
+    (List.length (List.sort_uniq compare serials) = 2);
+  (* Inserted roots got IDs below their targets. *)
+  List.iter
+    (fun (tid, forest) ->
+      List.iter
+        (fun root ->
+          Alcotest.(check bool) "child of target" true
+            (Dewey.is_parent tid (Store.id_of store root)))
+        forest)
+    app.Update.pairs
+
+let test_insert_forest_per_target () =
+  (* The general form: the inserted forest may depend on the target. *)
+  let store = setup () in
+  let u =
+    Update.insert_forest ~into:(Xpath.parse "//c") (fun target ->
+        [ Xml_tree.element ~children:[ Xml_tree.text (Xml_tree.string_value target) ] "echo" ])
+  in
+  let targets = Update.targets store u in
+  let app = Update.apply_insert store u ~targets in
+  let values =
+    List.concat_map
+      (fun (_, forest) -> List.map Xml_tree.string_value forest)
+      app.Update.pairs
+  in
+  Alcotest.(check (list string)) "per-target content" [ "x"; "y" ] values
+
+let test_delete_nested_targets () =
+  (* Deleting //c and //c//b at once: the nested b-targets are covered by
+     their ancestor and must not be double-collected. *)
+  let store = setup () in
+  let targets =
+    Xpath.eval (Store.root store) (Xpath.parse "//c")
+    @ Xpath.eval (Store.root store) (Xpath.parse "//c//b")
+  in
+  let app = Update.apply_delete store ~targets in
+  Alcotest.(check int) "two roots" 2 (List.length app.Update.roots);
+  let deleted = Lazy.force app.Update.deleted in
+  let serials =
+    List.map (fun (_, n) -> n.Xml_tree.serial) deleted |> List.sort_uniq compare
+  in
+  Alcotest.(check int) "each node once" (List.length deleted) (List.length serials)
+
+let test_delete_snapshot_resolvable () =
+  (* IDs inside detached subtrees must resolve for Δ⁻ extraction until
+     the store commits. *)
+  let store = setup () in
+  let targets = Xpath.eval (Store.root store) (Xpath.parse "//f") in
+  let app = Update.apply_delete store ~targets in
+  let deleted = Lazy.force app.Update.deleted in
+  Alcotest.(check int) "f subtree has 5 nodes" 5 (List.length deleted);
+  List.iter
+    (fun (id, node) ->
+      Alcotest.(check string) "id labels match node" (Xml_tree.label node)
+        (Label_dict.label (Store.dict store) (Dewey.label id)))
+    deleted
+
+let test_sibling_insertions () =
+  let store = setup () in
+  (* Insert a marker before every b under c, and another after them. *)
+  let u1 = Update.insert_before ~target:"//c/b" "<m1/>" in
+  let t1 = Update.targets store u1 in
+  let app1 = Update.apply_insert store u1 ~targets:t1 in
+  (* Content-change pairs point at the parents (the c nodes). *)
+  List.iter
+    (fun (pid, forest) ->
+      Alcotest.(check string) "pair is the parent" "c"
+        (Label_dict.label (Store.dict store) (Dewey.label pid));
+      List.iter
+        (fun root ->
+          let id = Store.id_of store root in
+          Alcotest.(check bool) "new node is a child of the pair" true
+            (Dewey.is_parent pid id))
+        forest)
+    app1.Update.pairs;
+  let u2 = Update.insert_after ~target:"//c/b" "<m2/>" in
+  let t2 = Update.targets store u2 in
+  let _ = Update.apply_insert store u2 ~targets:t2 in
+  Store.commit store;
+  (* Sibling order in the tree and in ID space. *)
+  let first_c = List.hd (Xpath.eval (Store.root store) (Xpath.parse "/a/c")) in
+  let labels = List.map Xml_tree.label first_c.Xml_tree.children in
+  Alcotest.(check (list string)) "document order"
+    [ "m1"; "b"; "m2"; "m1"; "b"; "m2" ] labels;
+  let ids = List.map (Store.id_of store) first_c.Xml_tree.children in
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> Dewey.compare a b < 0 && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "IDs follow document order without relabeling" true
+    (sorted ids);
+  (* The relation view agrees. *)
+  Alcotest.(check int) "m1 relation" 3 (Array.length (Store.relation store "m1"))
+
+let test_sibling_insert_at_root_is_noop () =
+  let store = setup () in
+  let u = Update.insert_before ~target:"/a" "<x/>" in
+  let targets = Update.targets store u in
+  let app = Update.apply_insert store u ~targets in
+  Alcotest.(check int) "no pairs" 0 (List.length app.Update.pairs)
+
+let test_apply_insert_guard () =
+  let store = setup () in
+  Alcotest.check_raises "delete is not an insertion"
+    (Invalid_argument "Update.apply_insert: not an insertion") (fun () ->
+      ignore (Update.apply_insert store (Update.delete "//b") ~targets:[]))
+
+let () =
+  Alcotest.run "update"
+    [
+      ( "statements",
+        [
+          Alcotest.test_case "parse" `Quick test_parse;
+          Alcotest.test_case "to_string" `Quick test_to_string;
+          Alcotest.test_case "targets" `Quick test_targets;
+        ] );
+      ( "application",
+        [
+          Alcotest.test_case "fresh copies per target" `Quick test_insert_fresh_copies;
+          Alcotest.test_case "forest per target" `Quick test_insert_forest_per_target;
+          Alcotest.test_case "nested delete targets" `Quick test_delete_nested_targets;
+          Alcotest.test_case "snapshot resolvable" `Quick
+            test_delete_snapshot_resolvable;
+          Alcotest.test_case "sibling insertions" `Quick test_sibling_insertions;
+          Alcotest.test_case "sibling insert at root" `Quick
+            test_sibling_insert_at_root_is_noop;
+          Alcotest.test_case "guards" `Quick test_apply_insert_guard;
+        ] );
+    ]

@@ -1,0 +1,103 @@
+(* Tests for the XMark-style generator and the benchmark views/updates. *)
+
+let test_determinism () =
+  let d1 = Xmark_gen.document ~seed:7 ~target_kb:50 in
+  let d2 = Xmark_gen.document ~seed:7 ~target_kb:50 in
+  Alcotest.(check string) "same seed, same document" (Xml_tree.serialize d1)
+    (Xml_tree.serialize d2);
+  let d3 = Xmark_gen.document ~seed:8 ~target_kb:50 in
+  Alcotest.(check bool) "different seed, different document" true
+    (Xml_tree.serialize d1 <> Xml_tree.serialize d3)
+
+let test_size_scaling () =
+  let bytes kb = Xmark_gen.actual_bytes (Xmark_gen.document ~seed:1 ~target_kb:kb) in
+  let b50 = bytes 50 and b200 = bytes 200 in
+  Alcotest.(check bool) "bigger target, bigger document" true (b200 > b50);
+  (* Within a factor 2 of the target. *)
+  Alcotest.(check bool) "roughly calibrated" true
+    (b200 > 200 * 1024 / 2 && b200 < 200 * 1024 * 2)
+
+let test_wellformed () =
+  let d = Xmark_gen.document ~seed:3 ~target_kb:80 in
+  let s = Xml_tree.serialize d in
+  let d' = Xml_parse.document s in
+  Alcotest.(check string) "parse-serialize roundtrip" s (Xml_tree.serialize d')
+
+let test_schema_shape () =
+  let d = Xmark_gen.document ~seed:5 ~target_kb:80 in
+  let count path = List.length (Xpath.eval d (Xpath.parse path)) in
+  Alcotest.(check bool) "persons" true (count "/site/people/person" >= 14);
+  Alcotest.(check bool) "items in regions" true (count "/site/regions/*/item" >= 6);
+  Alcotest.(check bool) "open auctions" true (count "/site/open_auctions/open_auction" >= 4);
+  Alcotest.(check bool) "bidders have increases" true
+    (count "//bidder/increase" = count "//bidder");
+  Alcotest.(check bool) "closed auctions" true (count "//closed_auction" >= 2);
+  Alcotest.(check bool) "person ids" true
+    (count "/site/people/person/@id" = count "/site/people/person")
+
+let test_views_nonempty () =
+  let d = Xmark_gen.document ~seed:11 ~target_kb:150 in
+  let store = Store.of_document d in
+  List.iter
+    (fun (name, pat) ->
+      let mv = Mview.materialize ~policy:Mview.Leaves store pat in
+      Alcotest.(check bool) (name ^ " non-empty") true (Mview.cardinality mv > 0))
+    Xmark_views.all
+
+let test_view_lookup () =
+  Alcotest.(check bool) "case-insensitive" true (Xmark_views.find "q1" == Xmark_views.q1);
+  Alcotest.(check bool) "unknown raises" true
+    (match Xmark_views.find "Q99" with exception Not_found -> true | _ -> false);
+  Alcotest.(check int) "seven views" 7 (List.length Xmark_views.all);
+  Alcotest.(check int) "five Q1 annotation variants" 5
+    (List.length Xmark_views.q1_annotation_variants)
+
+let test_updates_parse_and_hit () =
+  let d = Xmark_gen.document ~seed:13 ~target_kb:150 in
+  let store = Store.of_document d in
+  List.iter
+    (fun u ->
+      let stmt = Xmark_updates.insert u in
+      let targets = Update.targets store stmt in
+      (* B1_O transcribes an appendix path that cannot match (items are
+         not direct children of regions); every other update has
+         targets. *)
+      if u.Xmark_updates.name <> "B1_O" then
+        Alcotest.(check bool)
+          (u.Xmark_updates.name ^ " has targets")
+          true (targets <> []))
+    Xmark_updates.all
+
+let test_pairs_wellformed () =
+  Alcotest.(check int) "35 figure-20 pairs" 35 (List.length Xmark_updates.figure20_pairs);
+  List.iter
+    (fun (v, u) ->
+      ignore (Xmark_views.find v);
+      ignore (Xmark_updates.find u))
+    Xmark_updates.figure20_pairs
+
+let test_q3_predicate_hits () =
+  (* The generator must produce increases with the Q3 literal "4.50". *)
+  let d = Xmark_gen.document ~seed:17 ~target_kb:150 in
+  let hits = Xpath.eval d (Xpath.parse "//increase[.='4.50']") in
+  Alcotest.(check bool) "some 4.50 increases" true (hits <> [])
+
+let () =
+  Alcotest.run "xmark"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "size scaling" `Quick test_size_scaling;
+          Alcotest.test_case "well-formedness" `Quick test_wellformed;
+          Alcotest.test_case "schema shape" `Quick test_schema_shape;
+          Alcotest.test_case "Q3 predicate hits" `Quick test_q3_predicate_hits;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "views non-empty" `Quick test_views_nonempty;
+          Alcotest.test_case "view lookup" `Quick test_view_lookup;
+          Alcotest.test_case "updates hit targets" `Quick test_updates_parse_and_hit;
+          Alcotest.test_case "figure pairs" `Quick test_pairs_wellformed;
+        ] );
+    ]

@@ -1,0 +1,147 @@
+(* Tests for the XML tree model and the parser/serializer. *)
+
+let el ?(children = []) name = Xml_tree.element ~children name
+let txt = Xml_tree.text
+let attr = Xml_tree.attribute
+
+let fixture () =
+  el "a"
+    ~children:
+      [
+        attr "k" "v";
+        el "b" ~children:[ txt "hello" ];
+        txt " world";
+        el "c" ~children:[ el "d"; txt "!" ];
+      ]
+
+let test_labels () =
+  let d = fixture () in
+  Alcotest.(check string) "element" "a" (Xml_tree.label d);
+  Alcotest.(check string) "attribute" "@k"
+    (Xml_tree.label (Option.get (Xml_tree.attribute_node d "k")));
+  Alcotest.(check string) "text" "#text" (Xml_tree.label (txt "x"))
+
+let test_string_value () =
+  let d = fixture () in
+  Alcotest.(check string) "concat of text descendants" "hello world!"
+    (Xml_tree.string_value d);
+  Alcotest.(check string) "attribute value" "v"
+    (Xml_tree.string_value (Option.get (Xml_tree.attribute_node d "k")))
+
+let test_structure () =
+  let d = fixture () in
+  Alcotest.(check int) "size" 8 (Xml_tree.size d);
+  Alcotest.(check int) "element children" 2 (List.length (Xml_tree.element_children d));
+  let c = List.nth (Xml_tree.element_children d) 1 in
+  Alcotest.(check bool) "ancestor" true (Xml_tree.is_ancestor d c);
+  Alcotest.(check bool) "not reflexive" false (Xml_tree.is_ancestor d d);
+  Alcotest.(check int) "descendants_or_self" 8
+    (List.length (Xml_tree.descendants_or_self d))
+
+let test_append_remove () =
+  let d = el "root" in
+  let k = el "kid" in
+  Xml_tree.append_child d k;
+  Alcotest.(check int) "one child" 1 (List.length d.Xml_tree.children);
+  Alcotest.(check bool) "parent set" true
+    (match k.Xml_tree.parent with Some p -> p == d | None -> false);
+  Alcotest.check_raises "double attach"
+    (Invalid_argument "Xml_tree.append_child: child already attached") (fun () ->
+      Xml_tree.append_child d k);
+  Xml_tree.remove_child d k;
+  Alcotest.(check int) "removed" 0 (List.length d.Xml_tree.children);
+  Alcotest.(check bool) "parent cleared" true (k.Xml_tree.parent = None)
+
+let test_copy () =
+  let d = fixture () in
+  let c = Xml_tree.copy d in
+  Alcotest.(check string) "same serialization" (Xml_tree.serialize d)
+    (Xml_tree.serialize c);
+  Alcotest.(check bool) "fresh serials" true (c.Xml_tree.serial <> d.Xml_tree.serial);
+  Alcotest.(check bool) "no parent" true (c.Xml_tree.parent = None)
+
+let test_serialize () =
+  let d = fixture () in
+  Alcotest.(check string) "rendering"
+    {|<a k="v"><b>hello</b> world<c><d/>!</c></a>|}
+    (Xml_tree.serialize d);
+  Alcotest.(check bool) "decl" true
+    (String.length (Xml_tree.serialize ~decl:true d)
+    > String.length (Xml_tree.serialize d))
+
+let test_escaping () =
+  let d = el "a" ~children:[ attr "k" "a\"b<c"; txt "x<y&z" ] in
+  let s = Xml_tree.serialize d in
+  Alcotest.(check string) "escaped" {|<a k="a&quot;b&lt;c">x&lt;y&amp;z</a>|} s;
+  let back = Xml_parse.document s in
+  Alcotest.(check string) "roundtrip value" "x<y&z" (Xml_tree.string_value back)
+
+let test_parse_roundtrip () =
+  let src = {|<a k="v"><b>hello</b><c><d/>!</c></a>|} in
+  let d = Xml_parse.document src in
+  Alcotest.(check string) "parse-serialize identity" src (Xml_tree.serialize d)
+
+let test_parse_misc () =
+  let d =
+    Xml_parse.document
+      "<?xml version=\"1.0\"?>\n<!-- c --><a>\n  <b/> <!-- inner -->\n</a>"
+  in
+  Alcotest.(check string) "prolog and comments skipped" "<a><b/></a>"
+    (Xml_tree.serialize d)
+
+let test_parse_entities () =
+  let d = Xml_parse.document "<a>&lt;&amp;&gt;&quot;&apos;&#65;</a>" in
+  Alcotest.(check string) "entities" "<&>\"'A" (Xml_tree.string_value d)
+
+let test_parse_fragment () =
+  let f = Xml_parse.fragment "<a/><b>x</b>" in
+  Alcotest.(check int) "two roots" 2 (List.length f)
+
+let test_parse_errors () =
+  let bad s =
+    match Xml_parse.document s with
+    | exception Xml_parse.Parse_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "mismatched tag" true (bad "<a></b>");
+  Alcotest.(check bool) "unterminated" true (bad "<a>");
+  Alcotest.(check bool) "trailing garbage" true (bad "<a/>junk");
+  Alcotest.(check bool) "bad entity" true (bad "<a>&nope;</a>")
+
+let test_serialized_size =
+  Tutil.qtest ~count:100 "serialized_size matches serialize length" Tutil.arb_doc
+    (fun d -> Xml_tree.serialized_size d = String.length (Xml_tree.serialize d))
+
+let test_roundtrip_random =
+  Tutil.qtest ~count:100 "parse(serialize(d)) = d (modulo whitespace)" Tutil.arb_doc
+    (fun d ->
+      let s = Xml_tree.serialize d in
+      Xml_tree.serialize (Xml_parse.document s) = s)
+
+let () =
+  Alcotest.run "xml"
+    [
+      ( "tree",
+        [
+          Alcotest.test_case "labels" `Quick test_labels;
+          Alcotest.test_case "string_value" `Quick test_string_value;
+          Alcotest.test_case "structure" `Quick test_structure;
+          Alcotest.test_case "append/remove" `Quick test_append_remove;
+          Alcotest.test_case "copy" `Quick test_copy;
+        ] );
+      ( "serialization",
+        [
+          Alcotest.test_case "serialize" `Quick test_serialize;
+          Alcotest.test_case "escaping" `Quick test_escaping;
+          test_serialized_size;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_parse_roundtrip;
+          Alcotest.test_case "prolog/comments" `Quick test_parse_misc;
+          Alcotest.test_case "entities" `Quick test_parse_entities;
+          Alcotest.test_case "fragment" `Quick test_parse_fragment;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          test_roundtrip_random;
+        ] );
+    ]

@@ -1,0 +1,133 @@
+(* Tests for the XPath{/,//,*,[]} parser and evaluator. *)
+
+let doc () =
+  Xml_parse.document
+    {|<site><people>
+        <person id="p0"><name>ann</name><phone>1</phone><homepage>h</homepage></person>
+        <person id="p1"><name>bob</name><phone>2</phone></person>
+        <person id="p2"><name>cid</name><homepage>h2</homepage></person>
+        <person id="p3"><name>dee</name></person>
+      </people>
+      <regions><namerica><item><name>car</name><description>old</description></item>
+        <item><name>pen</name></item></namerica>
+        <europe><item><description>new</description></item></europe></regions>
+     </site>|}
+
+let names root path =
+  Xpath.eval root (Xpath.parse path)
+  |> List.map (fun n ->
+         match Xml_tree.attribute_node n "id" with
+         | Some a -> Xml_tree.string_value a
+         | None -> Xml_tree.string_value n)
+
+let check_names msg path expected =
+  Alcotest.(check (list string)) msg expected (names (doc ()) path)
+
+let test_linear () =
+  check_names "absolute child path" "/site/people/person" [ "p0"; "p1"; "p2"; "p3" ];
+  check_names "descendant" "//person" [ "p0"; "p1"; "p2"; "p3" ];
+  check_names "star" "/site/regions/*/item/name" [ "car"; "pen" ];
+  check_names "mixed" "//namerica//name" [ "car"; "pen" ];
+  check_names "no match" "/nothing" []
+
+let test_attributes () =
+  let hits = Xpath.eval (doc ()) (Xpath.parse "/site/people/person/@id") in
+  Alcotest.(check int) "four id attributes" 4 (List.length hits);
+  Alcotest.(check bool) "attribute kind" true
+    (List.for_all (fun n -> n.Xml_tree.kind = Xml_tree.Attribute) hits)
+
+let test_predicates () =
+  check_names "existence" "//person[homepage]" [ "p0"; "p2" ];
+  check_names "and" "//person[phone and homepage]" [ "p0" ];
+  check_names "or" "//person[phone or homepage]" [ "p0"; "p1"; "p2" ];
+  check_names "and-or" "//person[name and (phone or homepage)]" [ "p0"; "p1"; "p2" ];
+  check_names "value equality" "//person[@id='p2']" [ "p2" ];
+  check_names "path value equality" "//person[name='bob']" [ "p1" ];
+  check_names "nested predicate path" "//item[description]/name" [ "car" ]
+
+let test_nested_predicates () =
+  check_names "descendant path in predicate" "/site[//item]/people/person"
+    [ "p0"; "p1"; "p2"; "p3" ];
+  check_names "predicate inside predicate" "//person[name[.='bob']]" [ "p1" ];
+  check_names "attribute in nested path" "//regions//item[name='car']/name" [ "car" ];
+  check_names "empty nested predicate" "//person[address]" []
+
+let test_doc_order_dedup () =
+  (* //item reached through two region elements stays deduplicated and in
+     document order. *)
+  let items = Xpath.eval (doc ()) (Xpath.parse "//regions//item") in
+  Alcotest.(check int) "three items" 3 (List.length items);
+  let sorted = List.sort compare (List.map (fun n -> n.Xml_tree.serial) items) in
+  Alcotest.(check (list int)) "document order"
+    sorted
+    (List.map (fun n -> n.Xml_tree.serial) items)
+
+let test_holds () =
+  let p0 = List.hd (Xpath.eval (doc ()) (Xpath.parse "//person")) in
+  Alcotest.(check bool) "holds exists" true
+    (Xpath.holds p0 (Xpath.Exists (Xpath.parse "//name" |> fun p -> p)));
+  Alcotest.(check bool) "holds eq self" false (Xpath.holds p0 (Xpath.Eq ([], "nope")))
+
+let test_roundtrip () =
+  let cases =
+    [
+      "/site/people/person";
+      "//person[phone and homepage]";
+      "/site/regions[namerica or samerica]//item";
+      "//item[description and (name or mailbox)]";
+      "/site/people/person[@id='person0']/name";
+      "//open_auction[reserve]/bidder";
+    ]
+  in
+  List.iter
+    (fun s ->
+      let printed = Xpath.to_string (Xpath.parse s) in
+      let reparsed = Xpath.to_string (Xpath.parse printed) in
+      Alcotest.(check string) ("stable print of " ^ s) printed reparsed)
+    cases
+
+let test_parse_errors () =
+  let bad s =
+    match Xpath.parse s with exception Xpath.Parse_error _ -> true | _ -> false
+  in
+  Alcotest.(check bool) "relative" true (bad "person");
+  Alcotest.(check bool) "empty" true (bad "");
+  Alcotest.(check bool) "unclosed predicate" true (bad "//a[b");
+  Alcotest.(check bool) "trailing" true (bad "//a]");
+  Alcotest.(check bool) "bad literal" true (bad "//a[@x=unquoted]")
+
+(* Oracle: a naive evaluator via descendants_or_self filtering, for linear
+   descendant paths. *)
+let test_against_naive =
+  Tutil.qtest ~count:100 "//lab agrees with a direct scan" Tutil.arb_doc (fun d ->
+      List.for_all
+        (fun lab ->
+          let via_xpath = Xpath.eval d (Xpath.parse ("//" ^ lab)) in
+          let naive =
+            List.filter
+              (fun n -> n.Xml_tree.kind = Xml_tree.Element && n.Xml_tree.name = lab)
+              (Xml_tree.descendants_or_self d)
+          in
+          List.map (fun n -> n.Xml_tree.serial) via_xpath
+          = List.map (fun n -> n.Xml_tree.serial) naive)
+        (Array.to_list Tutil.labels))
+
+let () =
+  Alcotest.run "xpath"
+    [
+      ( "eval",
+        [
+          Alcotest.test_case "linear paths" `Quick test_linear;
+          Alcotest.test_case "attributes" `Quick test_attributes;
+          Alcotest.test_case "predicates" `Quick test_predicates;
+          Alcotest.test_case "nested predicates" `Quick test_nested_predicates;
+          Alcotest.test_case "doc order + dedup" `Quick test_doc_order_dedup;
+          Alcotest.test_case "holds" `Quick test_holds;
+          test_against_naive;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "print roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+    ]
