@@ -21,18 +21,145 @@ let runs =
 
 let skip_micro = Array.exists (( = ) "--no-micro") Sys.argv
 
-(* [--only figNN] restricts the run to one section. *)
+(* [--only figNN] restricts the run to the named section(s);
+   comma-separated, e.g. [--only fig22,joinab]. *)
 let only =
   let rec find i =
     if i >= Array.length Sys.argv - 1 then None
-    else if Sys.argv.(i) = "--only" then Some Sys.argv.(i + 1)
+    else if Sys.argv.(i) = "--only" then
+      Some (String.split_on_char ',' Sys.argv.(i + 1))
     else find (i + 1)
   in
   find 1
 
-let wanted tag = match only with None -> true | Some t -> t = tag
+let wanted tag = match only with None -> true | Some ts -> List.mem tag ts
 
 let seed = 42
+
+(* {1 Machine-readable results}
+
+   Every section records its rows into an in-memory registry; [main]
+   writes the whole thing to BENCH_results.json at the end of the run,
+   whatever subset of sections actually executed. The emitter is
+   deliberately self-contained — no JSON library in the dependency
+   cone. *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let num f = if Float.is_finite f then Num f else Null
+  let int i = Num (float_of_int i)
+
+  let rec write buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Num f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Buffer.add_string buf (Printf.sprintf "%.0f" f)
+      else Buffer.add_string buf (Printf.sprintf "%.6g" f)
+    | Str s ->
+      Buffer.add_char buf '"';
+      String.iter
+        (fun c ->
+          match c with
+          | '"' -> Buffer.add_string buf "\\\""
+          | '\\' -> Buffer.add_string buf "\\\\"
+          | '\n' -> Buffer.add_string buf "\\n"
+          | '\t' -> Buffer.add_string buf "\\t"
+          | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+          | c -> Buffer.add_char buf c)
+        s;
+      Buffer.add_char buf '"'
+    | Arr l ->
+      Buffer.add_char buf '[';
+      List.iteri (fun i x -> if i > 0 then Buffer.add_char buf ','; write buf x) l;
+      Buffer.add_char buf ']'
+    | Obj l ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf (Str k);
+          Buffer.add_char buf ':';
+          write buf v)
+        l;
+      Buffer.add_char buf '}'
+
+  let to_string t =
+    let buf = Buffer.create 4096 in
+    write buf t;
+    Buffer.contents buf
+end
+
+let results_sections : (string, Json.t list ref) Hashtbl.t = Hashtbl.create 16
+let results_order : string list ref = ref []
+
+let record section fields =
+  let rows =
+    match Hashtbl.find_opt results_sections section with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.add results_sections section r;
+      results_order := section :: !results_order;
+      r
+  in
+  rows := Json.Obj fields :: !rows
+
+let results_file = "BENCH_results.json"
+
+let write_results () =
+  let sections =
+    List.rev_map
+      (fun s -> (s, Json.Arr (List.rev !(Hashtbl.find results_sections s))))
+      !results_order
+  in
+  let doc =
+    Json.Obj
+      [
+        ("mode", Json.Str (if full then "full" else "scaled"));
+        ("runs_per_point", Json.int runs);
+        ("seed", Json.int seed);
+        ("sections", Json.Obj sections);
+      ]
+  in
+  let oc = open_out results_file in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (%d section(s))\n%!" results_file (List.length sections)
+
+(* Direct median-of-repeats timing for the A/B micro-benchmarks, where
+   we compare two implementations of the same operator on identical
+   inputs and the quantity of interest is a robust per-call estimate. *)
+
+let median l =
+  let a = Array.of_list l in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
+
+let time_median ?(repeats = 9) ?(iters = 40) f =
+  for _ = 1 to 2 do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  median
+    (List.init repeats (fun _ ->
+         let (), t =
+           Timing.duration (fun () ->
+               for _ = 1 to iters do
+                 ignore (Sys.opaque_identity (f ()))
+               done)
+         in
+         t /. float_of_int iters))
+
 let small_kb = 100
 let big_kb = if full then 10240 else 2048
 let scaling_kbs = if full then [ 500; 1024; 10240; 51200 ] else [ 125; 250; 500; 1024; 2048 ]
@@ -106,7 +233,17 @@ let print_breakdown name t =
 
 (* {1 Figures 18 / 19: per-phase breakdowns} *)
 
-let fig18_19 op title =
+let breakdown_fields t =
+  [
+    ("find_ms", Json.num (ms t.find));
+    ("delta_ms", Json.num (ms t.delta));
+    ("expr_ms", Json.num (ms t.expr));
+    ("exec_ms", Json.num (ms t.exec));
+    ("lattice_ms", Json.num (ms t.aux));
+    ("total_ms", Json.num (ms (totals_sum t)));
+  ]
+
+let fig18_19 op tag title =
   header title;
   Printf.printf "(document ~%d KB)\n" big_kb;
   List.iter
@@ -118,14 +255,17 @@ let fig18_19 op title =
           (fun uname ->
             let u = Xmark_updates.find uname in
             let t, _ = run_avg ~kb:big_kb ~view:(Xmark_views.find vname) (stmt_of op u) in
-            print_breakdown uname t)
+            print_breakdown uname t;
+            record tag
+              ([ ("view", Json.Str vname); ("update", Json.Str uname) ]
+              @ breakdown_fields t))
           unames
       end)
     Xmark_updates.breakdown_pairs
 
 (* {1 Figures 20 / 21: totals over all 35 pairs} *)
 
-let fig20_21 op title =
+let fig20_21 op tag title =
   header title;
   Printf.printf "  %-12s %12s\n" "view_update" "total(ms)";
   List.iter
@@ -134,7 +274,13 @@ let fig20_21 op title =
       let t, _ = run_avg ~kb:big_kb ~view:(Xmark_views.find vname) (stmt_of op u) in
       Printf.printf "  %-12s %12.2f\n%!"
         (Printf.sprintf "%s_%s" vname uname)
-        (ms (totals_sum t)))
+        (ms (totals_sum t));
+      record tag
+        [
+          ("view", Json.Str vname);
+          ("update", Json.Str uname);
+          ("total_ms", Json.num (ms (totals_sum t)));
+        ])
     Xmark_updates.figure20_pairs
 
 (* {1 Figures 22 / 23: deletion path depth} *)
@@ -154,7 +300,13 @@ let fig22_23 () =
       List.iter
         (fun path ->
           let t, _ = run_avg ~kb ~view:Xmark_views.q1 (Update.delete path) in
-          Printf.printf "  %-32s %12.2f\n%!" path (ms (totals_sum t)))
+          Printf.printf "  %-32s %12.2f\n%!" path (ms (totals_sum t));
+          record "fig22_23"
+            [
+              ("kb", Json.int kb);
+              ("path", Json.Str path);
+              ("total_ms", Json.num (ms (totals_sum t)));
+            ])
         paths)
     [ small_kb; big_kb ]
 
@@ -171,7 +323,9 @@ let fig24 () =
   List.iter
     (fun (label, pat) ->
       let t, _ = run_avg ~kb:small_kb ~view:pat stmt in
-      Printf.printf "  %-24s %12.2f\n%!" label (ms (totals_sum t)))
+      Printf.printf "  %-24s %12.2f\n%!" label (ms (totals_sum t));
+      record "fig24"
+        [ ("variant", Json.Str label); ("total_ms", Json.num (ms (totals_sum t))) ])
     Xmark_views.q1_annotation_variants
 
 (* {1 Figure 25: scalability} *)
@@ -188,13 +342,15 @@ let fig25 () =
           let t, _ = run_avg ~kb ~view:Xmark_views.q1 (stmt_of op u) in
           Printf.printf "  %-10d %9.2f %9.2f %9.2f %9.2f %9.2f %10.2f\n%!" kb
             (ms t.find) (ms t.delta) (ms t.expr) (ms t.exec) (ms t.aux)
-            (ms (totals_sum t)))
+            (ms (totals_sum t));
+          record "fig25"
+            ([ ("op", Json.Str label); ("kb", Json.int kb) ] @ breakdown_fields t))
         scaling_kbs)
     [ (Insert, "insert"); (Delete, "delete") ]
 
 (* {1 Figures 26 / 27: incremental vs full recomputation} *)
 
-let fig26_27 op title =
+let fig26_27 op tag title =
   header title;
   Printf.printf "(document ~%d KB)\n" big_kb;
   (* Both strategies locate the targets and mutate the document; the
@@ -223,7 +379,14 @@ let fig26_27 op title =
     in
     let full_ms = ms full_s in
     Printf.printf "  %-16s %15.2f %10.2f %7.1fx\n%!" label incr_ms full_ms
-      (full_ms /. max 0.001 incr_ms)
+      (full_ms /. max 0.001 incr_ms);
+    record tag
+      [
+        ("label", Json.Str label);
+        ("incremental_ms", Json.num incr_ms);
+        ("full_ms", Json.num full_ms);
+        ("speedup", Json.num (full_ms /. max 0.001 incr_ms));
+      ]
   in
   List.iter
     (fun (vname, uname) ->
@@ -273,7 +436,15 @@ let fig28 () =
       let ivma_ms = ms r.Ivma.elapsed in
       Printf.printf "  %-8s %12.2f %12.2f %7.1fx %12d\n%!" uname bulk_ms ivma_ms
         (ivma_ms /. max 0.001 bulk_ms)
-        r.Ivma.invocations)
+        r.Ivma.invocations;
+      record "fig28"
+        [
+          ("update", Json.Str uname);
+          ("bulk_ms", Json.num bulk_ms);
+          ("ivma_ms", Json.num ivma_ms);
+          ("ratio", Json.num (ivma_ms /. max 0.001 bulk_ms));
+          ("invocations", Json.int r.Ivma.invocations);
+        ])
     [ "X1_L"; "A6_A"; "A7_O"; "A8_AO"; "B7_LB" ]
 
 (* {1 Figures 29–32: snowcaps vs leaves} *)
@@ -301,7 +472,19 @@ let fig29_32 () =
           let rs, us, ts = measure Mview.Snowcaps in
           let rl, ul, tl = measure Mview.Leaves in
           Printf.printf "  %-10d | %9.2f %9.2f %10.2f | %9.2f %9.2f %10.2f\n%!" kb rs
-            us ts rl ul tl)
+            us ts rl ul tl;
+          record "fig29_32"
+            [
+              ("view", Json.Str vname);
+              ("update", Json.Str uname);
+              ("kb", Json.int kb);
+              ("r_snow_ms", Json.num rs);
+              ("u_snow_ms", Json.num us);
+              ("total_snow_ms", Json.num ts);
+              ("r_leaves_ms", Json.num rl);
+              ("u_leaves_ms", Json.num ul);
+              ("total_leaves_ms", Json.num tl);
+            ])
         snowcap_kbs)
     [ ("Q4", "X2_L"); ("Q6", "E6_L") ]
 
@@ -381,7 +564,16 @@ let fig33_35 () =
           let t_opt, n_opt = run ~optimise:true in
           let t_raw, n_raw = run ~optimise:false in
           Printf.printf "  %-6d %13.1f %16.1f %8d %8d\n%!" pct (ms t_opt) (ms t_raw)
-            n_opt n_raw)
+            n_opt n_raw;
+          record "fig33_35"
+            [
+              ("rule", Json.Str label);
+              ("pct", Json.int pct);
+              ("optimise_ms", Json.num (ms t_opt));
+              ("no_optimise_ms", Json.num (ms t_raw));
+              ("ops_opt", Json.int n_opt);
+              ("ops_raw", Json.int n_raw);
+            ])
         pcts)
     [ (`O1, "O1"); (`O3, "O3"); (`I5, "I5") ]
 
@@ -414,7 +606,17 @@ let ablation_pruning () =
       Printf.printf "  %-14s %6s %12.2f %12.2f %12d %12d\n%!"
         (Printf.sprintf "%s_%s" vname uname)
         (match op with Insert -> "ins" | Delete -> "del")
-        (ms t_on) (ms t_off) r_on.Maint.terms_surviving r_off.Maint.terms_surviving)
+        (ms t_on) (ms t_off) r_on.Maint.terms_surviving r_off.Maint.terms_surviving;
+      record "ablation_pruning"
+        [
+          ("view", Json.Str vname);
+          ("update", Json.Str uname);
+          ("op", Json.Str (match op with Insert -> "ins" | Delete -> "del"));
+          ("pruned_ms", Json.num (ms t_on));
+          ("unpruned_ms", Json.num (ms t_off));
+          ("terms_kept", Json.int r_on.Maint.terms_surviving);
+          ("terms_all", Json.int r_off.Maint.terms_surviving);
+        ])
     [
       ("Q4", "X3_A", Delete); ("Q4", "X2_L", Insert); ("Q3", "B3_LB", Delete);
       ("Q1", "A6_A", Insert);
@@ -440,8 +642,18 @@ let ablation_advisor () =
         let store = Store.of_document (doc big_kb) in
         Advisor.policy store view ~profile
       in
-      Printf.printf "  %-10s %12.2f %14.2f %12.2f\n%!" vname
-        (measure Mview.Snowcaps) (measure advisor_policy) (measure Mview.Leaves))
+      let chain_ms = measure Mview.Snowcaps in
+      let advisor_ms = measure advisor_policy in
+      let leaves_ms = measure Mview.Leaves in
+      Printf.printf "  %-10s %12.2f %14.2f %12.2f\n%!" vname chain_ms advisor_ms
+        leaves_ms;
+      record "ablation_advisor"
+        [
+          ("view", Json.Str vname);
+          ("chain_ms", Json.num chain_ms);
+          ("advisor_ms", Json.num advisor_ms);
+          ("leaves_ms", Json.num leaves_ms);
+        ])
     [
       ("Q4", "X2_L", [ ("increase", 10.); ("bidder", 5.) ]);
       ("Q1", "X1_L", [ ("name", 10.) ]);
@@ -497,8 +709,18 @@ let ablation_deferred () =
   Printf.printf "  immediate per-op:     %8.1f ms (%d ops)\n" (ms t_imm) !imm_ops;
   Printf.printf "  deferred + reduced:   %8.1f ms (%d ops queued -> %d propagated)\n%!"
     (ms t_def) totals.Deferred.ops_queued totals.Deferred.ops_propagated;
-  Printf.printf "  all consistent: %b\n%!"
-    (Recompute.equal mv_stmt mv_def && Recompute.equal mv_imm mv_def)
+  let consistent = Recompute.equal mv_stmt mv_def && Recompute.equal mv_imm mv_def in
+  Printf.printf "  all consistent: %b\n%!" consistent;
+  record "ablation_deferred"
+    [
+      ("bulk_ms", Json.num (ms t_stmt));
+      ("immediate_ms", Json.num (ms t_imm));
+      ("immediate_ops", Json.int !imm_ops);
+      ("deferred_ms", Json.num (ms t_def));
+      ("ops_queued", Json.int totals.Deferred.ops_queued);
+      ("ops_propagated", Json.int totals.Deferred.ops_propagated);
+      ("consistent", Json.Bool consistent);
+    ]
 
 (* {1 Bechamel micro-benchmarks} *)
 
@@ -543,8 +765,99 @@ let micro () =
   List.iter
     (fun (name, ols) ->
       let est = match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> nan in
-      Printf.printf "  %-46s %12.0f ns/run\n" name est)
+      Printf.printf "  %-46s %12.0f ns/run\n" name est;
+      record "micro" [ ("name", Json.Str name); ("ns_per_run", Json.num est) ])
     (List.sort compare rows)
+
+(* {1 Structural-join A/B: sort-merge vs hash-prefix}
+
+   Both operators run on the same Dewey-sorted relation pairs pulled
+   straight from the store, so this isolates the join algorithm itself:
+   the stack-based merge walk against the prefix-hash build-and-probe
+   baseline it replaced. Median of direct timings rather than OLS —
+   the two sides must be compared on identical inputs and iteration
+   counts. *)
+
+(* A synthetic deep-nesting document: [chains] independent chains, each a
+   [section] wrapping a [depth]-deep spine of [wrap] elements with one
+   [para] leaf. XMark is shallow (max depth ~6); deep recursion is where
+   the hash baseline's per-row probe cost — one prefix hash per ancestor
+   depth, quadratic in depth overall — departs from the merge join's
+   constant per-row work. *)
+let deep_doc ~chains ~depth =
+  let buf = Buffer.create (chains * depth * 16) in
+  Buffer.add_string buf "<deep>";
+  for i = 1 to chains do
+    Buffer.add_string buf "<section>";
+    for _ = 1 to depth do
+      Buffer.add_string buf "<wrap>"
+    done;
+    Buffer.add_string buf (Printf.sprintf "<para>p%d</para>" i);
+    for _ = 1 to depth do
+      Buffer.add_string buf "</wrap>"
+    done;
+    Buffer.add_string buf "</section>"
+  done;
+  Buffer.add_string buf "</deep>";
+  Xml_parse.document (Buffer.contents buf)
+
+let join_ab () =
+  header "Structural-join A/B: sort-merge (stack) vs hash-prefix baseline";
+  let kb = if full then 2048 else 512 in
+  let xmark_store = Store.of_document (doc kb) in
+  let deep_store = Store.of_document (deep_doc ~chains:2000 ~depth:10) in
+  Printf.printf
+    "(xmark ~%d KB; deep = 2000 chains of depth 12; inputs are Dewey-sorted store relations)\n"
+    kb;
+  Printf.printf "  %-28s %-10s %8s %8s %8s %10s %10s %8s\n" "pair" "axis" "left"
+    "right" "out" "merge(ns)" "hash(ns)" "speedup";
+  let atom store node label =
+    Tuple_table.of_ids ~sorted:true ~node
+      (Array.map (fun e -> e.Store.id) (Store.relation store label))
+  in
+  List.iter
+    (fun (doc_name, store, lname, rname, axis, axis_name) ->
+      let left = atom store 0 lname and right = atom store 1 rname in
+      let merged = Struct_join.merge_join left right ~parent:0 ~child:1 ~axis in
+      let hashed = Struct_join.hash_join left right ~parent:0 ~child:1 ~axis in
+      if Tuple_table.length merged <> Tuple_table.length hashed then
+        failwith "join A/B: merge and hash outputs disagree";
+      let t_merge =
+        time_median (fun () ->
+            Struct_join.merge_join left right ~parent:0 ~child:1 ~axis)
+      in
+      let t_hash =
+        time_median (fun () ->
+            Struct_join.hash_join left right ~parent:0 ~child:1 ~axis)
+      in
+      let ns t = t *. 1e9 in
+      let speedup = t_hash /. t_merge in
+      Printf.printf "  %-28s %-10s %8d %8d %8d %10.0f %10.0f %7.2fx\n%!"
+        (Printf.sprintf "%s:%s//%s" doc_name lname rname)
+        axis_name (Tuple_table.length left) (Tuple_table.length right)
+        (Tuple_table.length merged) (ns t_merge) (ns t_hash) speedup;
+      record "micro_join_ab"
+        [
+          ("doc", Json.Str doc_name);
+          ("pair", Json.Str (Printf.sprintf "%s/%s" lname rname));
+          ("axis", Json.Str axis_name);
+          ("rows_left", Json.int (Tuple_table.length left));
+          ("rows_right", Json.int (Tuple_table.length right));
+          ("rows_out", Json.int (Tuple_table.length merged));
+          ("merge_ns", Json.num (ns t_merge));
+          ("hash_ns", Json.num (ns t_hash));
+          ("speedup", Json.num speedup);
+        ])
+    [
+      ("deep", deep_store, "section", "para", Pattern.Descendant, "descendant");
+      ("deep", deep_store, "wrap", "para", Pattern.Descendant, "descendant");
+      ("xmark", xmark_store, "open_auction", "increase", Pattern.Descendant,
+       "descendant");
+      ("xmark", xmark_store, "person", "name", Pattern.Descendant, "descendant");
+      ("xmark", xmark_store, "site", "increase", Pattern.Descendant, "descendant");
+      ("xmark", xmark_store, "person", "name", Pattern.Child, "child");
+      ("xmark", xmark_store, "bidder", "increase", Pattern.Child, "child");
+    ]
 
 let () =
   Printf.printf "xvm benchmark harness — %s mode, %d run(s) per point\n"
@@ -556,16 +869,20 @@ let () =
     (Xmark_gen.actual_bytes d / 1024)
     (Xml_tree.size d);
   if wanted "fig18" then
-    fig18_19 Insert "Figure 18: PINT/PIMT time breakdown (insert propagation)";
+    fig18_19 Insert "fig18" "Figure 18: PINT/PIMT time breakdown (insert propagation)";
   if wanted "fig19" then
-    fig18_19 Delete "Figure 19: PDDT/MT time breakdown (delete propagation)";
-  if wanted "fig20" then fig20_21 Insert "Figure 20: insert propagation, all XMark views";
-  if wanted "fig21" then fig20_21 Delete "Figure 21: delete propagation, all XMark views";
+    fig18_19 Delete "fig19" "Figure 19: PDDT/MT time breakdown (delete propagation)";
+  if wanted "fig20" then
+    fig20_21 Insert "fig20" "Figure 20: insert propagation, all XMark views";
+  if wanted "fig21" then
+    fig20_21 Delete "fig21" "Figure 21: delete propagation, all XMark views";
   if wanted "fig22" then fig22_23 ();
   if wanted "fig24" then fig24 ();
   if wanted "fig25" then fig25 ();
-  if wanted "fig26" then fig26_27 Insert "Figure 26: PINT/PIMT vs full recomputation";
-  if wanted "fig27" then fig26_27 Delete "Figure 27: PDDT/PDMT vs full recomputation";
+  if wanted "fig26" then
+    fig26_27 Insert "fig26" "Figure 26: PINT/PIMT vs full recomputation";
+  if wanted "fig27" then
+    fig26_27 Delete "fig27" "Figure 27: PDDT/PDMT vs full recomputation";
   if wanted "fig28" then fig28 ();
   if wanted "fig29" then fig29_32 ();
   if wanted "fig33" then fig33_35 ();
@@ -574,5 +891,7 @@ let () =
     ablation_advisor ();
     ablation_deferred ()
   end;
+  if wanted "joinab" then join_ab ();
   if (not skip_micro) && wanted "micro" then micro ();
+  write_results ();
   print_newline ()

@@ -19,6 +19,7 @@ let of_roots roots =
   Array.of_list (List.rev !keep)
 
 let is_empty t = Array.length t = 0
+let roots t = t
 
 (* Greatest root ≤ id in document order, if any. *)
 let predecessor t id =

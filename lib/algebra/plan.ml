@@ -15,6 +15,36 @@ let entries_matching store pat i =
   end
   else Store.relation store tag
 
+(* Region-pruned variant: only the slices of the canonical relations lying
+   inside the region's subtrees, extracted by binary search instead of a
+   full scan. Region roots are disjoint and document-ordered, so the
+   per-root spans concatenate back into document order. *)
+let region_slices store label region =
+  let roots = Id_region.roots region in
+  match Array.length roots with
+  | 0 -> [||]
+  | 1 -> Store.relation_span store label ~root:roots.(0)
+  | _ ->
+    Array.concat
+      (Array.to_list
+         (Array.map (fun r -> Store.relation_span store label ~root:r) roots))
+
+let entries_in_region store pat i region =
+  let tag = pat.Pattern.tags.(i) in
+  if tag = "*" then begin
+    let all =
+      List.concat_map
+        (fun label ->
+          if String.length label > 0 && (label.[0] = '@' || label.[0] = '#') then []
+          else Array.to_list (region_slices store label region))
+        (Store.relation_labels store)
+    in
+    let arr = Array.of_list all in
+    Array.sort (fun a b -> Dewey.compare a.Store.id b.Store.id) arr;
+    arr
+  end
+  else region_slices store tag region
+
 let root_anchor_ok pat i id =
   i <> 0 || pat.Pattern.axes.(0) = Pattern.Descendant || Dewey.depth id = 1
 
@@ -28,7 +58,8 @@ let atom_of_store store pat i =
     | Some c -> Xml_tree.string_value e.Store.node = c
   in
   let selected = Array.of_seq (Seq.filter keep (Array.to_seq entries)) in
-  Tuple_table.of_ids ~node:i (Array.map (fun e -> e.Store.id) selected)
+  (* Canonical relations are in document order; selection preserves it. *)
+  Tuple_table.of_ids ~sorted:true ~node:i (Array.map (fun e -> e.Store.id) selected)
 
 (* Columns an evaluation of the subtree at [j] would produce. *)
 let rec subtree_cols pat ~within j =
@@ -48,10 +79,18 @@ let rec eval_subtree pat ~atom ~within ~root =
           table :=
             Tuple_table.create
               ~cols:
-                (Array.append !table.Tuple_table.cols
+                (Array.append
+                   (Tuple_table.cols !table)
                    (Array.of_list (subtree_cols pat ~within j)))
         else begin
           let sub = eval_subtree pat ~atom ~within ~root:j in
+          (* Both operands are owned by this evaluation (atoms are fresh
+             single-column tables, sub-results fresh join outputs), so
+             in-place sorting is safe; the sorts are no-ops whenever the
+             metadata already proves document order — atoms and the first
+             join per subtree take the merge path with no sort at all. *)
+          Tuple_table.sort_by_node !table root;
+          Tuple_table.sort_by_node sub j;
           table :=
             Struct_join.join !table sub ~parent:root ~child:j
               ~axis:pat.Pattern.axes.(j)

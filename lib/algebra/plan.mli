@@ -8,6 +8,14 @@
     before value selection. *)
 val entries_matching : Store.t -> Pattern.t -> int -> Store.entry array
 
+(** [entries_in_region store pat i region] is the subset of
+    [entries_matching store pat i] lying inside [region], in document
+    order — extracted with binary-search relation spans
+    ({!Store.relation_span}) per region root instead of a full scan, so
+    the cost is O(roots × log |R| + output) per relation. *)
+val entries_in_region :
+  Store.t -> Pattern.t -> int -> Id_region.t -> Store.entry array
+
 (** [root_anchor_ok pat i id]: when the pattern root uses the [Child]
     axis, only the document root (depth 1) may bind to node [0]; always
     true for other nodes. Used when building atoms and delta tables. *)

@@ -1,31 +1,126 @@
-type t = { cols : int array; mutable rows : Dewey.t array array }
+type t = {
+  tcols : int array;
+  mutable buf : Dewey.t array array; (* capacity = Array.length buf *)
+  mutable len : int;
+  mutable sorted : int option; (* column in non-decreasing document order *)
+}
 
-let create ~cols = { cols; rows = [||] }
-let of_rows ~cols rows = { cols; rows }
+let dummy_row : Dewey.t array = [||]
 
-let of_ids ~node ids = { cols = [| node |]; rows = Array.map (fun id -> [| id |]) ids }
+let create ~cols = { tcols = cols; buf = [||]; len = 0; sorted = None }
 
-let length t = Array.length t.rows
-let is_empty t = Array.length t.rows = 0
+let of_rows ?sorted_by ~cols rows =
+  { tcols = cols; buf = rows; len = Array.length rows; sorted = sorted_by }
+
+let of_ids ?(sorted = false) ~node ids =
+  {
+    tcols = [| node |];
+    buf = Array.map (fun id -> [| id |]) ids;
+    len = Array.length ids;
+    sorted = (if sorted then Some node else None);
+  }
+
+let length t = t.len
+let is_empty t = t.len = 0
+let cols t = t.tcols
+
+let rows t =
+  if Array.length t.buf <> t.len then t.buf <- Array.sub t.buf 0 t.len;
+  t.buf
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Tuple_table.get";
+  t.buf.(i)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.buf.(i)
+  done
 
 let col_pos t node =
-  let n = Array.length t.cols in
+  let n = Array.length t.tcols in
   let rec go i =
-    if i >= n then raise Not_found else if t.cols.(i) = node then i else go (i + 1)
+    if i >= n then raise Not_found else if t.tcols.(i) = node then i else go (i + 1)
   in
   go 0
 
-let append_row t row = t.rows <- Array.append t.rows [| row |]
-let append_rows t rows = t.rows <- Array.append t.rows rows
+let sorted_by t = t.sorted
+let sorted_on t node = t.len <= 1 || t.sorted = Some node
+let mark_sorted_by t node = t.sorted <- Some node
+
+let ensure_capacity t extra =
+  let need = t.len + extra in
+  let cap = Array.length t.buf in
+  if need > cap then begin
+    let cap' = max need (max 8 (2 * cap)) in
+    let buf = Array.make cap' dummy_row in
+    Array.blit t.buf 0 buf 0 t.len;
+    t.buf <- buf
+  end
+
+(* Appends keep the metadata honest with one comparison per boundary: the
+   incoming row must not sort before the current last one. *)
+let still_sorted_after t row =
+  match t.sorted with
+  | None -> None
+  | Some c ->
+    if t.len = 0 then Some c
+    else begin
+      let p = col_pos t c in
+      if Dewey.compare t.buf.(t.len - 1).(p) row.(p) <= 0 then Some c else None
+    end
+
+let append_row t row =
+  t.sorted <- still_sorted_after t row;
+  ensure_capacity t 1;
+  t.buf.(t.len) <- row;
+  t.len <- t.len + 1
+
+let append_rows t rows =
+  let n = Array.length rows in
+  if n > 0 then begin
+    (match t.sorted with
+    | None -> ()
+    | Some c ->
+      let p = col_pos t c in
+      let ok = ref (t.len = 0 || Dewey.compare t.buf.(t.len - 1).(p) rows.(0).(p) <= 0) in
+      let i = ref 1 in
+      while !ok && !i < n do
+        if Dewey.compare rows.(!i - 1).(p) rows.(!i).(p) > 0 then ok := false;
+        incr i
+      done;
+      if not !ok then t.sorted <- None);
+    ensure_capacity t n;
+    Array.blit rows 0 t.buf t.len n;
+    t.len <- t.len + n
+  end
 
 let filter t keep =
-  if not (Array.for_all keep t.rows) then
-    t.rows <- Array.of_seq (Seq.filter keep (Array.to_seq t.rows))
+  let k = ref 0 in
+  for i = 0 to t.len - 1 do
+    let row = t.buf.(i) in
+    if keep row then begin
+      t.buf.(!k) <- row;
+      incr k
+    end
+  done;
+  if !k < t.len then begin
+    Array.fill t.buf !k (t.len - !k) dummy_row;
+    t.len <- !k
+  end
 
 let sort_by_node t node =
   let pos = col_pos t node in
-  let rows = Array.copy t.rows in
-  Array.sort (fun a b -> Dewey.compare a.(pos) b.(pos)) rows;
-  t.rows <- rows
+  if not (sorted_on t node) then begin
+    let r = rows t in
+    Array.sort (fun a b -> Dewey.compare a.(pos) b.(pos)) r
+  end;
+  t.sorted <- Some node
 
-let copy t = { cols = Array.copy t.cols; rows = Array.copy t.rows }
+let copy t =
+  {
+    tcols = t.tcols;
+    buf = Array.sub t.buf 0 t.len;
+    len = t.len;
+    sorted = t.sorted;
+  }

@@ -1,31 +1,76 @@
 (** Tuple tables: the intermediate results of the algebraic evaluation.
 
     A table binds a fixed set of pattern-node indices (its columns) to
-    structural identifiers; every row is one partial embedding. *)
+    structural identifiers; every row is one partial embedding. Rows live
+    in an amortized growable buffer, so repeated {!append_row} calls are
+    O(1) amortized rather than O(rows).
 
-type t = { cols : int array; mutable rows : Dewey.t array array }
+    Each table tracks {e sortedness metadata}: the column (if any) whose
+    identifiers are known to be in non-decreasing document order. The
+    physical operators use it to pick a sort-merge structural join over
+    the hash fallback and to skip redundant sorts. *)
 
+type t
+
+(** [create ~cols] is an empty table over [cols]. *)
 val create : cols:int array -> t
-val of_rows : cols:int array -> Dewey.t array array -> t
 
-(** Single-column table over pattern node [node]. *)
-val of_ids : node:int -> Dewey.t array -> t
+(** [of_rows ?sorted_by ~cols rows] wraps [rows] (taking ownership of the
+    array). [sorted_by] asserts that the rows are already in document
+    order of that column. *)
+val of_rows : ?sorted_by:int -> cols:int array -> Dewey.t array array -> t
+
+(** Single-column table over pattern node [node]. [sorted] asserts the
+    ids are already in document order (e.g. a canonical-relation scan). *)
+val of_ids : ?sorted:bool -> node:int -> Dewey.t array -> t
 
 val length : t -> int
 val is_empty : t -> bool
+
+(** Column set, in construction order. Do not mutate. *)
+val cols : t -> int array
+
+(** Snapshot of the rows as a plain array (compacted in place, O(1) when
+    the buffer has no slack). Do not mutate. *)
+val rows : t -> Dewey.t array array
+
+(** [get t i] is row [i]. *)
+val get : t -> int -> Dewey.t array
+
+val iter : (Dewey.t array -> unit) -> t -> unit
 
 (** [col_pos t node] is the row offset of pattern node [node].
     @raise Not_found if the node is not a column. *)
 val col_pos : t -> int -> int
 
+(** {1 Sortedness metadata} *)
+
+(** The column whose identifiers are known to be in document order, if
+    any. Kept up to date by {!append_row}/{!append_rows} (checked against
+    the incoming rows), preserved by {!filter}, set by {!sort_by_node}. *)
+val sorted_by : t -> int option
+
+(** [sorted_on t node]: the rows are known to be in document order of
+    column [node] (trivially true for tables of at most one row). *)
+val sorted_on : t -> int -> bool
+
+(** [mark_sorted_by t node] records that the rows are in document order
+    of column [node]. Caller-asserted: used by operators whose
+    construction guarantees the order (e.g. a merge join emitting in
+    right-input order). *)
+val mark_sorted_by : t -> int -> unit
+
+(** {1 Mutation} *)
+
 val append_row : t -> Dewey.t array -> unit
 val append_rows : t -> Dewey.t array array -> unit
 
-(** [filter t keep] drops rows not satisfying [keep], in place. *)
+(** [filter t keep] drops rows not satisfying [keep], in place, in one
+    pass. Sortedness is preserved. *)
 val filter : t -> (Dewey.t array -> bool) -> unit
 
 (** [sort_by_node t node] sorts rows by document order of the [node]
-    column. *)
+    column; a no-op when the metadata already proves the order. *)
 val sort_by_node : t -> int -> unit
 
 val copy : t -> t

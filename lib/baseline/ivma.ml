@@ -25,7 +25,7 @@ let eval_with_fixed mv ~fixed ~id ~extra ~excluded =
         Array.of_seq
           (Seq.filter
              (fun row -> not (Hashtbl.mem excluded (Dewey.encode row.(0))))
-             (Array.to_seq base.Tuple_table.rows))
+             (Array.to_seq (Tuple_table.rows base)))
       in
       let extra_rows =
         List.filter_map
@@ -83,7 +83,7 @@ let propagate mv u =
                     eval_with_fixed mv ~fixed:i ~id ~extra:!processed
                       ~excluded:no_excluded
                   in
-                  Array.iter
+                  Tuple_table.iter
                     (fun row ->
                       let key = binding_key pat t row in
                       if not (Hashtbl.mem seen key) then begin
@@ -92,7 +92,7 @@ let propagate mv u =
                             row.(Tuple_table.col_pos t j));
                         incr added
                       end)
-                    t.Tuple_table.rows
+                    t
                 end
               done;
               processed := (id, node) :: !processed)
@@ -124,7 +124,7 @@ let propagate mv u =
                   let t =
                     eval_with_fixed mv ~fixed:i ~id ~extra:[] ~excluded:removed
                   in
-                  Array.iter
+                  Tuple_table.iter
                     (fun row ->
                       let key = binding_key pat t row in
                       if not (Hashtbl.mem seen key) then begin
@@ -133,7 +133,7 @@ let propagate mv u =
                             row.(Tuple_table.col_pos t j));
                         incr removed_count
                       end)
-                    t.Tuple_table.rows
+                    t
                 end
               done;
               Hashtbl.replace removed (Dewey.encode id) ())

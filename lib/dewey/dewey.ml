@@ -65,22 +65,47 @@ let has_ancestor_label ?(self = false) t ~lab =
   let rec go i = i < stop && (t.(i).lab = lab || go (i + 1)) in
   go 0
 
-let step_equal a b = a.lab = b.lab && a.ord = b.ord
-
-let compare a b =
-  let la = Array.length a and lb = Array.length b in
-  let rec go i =
-    if i >= la && i >= lb then 0
-    else if i >= la then -1
-    else if i >= lb then 1
-    else
-      let c = Ord.compare a.(i).ord b.(i).ord in
-      if c <> 0 then c
-      else
-        let c = Stdlib.compare a.(i).lab b.(i).lab in
-        if c <> 0 then c else go (i + 1)
-  in
+(* [a.ord = b.ord] would be a generic structural-equality call on every
+   step; ordinals sit on the hot path of every structural predicate, so
+   compare them as int arrays directly. *)
+let ord_equal (a : int array) (b : int array) =
+  let n = Array.length a in
+  n = Array.length b
+  &&
+  let rec go i = i >= n || (a.(i) = b.(i) && go (i + 1)) in
   go 0
+
+let step_equal a b = a.lab = b.lab && ord_equal a.ord b.ord
+
+(* Document-order comparison is the single hottest operation in the
+   system (sorting relations, merge joins, region spans), so the step
+   and ordinal loops are fused into one with direct int comparisons. *)
+let compare (a : t) (b : t) =
+  if a == b then 0
+  else begin
+    let la = Array.length a and lb = Array.length b in
+    let n = if la < lb then la else lb in
+    let rec go i =
+      if i >= n then Stdlib.compare (la : int) lb
+      else begin
+        let sa = Array.unsafe_get a i and sb = Array.unsafe_get b i in
+        let oa = sa.ord and ob = sb.ord in
+        let loa = Array.length oa and lob = Array.length ob in
+        let m = if loa < lob then loa else lob in
+        let rec gord j =
+          if j >= m then
+            if loa <> lob then (if loa < lob then -1 else 1)
+            else if sa.lab <> sb.lab then (if sa.lab < sb.lab then -1 else 1)
+            else go (i + 1)
+          else
+            let x = Array.unsafe_get oa j and y = Array.unsafe_get ob j in
+            if x < y then -1 else if x > y then 1 else gord (j + 1)
+        in
+        gord 0
+      end
+    in
+    go 0
+  end
 
 let equal a b = Array.length a = Array.length b && Array.for_all2 step_equal a b
 
@@ -100,14 +125,21 @@ let hash t = prefix_hash t (Array.length t)
 let prefix_equal a ka b kb =
   ka = kb
   &&
-  let rec go i = i >= ka || ((a.(i).lab = b.(i).lab && a.(i).ord = b.(i).ord) && go (i + 1)) in
+  let rec go i = i >= ka || (step_equal a.(i) b.(i) && go (i + 1)) in
   go 0
 
 let is_prefix a d =
+  a == d
+  ||
   let la = Array.length a in
   la <= Array.length d
   &&
-  let rec go i = i >= la || (step_equal a.(i) d.(i) && go (i + 1)) in
+  let rec go i =
+    i >= la
+    ||
+    let sa = Array.unsafe_get a i and sd = Array.unsafe_get d i in
+    sa.lab = sd.lab && ord_equal sa.ord sd.ord && go (i + 1)
+  in
   go 0
 
 let is_parent p c = Array.length c = Array.length p + 1 && is_prefix p c

@@ -121,6 +121,35 @@ let relation t label =
   | Some code -> (
     match Hashtbl.find_opt t.rels code with None -> [||] | Some r -> r.sorted)
 
+(* Subtrees are contiguous document-order intervals, so the entries of a
+   sorted relation lying under [root] form one block: binary-search its
+   two endpoints instead of scanning the relation. *)
+let relation_span t label ~root =
+  match Label_dict.find t.dict label with
+  | None -> [||]
+  | Some code -> (
+    match Hashtbl.find_opt t.rels code with
+    | None -> [||]
+    | Some r ->
+      let arr = r.sorted in
+      let n = Array.length arr in
+      (* First index with id >= root. *)
+      let lo = ref 0 and hi = ref n in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if Dewey.compare arr.(mid).id root < 0 then lo := mid + 1 else hi := mid
+      done;
+      let start = !lo in
+      (* First index past the subtree: id > root and not below it. *)
+      let lo = ref start and hi = ref n in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if Dewey.is_ancestor_or_self root arr.(mid).id then lo := mid + 1
+        else hi := mid
+      done;
+      let stop = !lo in
+      if stop <= start then [||] else Array.sub arr start (stop - start))
+
 let relation_labels t =
   Hashtbl.fold
     (fun code r acc ->
@@ -256,8 +285,18 @@ let commit t =
         match Hashtbl.find_opt t.rels lab with
         | None -> ()
         | Some r ->
-          let live e = Hashtbl.mem t.ids e.node.Xml_tree.serial in
-          if not (Array.for_all live r.sorted) then
-            r.sorted <- Array.of_seq (Seq.filter live (Array.to_seq r.sorted)))
+          (* Single pass: compact live entries toward the front in place,
+             then truncate — no pre-scan, no Seq allocation. *)
+          let arr = r.sorted in
+          let n = Array.length arr in
+          let k = ref 0 in
+          for i = 0 to n - 1 do
+            let e = arr.(i) in
+            if Hashtbl.mem t.ids e.node.Xml_tree.serial then begin
+              if !k < i then arr.(!k) <- e;
+              incr k
+            end
+          done;
+          if !k < n then r.sorted <- Array.sub arr 0 !k)
       touched
   end

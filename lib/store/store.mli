@@ -40,6 +40,12 @@ val node_of : t -> Dewey.t -> Xml_tree.node option
     sorted in document order. Returns [||] for unseen labels. *)
 val relation : t -> string -> entry array
 
+(** [relation_span store label ~root] is the contiguous block of
+    [relation store label] lying inside the subtree rooted at [root]
+    (descendants-or-self), located by binary search on the two interval
+    endpoints: O(log |R| + output) instead of a full relation scan. *)
+val relation_span : t -> string -> root:Dewey.t -> entry array
+
 (** Labels having a non-empty committed relation. *)
 val relation_labels : t -> string list
 

@@ -23,7 +23,7 @@ let build_tables pat pairs =
       in
       let arr = Array.of_list matching in
       Array.sort Dewey.compare arr;
-      Tuple_table.of_ids ~node:i arr)
+      Tuple_table.of_ids ~sorted:true ~node:i arr)
 
 let of_insert store pat (applied : Update.applied_insert) =
   let pairs = ref [] in
@@ -44,24 +44,25 @@ let of_insert store pat (applied : Update.applied_insert) =
 
 (* Δ⁻ extraction is set-oriented: the deleted [l]-nodes are exactly the
    entries of the (pre-update) canonical relation R_l lying inside the
-   deleted region, so each table is one filtered relation scan instead of
-   a walk over every deleted node. *)
+   deleted region. Each table is built from the region's binary-searched
+   relation spans, so the cost is bounded by the update's subtree — not
+   the size of the label relation. *)
 let of_delete store pat (applied : Update.applied_delete) =
   let region = Id_region.of_roots applied.Update.roots in
   let k = Pattern.node_count pat in
   let tables =
     Array.init k (fun i ->
-        let entries = Plan.entries_matching store pat i in
+        let entries = Plan.entries_in_region store pat i region in
         let matching = ref [] in
         Array.iter
           (fun e ->
             if
-              Id_region.mem region e.Store.id
-              && Pattern.vpred_holds pat i e.Store.node
+              Pattern.vpred_holds pat i e.Store.node
               && Plan.root_anchor_ok pat i e.Store.id
             then matching := e.Store.id :: !matching)
           entries;
-        Tuple_table.of_ids ~node:i (Array.of_list (List.rev !matching)))
+        Tuple_table.of_ids ~sorted:true ~node:i
+          (Array.of_list (List.rev !matching)))
   in
   { tables; region; target_ids = applied.Update.roots }
 

@@ -143,7 +143,7 @@ let term_survives mv (delta : Delta.t) ~scope ~kind s =
                    survives iff it is a strict ancestor of the node's
                    deletion root. *)
                 let region = delta.Delta.region in
-                let rows = delta.Delta.tables.(j).Tuple_table.rows in
+                let rows = Tuple_table.rows delta.Delta.tables.(j) in
                 match pat.Pattern.axes.(j) with
                 | Pattern.Descendant ->
                   Array.exists
@@ -271,7 +271,9 @@ let align_rows table ~to_cols =
   if Tuple_table.is_empty table then [||]
   else begin
     let positions = Array.map (fun c -> Tuple_table.col_pos table c) to_cols in
-    Array.map (fun row -> Array.map (fun p -> row.(p)) positions) table.Tuple_table.rows
+    Array.map
+      (fun row -> Array.map (fun p -> row.(p)) positions)
+      (Tuple_table.rows table)
   end
 
 (* Prop 3.13: each materialized snowcap is maintained from smaller
@@ -290,7 +292,7 @@ let maintain_mats_insert mv delta =
           List.concat_map
             (fun s ->
               let t = eval_term mv delta ~scope ~s_set:s ~survivors_only:false in
-              Array.to_list (align_rows t ~to_cols:table.Tuple_table.cols))
+              Array.to_list (align_rows t ~to_cols:(Tuple_table.cols table)))
             terms
         in
         (table, rows))
@@ -385,11 +387,11 @@ let propagate_applied ?(commit = true) ?(watches = []) ?(prune = true) mv applie
         List.iter
           (fun s ->
             let t = eval_term mv delta ~scope ~s_set:s ~survivors_only:false in
-            Array.iter
+            Tuple_table.iter
               (fun row ->
                 Mview.add_binding mv (fun i -> row.(Tuple_table.col_pos t i));
                 incr added)
-              t.Tuple_table.rows)
+              t)
           terms;
         modified := pimt mv app);
     Timing.timed b set_aux (fun () ->
@@ -421,11 +423,11 @@ let propagate_applied ?(commit = true) ?(watches = []) ?(prune = true) mv applie
         List.iter
           (fun s ->
             let t = eval_term mv delta ~scope ~s_set:s ~survivors_only:true in
-            Array.iter
+            Tuple_table.iter
               (fun row ->
                 Mview.remove_binding mv (fun i -> row.(Tuple_table.col_pos t i));
                 incr removed)
-              t.Tuple_table.rows)
+              t)
           terms;
         modified := pdmt mv app);
     Timing.timed b set_aux (fun () ->

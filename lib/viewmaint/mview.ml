@@ -99,7 +99,7 @@ let populate mv =
   let pat = mv.pat and store = mv.store in
   let full = Plan.eval store pat in
   let positions = Array.map (fun i -> Tuple_table.col_pos full i) mv.stored in
-  Array.iter
+  Tuple_table.iter
     (fun row ->
       (* [get] is only consulted on stored nodes. *)
       let get i =
@@ -107,7 +107,7 @@ let populate mv =
         find 0
       in
       add_binding mv get)
-    full.Tuple_table.rows;
+    full;
   populate_mats mv
 
 let materialize ?(policy = Snowcaps) store pat =

@@ -254,7 +254,36 @@ and matches_from node path =
 
 (* When context nodes nest (e.g. after a descendant step), depth-first
    expansion is not globally document-ordered, so [eval] sorts its final
-   result by a preorder rank computed in one walk. *)
+   result. Rather than ranking the whole document (O(document) per query,
+   however small the result), each result gets a root-path signature of
+   sibling positions; lexicographic order on signatures is preorder, and
+   an ancestor's signature is a strict prefix of its descendants'. Cost
+   is O(results × (depth + fanout on the path)). *)
+
+let path_signature n =
+  let rec up n acc =
+    match n.Xml_tree.parent with
+    | None -> acc
+    | Some p ->
+      let rec index i = function
+        | [] -> invalid_arg "Xpath: node missing from its parent"
+        | c :: rest -> if c == n then i else index (i + 1) rest
+      in
+      up p (index 0 p.Xml_tree.children :: acc)
+  in
+  Array.of_list (up n [])
+
+let signature_compare a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i =
+    if i >= la && i >= lb then 0
+    else if i >= la then -1
+    else if i >= lb then 1
+    else
+      let c = Stdlib.compare (a.(i) : int) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
 
 let eval root path =
   let results =
@@ -289,20 +318,10 @@ let eval root path =
         ctx0;
       List.rev !out
   in
-  (* Sort into document order with one preorder walk. *)
+  (* Sort into document order by root-path signature. *)
   match results with
   | [] | [ _ ] -> results
   | _ ->
-    let rank = Hashtbl.create 1024 in
-    let counter = ref 0 in
-    Xml_tree.iter
-      (fun n ->
-        Hashtbl.replace rank n.Xml_tree.serial !counter;
-        incr counter)
-      root;
-    List.sort
-      (fun a b ->
-        Stdlib.compare
-          (Hashtbl.find rank a.Xml_tree.serial)
-          (Hashtbl.find rank b.Xml_tree.serial))
-      results
+    List.map (fun n -> (path_signature n, n)) results
+    |> List.sort (fun (a, _) (b, _) -> signature_compare a b)
+    |> List.map snd

@@ -30,7 +30,10 @@ let naive_join left right ~ppos ~cpos ~axis =
 
 let join_result t =
   List.sort compare
-    (Array.to_list (Array.map (fun r -> Array.to_list (Array.map Dewey.encode r)) t.Tuple_table.rows))
+    (Array.to_list
+       (Array.map
+          (fun r -> Array.to_list (Array.map Dewey.encode r))
+          (Tuple_table.rows t)))
 
 let test_join_fixture () =
   let s = fixture () in
@@ -40,10 +43,12 @@ let test_join_fixture () =
   let joined_child = Struct_join.join c b ~parent:0 ~child:1 ~axis:Pattern.Child in
   Alcotest.(check int) "c parent of b pairs" 3 (Tuple_table.length joined_child);
   Alcotest.(check (list (list string))) "same as naive"
-    (naive_join c.Tuple_table.rows b.Tuple_table.rows ~ppos:0 ~cpos:0
+    (naive_join (Tuple_table.rows c) (Tuple_table.rows b) ~ppos:0 ~cpos:0
        ~axis:Pattern.Descendant)
     (join_result joined)
 
+(* Atoms are sorted canonical-relation scans, so this drives the
+   sort-merge path of the dispatching join on both axes. *)
 let test_join_random =
   Tutil.qtest ~count:200 "structural join = nested loop"
     (QCheck.triple Tutil.arb_doc
@@ -55,9 +60,81 @@ let test_join_random =
         Pattern.compile ~name:"j" (Pattern.n l1 ~id:true [ Pattern.n ~axis l2 ~id:true [] ])
       in
       let left = atom store pat 0 and right = atom store pat 1 in
+      Tuple_table.sorted_on left 0
+      && Tuple_table.sorted_on right 1
+      &&
       let joined = Struct_join.join left right ~parent:0 ~child:1 ~axis in
       join_result joined
-      = naive_join left.Tuple_table.rows right.Tuple_table.rows ~ppos:0 ~cpos:0 ~axis)
+      = naive_join (Tuple_table.rows left) (Tuple_table.rows right) ~ppos:0 ~cpos:0
+          ~axis)
+
+(* Both physical implementations against the oracle on the same inputs,
+   including the hash join on shuffled (unsorted) inputs. *)
+let test_join_impls_random =
+  Tutil.qtest ~count:200 "merge join = hash join = nested loop"
+    (QCheck.triple Tutil.arb_doc
+       (QCheck.oneofl [ Pattern.Child; Pattern.Descendant ])
+       (QCheck.pair (QCheck.oneofa Tutil.labels) (QCheck.oneofa Tutil.labels)))
+    (fun (d, axis, (l1, l2)) ->
+      let store = Store.of_document d in
+      let pat =
+        Pattern.compile ~name:"j" (Pattern.n l1 ~id:true [ Pattern.n ~axis l2 ~id:true [] ])
+      in
+      let left = atom store pat 0 and right = atom store pat 1 in
+      let oracle =
+        naive_join (Tuple_table.rows left) (Tuple_table.rows right) ~ppos:0 ~cpos:0
+          ~axis
+      in
+      let merged = Struct_join.merge_join left right ~parent:0 ~child:1 ~axis in
+      let shuffle t =
+        let rows = Array.copy (Tuple_table.rows t) in
+        let n = Array.length rows in
+        for i = n - 1 downto 1 do
+          let j = (i * 7919 + 13) mod (i + 1) in
+          let tmp = rows.(i) in
+          rows.(i) <- rows.(j);
+          rows.(j) <- tmp
+        done;
+        Tuple_table.of_rows ~cols:(Tuple_table.cols t) rows
+      in
+      let sl = shuffle left and sr = shuffle right in
+      let hashed = Struct_join.hash_join sl sr ~parent:0 ~child:1 ~axis in
+      (* The dispatcher must not take the merge path on unsorted inputs of
+         more than one row (their metadata is unknown). *)
+      let dispatched = Struct_join.join sl sr ~parent:0 ~child:1 ~axis in
+      join_result merged = oracle
+      && join_result hashed = oracle
+      && join_result dispatched = oracle)
+
+(* Regression: output column order is left-columns-then-right-columns and
+   the merge output is sorted on the child column. *)
+let test_join_column_order () =
+  let s = fixture () in
+  let pat =
+    Pattern.compile ~name:"p"
+      (Pattern.n "a" ~id:true [ Pattern.n "c" ~id:true [ Pattern.n "b" ~id:true [] ] ])
+  in
+  let ac =
+    Struct_join.join (atom s pat 0) (atom s pat 1) ~parent:0 ~child:1
+      ~axis:Pattern.Descendant
+  in
+  Alcotest.(check (list int)) "two-way cols" [ 0; 1 ]
+    (Array.to_list (Tuple_table.cols ac));
+  let acb =
+    Struct_join.join ac (atom s pat 2) ~parent:1 ~child:2 ~axis:Pattern.Descendant
+  in
+  Alcotest.(check (list int)) "three-way cols" [ 0; 1; 2 ]
+    (Array.to_list (Tuple_table.cols acb));
+  Alcotest.(check bool) "merge output sorted on child" true
+    (Tuple_table.sorted_by ac = Some 1);
+  (* Rows bind each column to a node of the matching label. *)
+  let dict = Store.dict s in
+  Tuple_table.iter
+    (fun row ->
+      let lab p = Label_dict.label dict (Dewey.label row.(p)) in
+      Alcotest.(check (list string)) "row labels follow cols" [ "a"; "c"; "b" ]
+        [ lab 0; lab 1; lab 2 ])
+    acb
 
 let test_tuple_table () =
   let t = Tuple_table.of_ids ~node:7 [| Dewey.root ~lab:1 |] in
@@ -68,6 +145,40 @@ let test_tuple_table () =
   Tuple_table.filter t (fun _ -> false);
   Alcotest.(check bool) "filter empties" true (Tuple_table.is_empty t)
 
+let test_append_growth () =
+  let a = Dewey.root ~lab:0 in
+  let kids = Array.init 100 (fun i -> Dewey.child a ~lab:1 ~ord:[| i + 1 |]) in
+  let t = Tuple_table.create ~cols:[| 3 |] in
+  Array.iter (fun id -> Tuple_table.append_row t [| id |]) kids;
+  Alcotest.(check int) "appended length" 100 (Tuple_table.length t);
+  Alcotest.(check bool) "rows snapshot exact" true
+    (Array.length (Tuple_table.rows t) = 100);
+  Tuple_table.append_rows t (Array.map (fun id -> [| id |]) kids);
+  Alcotest.(check int) "bulk appended" 200 (Tuple_table.length t);
+  Alcotest.(check bool) "row content survives growth" true
+    (Dewey.equal (Tuple_table.get t 0).(0) kids.(0)
+    && Dewey.equal (Tuple_table.get t 99).(0) kids.(99)
+    && Dewey.equal (Tuple_table.get t 100).(0) kids.(0))
+
+let test_sortedness_metadata () =
+  let a = Dewey.root ~lab:0 in
+  let k i = Dewey.child a ~lab:1 ~ord:[| i |] in
+  let t = Tuple_table.of_ids ~sorted:true ~node:0 [| k 1; k 2 |] in
+  Alcotest.(check bool) "declared sorted" true (Tuple_table.sorted_on t 0);
+  Tuple_table.append_row t [| k 5 |];
+  Alcotest.(check bool) "in-order append keeps metadata" true
+    (Tuple_table.sorted_by t = Some 0);
+  Tuple_table.append_row t [| k 3 |];
+  Alcotest.(check bool) "out-of-order append drops metadata" true
+    (Tuple_table.sorted_by t = None);
+  Tuple_table.sort_by_node t 0;
+  Alcotest.(check bool) "sort restores metadata" true
+    (Tuple_table.sorted_by t = Some 0);
+  Tuple_table.filter t (fun row -> not (Dewey.equal row.(0) (k 2)));
+  Alcotest.(check bool) "filter keeps metadata" true
+    (Tuple_table.sorted_by t = Some 0);
+  Alcotest.(check int) "filter in place" 3 (Tuple_table.length t)
+
 let test_sort_by_node () =
   let a = Dewey.root ~lab:0 in
   let b = Dewey.child a ~lab:1 ~ord:[| 1 |] in
@@ -75,9 +186,9 @@ let test_sort_by_node () =
   let t = Tuple_table.of_ids ~node:0 [| c; a; b |] in
   Tuple_table.sort_by_node t 0;
   Alcotest.(check bool) "sorted" true
-    (Dewey.equal t.Tuple_table.rows.(0).(0) a
-    && Dewey.equal t.Tuple_table.rows.(1).(0) b
-    && Dewey.equal t.Tuple_table.rows.(2).(0) c)
+    (Dewey.equal (Tuple_table.get t 0).(0) a
+    && Dewey.equal (Tuple_table.get t 1).(0) b
+    && Dewey.equal (Tuple_table.get t 2).(0) c)
 
 let test_id_region () =
   let a = Dewey.root ~lab:0 in
@@ -94,7 +205,55 @@ let test_id_region () =
   Alcotest.(check bool) "strictly inside descendant" true
     (Id_region.strictly_inside region c);
   Alcotest.(check bool) "empty region" true
-    (Id_region.is_empty (Id_region.of_roots []) && not (Id_region.mem (Id_region.of_roots []) a))
+    (Id_region.is_empty (Id_region.of_roots []) && not (Id_region.mem (Id_region.of_roots []) a));
+  Alcotest.(check int) "nested roots normalize" 1
+    (Array.length (Id_region.roots (Id_region.of_roots [ b; c ])))
+
+(* Region-pruned relation spans against the naive full-scan filter. *)
+let test_relation_span () =
+  let s = fixture () in
+  let all_b = Store.relation s "b" in
+  let c_roots = Array.map (fun e -> e.Store.id) (Store.relation s "c") in
+  Array.iter
+    (fun root ->
+      let span = Store.relation_span s "b" ~root in
+      let naive =
+        Array.of_seq
+          (Seq.filter
+             (fun e -> Dewey.is_ancestor_or_self root e.Store.id)
+             (Array.to_seq all_b))
+      in
+      Alcotest.(check (list string)) "span = filtered scan"
+        (Array.to_list (Array.map (fun e -> Dewey.encode e.Store.id) naive))
+        (Array.to_list (Array.map (fun e -> Dewey.encode e.Store.id) span)))
+    c_roots;
+  Alcotest.(check int) "span of unknown label" 0
+    (Array.length (Store.relation_span s "zzz" ~root:c_roots.(0)))
+
+let test_region_scan_random =
+  Tutil.qtest ~count:200 "region-pruned scan = filtered full scan"
+    (QCheck.pair Tutil.arb_doc (QCheck.pair (QCheck.oneofa Tutil.labels) QCheck.small_int))
+    (fun (d, (target, pick)) ->
+      let store = Store.of_document d in
+      let pat = Pattern.compile ~name:"r" (Pattern.n target ~id:true []) in
+      (* Region: a pseudo-random subset of the document's element nodes. *)
+      let all = Plan.entries_matching store pat 0 in
+      let every = max 1 ((pick mod 3) + 1) in
+      let roots = ref [] in
+      Array.iteri
+        (fun i e -> if i mod every = 0 then roots := e.Store.id :: !roots)
+        (Store.relation store "a");
+      Array.iteri
+        (fun i e -> if i mod 2 = 0 then roots := e.Store.id :: !roots)
+        (Store.relation store "c");
+      let region = Id_region.of_roots !roots in
+      let pruned = Plan.entries_in_region store pat 0 region in
+      let naive =
+        Array.of_seq
+          (Seq.filter (fun e -> Id_region.mem region e.Store.id) (Array.to_seq all))
+      in
+      Array.to_list (Array.map (fun e -> Dewey.encode e.Store.id) pruned)
+      = Array.to_list (Array.map (fun e -> Dewey.encode e.Store.id) naive))
 
 let test_path_ops () =
   let s = fixture () in
@@ -137,16 +296,22 @@ let () =
       ( "joins",
         [
           Alcotest.test_case "fixture join" `Quick test_join_fixture;
+          Alcotest.test_case "column order" `Quick test_join_column_order;
           test_join_random;
+          test_join_impls_random;
         ] );
       ( "tables",
         [
           Alcotest.test_case "tuple table" `Quick test_tuple_table;
+          Alcotest.test_case "append growth" `Quick test_append_growth;
+          Alcotest.test_case "sortedness metadata" `Quick test_sortedness_metadata;
           Alcotest.test_case "sort by node" `Quick test_sort_by_node;
         ] );
       ( "id ops",
         [
           Alcotest.test_case "id region" `Quick test_id_region;
+          Alcotest.test_case "relation span" `Quick test_relation_span;
+          test_region_scan_random;
           Alcotest.test_case "path filter/navigate" `Quick test_path_ops;
           Alcotest.test_case "scoped plan" `Quick test_plan_scope;
         ] );

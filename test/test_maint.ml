@@ -379,13 +379,12 @@ let mats_integrity =
               ~within:(Lattice.mem s) ~root:0
           in
           let dump (t : Tuple_table.t) =
-            Array.to_list t.Tuple_table.rows
+            let cols = Tuple_table.cols t in
+            Array.to_list (Tuple_table.rows t)
             |> List.map (fun row ->
                    List.sort compare
                      (Array.to_list
-                        (Array.mapi
-                           (fun p id -> (t.Tuple_table.cols.(p), Dewey.encode id))
-                           row)))
+                        (Array.mapi (fun p id -> (cols.(p), Dewey.encode id)) row)))
             |> List.sort compare
           in
           dump table = dump fresh)

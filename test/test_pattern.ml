@@ -13,7 +13,7 @@ let sorted_bindings l =
     (List.map (fun arr -> Array.to_list (Array.map Dewey.encode arr)) l)
 
 let table_bindings pat t =
-  Array.to_list t.Tuple_table.rows
+  Array.to_list (Tuple_table.rows t)
   |> List.map (fun row ->
          List.init (Pattern.node_count pat) (fun i ->
              Dewey.encode row.(Tuple_table.col_pos t i)))
