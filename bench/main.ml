@@ -859,6 +859,38 @@ let join_ab () =
       ("xmark", xmark_store, "bidder", "increase", Pattern.Child, "child");
     ]
 
+(* {1 Fuzz oracle smoke}
+
+   The round-trip fuzzing oracle in bounded mode: a fixed seed and a few
+   thousand iterations, recorded into BENCH_results.json so CI tracks
+   the boundary's health (and its throughput) per commit. Any failure
+   aborts the harness — a corrupting parser invalidates every figure. *)
+
+let fuzz_oracle () =
+  header "Fuzz oracle: ingestion & persistence boundary (bounded smoke)";
+  let count = if full then 20000 else 5000 in
+  List.iter
+    (fun (name, runit) ->
+      let r, elapsed = Timing.duration (fun () -> runit ~seed ~count) in
+      let per_iter_ns = elapsed *. 1e9 /. float_of_int r.Fuzz_oracle.iterations in
+      Printf.printf "  %s  (%.0f ns/iter)\n%!" (Fuzz_oracle.summary name r)
+        per_iter_ns;
+      record "fuzz"
+        [
+          ("check", Json.Str name);
+          ("iterations", Json.int r.Fuzz_oracle.iterations);
+          ("failed", Json.int r.Fuzz_oracle.failed);
+          ("ns_per_iter", Json.num per_iter_ns);
+        ];
+      if not (Fuzz_oracle.ok r) then begin
+        write_results ();
+        failwith ("fuzz oracle failed: " ^ Fuzz_oracle.summary name r)
+      end)
+    [
+      ("tree_roundtrip", Fuzz_oracle.roundtrip_trees);
+      ("codec_corrupt", Fuzz_oracle.codec_corrupt);
+    ]
+
 let () =
   Printf.printf "xvm benchmark harness — %s mode, %d run(s) per point\n"
     (if full then "full (paper-scale)" else "scaled")
@@ -892,6 +924,7 @@ let () =
     ablation_deferred ()
   end;
   if wanted "joinab" then join_ab ();
+  if wanted "fuzz" then fuzz_oracle ();
   if (not skip_micro) && wanted "micro" then micro ();
   write_results ();
   print_newline ()

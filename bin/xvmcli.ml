@@ -43,10 +43,29 @@ let gen_cmd =
     (Cmd.info "gen" ~doc:"Generate an XMark-style auction document.")
     Term.(const run $ size $ seed $ output)
 
+(* Parse→serialize→parse the raw document text and verify the second
+   pass is the identity, reporting where ingestion would lose data. *)
+let check_roundtrip_text text =
+  let t = Xml_parse.document text in
+  let s = Xml_tree.serialize t in
+  let t' = Xml_parse.document s in
+  if not (Xml_tree.equal t t') then begin
+    prerr_endline "roundtrip: FAILED (reparse differs structurally)";
+    exit 1
+  end;
+  let s' = Xml_tree.serialize t' in
+  if s' <> s then begin
+    prerr_endline "roundtrip: FAILED (serialization is not a fixpoint)";
+    exit 1
+  end;
+  Printf.printf "roundtrip: ok (%d bytes in, %d canonical bytes, %d nodes)\n"
+    (String.length text) (String.length s) (Xml_tree.size t)
+
 (* {1 eval} *)
 
 let eval_cmd =
-  let run doc path limit =
+  let run doc path limit check_roundtrip =
+    if check_roundtrip then check_roundtrip_text (read_file doc);
     let store = load_store doc in
     let hits = Xpath.eval (Store.root store) (Xpath.parse path) in
     Printf.printf "%d nodes match %s\n" (List.length hits) path;
@@ -64,9 +83,17 @@ let eval_cmd =
   let limit =
     Arg.(value & opt int 10 & info [ "limit" ] ~doc:"Max nodes to print.")
   in
+  let check_roundtrip =
+    Arg.(
+      value & flag
+      & info [ "check-roundtrip" ]
+          ~doc:
+            "First verify that parse/serialize round-trips the document \
+             without data loss (exit 1 otherwise).")
+  in
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate an XPath over a document.")
-    Term.(const run $ doc $ path $ limit)
+    Term.(const run $ doc $ path $ limit $ check_roundtrip)
 
 (* {1 view} *)
 
@@ -178,6 +205,45 @@ let maintain_cmd =
     (Cmd.info "maintain" ~doc:"Apply updates and maintain a view incrementally.")
     Term.(const run $ doc $ vname $ vquery $ updates $ check)
 
+(* {1 fuzz} *)
+
+let fuzz_cmd =
+  let run seed trees codec =
+    Printf.printf "fuzzing the ingestion & persistence boundary (seed %d)\n%!" seed;
+    let rt, t_rt =
+      Timing.duration (fun () -> Fuzz_oracle.roundtrip_trees ~seed ~count:trees)
+    in
+    Printf.printf "  %s  (%.1f ms)\n%!"
+      (Fuzz_oracle.summary "parse∘serialize=id" rt)
+      (t_rt *. 1000.);
+    let cc, t_cc =
+      Timing.duration (fun () -> Fuzz_oracle.codec_corrupt ~seed ~count:codec)
+    in
+    Printf.printf "  %s  (%.1f ms)\n%!"
+      (Fuzz_oracle.summary "codec corrupt-or-correct" cc)
+      (t_cc *. 1000.);
+    if not (Fuzz_oracle.ok rt && Fuzz_oracle.ok cc) then exit 1
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let trees =
+    Arg.(
+      value & opt int 10000
+      & info [ "trees" ] ~doc:"Randomized trees for the round-trip property.")
+  in
+  let codec =
+    Arg.(
+      value & opt int 10000
+      & info [ "codec" ]
+          ~doc:"Random/mutated byte inputs for the view-codec property.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Run the round-trip fuzzing oracle: parse/serialize identity over \
+          random trees and Corrupt-or-correct over mutated view images. \
+          Exits 1 on any failure.")
+    Term.(const run $ seed $ trees $ codec)
+
 (* {1 workload} *)
 
 let workload_cmd =
@@ -200,4 +266,7 @@ let workload_cmd =
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info = Cmd.info "xvmcli" ~doc:"Algebraic XML view maintenance toolbox." in
-  exit (Cmd.eval (Cmd.group ~default info [ gen_cmd; eval_cmd; view_cmd; maintain_cmd; workload_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ gen_cmd; eval_cmd; view_cmd; maintain_cmd; workload_cmd; fuzz_cmd ]))

@@ -177,24 +177,43 @@ let encode t =
 
 let decode s =
   let pos = ref 0 in
+  (* Bounded at 9 bytes: 8 × 7 payload bits plus a final byte limited to
+     bits 56–61, so [lsl] stays within the defined range for a 63-bit
+     int and overlong encodings fail instead of decoding garbage. *)
   let read_varint () =
     let v = ref 0 and shift = ref 0 and continue = ref true in
     while !continue do
       if !pos >= String.length s then invalid_arg "Dewey.decode: truncated";
       let byte = Char.code s.[!pos] in
       incr pos;
-      v := !v lor ((byte land 0x7f) lsl !shift);
-      shift := !shift + 7;
-      if byte land 0x80 = 0 then continue := false
+      if !shift = 56 then begin
+        if byte land 0xc0 <> 0 then invalid_arg "Dewey.decode: varint overflow";
+        v := !v lor (byte lsl 56);
+        continue := false
+      end
+      else begin
+        v := !v lor ((byte land 0x7f) lsl !shift);
+        shift := !shift + 7;
+        if byte land 0x80 = 0 then continue := false
+      end
     done;
     !v
   in
+  (* Every step/ordinal costs at least one byte, so a declared count
+     larger than the bytes left is corrupt — checked before Array.init
+     can allocate from an attacker-controlled length. *)
+  let check_count what n =
+    if n > String.length s - !pos then
+      invalid_arg (Printf.sprintf "Dewey.decode: %s count exceeds input" what)
+  in
   let nsteps = read_varint () in
   if nsteps = 0 then invalid_arg "Dewey.decode: empty";
+  check_count "step" nsteps;
   let steps =
     Array.init nsteps (fun _ ->
         let lab = read_varint () in
         let nord = read_varint () in
+        check_count "ordinal" nord;
         let ord = Array.init nord (fun _ -> unzigzag (read_varint ())) in
         { lab; ord })
   in

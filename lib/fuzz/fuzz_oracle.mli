@@ -1,0 +1,37 @@
+(** Round-trip fuzzing oracle for the ingestion & persistence boundary.
+
+    Deterministic (seeded) generators check two properties:
+    {ul
+    {- [parse (serialize t) = t] over randomized canonical XML trees
+       with attributes, mixed content, entity-escaping-critical and
+       CDATA-worthy text, and multi-byte UTF-8;}
+    {- "Corrupt-or-correct": truncations, bit-flips, splices, random
+       bytes and checksum-repaired mutations of a valid
+       {!Mview_codec.save} image either raise [Mview_codec.Corrupt] or
+       load a view semantically equal to the original.}}
+
+    Exposed to the test suite ([test/test_fuzz.ml]), the CLI
+    ([xvmcli fuzz]) and the bench harness (section [fuzz]). *)
+
+type report = {
+  iterations : int;
+  failed : int;
+  failures : string list;  (** first few failure descriptions *)
+}
+
+val ok : report -> bool
+
+(** [summary label r] — one line when green, failure details otherwise. *)
+val summary : string -> report -> string
+
+(** [random_document rnd] — one randomized canonical tree (attributes
+    first, no adjacent or whitespace-only text siblings). *)
+val random_document : Random.State.t -> Xml_tree.node
+
+(** [roundtrip_trees ~seed ~count] checks [parse ∘ serialize = id] and
+    serialization fixpointness on [count] random trees. *)
+val roundtrip_trees : seed:int -> count:int -> report
+
+(** [codec_corrupt ~seed ~count] feeds [count] mutated/random byte
+    strings (plus the pristine image) to {!Mview_codec.load}. *)
+val codec_corrupt : seed:int -> count:int -> report

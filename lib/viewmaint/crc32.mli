@@ -1,0 +1,7 @@
+(** CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant) over strings.
+    Integrity footer of the {!Mview_codec} v2 format. *)
+
+(** [string ?pos ?len s] is the CRC-32 of the given substring (default:
+    all of [s]), as a non-negative int in [0, 2^32).
+    @raise Invalid_argument on an out-of-bounds range. *)
+val string : ?pos:int -> ?len:int -> string -> int

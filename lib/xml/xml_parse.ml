@@ -1,20 +1,49 @@
+(* Position-tracked recursive-descent XML lexer/parser.
+
+   The ingestion boundary of the whole system: every document, update
+   fragment and CLI input comes through here, so the parser must accept
+   the real-world constructs the rest of the pipeline assumes away
+   (CDATA sections, full Unicode character references, DOCTYPE internal
+   subsets, processing instructions with quoted pseudo-attributes) and
+   must reject everything else with a precise line/column diagnostic
+   instead of silently corrupting data. *)
+
 exception Parse_error of string
 
-type state = { src : string; mutable pos : int }
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;  (* 1-based line of [pos] *)
+  mutable bol : int;   (* offset of the first byte of the current line *)
+}
 
 let fail st msg =
-  raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+  raise
+    (Parse_error
+       (Printf.sprintf "%s at line %d, column %d" msg st.line (st.pos - st.bol + 1)))
 
 let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
 
-let advance st = st.pos <- st.pos + 1
+(* Every position move goes through [advance] so line/column tracking can
+   never drift from the cursor. *)
+let advance st =
+  if st.pos < String.length st.src && st.src.[st.pos] = '\n' then begin
+    st.line <- st.line + 1;
+    st.bol <- st.pos + 1
+  end;
+  st.pos <- st.pos + 1
+
+let advance_n st n =
+  for _ = 1 to n do
+    advance st
+  done
 
 let looking_at st prefix =
   let n = String.length prefix in
   st.pos + n <= String.length st.src && String.sub st.src st.pos n = prefix
 
 let expect st prefix =
-  if looking_at st prefix then st.pos <- st.pos + String.length prefix
+  if looking_at st prefix then advance_n st (String.length prefix)
   else fail st (Printf.sprintf "expected %S" prefix)
 
 let skip_ws st =
@@ -39,9 +68,59 @@ let read_name st =
   if st.pos = start then fail st "expected a name";
   String.sub st.src start (st.pos - start)
 
+(* {1 Character and entity references} *)
+
+(* XML 1.0 Char production: #x9 | #xA | #xD | [#x20-#xD7FF] |
+   [#xE000-#xFFFD] | [#x10000-#x10FFFF]. Surrogate code points and
+   control characters are not XML characters at all. *)
+let is_xml_char code =
+  code = 0x9 || code = 0xA || code = 0xD
+  || (code >= 0x20 && code <= 0xD7FF)
+  || (code >= 0xE000 && code <= 0xFFFD)
+  || (code >= 0x10000 && code <= 0x10FFFF)
+
+let utf8_encode buf code =
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else if code < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+(* Strict digit-string decoding — [int_of_string] would accept '_'
+   separators and sign characters, both of which are name characters and
+   would otherwise slip through "&#…;". The accumulator stops growing
+   once it exceeds the Unicode range so arbitrarily long digit strings
+   cannot overflow; the range check rejects them anyway. *)
+let decode_code_point st digits ~hex =
+  if digits = "" then fail st "malformed character reference";
+  let value = ref 0 in
+  String.iter
+    (fun c ->
+      let d =
+        match c with
+        | '0' .. '9' -> Char.code c - Char.code '0'
+        | 'a' .. 'f' when hex -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' when hex -> Char.code c - Char.code 'A' + 10
+        | _ -> fail st "malformed character reference"
+      in
+      if !value <= 0x110000 then value := (!value * if hex then 16 else 10) + d)
+    digits;
+  !value
+
 let read_entity st =
   expect st "&";
-  let name = ref "" in
+  let buf = Buffer.create 8 in
   let continue = ref true in
   while !continue do
     match peek st with
@@ -49,11 +128,11 @@ let read_entity st =
       advance st;
       continue := false
     | Some c when is_name_char c || c = '#' ->
-      name := !name ^ String.make 1 c;
+      Buffer.add_char buf c;
       advance st
     | Some _ | None -> fail st "malformed entity reference"
   done;
-  match !name with
+  match Buffer.contents buf with
   | "lt" -> "<"
   | "gt" -> ">"
   | "amp" -> "&"
@@ -61,12 +140,15 @@ let read_entity st =
   | "apos" -> "'"
   | n when String.length n > 1 && n.[0] = '#' ->
     let code =
-      try
-        if n.[1] = 'x' then int_of_string ("0x" ^ String.sub n 2 (String.length n - 2))
-        else int_of_string (String.sub n 1 (String.length n - 1))
-      with Failure _ -> fail st "malformed character reference"
+      if String.length n > 2 && n.[1] = 'x' then
+        decode_code_point st (String.sub n 2 (String.length n - 2)) ~hex:true
+      else decode_code_point st (String.sub n 1 (String.length n - 1)) ~hex:false
     in
-    if code < 0x80 then String.make 1 (Char.chr code) else "?"
+    if not (is_xml_char code) then
+      fail st (Printf.sprintf "character reference U+%04X outside the XML character range" code);
+    let b = Buffer.create 4 in
+    utf8_encode b code;
+    Buffer.contents b
   | _ -> fail st "unknown entity"
 
 let read_quoted st =
@@ -92,30 +174,83 @@ let read_quoted st =
   done;
   Buffer.contents buf
 
+(* {1 Markup that carries no content: comments, PIs, DOCTYPE} *)
+
+let skip_comment st =
+  expect st "<!--";
+  let continue = ref true in
+  while !continue do
+    if looking_at st "-->" then begin
+      advance_n st 3;
+      continue := false
+    end
+    else if st.pos >= String.length st.src then fail st "unterminated comment"
+    else advance st
+  done
+
+(* A literal inside a PI or DOCTYPE: skip to the matching quote so a '>'
+   (or '?>' / brackets) inside it cannot terminate the construct. *)
+let skip_literal st quote =
+  advance st;
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Some c when c = quote ->
+      advance st;
+      continue := false
+    | Some _ -> advance st
+    | None -> fail st "unterminated quoted literal"
+  done
+
+let skip_pi st =
+  expect st "<?";
+  let continue = ref true in
+  while !continue do
+    if looking_at st "?>" then begin
+      advance_n st 2;
+      continue := false
+    end
+    else
+      match peek st with
+      | Some (('"' | '\'') as q) -> skip_literal st q
+      | Some _ -> advance st
+      | None -> fail st "unterminated processing instruction"
+  done
+
+(* "<!DOCTYPE name SYSTEM "…" [ internal subset ]>" — the internal subset
+   may contain markup declarations full of '>', comments and quoted
+   literals, so termination is the first '>' at bracket depth 0 outside
+   any literal. *)
+let skip_doctype st =
+  expect st "<!DOCTYPE";
+  let depth = ref 0 in
+  let continue = ref true in
+  while !continue do
+    if looking_at st "<!--" then skip_comment st
+    else
+      match peek st with
+      | Some '[' ->
+        incr depth;
+        advance st
+      | Some ']' ->
+        if !depth = 0 then fail st "unbalanced ']' in doctype";
+        decr depth;
+        advance st
+      | Some (('"' | '\'') as q) -> skip_literal st q
+      | Some '>' when !depth = 0 ->
+        advance st;
+        continue := false
+      | Some _ -> advance st
+      | None -> fail st "unterminated doctype"
+  done
+
 let skip_misc st =
   let continue = ref true in
   while !continue do
     skip_ws st;
-    if looking_at st "<!--" then begin
-      let rec find i =
-        if i + 3 > String.length st.src then None
-        else if String.sub st.src i 3 = "-->" then Some (i + 3)
-        else find (i + 1)
-      in
-      match find (st.pos + 4) with
-      | Some p -> st.pos <- p
-      | None -> fail st "unterminated comment"
-    end
-    else if looking_at st "<?" then begin
-      match String.index_from_opt st.src st.pos '>' with
-      | Some p -> st.pos <- p + 1
-      | None -> fail st "unterminated processing instruction"
-    end
-    else if looking_at st "<!DOCTYPE" then begin
-      match String.index_from_opt st.src st.pos '>' with
-      | Some p -> st.pos <- p + 1
-      | None -> fail st "unterminated doctype"
-    end
+    if looking_at st "<!--" then skip_comment st
+    else if looking_at st "<?" then skip_pi st
+    else if looking_at st "<!DOCTYPE" then skip_doctype st
     else continue := false
   done
 
@@ -125,6 +260,8 @@ let is_blank s =
     i >= n || (match s.[i] with ' ' | '\t' | '\n' | '\r' -> go (i + 1) | _ -> false)
   in
   go 0
+
+(* {1 Elements and content} *)
 
 let rec read_element st =
   expect st "<";
@@ -154,11 +291,28 @@ let rec read_element st =
     let content = read_content st in
     expect st "</";
     let close = read_name st in
-    if close <> name then fail st (Printf.sprintf "mismatched </%s>" close);
+    if close <> name then
+      fail st (Printf.sprintf "mismatched </%s> (expected </%s>)" close name);
     skip_ws st;
     expect st ">";
     Xml_tree.element ~children:(List.rev !attrs @ content) name
   end
+
+and read_cdata st buf =
+  expect st "<![CDATA[";
+  let continue = ref true in
+  while !continue do
+    if looking_at st "]]>" then begin
+      advance_n st 3;
+      continue := false
+    end
+    else
+      match peek st with
+      | Some c ->
+        Buffer.add_char buf c;
+        advance st
+      | None -> fail st "unterminated CDATA section"
+  done
 
 and read_content st =
   let items = ref [] in
@@ -176,10 +330,12 @@ and read_content st =
       flush_text ();
       continue := false
     end
-    else if looking_at st "<!--" then begin
-      flush_text ();
-      skip_misc st
-    end
+      (* Comments, PIs and CDATA do not flush the text buffer: the
+         character data around them merges into one text node, keeping
+         parsed trees canonical (no adjacent text siblings). *)
+    else if looking_at st "<!--" then skip_comment st
+    else if looking_at st "<![CDATA[" then read_cdata st buf
+    else if looking_at st "<?" then skip_pi st
     else
       match peek st with
       | Some '<' ->
@@ -193,8 +349,10 @@ and read_content st =
   done;
   List.rev !items
 
+let init src = { src; pos = 0; line = 1; bol = 0 }
+
 let document s =
-  let st = { src = s; pos = 0 } in
+  let st = init s in
   skip_misc st;
   let root = read_element st in
   skip_misc st;
@@ -202,7 +360,7 @@ let document s =
   root
 
 let fragment s =
-  let st = { src = s; pos = 0 } in
+  let st = init s in
   let roots = ref [] in
   skip_misc st;
   while st.pos < String.length s do

@@ -1,16 +1,30 @@
-(** Minimal XML parser covering the documents and update fragments used in
-    this project: elements, attributes, text, character entities, comments
-    and an optional prolog. Namespaces, CDATA and DTD-internal subsets are
-    out of scope. *)
+(** Position-tracked XML parser — the hardened ingestion boundary.
+
+    Supported subset: elements, attributes, character data, the five
+    named entities, decimal/hexadecimal character references for any XML
+    code point (emitted as UTF-8 bytes), CDATA sections, comments,
+    processing instructions (skipped; quoted pseudo-attributes may
+    contain ["?>"]), and DOCTYPE declarations whose internal subset
+    [[ … ]] is skipped with bracket- and quote-awareness. Out of scope:
+    namespaces (prefixes parse as part of the name), external entity
+    expansion, and attribute-value normalization.
+
+    Error-reporting contract: every rejection raises {!Parse_error} with
+    a message ending in ["at line L, column C"] (1-based, bytes within
+    the line). Character references outside the XML [Char] production —
+    surrogates, out-of-range, most control characters — are rejected
+    rather than replaced. *)
 
 exception Parse_error of string
 
-(** [document s] parses a full document (one root element).
-    Whitespace-only text between elements is dropped.
-    @raise Parse_error on malformed input. *)
+(** [document s] parses a full document (one root element, optionally
+    surrounded by prolog, DOCTYPE, comments and PIs).
+    Whitespace-only text between elements is dropped; character data
+    around comments/PIs/CDATA merges into a single text node.
+    @raise Parse_error on malformed input, with line/column. *)
 val document : string -> Xml_tree.node
 
 (** [fragment s] parses a forest of sibling elements, e.g. the [xml]
     operand of an insertion statement.
-    @raise Parse_error on malformed input. *)
+    @raise Parse_error on malformed input, with line/column. *)
 val fragment : string -> Xml_tree.node list

@@ -104,6 +104,11 @@ let string_value n =
     iter (fun m -> if m.kind = Text then Buffer.add_string buf m.text) n;
     Buffer.contents buf
 
+let rec equal a b =
+  a.kind = b.kind && a.name = b.name && a.text = b.text
+  && List.compare_lengths a.children b.children = 0
+  && List.for_all2 equal a.children b.children
+
 let is_ancestor a d =
   let rec up n = match n.parent with
     | None -> false

@@ -75,6 +75,11 @@ val size : node -> int
 (** [is_ancestor a d]: [a] is a strict ancestor of [d] via parent links. *)
 val is_ancestor : node -> node -> bool
 
+(** [equal a b]: structural equality — kind, name, text and children,
+    recursively — ignoring serials and parent links. This is the
+    round-trip oracle's notion of "same tree". *)
+val equal : node -> node -> bool
+
 (** {1 Serialization} *)
 
 (** [serialize ?decl n] renders the subtree as XML text. *)

@@ -53,6 +53,57 @@ let test_corrupt () =
     | exception Mview_codec.Corrupt _ -> true
     | _ -> false)
 
+(* Append a valid CRC-32 footer to an arbitrary body — used to craft
+   adversarial images that get past the checksum gate and into the
+   decoder's own validation. *)
+let with_footer body =
+  let crc = Crc32.string body in
+  body ^ String.init 4 (fun i -> Char.chr ((crc lsr (8 * (3 - i))) land 0xff))
+
+let test_format_v2 () =
+  let store = Store.of_document (doc ()) in
+  let mv = Mview.materialize store Xmark_views.q1 in
+  let data = Mview_codec.save mv in
+  Alcotest.(check string) "v2 magic" "XVM2" (String.sub data 0 4);
+  let corrupt ?msg s =
+    match Mview_codec.load store Xmark_views.q1 s with
+    | exception Mview_codec.Corrupt m ->
+      (match msg with
+      | Some expected -> Alcotest.(check string) "corrupt reason" expected m
+      | None -> ())
+    | exception e -> Alcotest.failf "escaped exception: %s" (Printexc.to_string e)
+    | _ -> Alcotest.fail "corrupt image accepted"
+  in
+  (* A v1 image is refused with a version message, not misparsed. *)
+  corrupt ~msg:"unsupported codec version 1 (re-save the view)"
+    ("XVM1" ^ String.sub data 4 (String.length data - 4));
+  (* One flipped bit in the middle of the body trips the checksum. *)
+  let b = Bytes.of_string data in
+  let mid = Bytes.length b / 2 in
+  Bytes.set b mid (Char.chr (Char.code (Bytes.get b mid) lxor 0x10));
+  corrupt ~msg:"checksum mismatch" (Bytes.to_string b);
+  (* Overlong varints fail bounded decoding instead of shifting into
+     undefined [lsl] territory. *)
+  corrupt ~msg:"varint overflow" (with_footer ("XVM2" ^ String.make 10 '\xff'));
+  (* A huge declared entry count is rejected up front — before the
+     decoder allocates or loops on it. *)
+  let huge = Buffer.create 16 in
+  Buffer.add_string huge "XVM2";
+  Buffer.add_char huge '\x02' (* node count of the a[b] pattern *);
+  Buffer.add_char huge '\x01' (* one stored attribute *);
+  Buffer.add_string huge "\xff\xff\xff\xff\xff\xff\x03" (* ~2^46 entries *);
+  let pat =
+    Pattern.compile ~name:"a[b]" (Pattern.n "a" ~id:true [ Pattern.n "b" [] ])
+  in
+  (match Mview_codec.load store pat (with_footer (Buffer.contents huge)) with
+  | exception Mview_codec.Corrupt m ->
+    Alcotest.(check string) "entry count validated"
+      "declared entry count exceeds remaining bytes" m
+  | exception e -> Alcotest.failf "escaped exception: %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "absurd entry count accepted");
+  (* Crc32 known-answer check (IEEE vector). *)
+  Alcotest.(check int) "crc32 of '123456789'" 0xCBF43926 (Crc32.string "123456789")
+
 let test_counts_preserved () =
   (* Derivation counts survive the roundtrip. *)
   let root = Xml_parse.document {|<a><c><b/><b/></c><f><b/></f></a>|} in
@@ -75,6 +126,7 @@ let () =
           Alcotest.test_case "loaded view maintains" `Quick test_loaded_view_maintains;
           Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
           Alcotest.test_case "corruption detected" `Quick test_corrupt;
+          Alcotest.test_case "format v2 hardening" `Quick test_format_v2;
           Alcotest.test_case "derivation counts preserved" `Quick
             test_counts_preserved;
         ] );

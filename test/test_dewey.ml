@@ -115,8 +115,16 @@ let test_no_relabel () =
 let test_decode_errors () =
   Alcotest.check_raises "empty" (Invalid_argument "Dewey.decode: empty") (fun () ->
       ignore (Dewey.decode "\x00"));
+  Alcotest.check_raises "overdeclared steps"
+    (Invalid_argument "Dewey.decode: step count exceeds input") (fun () ->
+      ignore (Dewey.decode "\x02\x01"));
   Alcotest.check_raises "truncated" (Invalid_argument "Dewey.decode: truncated")
-    (fun () -> ignore (Dewey.decode "\x02\x01"))
+    (fun () -> ignore (Dewey.decode "\x01\x01"));
+  (* Ten continuation bytes would shift past the 63-bit range; the codec
+     must fail rather than decode an unspecified value. *)
+  Alcotest.check_raises "varint overflow"
+    (Invalid_argument "Dewey.decode: varint overflow") (fun () ->
+      ignore (Dewey.decode (String.make 10 '\xff')))
 
 let () =
   Alcotest.run "dewey"

@@ -1,0 +1,116 @@
+(* The fuzzing oracle in bounded mode, plus the end-to-end acceptance
+   scenario: a document exercising CDATA, Unicode character references
+   and a DOCTYPE internal subset parses, materializes, persists,
+   maintains and re-serializes without data loss. *)
+
+let check_report label r =
+  Alcotest.(check string) label
+    (Printf.sprintf "%s: %d/%d ok" label r.Fuzz_oracle.iterations
+       r.Fuzz_oracle.iterations)
+    (Fuzz_oracle.summary label r)
+
+let test_tree_roundtrip () =
+  check_report "tree roundtrip" (Fuzz_oracle.roundtrip_trees ~seed:7 ~count:2500)
+
+let test_codec_corrupt () =
+  check_report "codec corrupt-or-correct"
+    (Fuzz_oracle.codec_corrupt ~seed:7 ~count:2500)
+
+(* Deterministic mutation corpus on top of the random one: every
+   truncation point and every single-byte corruption of a valid image
+   must raise [Corrupt] or load the exact original view. *)
+let test_exhaustive_truncations () =
+  let root = Xml_parse.document {|<a><c><b>v</b><b>w</b></c><c><b>u</b></c></a>|} in
+  let store = Store.of_document root in
+  let pat =
+    Pattern.compile ~name:"t"
+      (Pattern.n "a" ~id:true [ Pattern.n "b" ~id:true ~value:true [] ])
+  in
+  let mv = Mview.materialize store pat in
+  let data = Mview_codec.save mv in
+  for n = 0 to String.length data - 1 do
+    match Mview_codec.load store pat (String.sub data 0 n) with
+    | exception Mview_codec.Corrupt _ -> ()
+    | exception e ->
+      Alcotest.failf "truncation at %d escaped: %s" n (Printexc.to_string e)
+    | _ -> Alcotest.failf "truncation at %d accepted" n
+  done;
+  for i = 0 to String.length data - 1 do
+    let b = Bytes.of_string data in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+    match Mview_codec.load store pat (Bytes.to_string b) with
+    | exception Mview_codec.Corrupt _ -> ()
+    | exception e ->
+      Alcotest.failf "byte flip at %d escaped: %s" i (Printexc.to_string e)
+    | loaded -> (
+      match Recompute.diff mv loaded with
+      | None -> ()
+      | Some d -> Alcotest.failf "byte flip at %d accepted garbage: %s" i d)
+  done
+
+let acceptance_doc =
+  {|<?xml version="1.0" encoding="UTF-8"?>
+<!DOCTYPE catalog [
+  <!ELEMENT catalog (entry*)>
+  <!ENTITY deg "&#xB0;">
+]>
+<!-- hardened-boundary acceptance document -->
+<catalog season="winter &#x2603;">
+  <entry kind="note"><b>snow: &#x2603; at -5&#xB0;C</b></entry>
+  <entry kind="cdata"><b><![CDATA[1 < 2 && "raw" ]]]]><![CDATA[> here]]></b></entry>
+  <entry kind="mixed"><b>caf&#xE9;</b>trailing <b>g-clef &#x1D11E;</b></entry>
+</catalog>|}
+
+let test_acceptance_scenario () =
+  let root = Xml_parse.document acceptance_doc in
+  (* CDATA and character references decoded to the exact byte content. *)
+  let entries = Xml_tree.element_children root in
+  Alcotest.(check int) "entries" 3 (List.length entries);
+  let value i = Xml_tree.string_value (List.nth entries i) in
+  Alcotest.(check string) "unicode refs" "snow: \xE2\x98\x83 at -5\xC2\xB0C" (value 0);
+  Alcotest.(check string) "cdata" {|1 < 2 && "raw" ]]> here|} (value 1);
+  Alcotest.(check string) "mixed + astral" "caf\xC3\xA9trailing g-clef \xF0\x9D\x84\x9E" (value 2);
+  (* Serialization round-trips losslessly from here on. *)
+  let s = Xml_tree.serialize root in
+  Alcotest.(check bool) "reserialized tree identical" true
+    (Xml_tree.equal root (Xml_parse.document s));
+  (* Store → view → save → load → maintain under an update. *)
+  let store = Store.of_document root in
+  let pat =
+    Pattern.compile ~name:"acc"
+      (Pattern.n "catalog" ~id:true
+         [ Pattern.n "entry" ~id:true [ Pattern.n "b" ~id:true ~value:true [] ] ])
+  in
+  let mv = Mview.materialize store pat in
+  Alcotest.(check int) "view sees all b leaves" 4 (Mview.cardinality mv);
+  let loaded = Mview_codec.load store pat (Mview_codec.save mv) in
+  (match Recompute.diff mv loaded with
+  | None -> ()
+  | Some d -> Alcotest.fail ("persisted view diverged: " ^ d));
+  let stmt = Update.parse {|insert into //entry <b>new &#x2603;</b>|} in
+  let _ = Maint.propagate loaded stmt in
+  let store2 = Store.of_document (Xml_parse.document acceptance_doc) in
+  let oracle, _ = Recompute.recompute_after store2 stmt ~pat in
+  (match Recompute.diff loaded oracle with
+  | None -> ()
+  | Some d -> Alcotest.fail ("maintained view diverged: " ^ d));
+  (* The updated document still round-trips byte-for-byte. *)
+  let s2 = Xml_tree.serialize (Store.root store) in
+  Alcotest.(check string) "updated document serialization fixpoint" s2
+    (Xml_tree.serialize (Xml_parse.document s2))
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "oracle",
+        [
+          Alcotest.test_case "tree roundtrip (seeded)" `Quick test_tree_roundtrip;
+          Alcotest.test_case "codec corrupt-or-correct (seeded)" `Quick
+            test_codec_corrupt;
+          Alcotest.test_case "exhaustive truncations & byte flips" `Quick
+            test_exhaustive_truncations;
+        ] );
+      ( "acceptance",
+        [ Alcotest.test_case "CDATA+unicode+DOCTYPE end-to-end" `Quick
+            test_acceptance_scenario ] );
+    ]

@@ -93,6 +93,67 @@ let test_parse_entities () =
   let d = Xml_parse.document "<a>&lt;&amp;&gt;&quot;&apos;&#65;</a>" in
   Alcotest.(check string) "entities" "<&>\"'A" (Xml_tree.string_value d)
 
+let test_parse_cdata () =
+  let d = Xml_parse.document {|<a>pre<![CDATA[1 < 2 & "raw"]]>post</a>|} in
+  Alcotest.(check string) "cdata merges with text" {|pre1 < 2 & "raw"post|}
+    (Xml_tree.string_value d);
+  Alcotest.(check int) "one text node" 1 (List.length d.Xml_tree.children);
+  (* The classic "]]>" escape: split across two CDATA sections. *)
+  let d = Xml_parse.document "<a><![CDATA[x]]]]><![CDATA[>y]]></a>" in
+  Alcotest.(check string) "]]> via split sections" "x]]>y" (Xml_tree.string_value d)
+
+let test_parse_unicode_refs () =
+  let d = Xml_parse.document "<a>&#x2603;&#233;&#x1D11E;</a>" in
+  Alcotest.(check string) "2/3/4-byte UTF-8 output"
+    "\xE2\x98\x83\xC3\xA9\xF0\x9D\x84\x9E" (Xml_tree.string_value d);
+  let d = Xml_parse.document {|<a k="&#xB0;"/>|} in
+  Alcotest.(check string) "refs in attribute values" "\xC2\xB0"
+    (Xml_tree.string_value (Option.get (Xml_tree.attribute_node d "k")));
+  let bad s =
+    match Xml_parse.document s with
+    | exception Xml_parse.Parse_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "surrogate rejected" true (bad "<a>&#xD800;</a>");
+  Alcotest.(check bool) "past Unicode rejected" true (bad "<a>&#x110000;</a>");
+  Alcotest.(check bool) "NUL rejected" true (bad "<a>&#0;</a>");
+  Alcotest.(check bool) "underscored digits rejected" true (bad "<a>&#2_0;</a>");
+  Alcotest.(check bool) "negative rejected" true (bad "<a>&#-33;</a>")
+
+let test_parse_doctype_subset () =
+  let d =
+    Xml_parse.document
+      {|<!DOCTYPE a [ <!ELEMENT a (b*)> <!ENTITY x "1>2"> <!-- ]> --> ]><a><b/></a>|}
+  in
+  Alcotest.(check string) "internal subset with > skipped" "<a><b/></a>"
+    (Xml_tree.serialize d);
+  match Xml_parse.document "<!DOCTYPE a [ <!ELEMENT a (b*)> <a/>" with
+  | exception Xml_parse.Parse_error _ -> ()
+  | _ -> Alcotest.fail "unterminated doctype accepted"
+
+let test_parse_pi () =
+  let d = Xml_parse.document {|<?xml version="1.0"?><?pi data="a>b" q='?>'?><a>x<?mid s="?>"?>y</a>|} in
+  Alcotest.(check string) "quote-aware PI skipping" "<a>xy</a>"
+    (Xml_tree.serialize d);
+  Alcotest.(check int) "text around PI merges" 1 (List.length d.Xml_tree.children)
+
+let test_error_positions () =
+  let pos s =
+    match Xml_parse.document s with
+    | exception Xml_parse.Parse_error m -> m
+    | _ -> Alcotest.fail "expected a parse error"
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let m = pos "<a>\n  <b>\n</c></a>" in
+  Alcotest.(check bool) ("line tracked in: " ^ m) true (contains m "line 3");
+  let m = pos "<a>&nope;</a>" in
+  Alcotest.(check bool) ("column tracked in: " ^ m) true
+    (contains m "line 1, column 10")
+
 let test_parse_fragment () =
   let f = Xml_parse.fragment "<a/><b>x</b>" in
   Alcotest.(check int) "two roots" 2 (List.length f)
@@ -118,6 +179,14 @@ let test_roundtrip_random =
       let s = Xml_tree.serialize d in
       Xml_tree.serialize (Xml_parse.document s) = s)
 
+(* The fuzz oracle's rich generator (entities, CDATA-worthy text,
+   multi-byte UTF-8, mixed content) doubles as a QCheck generator; on
+   its canonical trees the round trip is the identity node-for-node. *)
+let test_roundtrip_rich =
+  Tutil.qtest ~count:500 "parse(serialize(t)) = t on rich trees"
+    (QCheck.make Fuzz_oracle.random_document ~print:Xml_tree.serialize)
+    (fun t -> Xml_tree.equal t (Xml_parse.document (Xml_tree.serialize t)))
+
 let () =
   Alcotest.run "xml"
     [
@@ -140,8 +209,15 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_parse_roundtrip;
           Alcotest.test_case "prolog/comments" `Quick test_parse_misc;
           Alcotest.test_case "entities" `Quick test_parse_entities;
+          Alcotest.test_case "CDATA" `Quick test_parse_cdata;
+          Alcotest.test_case "unicode references" `Quick test_parse_unicode_refs;
+          Alcotest.test_case "doctype internal subset" `Quick
+            test_parse_doctype_subset;
+          Alcotest.test_case "processing instructions" `Quick test_parse_pi;
+          Alcotest.test_case "error positions" `Quick test_error_positions;
           Alcotest.test_case "fragment" `Quick test_parse_fragment;
           Alcotest.test_case "errors" `Quick test_parse_errors;
           test_roundtrip_random;
+          test_roundtrip_rich;
         ] );
     ]
