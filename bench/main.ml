@@ -891,6 +891,34 @@ let fuzz_oracle () =
       ("codec_corrupt", Fuzz_oracle.codec_corrupt);
     ]
 
+(* {1 Differential maintenance oracle smoke}
+
+   The three-way engine cross-check in bounded mode: random (document,
+   view, update) triples through Recompute/Maint/Ivma, recorded into
+   BENCH_results.json per commit. Any disagreement aborts the harness —
+   the figures compare engines that are supposed to be equivalent. *)
+
+let difftest_oracle () =
+  header "Differential oracle: recompute vs maint vs ivma (bounded smoke)";
+  let iters = if full then 5000 else 1000 in
+  let r, elapsed = Timing.duration (fun () -> Difftest.run ~seed ~iters ()) in
+  let per_iter_ns = elapsed *. 1e9 /. float_of_int r.Qgen.iterations in
+  Printf.printf "  %s  (%.0f ns/iter)\n%!"
+    (Qgen.summary "maint=recompute=ivma" r)
+    per_iter_ns;
+  record "difftest"
+    [
+      ("check", Json.Str "maint=recompute=ivma");
+      ("iterations", Json.int r.Qgen.iterations);
+      ("failed", Json.int r.Qgen.failed);
+      ("ns_per_iter", Json.num per_iter_ns);
+    ];
+  if not (Qgen.ok r) then begin
+    List.iter print_endline r.Qgen.failures;
+    write_results ();
+    failwith ("differential oracle failed: " ^ Qgen.summary "difftest" r)
+  end
+
 let () =
   Printf.printf "xvm benchmark harness — %s mode, %d run(s) per point\n"
     (if full then "full (paper-scale)" else "scaled")
@@ -925,6 +953,7 @@ let () =
   end;
   if wanted "joinab" then join_ab ();
   if wanted "fuzz" then fuzz_oracle ();
+  if wanted "difftest" then difftest_oracle ();
   if (not skip_micro) && wanted "micro" then micro ();
   write_results ();
   print_newline ()

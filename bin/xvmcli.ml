@@ -244,6 +244,64 @@ let fuzz_cmd =
           Exits 1 on any failure.")
     Term.(const run $ seed $ trees $ codec)
 
+(* {1 difftest} *)
+
+let difftest_cmd =
+  let run seed iters replay =
+    match replay with
+    | Some repro ->
+      let t =
+        try Difftest.triple_of_repro repro
+        with Invalid_argument msg ->
+          Printf.eprintf "difftest: %s\n" msg;
+          exit 2
+      in
+      Printf.printf "replaying: view %s, update %s, %d-node document\n%!"
+        (Pattern.to_string t.Difftest.view)
+        t.Difftest.update (Difftest.doc_nodes t);
+      (match Difftest.check t with
+      | None -> print_endline "all engines agree"
+      | Some m ->
+        print_endline (Difftest.describe m);
+        exit 1)
+    | None ->
+      Printf.printf
+        "differential maintenance oracle: recompute vs maint vs ivma (seed \
+         %d, %d iterations)\n\
+         %!"
+        seed iters;
+      let rep, t =
+        Timing.duration (fun () -> Difftest.run ~seed ~iters ())
+      in
+      List.iter print_endline rep.Qgen.failures;
+      Printf.printf "  %s  (%.1f ms)\n%!"
+        (Qgen.summary "maint=recompute=ivma" rep)
+        (t *. 1000.);
+      if not (Qgen.ok rep) then exit 1
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let iters =
+    Arg.(
+      value & opt int 2000
+      & info [ "iters" ] ~doc:"Random (document, view, update) triples to check.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ]
+          ~doc:
+            "Re-check one reproducer (the string a failure report prints) \
+             instead of running randomized iterations.")
+  in
+  Cmd.v
+    (Cmd.info "difftest"
+       ~doc:
+         "Cross-check the three maintenance engines on random (document, \
+          view, update) triples; failing triples are shrunk and printed as \
+          replayable reproducers. Exits 1 on any mismatch.")
+    Term.(const run $ seed $ iters $ replay)
+
 (* {1 workload} *)
 
 let workload_cmd =
@@ -269,4 +327,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ gen_cmd; eval_cmd; view_cmd; maintain_cmd; workload_cmd; fuzz_cmd ]))
+          [
+            gen_cmd;
+            eval_cmd;
+            view_cmd;
+            maintain_cmd;
+            workload_cmd;
+            fuzz_cmd;
+            difftest_cmd;
+          ]))

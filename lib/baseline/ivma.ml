@@ -3,6 +3,7 @@ type report = {
   invocations : int;
   embeddings_added : int;
   embeddings_removed : int;
+  fallback_recompute : bool;
 }
 
 let node_matches pat i id node =
@@ -47,15 +48,36 @@ let binding_key pat t row =
 
 let no_excluded : (string, unit) Hashtbl.t = Hashtbl.create 1
 
+(* The exact fallback shared by both branches: a value predicate flipped
+   on a node that stays in the document, which the node-at-a-time delta
+   model cannot see. Same discipline as [Maint.propagate_applied]. *)
+let rebuild_fallback mv ~invocations =
+  let store = mv.Mview.store in
+  let (), elapsed =
+    Timing.duration (fun () ->
+        Store.commit store;
+        Mview.rebuild mv)
+  in
+  {
+    elapsed;
+    invocations;
+    embeddings_added = 0;
+    embeddings_removed = 0;
+    fallback_recompute = true;
+  }
+
 let propagate mv u =
   let pat = mv.Mview.pat in
   let store = mv.Mview.store in
   let targets = Update.targets store u in
+  let watches = Maint.vpred_watches mv targets in
   match u with
   | Update.Replace_value _ ->
     invalid_arg "Ivma.propagate: replace-value is not a node-level operation"
   | Update.Insert _ ->
     let app = Update.apply_insert store u ~targets in
+    if Maint.watches_flipped mv watches then rebuild_fallback mv ~invocations:0
+    else
     let new_nodes =
       List.concat_map
         (fun (_tid, forest) ->
@@ -79,8 +101,13 @@ let propagate mv u =
             (fun (id, node) ->
               for i = 0 to Pattern.node_count pat - 1 do
                 if node_matches pat i id node then begin
+                  (* The node being propagated must be visible at every
+                     other pattern position too: one inserted node can be
+                     bound at several positions of the same embedding
+                     (e.g. [/d[//d][//d]] gaining a single [<d/>]). *)
                   let t =
-                    eval_with_fixed mv ~fixed:i ~id ~extra:!processed
+                    eval_with_fixed mv ~fixed:i ~id
+                      ~extra:((id, node) :: !processed)
                       ~excluded:no_excluded
                   in
                   Tuple_table.iter
@@ -105,9 +132,12 @@ let propagate mv u =
       invocations = List.length new_nodes;
       embeddings_added = !added;
       embeddings_removed = 0;
+      fallback_recompute = false;
     }
   | Update.Delete _ ->
     let app = Update.apply_delete store ~targets in
+    if Maint.watches_flipped mv watches then rebuild_fallback mv ~invocations:0
+    else
     (* Bottom-up: remove one node at a time, leaves first. *)
     let doomed =
       List.sort (fun (a, _) (b, _) -> Dewey.compare b a) (Lazy.force app.Update.deleted)
@@ -146,4 +176,5 @@ let propagate mv u =
       invocations = List.length doomed;
       embeddings_added = 0;
       embeddings_removed = !removed_count;
+      fallback_recompute = false;
     }

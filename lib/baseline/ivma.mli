@@ -13,8 +13,17 @@ type report = {
   invocations : int;  (** number of per-node maintenance calls *)
   embeddings_added : int;
   embeddings_removed : int;
+  fallback_recompute : bool;
+      (** [true] when a value-predicate flip on an {e existing} node
+          forced a full rebuild — the same guard [Maint] applies: the
+          node-at-a-time delta model only sees inserted/deleted nodes,
+          so a [[val = c]] selection flipping on a node that stays in
+          the document is invisible to it. *)
 }
 
 (** [propagate mv u] applies [u] to the document and maintains [mv] by
-    repeated node-level propagation. *)
+    repeated node-level propagation. Like [Maint.propagate], it guards
+    the value predicates of the view: if the update flips the selection
+    status of an existing watched node, the view is rebuilt exactly
+    instead ([fallback_recompute] is set). *)
 val propagate : Mview.t -> Update.t -> report

@@ -1,0 +1,616 @@
+(* Differential maintenance oracle: randomized (document, view, update)
+   triples cross-checked through three maintenance engines.
+
+   The generators draw from the [Qgen.plain] vocabulary so that random
+   views actually match random documents; the update generator forces
+   the degenerate shapes where IVM bugs hide — empty target sets,
+   root-adjacent targets, nested/overlapping target subtrees. A failing
+   triple is greedily shrunk before being reported: every candidate
+   reduction (document subtree dropped or hoisted, view node dropped,
+   update step or predicate dropped) strictly shrinks the triple, so
+   the loop terminates without an iteration bound, though a budget caps
+   pathological cases anyway. *)
+
+let profile = Qgen.plain
+
+type triple = {
+  doc : Xml_tree.node;
+  view : Pattern.t;
+  update : string;
+}
+
+let doc_nodes t = Xml_tree.size t.doc
+
+(* {1 Engines} *)
+
+type engine = {
+  ename : string;
+  eval : Xml_tree.node -> Pattern.t -> Update.t -> Mview.t;
+}
+
+let recompute_engine =
+  {
+    ename = "recompute";
+    eval =
+      (fun doc pat u ->
+        let store = Store.of_document doc in
+        fst (Recompute.recompute_after store u ~pat));
+  }
+
+let maint_engine =
+  {
+    ename = "maint";
+    eval =
+      (fun doc pat u ->
+        let store = Store.of_document doc in
+        let mv = Mview.materialize ~policy:Mview.Snowcaps store pat in
+        ignore (Maint.propagate mv u);
+        mv);
+  }
+
+let ivma_engine =
+  {
+    ename = "ivma";
+    eval =
+      (fun doc pat u ->
+        let store = Store.of_document doc in
+        let mv = Mview.materialize ~policy:Mview.Leaves store pat in
+        ignore (Ivma.propagate mv u);
+        mv);
+  }
+
+let default_engines = [ recompute_engine; maint_engine; ivma_engine ]
+
+(* {1 The oracle} *)
+
+type mismatch = {
+  cx : triple;
+  left : string;
+  right : string;
+  detail : string;
+}
+
+let check ?(engines = default_engines) t =
+  match engines with
+  | [] | [ _ ] -> invalid_arg "Difftest.check: need at least two engines"
+  | reference :: others ->
+    let run_engine e =
+      (* Fresh parse and fresh document copy per engine: no shared
+         mutable state between the runs being compared. *)
+      match e.eval (Xml_tree.copy t.doc) t.view (Update.parse t.update) with
+      | mv -> Ok mv
+      | exception exn -> Error (Printexc.to_string exn)
+    in
+    (match run_engine reference with
+    | Error msg ->
+      Some
+        {
+          cx = t;
+          left = reference.ename;
+          right = reference.ename;
+          detail = "escaped exception: " ^ msg;
+        }
+    | Ok ref_mv ->
+      List.fold_left
+        (fun acc e ->
+          match acc with
+          | Some _ -> acc
+          | None -> (
+            match run_engine e with
+            | Error msg ->
+              Some
+                {
+                  cx = t;
+                  left = e.ename;
+                  right = reference.ename;
+                  detail = "escaped exception: " ^ msg;
+                }
+            | Ok mv -> (
+              match Recompute.diff mv ref_mv with
+              | None -> None
+              | Some d ->
+                Some { cx = t; left = e.ename; right = reference.ename; detail = d })))
+        None others)
+
+(* {1 Generators} *)
+
+let gen_word rnd =
+  if Random.State.int rnd 10 < 7 then Qgen.pick rnd profile.Qgen.text_pieces
+  else
+    Qgen.pick rnd profile.Qgen.text_pieces
+    ^ " "
+    ^ Qgen.pick rnd profile.Qgen.text_pieces
+
+let doc_labels doc =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  Xml_tree.iter
+    (fun n ->
+      if n.Xml_tree.kind = Xml_tree.Element && not (Hashtbl.mem seen n.Xml_tree.name)
+      then begin
+        Hashtbl.add seen n.Xml_tree.name ();
+        out := n.Xml_tree.name :: !out
+      end)
+    doc;
+  Array.of_list (List.rev !out)
+
+(* A label guaranteed absent from every generated document: the plain
+   profile never emits it, so paths over it have empty target sets. *)
+let absent_label = "zz"
+
+(* {2 Views} *)
+
+let rec gen_vnode rnd ~labels depth =
+  let tag =
+    let r = Random.State.int rnd 20 in
+    if r < 14 then Qgen.pick rnd labels
+    else if r < 16 then "*"
+    else if r < 18 then Qgen.pick rnd profile.Qgen.labels
+    else "@" ^ Qgen.pick rnd profile.Qgen.attr_names
+  in
+  let attr = tag.[0] = '@' in
+  let axis = if Random.State.int rnd 3 = 0 then Pattern.Child else Pattern.Descendant in
+  let id, value, content =
+    match Random.State.int rnd 6 with
+    | 0 | 1 | 2 -> (true, false, false)
+    | 3 -> (true, true, false)
+    | 4 -> (true, false, true)
+    | _ -> (false, false, false)
+  in
+  let vpred =
+    if (not attr) && Random.State.int rnd 6 = 0 then Some (gen_word rnd) else None
+  in
+  let kids =
+    if attr || depth <= 0 then []
+    else
+      List.init (Random.State.int rnd 3) (fun _ -> gen_vnode rnd ~labels (depth - 1))
+  in
+  Pattern.n ~axis ~id ~value ~content ?vpred tag kids
+
+let gen_view rnd ~labels =
+  Pattern.compile ~name:"difftest" (gen_vnode rnd ~labels 2)
+
+(* {2 Updates} *)
+
+let gen_pred rnd ~pick_label =
+  match Random.State.int rnd 5 with
+  | 0 -> Printf.sprintf "[%s]" (pick_label ())
+  | 1 -> Printf.sprintf "[%s or %s]" (pick_label ()) (pick_label ())
+  | 2 -> Printf.sprintf "[%s and %s]" (pick_label ()) (pick_label ())
+  | 3 -> Printf.sprintf "[%s='%s']" (pick_label ()) (Qgen.pick rnd profile.Qgen.text_pieces)
+  | _ -> Printf.sprintf "[@%s]" (Qgen.pick rnd profile.Qgen.attr_names)
+
+let gen_path rnd ~labels ~root_label ~allow_attr =
+  let pick_label () =
+    let r = Random.State.int rnd 10 in
+    if r < 7 then Qgen.pick rnd labels
+    else if r < 8 then "*"
+    else if r < 9 then Qgen.pick rnd profile.Qgen.labels
+    else absent_label
+  in
+  match Random.State.int rnd 10 with
+  | 0 -> "/" ^ root_label (* the document root itself *)
+  | 1 -> "/" ^ root_label ^ "/" ^ pick_label () (* root children *)
+  | 2 ->
+    (* Nested/overlapping target subtrees: a label below itself. *)
+    let l = Qgen.pick rnd labels in
+    Printf.sprintf "//%s//%s" l l
+  | 3 -> "//" ^ absent_label (* provably empty target set *)
+  | _ ->
+    let steps = 1 + Random.State.int rnd 3 in
+    let b = Buffer.create 24 in
+    for i = 1 to steps do
+      Buffer.add_string b (if Random.State.bool rnd then "//" else "/");
+      if i = steps && allow_attr && Random.State.int rnd 8 = 0 then
+        Buffer.add_string b ("@" ^ Qgen.pick rnd profile.Qgen.attr_names)
+      else begin
+        Buffer.add_string b (pick_label ());
+        if Random.State.int rnd 4 = 0 then
+          Buffer.add_string b (gen_pred rnd ~pick_label)
+      end
+    done;
+    Buffer.contents b
+
+let gen_fragment rnd =
+  let n = 1 + Random.State.int rnd 2 in
+  String.concat ""
+    (List.init n (fun _ ->
+         Xml_tree.serialize (Qgen.gen_element profile rnd (Random.State.int rnd 2))))
+
+let gen_update rnd ~labels ~root_label =
+  let delete = Random.State.bool rnd in
+  let path = gen_path rnd ~labels ~root_label ~allow_attr:delete in
+  let stmt =
+    if delete then "delete " ^ path
+    else "insert into " ^ path ^ " " ^ gen_fragment rnd
+  in
+  (* The generator must only emit statements the replay path can parse. *)
+  ignore (Update.parse stmt);
+  stmt
+
+let gen_triple rnd =
+  let doc = Qgen.random_document ~profile rnd in
+  let labels = doc_labels doc in
+  let view = gen_view rnd ~labels in
+  let update = gen_update rnd ~labels ~root_label:doc.Xml_tree.name in
+  { doc; view; update }
+
+(* {1 Compact view syntax}
+
+   The inverse of [Pattern.to_string]: axis, tag, optional [val='…']
+   selection, optional {id,val,cont} stored-attribute set, then every
+   child bracketed. A child always starts with "[/", a value predicate
+   with "[val='", so one token of lookahead disambiguates. *)
+
+let view_of_compact ~name s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg =
+    invalid_arg
+      (Printf.sprintf "Difftest.view_of_compact: %s at offset %d in %S" msg !pos s)
+  in
+  let peek p =
+    !pos + String.length p <= n && String.sub s !pos (String.length p) = p
+  in
+  let eat p = if peek p then pos := !pos + String.length p else fail ("expected " ^ p) in
+  let rec node () =
+    let axis =
+      if peek "//" then begin
+        eat "//";
+        Pattern.Descendant
+      end
+      else if peek "/" then begin
+        eat "/";
+        Pattern.Child
+      end
+      else fail "expected / or //"
+    in
+    let start = !pos in
+    while
+      !pos < n && (match s.[!pos] with '[' | '{' | ']' | '/' -> false | _ -> true)
+    do
+      incr pos
+    done;
+    let tag = String.sub s start (!pos - start) in
+    if tag = "" then fail "empty tag";
+    let vpred =
+      if peek "[val='" then begin
+        eat "[val='";
+        let st = !pos in
+        while !pos < n && s.[!pos] <> '\'' do
+          incr pos
+        done;
+        let v = String.sub s st (!pos - st) in
+        eat "']";
+        Some v
+      end
+      else None
+    in
+    let id = ref false and value = ref false and content = ref false in
+    if peek "{" then begin
+      eat "{";
+      let continue = ref true in
+      while !continue do
+        let st = !pos in
+        while !pos < n && s.[!pos] <> ',' && s.[!pos] <> '}' do
+          incr pos
+        done;
+        (match String.sub s st (!pos - st) with
+        | "id" -> id := true
+        | "val" -> value := true
+        | "cont" -> content := true
+        | x -> fail ("unknown stored attribute " ^ x));
+        if peek "," then eat ","
+        else begin
+          eat "}";
+          continue := false
+        end
+      done
+    end;
+    let kids = ref [] in
+    while peek "[" do
+      eat "[";
+      kids := node () :: !kids;
+      eat "]"
+    done;
+    Pattern.n ~axis ~id:!id ~value:!value ~content:!content ?vpred tag
+      (List.rev !kids)
+  in
+  let spec = node () in
+  if !pos <> n then fail "trailing input";
+  Pattern.compile ~name spec
+
+(* {1 Replay} *)
+
+let repro_of_triple t =
+  let part s = Printf.sprintf "%d:%s" (String.length s) s in
+  String.concat "|"
+    [
+      "xvmdt1";
+      part (Pattern.to_string t.view);
+      part t.update;
+      part (Xml_tree.serialize t.doc);
+    ]
+
+let triple_of_repro s =
+  let fail () = invalid_arg "Difftest.triple_of_repro: malformed reproducer" in
+  let n = String.length s in
+  if not (n > 7 && String.sub s 0 7 = "xvmdt1|") then fail ();
+  let pos = ref 7 in
+  let expect c = if !pos < n && s.[!pos] = c then incr pos else fail () in
+  let part () =
+    let st = !pos in
+    while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do
+      incr pos
+    done;
+    if !pos = st then fail ();
+    let len = int_of_string (String.sub s st (!pos - st)) in
+    expect ':';
+    if !pos + len > n then fail ();
+    let r = String.sub s !pos len in
+    pos := !pos + len;
+    r
+  in
+  let view_s = part () in
+  expect '|';
+  let update = part () in
+  expect '|';
+  let doc_s = part () in
+  if !pos <> n then fail ();
+  ignore (Update.parse update);
+  {
+    doc = Xml_parse.document doc_s;
+    view = view_of_compact ~name:"replay" view_s;
+    update;
+  }
+
+let shell_quote s =
+  "'" ^ String.concat "'\\''" (String.split_on_char '\'' s) ^ "'"
+
+let replay_command t =
+  "xvmcli difftest --replay " ^ shell_quote (repro_of_triple t)
+
+let describe m =
+  let t = m.cx in
+  Printf.sprintf
+    "%s vs %s disagree\n\
+    \  view:   %s\n\
+    \  update: %s\n\
+    \  doc:    %s (%d nodes)\n\
+    \  first differing tuple: %s\n\
+    \  replay: %s"
+    m.left m.right (Pattern.to_string t.view) t.update
+    (Qgen.abbrev (Xml_tree.serialize t.doc))
+    (doc_nodes t) m.detail (replay_command t)
+
+(* {1 The shrinker} *)
+
+(* Candidate documents go through a serialize∘parse round trip: removing
+   an element can leave adjacent text siblings, which only the parser's
+   normalization merges back into canonical form. A canonical candidate
+   is exactly what its replayed serialization parses to, so a shrunk
+   counterexample reproduces verbatim. *)
+let canonical_doc d = Xml_parse.document (Xml_tree.serialize d)
+
+let copy_without doc ~skip =
+  let rec go n =
+    if n.Xml_tree.serial = skip then None
+    else
+      Some
+        (match n.Xml_tree.kind with
+        | Xml_tree.Element ->
+          Xml_tree.element
+            ~children:(List.filter_map go n.Xml_tree.children)
+            n.Xml_tree.name
+        | Xml_tree.Attribute -> Xml_tree.attribute n.Xml_tree.name n.Xml_tree.text
+        | Xml_tree.Text -> Xml_tree.text n.Xml_tree.text)
+  in
+  go doc
+
+(* Replace the [target] element by its non-attribute children. *)
+let copy_hoisting doc ~target =
+  let rec go n =
+    match n.Xml_tree.kind with
+    | Xml_tree.Element when n.Xml_tree.serial = target ->
+      List.concat_map go
+        (List.filter
+           (fun c -> c.Xml_tree.kind <> Xml_tree.Attribute)
+           n.Xml_tree.children)
+    | Xml_tree.Element ->
+      [ Xml_tree.element ~children:(List.concat_map go n.Xml_tree.children) n.Xml_tree.name ]
+    | Xml_tree.Attribute -> [ Xml_tree.attribute n.Xml_tree.name n.Xml_tree.text ]
+    | Xml_tree.Text -> [ Xml_tree.text n.Xml_tree.text ]
+  in
+  match go doc with [ d ] -> Some d | _ -> None
+
+let doc_candidates t =
+  let nodes = ref [] in
+  Xml_tree.iter
+    (fun nd -> if nd.Xml_tree.serial <> t.doc.Xml_tree.serial then nodes := nd :: !nodes)
+    t.doc;
+  (* Largest subtrees first: successful big cuts converge fastest. *)
+  let nodes =
+    List.sort (fun a b -> compare (Xml_tree.size b) (Xml_tree.size a)) !nodes
+  in
+  let drops =
+    List.filter_map
+      (fun nd ->
+        Option.map (fun d -> { t with doc = d }) (copy_without t.doc ~skip:nd.Xml_tree.serial))
+      nodes
+  in
+  let hoists =
+    List.filter_map
+      (fun nd ->
+        if nd.Xml_tree.kind = Xml_tree.Element && Xml_tree.element_children nd <> []
+        then
+          Option.map (fun d -> { t with doc = d }) (copy_hoisting t.doc ~target:nd.Xml_tree.serial)
+        else None)
+      nodes
+  in
+  List.filter_map
+    (fun c -> match canonical_doc c.doc with
+      | d -> Some { c with doc = d }
+      | exception _ -> None)
+    (drops @ hoists)
+
+(* Rebuild a pattern spec from the compiled arrays, optionally dropping
+   the subtree at [drop], clearing the predicate at [clear_vpred], or
+   erasing the stored attributes at [weaken]. *)
+let respec pat ?(drop = -1) ?(clear_vpred = -1) ?(weaken = -1) () =
+  let rec build i =
+    let kids = List.filter (fun j -> j <> drop) (Pattern.children pat i) in
+    let a = if i = weaken then Pattern.no_annot else pat.Pattern.annots.(i) in
+    let vp = if i = clear_vpred then None else pat.Pattern.vpreds.(i) in
+    Pattern.n ~axis:pat.Pattern.axes.(i) ~id:a.Pattern.store_id
+      ~value:a.Pattern.store_val ~content:a.Pattern.store_cont ?vpred:vp
+      pat.Pattern.tags.(i) (List.map build kids)
+  in
+  Pattern.compile ~name:pat.Pattern.name (build 0)
+
+let view_candidates t =
+  let pat = t.view in
+  let k = Pattern.node_count pat in
+  let out = ref [] in
+  for i = k - 1 downto 1 do
+    out := { t with view = respec pat ~drop:i () } :: !out
+  done;
+  for i = k - 1 downto 0 do
+    if pat.Pattern.vpreds.(i) <> None then
+      out := { t with view = respec pat ~clear_vpred:i () } :: !out;
+    if pat.Pattern.annots.(i) <> Pattern.no_annot then
+      out := { t with view = respec pat ~weaken:i () } :: !out
+  done;
+  !out
+
+type ustmt = UDel of Xpath.path | UIns of Xpath.path * Xml_tree.node list
+
+let ustmt_of_string s =
+  let s = String.trim s in
+  let strip p =
+    if String.length s >= String.length p && String.sub s 0 (String.length p) = p
+    then Some (String.sub s (String.length p) (String.length s - String.length p))
+    else None
+  in
+  match strip "delete " with
+  | Some rest -> UDel (Xpath.parse (String.trim rest))
+  | None -> (
+    match strip "insert into " with
+    | Some rest -> (
+      match String.index_opt rest '<' with
+      | None -> invalid_arg "Difftest: insert without fragment"
+      | Some i ->
+        UIns
+          ( Xpath.parse (String.trim (String.sub rest 0 i)),
+            Xml_parse.fragment (String.sub rest i (String.length rest - i)) ))
+    | None -> invalid_arg "Difftest: unrecognized update statement")
+
+let ustmt_to_string = function
+  | UDel p -> "delete " ^ Xpath.to_string p
+  | UIns (p, frag) ->
+    "insert into " ^ Xpath.to_string p ^ " "
+    ^ String.concat "" (List.map Xml_tree.serialize frag)
+
+let without_nth l n = List.filteri (fun i _ -> i <> n) l
+
+let path_candidates path =
+  let out = ref [] in
+  let steps = List.length path in
+  if steps > 1 then
+    for i = steps - 1 downto 0 do
+      out := without_nth path i :: !out
+    done;
+  List.iteri
+    (fun i (step : Xpath.step) ->
+      List.iteri
+        (fun j pred ->
+          let with_preds preds =
+            List.mapi (fun k st -> if k = i then { step with Xpath.preds } else st) path
+          in
+          out := with_preds (without_nth step.Xpath.preds j) :: !out;
+          match pred with
+          | Xpath.And (a, b) | Xpath.Or (a, b) ->
+            let swap p =
+              List.mapi (fun k q -> if k = j then p else q) step.Xpath.preds
+            in
+            out := with_preds (swap a) :: with_preds (swap b) :: !out
+          | Xpath.Exists _ | Xpath.Eq _ -> ())
+        step.Xpath.preds)
+    path;
+  !out
+
+let fragment_candidates frag =
+  let out = ref [] in
+  if List.length frag > 1 then
+    List.iteri (fun i _ -> out := without_nth frag i :: !out) frag;
+  List.iteri
+    (fun i root ->
+      Xml_tree.iter
+        (fun nd ->
+          if nd.Xml_tree.serial <> root.Xml_tree.serial then
+            match copy_without root ~skip:nd.Xml_tree.serial with
+            | Some r ->
+              out := List.mapi (fun k x -> if k = i then r else Xml_tree.copy x) frag :: !out
+            | None -> ())
+        root)
+    frag;
+  !out
+
+let update_candidates t =
+  match ustmt_of_string t.update with
+  | exception _ -> []
+  | stmt ->
+    let rebuilt =
+      match stmt with
+      | UDel p -> List.map (fun p' -> UDel p') (path_candidates p)
+      | UIns (p, frag) ->
+        List.map (fun p' -> UIns (p', frag)) (path_candidates p)
+        @ List.map (fun f' -> UIns (p, f')) (fragment_candidates frag)
+    in
+    List.filter_map
+      (fun st ->
+        match ustmt_to_string st with
+        | s -> (
+          (* Keep only candidates the replay parser accepts verbatim. *)
+          match Update.parse s with
+          | _ -> Some { t with update = s }
+          | exception _ -> None)
+        | exception _ -> None)
+      rebuilt
+
+let shrink ?(engines = default_engines) m =
+  let current = ref m in
+  let budget = ref 3000 in
+  let improved = ref true in
+  while !improved && !budget > 0 do
+    improved := false;
+    let t = !current.cx in
+    let candidates = doc_candidates t @ update_candidates t @ view_candidates t in
+    (try
+       List.iter
+         (fun c ->
+           if !budget > 0 then begin
+             decr budget;
+             match check ~engines c with
+             | Some m' ->
+               current := m';
+               improved := true;
+               raise Exit
+             | None -> ()
+           end)
+         candidates
+     with Exit -> ())
+  done;
+  !current
+
+(* {1 Batch runs} *)
+
+let run ?(engines = default_engines) ~seed ~iters () =
+  let rnd = Random.State.make [| seed; 0xd1ff |] in
+  let rc = Qgen.fresh_recorder () in
+  for _ = 1 to iters do
+    let t = gen_triple rnd in
+    match check ~engines t with
+    | None -> ()
+    | Some m -> Qgen.record rc (describe (shrink ~engines m))
+  done;
+  Qgen.report_of rc ~iterations:iters

@@ -1,0 +1,113 @@
+(** Differential maintenance oracle.
+
+    The paper's whole claim is an equivalence: after any bulk insertion
+    or deletion, the incrementally maintained view
+    (PINT/PIMT/ET-INS/CD+/PDDT/PDMT/CD-) must equal the view recomputed
+    from scratch. This harness checks that equivalence on {e randomized}
+    inputs: a seeded generator draws (document, view, update) triples —
+    tree patterns over the labels actually present in the document,
+    bulk insertions/deletions including the degenerate shapes where IVM
+    bugs hide (empty target sets, root-adjacent targets,
+    nested/overlapping subtrees) — and a three-way oracle applies the
+    update via [Maint] (the paper's algorithms), [Recompute] (the
+    ground truth) and [Ivma] (the node-at-a-time competitor), comparing
+    the resulting view extents tuple-for-tuple under a canonical sort.
+
+    A failing triple is greedily {e shrunk} — subtrees dropped from the
+    document, nodes dropped from the view, steps and predicates dropped
+    from the update — before being reported, together with an
+    [xvmcli difftest --replay] command line that reproduces it.
+
+    Exposed to the test suite ([test/test_difftest.ml]), the CLI
+    ([xvmcli difftest]) and the bench harness (section [difftest]). *)
+
+(** {1 Triples} *)
+
+type triple = {
+  doc : Xml_tree.node;  (** the pristine pre-update document *)
+  view : Pattern.t;
+  update : string;
+      (** textual statement, ["delete PATH"] or
+          ["insert into PATH FRAGMENT"] ({!Update.parse} syntax) *)
+}
+
+(** Number of nodes of the triple's document (the shrinker's measure). *)
+val doc_nodes : triple -> int
+
+(** [gen_triple rnd] — one random triple: a canonical document over the
+    {!Qgen.plain} vocabulary, a view pattern drawn over the labels
+    present in it, and a bulk update statement. *)
+val gen_triple : Random.State.t -> triple
+
+(** {1 Engines}
+
+    An engine materializes the triple's view over a {e fresh} store of a
+    copy of the document, applies the update, and returns the resulting
+    view. Engines never share state: each sees its own pristine copy. *)
+
+type engine = {
+  ename : string;
+  eval : Xml_tree.node -> Pattern.t -> Update.t -> Mview.t;
+}
+
+val recompute_engine : engine  (** the ground truth; listed first *)
+
+val maint_engine : engine  (** the paper's algorithms, [Snowcaps] policy *)
+
+val ivma_engine : engine  (** node-at-a-time baseline, [Leaves] policy *)
+
+(** [[recompute; maint; ivma]] — the head of the list is the reference
+    every other engine is compared against. *)
+val default_engines : engine list
+
+(** {1 The oracle} *)
+
+type mismatch = {
+  cx : triple;  (** the (possibly shrunk) counterexample *)
+  left : string;  (** name of the disagreeing engine *)
+  right : string;  (** name of the reference engine *)
+  detail : string;  (** first differing tuple, or an escaped exception *)
+}
+
+(** [check triple] runs every engine and compares each view against the
+    reference (head engine) tuple-for-tuple — projected IDs, derivation
+    counts and val/cont payloads, under the canonical dump sort. An
+    exception escaping an engine is a mismatch too. *)
+val check : ?engines:engine list -> triple -> mismatch option
+
+(** [shrink m] greedily minimizes the counterexample: candidate
+    reductions of the document (drop a subtree, hoist children), the
+    view (drop a leaf node, a predicate, an annotation) and the update
+    (drop a step, a predicate, part of the inserted fragment) are
+    accepted whenever the reduced triple still fails the oracle. *)
+val shrink : ?engines:engine list -> mismatch -> mismatch
+
+(** Structured multi-line report: engines, view, update, document,
+    first differing tuple, and the replay command line. *)
+val describe : mismatch -> string
+
+(** {1 Replay}
+
+    A reproducer is a printable, length-prefixed encoding of a triple
+    (view in the compact pattern syntax, update statement, document
+    XML) fit for a command line. *)
+
+val repro_of_triple : triple -> string
+
+(** @raise Invalid_argument on a malformed reproducer. *)
+val triple_of_repro : string -> triple
+
+(** The [xvmcli difftest --replay '…'] line, shell-quoted. *)
+val replay_command : triple -> string
+
+(** [view_of_compact ~name s] parses the compact rendering of
+    {!Pattern.to_string} (e.g. ["//a{id}[//b[val='x']]//c{id,val}"])
+    back into a pattern — the inverse used by {!triple_of_repro}.
+    @raise Invalid_argument on malformed input. *)
+val view_of_compact : name:string -> string -> Pattern.t
+
+(** {1 Batch runs} *)
+
+(** [run ~seed ~iters] draws and checks [iters] triples; every mismatch
+    is shrunk and recorded (first few) in the report's failure list. *)
+val run : ?engines:engine list -> seed:int -> iters:int -> unit -> Qgen.report

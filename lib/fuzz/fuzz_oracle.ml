@@ -11,118 +11,51 @@
      semantically equal to the original — no other exception, crash, or
      silently wrong view.
 
-   Trees are generated canonical — attributes before content, no
-   adjacent text siblings, no whitespace-only text — because those are
-   exactly the invariants the parser normalizes to; on canonical trees
-   the round trip must be the identity node-for-node. *)
+   The tree generator and failure recorder live in [Qgen], shared with
+   the differential-maintenance harness ([Difftest]): canonical trees —
+   attributes before content, no adjacent text siblings, no
+   whitespace-only text — are exactly what the parser normalizes to, so
+   on them the round trip must be the identity node-for-node. *)
 
-type report = {
+type report = Qgen.report = {
   iterations : int;
   failed : int;
-  failures : string list;  (* capped at [max_reported] *)
+  failures : string list;
 }
 
-let max_reported = 5
-
-let ok r = r.failed = 0
-
-let summary label r =
-  if ok r then Printf.sprintf "%s: %d/%d ok" label r.iterations r.iterations
-  else
-    Printf.sprintf "%s: %d/%d FAILED\n%s" label r.failed r.iterations
-      (String.concat "\n" (List.map (fun f -> "  " ^ f) r.failures))
-
-type recorder = { mutable n : int; mutable msgs : string list }
-
-let fresh_recorder () = { n = 0; msgs = [] }
-
-let record rc msg =
-  rc.n <- rc.n + 1;
-  if rc.n <= max_reported then rc.msgs <- msg :: rc.msgs
-
-let report_of rc ~iterations =
-  { iterations; failed = rc.n; failures = List.rev rc.msgs }
-
-let abbrev s =
-  if String.length s <= 160 then s else String.sub s 0 160 ^ "…"
+let ok = Qgen.ok
+let summary = Qgen.summary
 
 (* {1 Random canonical trees} *)
 
-let labels = [| "a"; "site"; "item-x"; "n.s"; "long_name2"; "B"; "p:q" |]
-let attr_names = [| "k"; "id"; "data-v"; "x.y" |]
-
-(* Every piece is non-blank, so any concatenation survives the parser's
-   whitespace-only-text dropping. The pieces cover the escaping-critical
-   alphabet: markup characters, both quote kinds, "]]>" (CDATA-worthy),
-   a CDATA opener as plain text, and 2/3/4-byte UTF-8 sequences. *)
-let text_pieces =
-  [|
-    "x"; "hello world"; "<&>"; "\"q\" & 'a'"; "]]>"; "a]]>b"; "<![CDATA[";
-    "\xC3\xA9t\xC3\xA9"; "\xE2\x98\x83"; "\xF0\x9D\x84\x9E"; "tab\there";
-    "line\nbreak"; "1 < 2 && 3 > 2"; "--"; "?>";
-  |]
-
-let pick rnd arr = arr.(Random.State.int rnd (Array.length arr))
-
-let gen_text rnd =
-  let n = 1 + Random.State.int rnd 3 in
-  let b = Buffer.create 16 in
-  for _ = 1 to n do
-    if Buffer.length b > 0 then Buffer.add_char b ' ';
-    Buffer.add_string b (pick rnd text_pieces)
-  done;
-  Buffer.contents b
-
-let gen_attrs rnd =
-  let n = Random.State.int rnd (Array.length attr_names + 1) in
-  (* Distinct names: walk a rotated copy of the pool. *)
-  let start = Random.State.int rnd (Array.length attr_names) in
-  List.init n (fun i ->
-      let name = attr_names.((start + i) mod Array.length attr_names) in
-      Xml_tree.attribute name (gen_text rnd))
-
-let rec gen_element rnd depth =
-  let attrs = gen_attrs rnd in
-  let n_items = Random.State.int rnd (if depth = 0 then 2 else 5) in
-  let items = ref [] and last_text = ref false in
-  for _ = 1 to n_items do
-    if depth > 0 && (!last_text || Random.State.bool rnd) then begin
-      items := gen_element rnd (depth - 1) :: !items;
-      last_text := false
-    end
-    else if not !last_text then begin
-      items := Xml_tree.text (gen_text rnd) :: !items;
-      last_text := true
-    end
-  done;
-  Xml_tree.element ~children:(attrs @ List.rev !items) (pick rnd labels)
-
-let random_document rnd = gen_element rnd (1 + Random.State.int rnd 3)
+let random_document rnd = Qgen.random_document ~profile:Qgen.ingestion rnd
 
 (* {1 Property 1: parse ∘ serialize = id} *)
 
 let roundtrip_trees ~seed ~count =
   let rnd = Random.State.make [| seed; 0x7ee5 |] in
-  let rc = fresh_recorder () in
+  let rc = Qgen.fresh_recorder () in
+  let abbrev = Qgen.abbrev in
   for i = 1 to count do
     let t = random_document rnd in
     let s = Xml_tree.serialize t in
     match Xml_parse.document s with
     | exception Xml_parse.Parse_error m ->
-      record rc (Printf.sprintf "tree %d: parse error: %s on %s" i m (abbrev s))
+      Qgen.record rc
+        (Printf.sprintf "tree %d: parse error: %s on %s" i m (abbrev s))
     | t' ->
       if not (Xml_tree.equal t t') then
-        record rc
+        Qgen.record rc
           (Printf.sprintf "tree %d: reparse differs structurally on %s" i (abbrev s))
       else begin
         let s' = Xml_tree.serialize t' in
         if s' <> s then
-          record rc
+          Qgen.record rc
             (Printf.sprintf "tree %d: serialization not a fixpoint: %s vs %s" i
                (abbrev s) (abbrev s'))
       end
   done;
-  report_of rc ~iterations:count
+  Qgen.report_of rc ~iterations:count
 
 (* {1 Property 2: the codec is Corrupt-or-correct} *)
 
@@ -197,22 +130,22 @@ let mutate rnd data =
 
 let codec_corrupt ~seed ~count =
   let rnd = Random.State.make [| seed; 0xc0dec |] in
-  let rc = fresh_recorder () in
+  let rc = Qgen.fresh_recorder () in
   let store, pat, mv = fuzz_view () in
   let data = Mview_codec.save mv in
   (match Mview_codec.load store pat data with
   | exception e ->
-    record rc ("pristine image rejected: " ^ Printexc.to_string e)
+    Qgen.record rc ("pristine image rejected: " ^ Printexc.to_string e)
   | loaded -> (
     match Recompute.diff mv loaded with
     | None -> ()
-    | Some d -> record rc ("pristine image loads differently: " ^ d)));
+    | Some d -> Qgen.record rc ("pristine image loads differently: " ^ d)));
   for i = 1 to count do
     let kind, mutated = mutate rnd data in
     match Mview_codec.load store pat mutated with
     | exception Mview_codec.Corrupt _ -> ()
     | exception e ->
-      record rc
+      Qgen.record rc
         (Printf.sprintf "input %d: escaped exception %s" i (Printexc.to_string e))
     | loaded -> (
       (* Without a forged footer, a valid load must mean intact data. *)
@@ -222,6 +155,6 @@ let codec_corrupt ~seed ~count =
         match Recompute.diff mv loaded with
         | None -> ()
         | Some d ->
-          record rc (Printf.sprintf "input %d: garbage accepted as a view: %s" i d)))
+          Qgen.record rc (Printf.sprintf "input %d: garbage accepted as a view: %s" i d)))
   done;
-  report_of rc ~iterations:(count + 1)
+  Qgen.report_of rc ~iterations:(count + 1)

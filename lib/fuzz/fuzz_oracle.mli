@@ -13,7 +13,7 @@
     Exposed to the test suite ([test/test_fuzz.ml]), the CLI
     ([xvmcli fuzz]) and the bench harness (section [fuzz]). *)
 
-type report = {
+type report = Qgen.report = {
   iterations : int;
   failed : int;
   failures : string list;  (** first few failure descriptions *)

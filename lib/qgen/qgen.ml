@@ -1,0 +1,113 @@
+(* Shared substrate of the randomized harnesses: seeded-RNG helpers,
+   the bounded failure recorder, and the canonical-tree generator that
+   Fuzz_oracle and Difftest both draw their documents from. *)
+
+(* {1 Reports} *)
+
+type report = {
+  iterations : int;
+  failed : int;
+  failures : string list;
+}
+
+let max_reported = 5
+
+let ok r = r.failed = 0
+
+let summary label r =
+  if ok r then Printf.sprintf "%s: %d/%d ok" label r.iterations r.iterations
+  else
+    Printf.sprintf "%s: %d/%d FAILED\n%s" label r.failed r.iterations
+      (String.concat "\n" (List.map (fun f -> "  " ^ f) r.failures))
+
+type recorder = { mutable n : int; mutable msgs : string list }
+
+let fresh_recorder () = { n = 0; msgs = [] }
+
+let record rc msg =
+  rc.n <- rc.n + 1;
+  if rc.n <= max_reported then rc.msgs <- msg :: rc.msgs
+
+let report_of rc ~iterations =
+  { iterations; failed = rc.n; failures = List.rev rc.msgs }
+
+(* {1 RNG helpers} *)
+
+let pick rnd arr = arr.(Random.State.int rnd (Array.length arr))
+
+let abbrev s =
+  if String.length s <= 160 then s else String.sub s 0 160 ^ "…"
+
+(* {1 Canonical trees} *)
+
+type profile = {
+  labels : string array;
+  attr_names : string array;
+  text_pieces : string array;
+}
+
+(* Every text piece is non-blank, so any concatenation survives the
+   parser's whitespace-only-text dropping. The ingestion pieces cover
+   the escaping-critical alphabet: markup characters, both quote kinds,
+   "]]>" (CDATA-worthy), a CDATA opener as plain text, and 2/3/4-byte
+   UTF-8 sequences. *)
+let ingestion =
+  {
+    labels = [| "a"; "site"; "item-x"; "n.s"; "long_name2"; "B"; "p:q" |];
+    attr_names = [| "k"; "id"; "data-v"; "x.y" |];
+    text_pieces =
+      [|
+        "x"; "hello world"; "<&>"; "\"q\" & 'a'"; "]]>"; "a]]>b"; "<![CDATA[";
+        "\xC3\xA9t\xC3\xA9"; "\xE2\x98\x83"; "\xF0\x9D\x84\x9E"; "tab\there";
+        "line\nbreak"; "1 < 2 && 3 > 2"; "--"; "?>";
+      |];
+  }
+
+(* Small pools so that random tree patterns actually match random
+   documents; the words double as value-predicate constants. No quotes
+   in any piece: the compact view syntax delimits predicate constants
+   with single quotes, and reproducer command lines shell-quote more
+   readably without them. *)
+let plain =
+  {
+    labels = [| "a"; "b"; "c"; "d"; "e" |];
+    attr_names = [| "k"; "id" |];
+    text_pieces = [| "x"; "y"; "z"; "w" |];
+  }
+
+let gen_text profile rnd =
+  let n = 1 + Random.State.int rnd 3 in
+  let b = Buffer.create 16 in
+  for _ = 1 to n do
+    if Buffer.length b > 0 then Buffer.add_char b ' ';
+    Buffer.add_string b (pick rnd profile.text_pieces)
+  done;
+  Buffer.contents b
+
+let gen_attrs profile rnd =
+  let pool = profile.attr_names in
+  let n = Random.State.int rnd (Array.length pool + 1) in
+  (* Distinct names: walk a rotated copy of the pool. *)
+  let start = Random.State.int rnd (Array.length pool) in
+  List.init n (fun i ->
+      let name = pool.((start + i) mod Array.length pool) in
+      Xml_tree.attribute name (gen_text profile rnd))
+
+let rec gen_element profile rnd depth =
+  let attrs = gen_attrs profile rnd in
+  let n_items = Random.State.int rnd (if depth = 0 then 2 else 5) in
+  let items = ref [] and last_text = ref false in
+  for _ = 1 to n_items do
+    if depth > 0 && (!last_text || Random.State.bool rnd) then begin
+      items := gen_element profile rnd (depth - 1) :: !items;
+      last_text := false
+    end
+    else if not !last_text then begin
+      items := Xml_tree.text (gen_text profile rnd) :: !items;
+      last_text := true
+    end
+  done;
+  Xml_tree.element ~children:(attrs @ List.rev !items) (pick rnd profile.labels)
+
+let random_document ?(profile = ingestion) rnd =
+  gen_element profile rnd (1 + Random.State.int rnd 3)

@@ -1,0 +1,75 @@
+(** Shared substrate of the randomized harnesses ([Fuzz_oracle] and
+    [Difftest]): the seeded-RNG helpers, the bounded failure recorder
+    both report through, and the canonical-tree generator — so the two
+    harnesses draw their documents from one definition of "canonical"
+    and cannot drift apart.
+
+    Trees are generated {e canonical} — attributes before content, no
+    adjacent text siblings, no whitespace-only text — because those are
+    exactly the invariants the parser normalizes to; on canonical trees
+    [parse ∘ serialize] must be the identity node-for-node, and two
+    stores built from a tree and its reparse index the same nodes. *)
+
+(** {1 Reports}
+
+    The shape every randomized harness reports in: how many inputs ran,
+    how many failed, and the first few failure descriptions. *)
+
+type report = {
+  iterations : int;
+  failed : int;
+  failures : string list;  (** capped at {!max_reported} *)
+}
+
+val max_reported : int
+
+val ok : report -> bool
+
+(** [summary label r] — one line when green, failure details otherwise. *)
+val summary : string -> report -> string
+
+(** A mutable failure accumulator feeding {!report_of}. *)
+type recorder
+
+val fresh_recorder : unit -> recorder
+val record : recorder -> string -> unit
+val report_of : recorder -> iterations:int -> report
+
+(** {1 RNG helpers} *)
+
+(** [pick rnd arr] — uniform draw from a non-empty array. *)
+val pick : Random.State.t -> 'a array -> 'a
+
+(** [abbrev s] truncates long strings for failure messages. *)
+val abbrev : string -> string
+
+(** {1 Canonical trees}
+
+    A profile fixes the vocabulary a generated tree draws from. The
+    {!ingestion} profile stresses the parser (exotic names,
+    escaping-critical text, multi-byte UTF-8); the {!plain} profile
+    uses the small label/word pools the pattern-matching harnesses
+    need so that random views actually hit random documents. *)
+
+type profile = {
+  labels : string array;
+  attr_names : string array;
+  text_pieces : string array;
+}
+
+val ingestion : profile
+val plain : profile
+
+(** [gen_text profile rnd] — 1–3 space-joined pieces (never blank). *)
+val gen_text : profile -> Random.State.t -> string
+
+(** [gen_attrs profile rnd] — distinct-named attribute nodes. *)
+val gen_attrs : profile -> Random.State.t -> Xml_tree.node list
+
+(** [gen_element profile rnd depth] — one canonical element of the
+    given maximum depth. *)
+val gen_element : profile -> Random.State.t -> int -> Xml_tree.node
+
+(** [random_document ?profile rnd] — one randomized canonical tree of
+    depth 1–4 (default profile: {!ingestion}). *)
+val random_document : ?profile:profile -> Random.State.t -> Xml_tree.node

@@ -255,6 +255,36 @@ let test_region_scan_random =
       Array.to_list (Array.map (fun e -> Dewey.encode e.Store.id) pruned)
       = Array.to_list (Array.map (fun e -> Dewey.encode e.Store.id) naive))
 
+(* Boundary cases of the region-pruned scans: empty relations, empty
+   regions, and single-node regions at the first/last relation rows. *)
+let test_entries_in_region_boundaries () =
+  let s = fixture () in
+  let pat_b = Pattern.compile ~name:"b" (Pattern.n "b" ~id:true []) in
+  let all = Plan.entries_matching s pat_b 0 in
+  let enc e = Dewey.encode e.Store.id in
+  let scan region =
+    Array.to_list (Array.map enc (Plan.entries_in_region s pat_b 0 region))
+  in
+  let root_id = Store.id_of s (Store.root s) in
+  Alcotest.(check (list string)) "whole-document region = full relation"
+    (Array.to_list (Array.map enc all))
+    (scan (Id_region.of_roots [ root_id ]));
+  Alcotest.(check (list string)) "empty region" [] (scan (Id_region.of_roots []));
+  let first = all.(0).Store.id and last = all.(Array.length all - 1).Store.id in
+  Alcotest.(check (list string)) "single-node region at the first row"
+    [ Dewey.encode first ]
+    (scan (Id_region.of_roots [ first ]));
+  Alcotest.(check (list string)) "single-node region at the last row"
+    [ Dewey.encode last ]
+    (scan (Id_region.of_roots [ last ]));
+  Alcotest.(check (list string)) "single-node regions at both extremes"
+    [ Dewey.encode first; Dewey.encode last ]
+    (scan (Id_region.of_roots [ first; last ]));
+  let pat_z = Pattern.compile ~name:"z" (Pattern.n "zzz" ~id:true []) in
+  Alcotest.(check int) "empty relation" 0
+    (Array.length
+       (Plan.entries_in_region s pat_z 0 (Id_region.of_roots [ root_id ])))
+
 let test_path_ops () =
   let s = fixture () in
   let dict = Store.dict s in
@@ -311,6 +341,8 @@ let () =
         [
           Alcotest.test_case "id region" `Quick test_id_region;
           Alcotest.test_case "relation span" `Quick test_relation_span;
+          Alcotest.test_case "region scan boundaries" `Quick
+            test_entries_in_region_boundaries;
           test_region_scan_random;
           Alcotest.test_case "path filter/navigate" `Quick test_path_ops;
           Alcotest.test_case "scoped plan" `Quick test_plan_scope;

@@ -1,0 +1,224 @@
+(* The differential maintenance oracle under test: bounded seeded runs
+   must be clean, the replay pipeline must be lossless, degenerate
+   updates must leave all three engines in agreement, an intentionally
+   broken engine must be caught and shrunk to a tiny reproducer, and
+   the three engines must agree tuple-for-tuple on every XMark
+   view/update pair of the paper's evaluation. *)
+
+(* {1 Bounded seeded run} *)
+
+let test_bounded_run () =
+  let r = Difftest.run ~seed:7 ~iters:400 () in
+  List.iter print_endline r.Qgen.failures;
+  Alcotest.(check int) "iterations" 400 r.Qgen.iterations;
+  Alcotest.(check int) "mismatches" 0 r.Qgen.failed
+
+(* {1 Compact view syntax} *)
+
+let compact_roundtrip pat =
+  let s = Pattern.to_string pat in
+  Pattern.to_string (Difftest.view_of_compact ~name:"rt" s) = s
+
+let test_compact_examples () =
+  List.iter
+    (fun s ->
+      let pat = Difftest.view_of_compact ~name:"ex" s in
+      Alcotest.(check string) ("round-trip " ^ s) s (Pattern.to_string pat))
+    [
+      "//a";
+      "/a{id}";
+      "//a{id,val}";
+      "//a[val='x y']{id}";
+      "//site{id}[/people[//person[val='z']{id,cont}]][//item{id}]";
+      "//*{id,cont}[/@k{id,val}]";
+    ];
+  List.iter
+    (fun s ->
+      match Difftest.view_of_compact ~name:"bad" s with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "malformed %S accepted" s)
+    [ ""; "a"; "//"; "//a{id"; "//a[val='x]"; "//a[b]"; "//a{id}junk" ]
+
+let test_compact_qcheck =
+  Tutil.qtest ~count:500 "view_of_compact inverts Pattern.to_string"
+    Tutil.arb_pattern compact_roundtrip
+
+(* {1 Reproducer round-trip} *)
+
+let test_repro_roundtrip () =
+  let rnd = Random.State.make [| 2718 |] in
+  for _ = 1 to 200 do
+    let t = Difftest.gen_triple rnd in
+    let t' = Difftest.triple_of_repro (Difftest.repro_of_triple t) in
+    Alcotest.(check string) "view survives" (Pattern.to_string t.Difftest.view)
+      (Pattern.to_string t'.Difftest.view);
+    Alcotest.(check string) "update survives" t.Difftest.update t'.Difftest.update;
+    Alcotest.(check bool) "document survives" true
+      (Xml_tree.equal t.Difftest.doc t'.Difftest.doc)
+  done;
+  List.iter
+    (fun s ->
+      match Difftest.triple_of_repro s with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "malformed reproducer %S accepted" s)
+    [
+      "";
+      "xvmdt1|";
+      "xvmdt2|4://a|9:delete //a|4:<a/>";
+      "xvmdt1|4://a|9:delete //a|5:<a/>";
+      "xvmdt1|4://a|9:delete //a|4:<a/>|";
+      "xvmdt1|99://a|9:delete //a|4:<a/>";
+    ]
+
+(* {1 Degenerate updates: all engines agree, known cardinality} *)
+
+let known_case name ~doc ~view ~update ~cards () =
+  let t =
+    {
+      Difftest.doc = Xml_parse.document doc;
+      view = Difftest.view_of_compact ~name:"view" view;
+      update;
+    }
+  in
+  (match Difftest.check t with
+  | None -> ()
+  | Some m -> Alcotest.fail (Difftest.describe m));
+  let mv =
+    Difftest.recompute_engine.Difftest.eval
+      (Xml_tree.copy t.Difftest.doc)
+      t.Difftest.view (Update.parse update)
+  in
+  Alcotest.(check int) (name ^ " cardinality") cards (Mview.cardinality mv)
+
+let degenerate_cases =
+  List.map
+    (fun (name, doc, view, update, cards) ->
+      Alcotest.test_case name `Quick
+        (known_case name ~doc ~view ~update ~cards))
+    [
+      (* empty target set: the update is a no-op *)
+      ("empty target delete", "<a><b/><b/></a>", "//b{id}", "delete //zz", 2);
+      ("empty target insert", "<a><b/></a>", "//b{id}", "insert into //zz <b/>", 1);
+      (* root children *)
+      ("insert under root", "<a><b/></a>", "//b{id}", "insert into /a <b/><b/>", 3);
+      ("delete root child", "<a><b/><c><b/></c></a>", "//b{id}", "delete /a/c", 1);
+      (* the document root itself *)
+      ("delete root", "<a><b/></a>", "//b{id}", "delete /a", 0);
+      (* nested/overlapping target subtrees *)
+      ( "overlapping delete",
+        "<a><b><b><c/></b></b><c/></a>",
+        "//c{id}",
+        "delete //b",
+        1 );
+      ( "nested insert targets",
+        "<a><b><b/></b></a>",
+        "//c{id}",
+        "insert into //b <c/>",
+        2 );
+      (* same node bound at several view positions after one insert *)
+      ("self-join insert", "<d/>", "/d[//d{id}][//d{id}]", "insert into //d <d/>", 1);
+    ]
+
+(* {1 An intentionally broken engine is caught and shrunk} *)
+
+(* "Maintenance" that never maintains: it evaluates the view over the
+   pre-update document and ignores the update entirely. *)
+let broken_engine =
+  {
+    Difftest.ename = "frozen";
+    eval =
+      (fun doc pat _u -> Mview.materialize (Store.of_document doc) pat);
+  }
+
+let test_broken_engine_shrunk () =
+  let engines = [ Difftest.recompute_engine; broken_engine ] in
+  let rnd = Random.State.make [| 2024 |] in
+  let rec find n =
+    if n = 0 then Alcotest.fail "no mismatch against the broken engine in 300 triples"
+    else
+      let t = Difftest.gen_triple rnd in
+      match Difftest.check ~engines t with Some m -> m | None -> find (n - 1)
+  in
+  let m = Difftest.shrink ~engines (find 300) in
+  let cx = m.Difftest.cx in
+  let nodes = Difftest.doc_nodes cx in
+  if nodes > 5 then
+    Alcotest.failf "shrunk reproducer still has %d nodes:\n%s" nodes
+      (Difftest.describe m);
+  (* The reproducer replays: same verdict after an encode/decode trip. *)
+  let cx' = Difftest.triple_of_repro (Difftest.repro_of_triple cx) in
+  Alcotest.(check bool) "replayed triple still fails the broken engine" true
+    (Difftest.check ~engines cx' <> None);
+  Alcotest.(check bool) "replayed triple passes the real engines" true
+    (Difftest.check cx' = None);
+  (* The report names both engines and carries the replay line. *)
+  let d = Difftest.describe m in
+  let contains needle =
+    let nl = String.length needle and dl = String.length d in
+    let rec at i = i + nl <= dl && (String.sub d i nl = needle || at (i + 1)) in
+    at 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "describe mentions %S" needle)
+        true (contains needle))
+    [ "frozen"; "recompute"; "replay: xvmcli difftest --replay" ]
+
+(* {1 XMark: all three engines agree on every paper pair} *)
+
+let xmark_doc = lazy (Xmark_gen.document ~seed:11 ~target_kb:16)
+
+let three_engines vname uname stmt () =
+  let doc = Lazy.force xmark_doc in
+  let pat = Xmark_views.find vname in
+  let eval (e : Difftest.engine) = e.Difftest.eval (Xml_tree.copy doc) pat stmt in
+  let ref_mv = eval Difftest.recompute_engine in
+  List.iter
+    (fun e ->
+      match Recompute.diff (eval e) ref_mv with
+      | None -> ()
+      | Some d ->
+        Alcotest.failf "%s vs recompute on %s/%s: %s" e.Difftest.ename vname
+          uname d)
+    [ Difftest.maint_engine; Difftest.ivma_engine ]
+
+let xmark_cases =
+  List.concat_map
+    (fun (vname, uname) ->
+      let u = Xmark_updates.find uname in
+      [
+        Alcotest.test_case
+          (Printf.sprintf "%s + insert %s" vname uname)
+          `Quick
+          (three_engines vname uname (Xmark_updates.insert u));
+        Alcotest.test_case
+          (Printf.sprintf "%s + delete %s" vname uname)
+          `Quick
+          (three_engines vname uname (Xmark_updates.delete u));
+      ])
+    Xmark_updates.figure20_pairs
+
+let () =
+  Alcotest.run "difftest"
+    [
+      ( "oracle",
+        [
+          Alcotest.test_case "bounded seeded run is clean" `Quick test_bounded_run;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "compact view syntax examples" `Quick
+            test_compact_examples;
+          test_compact_qcheck;
+          Alcotest.test_case "reproducer encode/decode round-trip" `Quick
+            test_repro_roundtrip;
+        ] );
+      ("degenerate updates", degenerate_cases);
+      ( "shrinker",
+        [
+          Alcotest.test_case "broken engine caught, shrunk to ≤5 nodes" `Quick
+            test_broken_engine_shrunk;
+        ] );
+      ("xmark three-engine agreement", xmark_cases);
+    ]

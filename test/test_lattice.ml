@@ -67,6 +67,28 @@ let test_parent_closed_property =
       done;
       List.length (Lattice.snowcaps pat) = !expected)
 
+(* After any maintenance step, the auxiliary snowcap tables must stay
+   consistent with the store: every materialized set is still a snowcap
+   of the pattern, and no table row or view cell holds a Dewey ID that
+   the [Store.commit] purge left dangling. *)
+let test_no_dangling_after_maintenance =
+  Tutil.qtest ~count:300 "maintenance leaves no dangling IDs in snowcap tables"
+    QCheck.(triple Tutil.arb_doc Tutil.arb_pattern Tutil.arb_update)
+    (fun (doc, pat, stmt) ->
+      let store = Store.of_document (Xml_tree.copy doc) in
+      let mv = Mview.materialize ~policy:Mview.Snowcaps store pat in
+      let _ = Maint.propagate mv stmt in
+      let live id = Store.node_of store id <> None in
+      List.for_all
+        (fun (nset, t) ->
+          List.exists (Lattice.equal nset) mv.Mview.all_snowcaps
+          && Array.for_all (Array.for_all live) (Tuple_table.rows t))
+        mv.Mview.mats
+      && List.for_all
+           (fun (_, _, cells) ->
+             Array.for_all (fun c -> live c.Mview.cell_id) cells)
+           (Mview.dump mv))
+
 let test_tops () =
   (* Complement of snowcap {a,b} in v1 is {c,d}; its forest roots are c
      and d. *)
@@ -93,6 +115,7 @@ let () =
           Alcotest.test_case "chain" `Quick test_chain;
           test_parent_closed_property;
         ] );
+      ("maintenance consistency", [ test_no_dangling_after_maintenance ]);
       ( "sets",
         [
           Alcotest.test_case "tops" `Quick test_tops;

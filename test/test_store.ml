@@ -94,6 +94,39 @@ let test_attach_then_detach_before_commit () =
   Alcotest.(check int) "ghost never enters the relation" 4
     (Array.length (Store.relation s "b"))
 
+(* Boundary cases of the binary-searched relation spans: spans touching
+   the first and last rows of the relation, single-node subtrees, and
+   empty relations. *)
+let test_relation_span_boundaries () =
+  let s = fixture () in
+  let rb = Store.relation s "b" in
+  let id_list entries =
+    Array.to_list (Array.map (fun e -> Dewey.encode e.Store.id) entries)
+  in
+  let span ~root = id_list (Store.relation_span s "b" ~root) in
+  let root_id = Store.id_of s (Store.root s) in
+  Alcotest.(check (list string)) "whole document = first through last row"
+    (id_list rb) (span ~root:root_id);
+  let c0 = (Store.relation s "c").(0).Store.id in
+  Alcotest.(check (list string)) "span starting at the first row"
+    [ Dewey.encode rb.(0).Store.id; Dewey.encode rb.(1).Store.id ]
+    (span ~root:c0);
+  let f = (Store.relation s "f").(0).Store.id in
+  Alcotest.(check (list string)) "span ending at the last row"
+    [ Dewey.encode rb.(2).Store.id; Dewey.encode rb.(3).Store.id ]
+    (span ~root:f);
+  Alcotest.(check (list string)) "subtree at the first row"
+    [ Dewey.encode rb.(0).Store.id ]
+    (span ~root:rb.(0).Store.id);
+  Alcotest.(check (list string)) "single-node subtree at the last row"
+    [ Dewey.encode rb.(3).Store.id ]
+    (span ~root:rb.(3).Store.id);
+  let t0 = (Store.relation s "#text").(0).Store.id in
+  Alcotest.(check (list string)) "single-node subtree without hits" []
+    (span ~root:t0);
+  Alcotest.(check int) "empty relation" 0
+    (Array.length (Store.relation_span s "zzz" ~root:root_id))
+
 let test_shared_dict () =
   let dict = Label_dict.create () in
   let s1 = Store.of_document ~dict (Xml_parse.document "<a><b/></a>") in
@@ -111,6 +144,8 @@ let () =
           Alcotest.test_case "id/node inverse" `Quick test_id_node_inverse;
           Alcotest.test_case "ids are structural" `Quick test_ids_structural;
           Alcotest.test_case "shared dictionary" `Quick test_shared_dict;
+          Alcotest.test_case "relation span boundaries" `Quick
+            test_relation_span_boundaries;
         ] );
       ( "updates",
         [
