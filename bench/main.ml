@@ -21,6 +21,10 @@ let runs =
 
 let skip_micro = Array.exists (( = ) "--no-micro") Sys.argv
 
+(* [--no-counters] skips the extra profiled (untimed) run per recorded
+   point that captures operator-counter snapshots. *)
+let skip_counters = Array.exists (( = ) "--no-counters") Sys.argv
+
 (* [--only figNN] restricts the run to the named section(s);
    comma-separated, e.g. [--only fig22,joinab]. *)
 let only =
@@ -136,29 +140,13 @@ let write_results () =
   close_out oc;
   Printf.printf "wrote %s (%d section(s))\n%!" results_file (List.length sections)
 
-(* Direct median-of-repeats timing for the A/B micro-benchmarks, where
+(* Direct median-of-repeats timing for the A/B micro-benchmarks — where
    we compare two implementations of the same operator on identical
-   inputs and the quantity of interest is a robust per-call estimate. *)
+   inputs and the quantity of interest is a robust per-call estimate —
+   is [Obs.Stats.time_median]: one shared monotonic-clock helper instead
+   of per-harness [Unix.gettimeofday] arithmetic. *)
 
-let median l =
-  let a = Array.of_list l in
-  Array.sort compare a;
-  let n = Array.length a in
-  if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
-
-let time_median ?(repeats = 9) ?(iters = 40) f =
-  for _ = 1 to 2 do
-    ignore (Sys.opaque_identity (f ()))
-  done;
-  median
-    (List.init repeats (fun _ ->
-         let (), t =
-           Timing.duration (fun () ->
-               for _ = 1 to iters do
-                 ignore (Sys.opaque_identity (f ()))
-               done)
-         in
-         t /. float_of_int iters))
+let time_median = Obs.Stats.time_median
 
 let small_kb = 100
 let big_kb = if full then 10240 else 2048
@@ -223,13 +211,37 @@ let run_avg ?policy ~kb ~view stmt =
   let t = avg_totals (List.map fst results) in
   (t, snd (List.hd results))
 
-let breakdown_header () =
-  Printf.printf "  %-8s %9s %9s %9s %9s %9s %10s\n" "update" "find" "delta" "expr"
-    "exec" "lattice" "total(ms)"
+let phase_cols = [ "find"; "delta"; "expr"; "exec"; "lattice" ]
+let breakdown_header () = Obs.Fmt.phase_header "update" phase_cols
 
 let print_breakdown name t =
-  Printf.printf "  %-8s %9.2f %9.2f %9.2f %9.2f %9.2f %10.2f\n%!" name (ms t.find)
-    (ms t.delta) (ms t.expr) (ms t.exec) (ms t.aux) (ms (totals_sum t))
+  Obs.Fmt.phase_row name [ t.find; t.delta; t.expr; t.exec; t.aux ]
+
+(* {1 Counter snapshots}
+
+   Each recorded point gets one extra run under [Obs.with_scope]: the
+   timed measurements above stay metrics-free (the disabled fast path),
+   while the profiled run contributes a per-figure counter snapshot to
+   BENCH_results.json. *)
+
+let profile_run f =
+  if skip_counters then None
+  else Some (snd (Obs.with_scope (fun () -> ignore (f ()))))
+
+let counter_fields = function
+  | None -> []
+  | Some snap ->
+    let cs =
+      List.map (fun (k, v) -> (k, Json.int v)) (Obs.nonzero_counters snap)
+    in
+    let ts =
+      List.concat_map
+        (fun (k, sec, n) ->
+          if n = 0 then []
+          else [ (k ^ "_ms", Json.num (ms sec)); (k ^ "_spans", Json.int n) ])
+        (Obs.timers snap)
+    in
+    [ ("counters", Json.Obj (cs @ ts)) ]
 
 (* {1 Figures 18 / 19: per-phase breakdowns} *)
 
@@ -254,11 +266,15 @@ let fig18_19 op tag title =
         List.iter
           (fun uname ->
             let u = Xmark_updates.find uname in
-            let t, _ = run_avg ~kb:big_kb ~view:(Xmark_views.find vname) (stmt_of op u) in
+            let view = Xmark_views.find vname in
+            let t, _ = run_avg ~kb:big_kb ~view (stmt_of op u) in
             print_breakdown uname t;
+            let prof =
+              profile_run (fun () -> run_once ~kb:big_kb ~view (stmt_of op u))
+            in
             record tag
               ([ ("view", Json.Str vname); ("update", Json.Str uname) ]
-              @ breakdown_fields t))
+              @ breakdown_fields t @ counter_fields prof))
           unames
       end)
     Xmark_updates.breakdown_pairs
@@ -271,16 +287,19 @@ let fig20_21 op tag title =
   List.iter
     (fun (vname, uname) ->
       let u = Xmark_updates.find uname in
-      let t, _ = run_avg ~kb:big_kb ~view:(Xmark_views.find vname) (stmt_of op u) in
+      let view = Xmark_views.find vname in
+      let t, _ = run_avg ~kb:big_kb ~view (stmt_of op u) in
       Printf.printf "  %-12s %12.2f\n%!"
         (Printf.sprintf "%s_%s" vname uname)
         (ms (totals_sum t));
+      let prof = profile_run (fun () -> run_once ~kb:big_kb ~view (stmt_of op u)) in
       record tag
-        [
-          ("view", Json.Str vname);
-          ("update", Json.Str uname);
-          ("total_ms", Json.num (ms (totals_sum t)));
-        ])
+        ([
+           ("view", Json.Str vname);
+           ("update", Json.Str uname);
+           ("total_ms", Json.num (ms (totals_sum t)));
+         ]
+        @ counter_fields prof))
     Xmark_updates.figure20_pairs
 
 (* {1 Figures 22 / 23: deletion path depth} *)
@@ -301,12 +320,17 @@ let fig22_23 () =
         (fun path ->
           let t, _ = run_avg ~kb ~view:Xmark_views.q1 (Update.delete path) in
           Printf.printf "  %-32s %12.2f\n%!" path (ms (totals_sum t));
+          let prof =
+            profile_run (fun () ->
+                run_once ~kb ~view:Xmark_views.q1 (Update.delete path))
+          in
           record "fig22_23"
-            [
-              ("kb", Json.int kb);
-              ("path", Json.Str path);
-              ("total_ms", Json.num (ms (totals_sum t)));
-            ])
+            ([
+               ("kb", Json.int kb);
+               ("path", Json.Str path);
+               ("total_ms", Json.num (ms (totals_sum t)));
+             ]
+            @ counter_fields prof))
         paths)
     [ small_kb; big_kb ]
 
@@ -335,16 +359,18 @@ let fig25 () =
   List.iter
     (fun (op, label) ->
       header (Printf.sprintf "Figure 25: scalability of view %s (Q1, update A6_A)" label);
-      Printf.printf "  %-10s %9s %9s %9s %9s %9s %10s\n" "size(KB)" "find" "delta"
-        "expr" "exec" "lattice" "total(ms)";
+      Obs.Fmt.phase_header ~label_width:10 "size(KB)" phase_cols;
       List.iter
         (fun kb ->
           let t, _ = run_avg ~kb ~view:Xmark_views.q1 (stmt_of op u) in
-          Printf.printf "  %-10d %9.2f %9.2f %9.2f %9.2f %9.2f %10.2f\n%!" kb
-            (ms t.find) (ms t.delta) (ms t.expr) (ms t.exec) (ms t.aux)
-            (ms (totals_sum t));
+          Obs.Fmt.phase_row ~label_width:10 (string_of_int kb)
+            [ t.find; t.delta; t.expr; t.exec; t.aux ];
+          let prof =
+            profile_run (fun () -> run_once ~kb ~view:Xmark_views.q1 (stmt_of op u))
+          in
           record "fig25"
-            ([ ("op", Json.Str label); ("kb", Json.int kb) ] @ breakdown_fields t))
+            ([ ("op", Json.Str label); ("kb", Json.int kb) ]
+            @ breakdown_fields t @ counter_fields prof))
         scaling_kbs)
     [ (Insert, "insert"); (Delete, "delete") ]
 
@@ -373,7 +399,7 @@ let fig26_27 op tag title =
     | Update.Replace_value { text; _ } ->
       ignore (Update.apply_replace store ~text ~targets));
     let _, full_s =
-      Timing.duration (fun () ->
+      Obs.duration (fun () ->
           Store.commit store;
           Mview.materialize store view)
     in
@@ -437,14 +463,18 @@ let fig28 () =
       Printf.printf "  %-8s %12.2f %12.2f %7.1fx %12d\n%!" uname bulk_ms ivma_ms
         (ivma_ms /. max 0.001 bulk_ms)
         r.Ivma.invocations;
+      let prof =
+        profile_run (fun () -> run_once ~kb:small_kb ~view:Xmark_views.q1 stmt)
+      in
       record "fig28"
-        [
-          ("update", Json.Str uname);
-          ("bulk_ms", Json.num bulk_ms);
-          ("ivma_ms", Json.num ivma_ms);
-          ("ratio", Json.num (ivma_ms /. max 0.001 bulk_ms));
-          ("invocations", Json.int r.Ivma.invocations);
-        ])
+        ([
+           ("update", Json.Str uname);
+           ("bulk_ms", Json.num bulk_ms);
+           ("ivma_ms", Json.num ivma_ms);
+           ("ratio", Json.num (ivma_ms /. max 0.001 bulk_ms));
+           ("invocations", Json.int r.Ivma.invocations);
+         ]
+        @ counter_fields prof))
     [ "X1_L"; "A6_A"; "A7_O"; "A8_AO"; "B7_LB" ]
 
 (* {1 Figures 29–32: snowcaps vs leaves} *)
@@ -551,7 +581,7 @@ let fig33_35 () =
             let ops = ops_for rule mv.Mview.store pct in
             let count = ref 0 in
             let (), elapsed =
-              Timing.duration (fun () ->
+              Obs.duration (fun () ->
                   let ops = if optimise then Pul_optim.reduce ops else ops in
                   count := List.length ops;
                   List.iter
@@ -677,7 +707,7 @@ let ablation_deferred () =
   (* Statement-level bulk propagation, for context. *)
   let mv_stmt = build () in
   let (), t_stmt =
-    Timing.duration (fun () ->
+    Obs.duration (fun () ->
         List.iter (fun stmt -> ignore (Maint.propagate mv_stmt stmt)) statements)
   in
   (* Immediate node-at-a-statement mode: every atomic operation propagated
@@ -685,7 +715,7 @@ let ablation_deferred () =
   let mv_imm = build () in
   let imm_ops = ref 0 in
   let (), t_imm =
-    Timing.duration (fun () ->
+    Obs.duration (fun () ->
         List.iter
           (fun stmt ->
             let ops = Pul_optim.atomic_ops mv_imm.Mview.store stmt in
@@ -700,7 +730,7 @@ let ablation_deferred () =
   let mv_def = build () in
   let d = Deferred.create mv_def in
   let (), t_def =
-    Timing.duration (fun () ->
+    Obs.duration (fun () ->
         List.iter (Deferred.update d) statements;
         ignore (Deferred.view d))
   in
@@ -818,10 +848,17 @@ let join_ab () =
   List.iter
     (fun (doc_name, store, lname, rname, axis, axis_name) ->
       let left = atom store 0 lname and right = atom store 1 rname in
-      let merged = Struct_join.merge_join left right ~parent:0 ~child:1 ~axis in
-      let hashed = Struct_join.hash_join left right ~parent:0 ~child:1 ~axis in
+      let merged, snap_merge =
+        Obs.with_scope (fun () ->
+            Struct_join.merge_join left right ~parent:0 ~child:1 ~axis)
+      in
+      let hashed, snap_hash =
+        Obs.with_scope (fun () ->
+            Struct_join.hash_join left right ~parent:0 ~child:1 ~axis)
+      in
       if Tuple_table.length merged <> Tuple_table.length hashed then
         failwith "join A/B: merge and hash outputs disagree";
+      let cmps snap = Obs.counter_value snap "algebra.join.comparisons" in
       let t_merge =
         time_median (fun () ->
             Struct_join.merge_join left right ~parent:0 ~child:1 ~axis)
@@ -847,6 +884,8 @@ let join_ab () =
           ("merge_ns", Json.num (ns t_merge));
           ("hash_ns", Json.num (ns t_hash));
           ("speedup", Json.num speedup);
+          ("merge_comparisons", Json.int (cmps snap_merge));
+          ("hash_comparisons", Json.int (cmps snap_hash));
         ])
     [
       ("deep", deep_store, "section", "para", Pattern.Descendant, "descendant");
@@ -871,7 +910,7 @@ let fuzz_oracle () =
   let count = if full then 20000 else 5000 in
   List.iter
     (fun (name, runit) ->
-      let r, elapsed = Timing.duration (fun () -> runit ~seed ~count) in
+      let r, elapsed = Obs.duration (fun () -> runit ~seed ~count) in
       let per_iter_ns = elapsed *. 1e9 /. float_of_int r.Fuzz_oracle.iterations in
       Printf.printf "  %s  (%.0f ns/iter)\n%!" (Fuzz_oracle.summary name r)
         per_iter_ns;
@@ -901,7 +940,7 @@ let fuzz_oracle () =
 let difftest_oracle () =
   header "Differential oracle: recompute vs maint vs ivma (bounded smoke)";
   let iters = if full then 5000 else 1000 in
-  let r, elapsed = Timing.duration (fun () -> Difftest.run ~seed ~iters ()) in
+  let r, elapsed = Obs.duration (fun () -> Difftest.run ~seed ~iters ()) in
   let per_iter_ns = elapsed *. 1e9 /. float_of_int r.Qgen.iterations in
   Printf.printf "  %s  (%.0f ns/iter)\n%!"
     (Qgen.summary "maint=recompute=ivma" r)

@@ -18,10 +18,40 @@ let resolve_view ~name ~query =
   | None, Some q -> View_parser.parse ~name:"cli" q
   | _ -> invalid_arg "give exactly one of --name or --query"
 
+(* {1 --metrics}
+
+   Shared by every subcommand: enable the process-wide [Obs] registry
+   for the whole run and dump it afterwards — flat [key=value] lines by
+   default, or a single JSON line with [--metrics=json] (always the last
+   line of stdout, so pipelines can [tail -n 1] it). *)
+
+let metrics_term =
+  let fmt = Arg.enum [ ("flat", `Flat); ("json", `Json) ] in
+  Arg.(
+    value
+    & opt ~vopt:(Some `Flat) (some fmt) None
+    & info [ "metrics" ] ~docv:"FMT"
+        ~doc:
+          "Collect operator-level metrics during the run and print the \
+           registry afterwards; $(docv) is $(b,flat) (default) or $(b,json).")
+
+let with_metrics metrics f =
+  match metrics with
+  | None -> f ()
+  | Some fmt ->
+    Obs.set_enabled true;
+    let dump () =
+      match fmt with
+      | `Json -> print_endline (Obs.to_json ())
+      | `Flat -> print_string (Obs.dump_kv ())
+    in
+    Fun.protect ~finally:dump f
+
 (* {1 gen} *)
 
 let gen_cmd =
-  let run size_kb seed output =
+  let run metrics size_kb seed output =
+    with_metrics metrics @@ fun () ->
     let doc = Xmark_gen.document ~seed ~target_kb:size_kb in
     let text = Xml_tree.serialize ~decl:true doc in
     (match output with
@@ -41,7 +71,7 @@ let gen_cmd =
   in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate an XMark-style auction document.")
-    Term.(const run $ size $ seed $ output)
+    Term.(const run $ metrics_term $ size $ seed $ output)
 
 (* Parse→serialize→parse the raw document text and verify the second
    pass is the identity, reporting where ingestion would lose data. *)
@@ -64,7 +94,8 @@ let check_roundtrip_text text =
 (* {1 eval} *)
 
 let eval_cmd =
-  let run doc path limit check_roundtrip =
+  let run metrics doc path limit check_roundtrip =
+    with_metrics metrics @@ fun () ->
     if check_roundtrip then check_roundtrip_text (read_file doc);
     let store = load_store doc in
     let hits = Xpath.eval (Store.root store) (Xpath.parse path) in
@@ -93,7 +124,7 @@ let eval_cmd =
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate an XPath over a document.")
-    Term.(const run $ doc $ path $ limit $ check_roundtrip)
+    Term.(const run $ metrics_term $ doc $ path $ limit $ check_roundtrip)
 
 (* {1 view} *)
 
@@ -119,7 +150,8 @@ let print_view ~limit store mv =
     (Mview.dump mv)
 
 let view_cmd =
-  let run doc vname vquery limit save load =
+  let run metrics doc vname vquery limit save load =
+    with_metrics metrics @@ fun () ->
     let store = load_store doc in
     let pat = resolve_view ~name:vname ~query:vquery in
     Printf.printf "view: %s\n" (Pattern.to_string pat);
@@ -155,12 +187,13 @@ let view_cmd =
   in
   Cmd.v
     (Cmd.info "view" ~doc:"Materialize (or load) a view over a document.")
-    Term.(const run $ doc $ vname $ vquery $ limit $ save $ load)
+    Term.(const run $ metrics_term $ doc $ vname $ vquery $ limit $ save $ load)
 
 (* {1 maintain} *)
 
 let maintain_cmd =
-  let run doc vname vquery updates check =
+  let run metrics doc vname vquery updates check =
+    with_metrics metrics @@ fun () ->
     let store = load_store doc in
     let pat = resolve_view ~name:vname ~query:vquery in
     let mv = Mview.materialize store pat in
@@ -203,12 +236,13 @@ let maintain_cmd =
   in
   Cmd.v
     (Cmd.info "maintain" ~doc:"Apply updates and maintain a view incrementally.")
-    Term.(const run $ doc $ vname $ vquery $ updates $ check)
+    Term.(const run $ metrics_term $ doc $ vname $ vquery $ updates $ check)
 
 (* {1 fuzz} *)
 
 let fuzz_cmd =
-  let run seed trees codec =
+  let run metrics seed trees codec =
+    with_metrics metrics @@ fun () ->
     Printf.printf "fuzzing the ingestion & persistence boundary (seed %d)\n%!" seed;
     let rt, t_rt =
       Timing.duration (fun () -> Fuzz_oracle.roundtrip_trees ~seed ~count:trees)
@@ -242,12 +276,13 @@ let fuzz_cmd =
          "Run the round-trip fuzzing oracle: parse/serialize identity over \
           random trees and Corrupt-or-correct over mutated view images. \
           Exits 1 on any failure.")
-    Term.(const run $ seed $ trees $ codec)
+    Term.(const run $ metrics_term $ seed $ trees $ codec)
 
 (* {1 difftest} *)
 
 let difftest_cmd =
-  let run seed iters replay =
+  let run metrics seed iters replay =
+    with_metrics metrics @@ fun () ->
     match replay with
     | Some repro ->
       let t =
@@ -300,12 +335,13 @@ let difftest_cmd =
          "Cross-check the three maintenance engines on random (document, \
           view, update) triples; failing triples are shrunk and printed as \
           replayable reproducers. Exits 1 on any mismatch.")
-    Term.(const run $ seed $ iters $ replay)
+    Term.(const run $ metrics_term $ seed $ iters $ replay)
 
 (* {1 workload} *)
 
 let workload_cmd =
-  let run () =
+  let run metrics () =
+    with_metrics metrics @@ fun () ->
     Printf.printf "views:\n";
     List.iter
       (fun (n, p) -> Printf.printf "  %-4s %s\n" n (Pattern.to_string p))
@@ -319,7 +355,7 @@ let workload_cmd =
   in
   Cmd.v
     (Cmd.info "workload" ~doc:"List the built-in benchmark views and updates.")
-    Term.(const run $ const ())
+    Term.(const run $ metrics_term $ const ())
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

@@ -14,6 +14,24 @@ end
 
 module Prefix_tbl = Hashtbl.Make (Prefix_key)
 
+(* Metrics: [comparisons] counts identifier comparisons in the merge path
+   and table probes in the hash path, so complexity bounds expressed over
+   it hold whichever implementation a plan ends up in. *)
+let obs = Obs.Scope.v "algebra.join"
+let c_rows_left = Obs.Scope.counter obs "rows_left"
+let c_rows_right = Obs.Scope.counter obs "rows_right"
+let c_rows_out = Obs.Scope.counter obs "rows_out"
+let c_comparisons = Obs.Scope.counter obs "comparisons"
+let c_hash_probes = Obs.Scope.counter obs "hash_probes"
+let c_merge_calls = Obs.Scope.counter obs "merge_calls"
+let c_hash_calls = Obs.Scope.counter obs "hash_calls"
+let c_hash_fallbacks = Obs.Scope.counter obs "hash_fallbacks"
+
+let flush_tables left right out =
+  Obs.Counter.add c_rows_left (Tuple_table.length left);
+  Obs.Counter.add c_rows_right (Tuple_table.length right);
+  Obs.Counter.add c_rows_out (Tuple_table.length out)
+
 let out_cols left right =
   Array.append (Tuple_table.cols left) (Tuple_table.cols right)
 
@@ -25,6 +43,8 @@ let combine lrow rrow =
   else Array.append lrow rrow
 
 let hash_join left right ~parent ~child ~axis =
+  let track = Obs.enabled () in
+  let probes = ref 0 in
   let ppos = Tuple_table.col_pos left parent in
   let cpos = Tuple_table.col_pos right child in
   let out = Tuple_table.create ~cols:(out_cols left right) in
@@ -39,6 +59,7 @@ let hash_join left right ~parent ~child ~axis =
       Prefix_tbl.replace by_parent key (row :: prev))
     left;
   let probe rrow cid k =
+    if track then incr probes;
     match Prefix_tbl.find_opt by_parent (cid, k) with
     | None -> ()
     | Some lrows ->
@@ -58,6 +79,12 @@ let hash_join left right ~parent ~child ~axis =
   (* Rows are emitted in right-input order, so the output inherits the
      right side's document order on the child column. *)
   if Tuple_table.sorted_on right child then Tuple_table.mark_sorted_by out child;
+  if track then begin
+    Obs.Counter.incr c_hash_calls;
+    Obs.Counter.add c_hash_probes !probes;
+    Obs.Counter.add c_comparisons !probes;
+    flush_tables left right out
+  end;
   out
 
 (* {1 Sort-merge join}
@@ -72,6 +99,16 @@ let hash_join left right ~parent ~child ~axis =
    pushed and popped exactly once: O(|L| + |R| + |out|) overall. *)
 
 let merge_join left right ~parent ~child ~axis =
+  let track = Obs.enabled () in
+  let cmps = ref 0 in
+  let cmp a b =
+    if track then incr cmps;
+    Dewey.compare a b
+  in
+  let anc a b =
+    if track then incr cmps;
+    Dewey.is_ancestor_or_self a b
+  in
   let ppos = Tuple_table.col_pos left parent in
   let cpos = Tuple_table.col_pos right child in
   let lrows = Tuple_table.rows left and rrows = Tuple_table.rows right in
@@ -79,6 +116,10 @@ let merge_join left right ~parent ~child ~axis =
   let out = Tuple_table.create ~cols:(out_cols left right) in
   if nl = 0 || nr = 0 then begin
     Tuple_table.mark_sorted_by out child;
+    if track then begin
+      Obs.Counter.incr c_merge_calls;
+      flush_tables left right out
+    end;
     out
   end
   else begin
@@ -116,20 +157,20 @@ let merge_join left right ~parent ~child ~axis =
     let rrow = rrows.(j) in
     let d = rrow.(cpos) in
     (* Shift every ancestor-side run at or before [d] onto the stack. *)
-    while !i < nl && Dewey.compare lrows.(!i).(ppos) d <= 0 do
+    while !i < nl && cmp lrows.(!i).(ppos) d <= 0 do
       let gid = lrows.(!i).(ppos) in
       let lo = !i in
       incr i;
-      while !i < nl && Dewey.compare lrows.(!i).(ppos) gid = 0 do
+      while !i < nl && cmp lrows.(!i).(ppos) gid = 0 do
         incr i
       done;
-      while !sp > 0 && not (Dewey.is_ancestor_or_self (top_id ()) gid) do
+      while !sp > 0 && not (anc (top_id ()) gid) do
         decr sp
       done;
       push gid lo !i
     done;
     (* Drop frames whose subtrees we have left for good. *)
-    while !sp > 0 && not (Dewey.is_ancestor_or_self (top_id ()) d) do
+    while !sp > 0 && not (anc (top_id ()) d) do
       decr sp
     done;
     (* Every remaining frame is a prefix of [d]; only a depth-equal top
@@ -149,6 +190,7 @@ let merge_join left right ~parent ~child ~axis =
       if target >= 1 && !sp > 0 then begin
         let lo = ref 0 and hi = ref (!sp - 1) and found = ref (-1) in
         while !lo <= !hi do
+          if track then incr cmps;
           let mid = (!lo + !hi) / 2 in
           let md = Dewey.depth !st_id.(mid) in
           if md = target then begin
@@ -162,10 +204,18 @@ let merge_join left right ~parent ~child ~axis =
       end)
   done;
   Tuple_table.mark_sorted_by out child;
+  if track then begin
+    Obs.Counter.incr c_merge_calls;
+    Obs.Counter.add c_comparisons !cmps;
+    flush_tables left right out
+  end;
   out
   end
 
 let join left right ~parent ~child ~axis =
   if Tuple_table.sorted_on left parent && Tuple_table.sorted_on right child then
     merge_join left right ~parent ~child ~axis
-  else hash_join left right ~parent ~child ~axis
+  else begin
+    Obs.Counter.incr c_hash_fallbacks;
+    hash_join left right ~parent ~child ~axis
+  end

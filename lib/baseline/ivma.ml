@@ -6,6 +6,22 @@ type report = {
   fallback_recompute : bool;
 }
 
+let obs = Obs.Scope.v "ivma"
+let t_propagate = Obs.Scope.timer obs "propagate"
+let c_invocations = Obs.Scope.counter obs "invocations"
+let c_emb_added = Obs.Scope.counter obs "embeddings_added"
+let c_emb_removed = Obs.Scope.counter obs "embeddings_removed"
+let c_fallbacks = Obs.Scope.counter obs "fallback_recomputes"
+
+(* Every [report] exit flows through here, mirroring [Maint.emit]. *)
+let emit r =
+  Obs.Timer.add_span t_propagate r.elapsed;
+  Obs.Counter.add c_invocations r.invocations;
+  Obs.Counter.add c_emb_added r.embeddings_added;
+  Obs.Counter.add c_emb_removed r.embeddings_removed;
+  if r.fallback_recompute then Obs.Counter.incr c_fallbacks;
+  r
+
 let node_matches pat i id node =
   Pattern.tag_matches pat.Pattern.tags.(i) node
   && Pattern.vpred_holds pat i node
@@ -58,7 +74,7 @@ let rebuild_fallback mv ~invocations =
         Store.commit store;
         Mview.rebuild mv)
   in
-  {
+  emit {
     elapsed;
     invocations;
     embeddings_added = 0;
@@ -127,7 +143,7 @@ let propagate mv u =
           ignore (Maint.refresh_payloads mv (Maint.Ins app));
           Store.commit store)
     in
-    {
+    emit {
       elapsed;
       invocations = List.length new_nodes;
       embeddings_added = !added;
@@ -171,7 +187,7 @@ let propagate mv u =
           ignore (Maint.refresh_payloads mv (Maint.Del app));
           Store.commit store)
     in
-    {
+    emit {
       elapsed;
       invocations = List.length doomed;
       embeddings_added = 0;

@@ -1,3 +1,7 @@
+let obs = Obs.Scope.v "recompute"
+let t_materialize = Obs.Scope.timer obs "materialize"
+let c_runs = Obs.Scope.counter obs "runs"
+
 let recompute_after store u ~pat =
   let targets = Update.targets store u in
   (match u with
@@ -9,6 +13,8 @@ let recompute_after store u ~pat =
   let mv, elapsed =
     Timing.duration (fun () -> Mview.materialize ~policy:Mview.Leaves store pat)
   in
+  Obs.Counter.incr c_runs;
+  Obs.Timer.add_span t_materialize elapsed;
   (mv, elapsed)
 
 let cell_repr (c : Mview.cell) =

@@ -68,9 +68,10 @@ type mismatch = {
   left : string;
   right : string;
   detail : string;
+  work : (string * int) list;
 }
 
-let check ?(engines = default_engines) t =
+let check0 ?(engines = default_engines) t =
   match engines with
   | [] | [ _ ] -> invalid_arg "Difftest.check: need at least two engines"
   | reference :: others ->
@@ -89,6 +90,7 @@ let check ?(engines = default_engines) t =
           left = reference.ename;
           right = reference.ename;
           detail = "escaped exception: " ^ msg;
+          work = [];
         }
     | Ok ref_mv ->
       List.fold_left
@@ -104,13 +106,35 @@ let check ?(engines = default_engines) t =
                   left = e.ename;
                   right = reference.ename;
                   detail = "escaped exception: " ^ msg;
+                  work = [];
                 }
             | Ok mv -> (
               match Recompute.diff mv ref_mv with
               | None -> None
               | Some d ->
-                Some { cx = t; left = e.ename; right = reference.ename; detail = d })))
+                Some
+                  {
+                    cx = t;
+                    left = e.ename;
+                    right = reference.ename;
+                    detail = d;
+                    work = [];
+                  })))
         None others)
+
+(* Running the comparison under a snapshot serves two purposes: a
+   mismatch carries the work profile of its counterexample (so a shrunk
+   reproducer also reproduces the work), and agreeing runs still yield a
+   deterministic per-triple profile for replay-equality tests. *)
+let check ?engines t =
+  let res, snap = Obs.with_scope (fun () -> check0 ?engines t) in
+  match res with
+  | None -> None
+  | Some m -> Some { m with work = Obs.nonzero_counters snap }
+
+let work_profile ?engines t =
+  let _, snap = Obs.with_scope (fun () -> ignore (check0 ?engines t)) in
+  Obs.nonzero_counters snap
 
 (* {1 Generators} *)
 
@@ -372,16 +396,22 @@ let replay_command t =
 
 let describe m =
   let t = m.cx in
+  let work =
+    match m.work with
+    | [] -> "(none)"
+    | w -> String.concat " " (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) w)
+  in
   Printf.sprintf
     "%s vs %s disagree\n\
     \  view:   %s\n\
     \  update: %s\n\
     \  doc:    %s (%d nodes)\n\
     \  first differing tuple: %s\n\
+    \  work:   %s\n\
     \  replay: %s"
     m.left m.right (Pattern.to_string t.view) t.update
     (Qgen.abbrev (Xml_tree.serialize t.doc))
-    (doc_nodes t) m.detail (replay_command t)
+    (doc_nodes t) m.detail work (replay_command t)
 
 (* {1 The shrinker} *)
 

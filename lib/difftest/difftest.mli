@@ -67,13 +67,22 @@ type mismatch = {
   left : string;  (** name of the disagreeing engine *)
   right : string;  (** name of the reference engine *)
   detail : string;  (** first differing tuple, or an escaped exception *)
+  work : (string * int) list;
+      (** non-zero {!Obs} counters recorded while checking this triple —
+          the counterexample's work profile, replayed with it *)
 }
 
 (** [check triple] runs every engine and compares each view against the
     reference (head engine) tuple-for-tuple — projected IDs, derivation
     counts and val/cont payloads, under the canonical dump sort. An
-    exception escaping an engine is a mismatch too. *)
+    exception escaping an engine is a mismatch too. The check runs under
+    an {!Obs.with_scope} snapshot; a mismatch carries its work profile. *)
 val check : ?engines:engine list -> triple -> mismatch option
+
+(** [work_profile triple] — the non-zero counter profile of checking the
+    triple (deterministic for a given triple and engine list, whether or
+    not the engines agree): the basis of replay-equality tests. *)
+val work_profile : ?engines:engine list -> triple -> (string * int) list
 
 (** [shrink m] greedily minimizes the counterexample: candidate
     reductions of the document (drop a subtree, hoist children), the

@@ -30,6 +30,14 @@ let summary = Qgen.summary
 
 let random_document rnd = Qgen.random_document ~profile:Qgen.ingestion rnd
 
+(* Each iteration runs under an [Obs.with_scope] snapshot; a failure
+   message carries the iteration's counter profile, so replaying the
+   seed reproduces the work alongside the verdict. *)
+let work_digest snap =
+  match Obs.kv_line snap with "" -> "(no counters)" | s -> s
+
+let record_with rc snap msg = Qgen.record rc (msg ^ "\n  work: " ^ work_digest snap)
+
 (* {1 Property 1: parse ∘ serialize = id} *)
 
 let roundtrip_trees ~seed ~count =
@@ -38,22 +46,29 @@ let roundtrip_trees ~seed ~count =
   let abbrev = Qgen.abbrev in
   for i = 1 to count do
     let t = random_document rnd in
-    let s = Xml_tree.serialize t in
-    match Xml_parse.document s with
-    | exception Xml_parse.Parse_error m ->
-      Qgen.record rc
-        (Printf.sprintf "tree %d: parse error: %s on %s" i m (abbrev s))
-    | t' ->
-      if not (Xml_tree.equal t t') then
-        Qgen.record rc
-          (Printf.sprintf "tree %d: reparse differs structurally on %s" i (abbrev s))
-      else begin
-        let s' = Xml_tree.serialize t' in
-        if s' <> s then
-          Qgen.record rc
-            (Printf.sprintf "tree %d: serialization not a fixpoint: %s vs %s" i
-               (abbrev s) (abbrev s'))
-      end
+    let verdict, snap =
+      Obs.with_scope (fun () ->
+          let s = Xml_tree.serialize t in
+          match Xml_parse.document s with
+          | exception Xml_parse.Parse_error m ->
+            Some (Printf.sprintf "tree %d: parse error: %s on %s" i m (abbrev s))
+          | t' ->
+            if not (Xml_tree.equal t t') then
+              Some
+                (Printf.sprintf "tree %d: reparse differs structurally on %s" i
+                   (abbrev s))
+            else begin
+              let s' = Xml_tree.serialize t' in
+              if s' <> s then
+                Some
+                  (Printf.sprintf "tree %d: serialization not a fixpoint: %s vs %s"
+                     i (abbrev s) (abbrev s'))
+              else None
+            end)
+    in
+    match verdict with
+    | None -> ()
+    | Some msg -> record_with rc snap msg
   done;
   Qgen.report_of rc ~iterations:count
 
@@ -142,19 +157,27 @@ let codec_corrupt ~seed ~count =
     | Some d -> Qgen.record rc ("pristine image loads differently: " ^ d)));
   for i = 1 to count do
     let kind, mutated = mutate rnd data in
-    match Mview_codec.load store pat mutated with
-    | exception Mview_codec.Corrupt _ -> ()
-    | exception e ->
-      Qgen.record rc
-        (Printf.sprintf "input %d: escaped exception %s" i (Printexc.to_string e))
-    | loaded -> (
-      (* Without a forged footer, a valid load must mean intact data. *)
-      match kind with
-      | `Forged -> ()
-      | `Raw -> (
-        match Recompute.diff mv loaded with
-        | None -> ()
-        | Some d ->
-          Qgen.record rc (Printf.sprintf "input %d: garbage accepted as a view: %s" i d)))
+    let verdict, snap =
+      Obs.with_scope (fun () ->
+          match Mview_codec.load store pat mutated with
+          | exception Mview_codec.Corrupt _ -> None
+          | exception e ->
+            Some
+              (Printf.sprintf "input %d: escaped exception %s" i
+                 (Printexc.to_string e))
+          | loaded -> (
+            (* Without a forged footer, a valid load must mean intact data. *)
+            match kind with
+            | `Forged -> None
+            | `Raw -> (
+              match Recompute.diff mv loaded with
+              | None -> None
+              | Some d ->
+                Some
+                  (Printf.sprintf "input %d: garbage accepted as a view: %s" i d))))
+    in
+    match verdict with
+    | None -> ()
+    | Some msg -> record_with rc snap msg
   done;
   Qgen.report_of rc ~iterations:(count + 1)

@@ -1,5 +1,13 @@
 type entry = { id : Dewey.t; node : Xml_tree.node }
 
+let obs_span = Obs.Scope.v "store.span"
+let c_span_calls = Obs.Scope.counter obs_span "calls"
+let c_span_probes = Obs.Scope.counter obs_span "probes"
+let c_span_rows = Obs.Scope.counter obs_span "rows"
+let obs_scan = Obs.Scope.v "store.scan"
+let c_scan_calls = Obs.Scope.counter obs_scan "calls"
+let c_scan_rows = Obs.Scope.counter obs_scan "rows"
+
 module Dewey_tbl = Hashtbl.Make (struct
   type t = Dewey.t
 
@@ -119,7 +127,12 @@ let relation t label =
   match Label_dict.find t.dict label with
   | None -> [||]
   | Some code -> (
-    match Hashtbl.find_opt t.rels code with None -> [||] | Some r -> r.sorted)
+    match Hashtbl.find_opt t.rels code with
+    | None -> [||]
+    | Some r ->
+      Obs.Counter.incr c_scan_calls;
+      Obs.Counter.add c_scan_rows (Array.length r.sorted);
+      r.sorted)
 
 (* Subtrees are contiguous document-order intervals, so the entries of a
    sorted relation lying under [root] form one block: binary-search its
@@ -131,11 +144,14 @@ let relation_span t label ~root =
     match Hashtbl.find_opt t.rels code with
     | None -> [||]
     | Some r ->
+      let track = Obs.enabled () in
+      let probes = ref 0 in
       let arr = r.sorted in
       let n = Array.length arr in
       (* First index with id >= root. *)
       let lo = ref 0 and hi = ref n in
       while !lo < !hi do
+        if track then incr probes;
         let mid = (!lo + !hi) / 2 in
         if Dewey.compare arr.(mid).id root < 0 then lo := mid + 1 else hi := mid
       done;
@@ -143,12 +159,19 @@ let relation_span t label ~root =
       (* First index past the subtree: id > root and not below it. *)
       let lo = ref start and hi = ref n in
       while !lo < !hi do
+        if track then incr probes;
         let mid = (!lo + !hi) / 2 in
         if Dewey.is_ancestor_or_self root arr.(mid).id then lo := mid + 1
         else hi := mid
       done;
       let stop = !lo in
-      if stop <= start then [||] else Array.sub arr start (stop - start))
+      let res = if stop <= start then [||] else Array.sub arr start (stop - start) in
+      if track then begin
+        Obs.Counter.incr c_span_calls;
+        Obs.Counter.add c_span_probes !probes;
+        Obs.Counter.add c_span_rows (Array.length res)
+      end;
+      res)
 
 let relation_labels t =
   Hashtbl.fold

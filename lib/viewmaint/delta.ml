@@ -4,6 +4,22 @@ type t = {
   target_ids : Dewey.t list;
 }
 
+(* [nodes] counts update-region nodes scanned during extraction (inserted
+   nodes for Δ⁺, region-span entries for Δ⁻); [rows] counts the delta-table
+   rows produced. Both are bounded by the update's subtree size times the
+   pattern width — never by the document. *)
+let obs = Obs.Scope.v "maint.delta"
+let c_nodes = Obs.Scope.counter obs "nodes"
+let c_rows = Obs.Scope.counter obs "rows"
+let c_extractions = Obs.Scope.counter obs "extractions"
+
+let flush_tables tables =
+  if Obs.enabled () then begin
+    Obs.Counter.incr c_extractions;
+    Obs.Counter.add c_rows
+      (Array.fold_left (fun acc tb -> acc + Tuple_table.length tb) 0 tables)
+  end
+
 (* extr-pattern over a list of (id, node) pairs: one pass per pattern node
    keeps each table in insertion order; a final sort restores document
    order. *)
@@ -36,8 +52,11 @@ let of_insert store pat (applied : Update.applied_insert) =
           Xml_tree.iter (fun n -> pairs := (Store.id_of store n, n) :: !pairs) tree)
         forest)
     applied.Update.pairs;
+  let tables = build_tables pat (List.rev !pairs) in
+  Obs.Counter.add c_nodes (List.length !pairs);
+  flush_tables tables;
   {
-    tables = build_tables pat (List.rev !pairs);
+    tables;
     region = Id_region.of_roots !roots;
     target_ids = List.map fst applied.Update.pairs;
   }
@@ -53,6 +72,7 @@ let of_delete store pat (applied : Update.applied_delete) =
   let tables =
     Array.init k (fun i ->
         let entries = Plan.entries_in_region store pat i region in
+        Obs.Counter.add c_nodes (Array.length entries);
         let matching = ref [] in
         Array.iter
           (fun e ->
@@ -64,6 +84,7 @@ let of_delete store pat (applied : Update.applied_delete) =
         Tuple_table.of_ids ~sorted:true ~node:i
           (Array.of_list (List.rev !matching)))
   in
+  flush_tables tables;
   { tables; region; target_ids = applied.Update.roots }
 
 let nonempty t i = not (Tuple_table.is_empty t.tables.(i))

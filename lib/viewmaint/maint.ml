@@ -15,12 +15,59 @@ type applied =
 
 type kind = KInsert | KDelete
 
-let set_find b t = b.Timing.find_target <- b.Timing.find_target +. t
-let set_apply b t = b.Timing.apply_doc <- b.Timing.apply_doc +. t
-let set_delta b t = b.Timing.compute_delta <- b.Timing.compute_delta +. t
-let set_expr b t = b.Timing.get_expression <- b.Timing.get_expression +. t
-let set_exec b t = b.Timing.execute <- b.Timing.execute +. t
-let set_aux b t = b.Timing.update_aux <- b.Timing.update_aux +. t
+(* Global phase timers mirror the paper's Fig. 18/19 taxonomy; the
+   per-report [Timing.breakdown] stays the primary record, these cells
+   just make the same spans visible through the process-wide registry. *)
+let obs_phase = Obs.Scope.v "maint.phase"
+let t_find = Obs.Scope.timer obs_phase "find_target"
+let t_apply = Obs.Scope.timer obs_phase "apply_doc"
+let t_delta = Obs.Scope.timer obs_phase "compute_delta"
+let t_expr = Obs.Scope.timer obs_phase "get_expression"
+let t_exec = Obs.Scope.timer obs_phase "execute"
+let t_aux = Obs.Scope.timer obs_phase "update_aux"
+
+let obs_work = Obs.Scope.v "maint.work"
+let c_terms_developed = Obs.Scope.counter obs_work "terms_developed"
+let c_terms_surviving = Obs.Scope.counter obs_work "terms_surviving"
+let c_emb_added = Obs.Scope.counter obs_work "embeddings_added"
+let c_emb_removed = Obs.Scope.counter obs_work "embeddings_removed"
+let c_tuples_modified = Obs.Scope.counter obs_work "tuples_modified"
+let c_fallbacks = Obs.Scope.counter obs_work "fallback_recomputes"
+
+let set_find b t =
+  b.Timing.find_target <- b.Timing.find_target +. t;
+  Obs.Timer.add_span t_find t
+
+let set_apply b t =
+  b.Timing.apply_doc <- b.Timing.apply_doc +. t;
+  Obs.Timer.add_span t_apply t
+
+let set_delta b t =
+  b.Timing.compute_delta <- b.Timing.compute_delta +. t;
+  Obs.Timer.add_span t_delta t
+
+let set_expr b t =
+  b.Timing.get_expression <- b.Timing.get_expression +. t;
+  Obs.Timer.add_span t_expr t
+
+let set_exec b t =
+  b.Timing.execute <- b.Timing.execute +. t;
+  Obs.Timer.add_span t_exec t
+
+let set_aux b t =
+  b.Timing.update_aux <- b.Timing.update_aux +. t;
+  Obs.Timer.add_span t_aux t
+
+(* Every [report] exit flows through here so the registry sees the same
+   work totals the caller gets back. *)
+let emit r =
+  Obs.Counter.add c_terms_developed r.terms_developed;
+  Obs.Counter.add c_terms_surviving r.terms_surviving;
+  Obs.Counter.add c_emb_added r.embeddings_added;
+  Obs.Counter.add c_emb_removed r.embeddings_removed;
+  Obs.Counter.add c_tuples_modified r.tuples_modified;
+  if r.fallback_recompute then Obs.Counter.incr c_fallbacks;
+  r
 
 let apply_only store u =
   let b = Timing.zero () in
@@ -323,7 +370,7 @@ let propagate_applied ?(commit = true) ?(watches = []) ?(prune = true) mv applie
     Timing.timed b set_exec (fun () ->
         Store.commit store;
         Mview.rebuild mv);
-    {
+    emit {
       timing = b;
       terms_developed = 0;
       terms_surviving = 0;
@@ -342,7 +389,7 @@ let propagate_applied ?(commit = true) ?(watches = []) ?(prune = true) mv applie
       Timing.timed b set_exec (fun () ->
           Store.commit store;
           Mview.rebuild mv);
-      {
+      emit {
         timing = b;
         terms_developed = 0;
         terms_surviving = 0;
@@ -360,7 +407,7 @@ let propagate_applied ?(commit = true) ?(watches = []) ?(prune = true) mv applie
       let modified = ref 0 in
       Timing.timed b set_exec (fun () -> modified := pimt mv app_ins);
       Timing.timed b set_aux (fun () -> if commit then Store.commit store);
-      {
+      emit {
         timing = b;
         terms_developed = 0;
         terms_surviving = 0;
@@ -397,7 +444,7 @@ let propagate_applied ?(commit = true) ?(watches = []) ?(prune = true) mv applie
     Timing.timed b set_aux (fun () ->
         maintain_mats_insert mv delta;
         if commit then Store.commit store);
-    {
+    emit {
       timing = b;
       terms_developed = List.length candidates;
       terms_surviving = List.length terms;
@@ -433,7 +480,7 @@ let propagate_applied ?(commit = true) ?(watches = []) ?(prune = true) mv applie
     Timing.timed b set_aux (fun () ->
         maintain_mats_delete mv delta;
         if commit then Store.commit store);
-    {
+    emit {
       timing = b;
       terms_developed = List.length candidates;
       terms_surviving = List.length terms;

@@ -45,6 +45,12 @@ let add_opt buf = function
     Buffer.add_char buf '\x01';
     add_string buf s
 
+let obs = Obs.Scope.v "codec"
+let c_saves = Obs.Scope.counter obs "saves"
+let c_save_bytes = Obs.Scope.counter obs "save_bytes"
+let c_loads = Obs.Scope.counter obs "loads"
+let c_load_bytes = Obs.Scope.counter obs "load_bytes"
+
 let save mv =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf magic;
@@ -66,7 +72,10 @@ let save mv =
   Bytes.set footer 1 (Char.chr ((crc lsr 16) land 0xff));
   Bytes.set footer 2 (Char.chr ((crc lsr 8) land 0xff));
   Bytes.set footer 3 (Char.chr (crc land 0xff));
-  body ^ Bytes.to_string footer
+  let image = body ^ Bytes.to_string footer in
+  Obs.Counter.incr c_saves;
+  Obs.Counter.add c_save_bytes (String.length image);
+  image
 
 (* [limit] is the end of the body (total length minus the footer): no
    read may cross it. *)
@@ -115,6 +124,8 @@ let read_opt r =
   | _ -> raise (Corrupt "bad option tag")
 
 let load ?policy store pat data =
+  Obs.Counter.incr c_loads;
+  Obs.Counter.add c_load_bytes (String.length data);
   let n = String.length data in
   if n < 4 then raise (Corrupt "truncated header");
   (match String.sub data 0 4 with

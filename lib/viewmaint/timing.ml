@@ -20,7 +20,10 @@ let zero () =
 let maintenance_total b =
   b.find_target +. b.compute_delta +. b.get_expression +. b.execute +. b.update_aux
 
-let now () = Unix.gettimeofday ()
+(* Monotonic read: delegates to the shared observability clock so every
+   layer (bench included) derives durations from the same non-decreasing
+   source. *)
+let now () = Obs.now ()
 
 let duration f =
   let start = now () in

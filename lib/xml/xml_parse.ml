@@ -351,12 +351,34 @@ and read_content st =
 
 let init src = { src; pos = 0; line = 1; bol = 0 }
 
+let obs = Obs.Scope.v "xml.parse"
+let c_bytes = Obs.Scope.counter obs "bytes"
+let c_nodes = Obs.Scope.counter obs "nodes"
+let c_documents = Obs.Scope.counter obs "documents"
+let c_fragments = Obs.Scope.counter obs "fragments"
+
+(* [Xml_tree.size] is a full traversal: only pay for it when tracking. *)
+let record_document s root =
+  if Obs.enabled () then begin
+    Obs.Counter.incr c_documents;
+    Obs.Counter.add c_bytes (String.length s);
+    Obs.Counter.add c_nodes (Xml_tree.size root)
+  end
+
+let record_fragment s roots =
+  if Obs.enabled () then begin
+    Obs.Counter.incr c_fragments;
+    Obs.Counter.add c_bytes (String.length s);
+    List.iter (fun r -> Obs.Counter.add c_nodes (Xml_tree.size r)) roots
+  end
+
 let document s =
   let st = init s in
   skip_misc st;
   let root = read_element st in
   skip_misc st;
   if st.pos <> String.length s then fail st "trailing content after root element";
+  record_document s root;
   root
 
 let fragment s =
@@ -367,4 +389,6 @@ let fragment s =
     roots := read_element st :: !roots;
     skip_misc st
   done;
-  List.rev !roots
+  let roots = List.rev !roots in
+  record_fragment s roots;
+  roots

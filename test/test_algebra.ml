@@ -320,12 +320,117 @@ let test_plan_scope () =
   Alcotest.(check bool) "no b column" true
     (match Tuple_table.col_pos t 2 with exception Not_found -> true | _ -> false)
 
+(* {1 Counter-based complexity regression tests}
+
+   The observability counters turn the join's complexity contract into
+   an executable assertion. [algebra.join.comparisons] counts Dewey
+   comparisons on the merge path and prefix probes on the hash path, so
+   the budget below constrains whichever implementation actually ran:
+   on this adversarial deep-descendant input the stack-based merge join
+   measures ~1.7*(|L|+|R|+|out|) comparisons, the hash-prefix baseline
+   ~12800 and a nested loop 160000 against a budget of 7200 -- swapping
+   the dispatched join for either blows the bound by an order of
+   magnitude. *)
+
+(* [chains] root-level sections, each a [depth]-deep chain of wrap
+   elements ending in a para: maximal ancestor-stack churn per output
+   pair, the worst case for a structural merge join. *)
+let deep_doc ~chains ~depth =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "<root>";
+  for i = 1 to chains do
+    Buffer.add_string buf "<section>";
+    for _ = 1 to depth do
+      Buffer.add_string buf "<wrap>"
+    done;
+    Buffer.add_string buf (Printf.sprintf "<para>p%d</para>" i);
+    for _ = 1 to depth do
+      Buffer.add_string buf "</wrap>"
+    done;
+    Buffer.add_string buf "</section>"
+  done;
+  Buffer.add_string buf "</root>";
+  Xml_parse.document (Buffer.contents buf)
+
+let comparisons snap = Obs.counter_value snap "algebra.join.comparisons"
+
+let deep_atoms () =
+  let store = Store.of_document (deep_doc ~chains:400 ~depth:30) in
+  let pat =
+    Pattern.compile ~name:"sp"
+      (Pattern.n "section" ~id:true
+         [ Pattern.n ~axis:Pattern.Descendant "para" ~id:true [] ])
+  in
+  (atom store pat 0, atom store pat 1)
+
+let linear_budget ~left ~right ~out =
+  6 * (Tuple_table.length left + Tuple_table.length right + Tuple_table.length out)
+
+let test_merge_join_comparison_bound () =
+  let left, right = deep_atoms () in
+  let joined, snap =
+    Obs.with_scope (fun () ->
+        Struct_join.join left right ~parent:0 ~child:1 ~axis:Pattern.Descendant)
+  in
+  let budget = linear_budget ~left ~right ~out:joined in
+  let c = comparisons snap in
+  if c > budget then
+    Alcotest.failf
+      "structural join did %d comparisons on |L|=%d |R|=%d |out|=%d, over the \
+       linear budget %d: not a sort-merge join any more?"
+      c (Tuple_table.length left) (Tuple_table.length right)
+      (Tuple_table.length joined) budget;
+  Alcotest.(check int) "no hash fallback on sorted inputs" 0
+    (Obs.counter_value snap "algebra.join.hash_fallbacks");
+  Alcotest.(check bool) "merge path taken" true
+    (Obs.counter_value snap "algebra.join.merge_calls" >= 1)
+
+(* The same budget rejects the hash-prefix baseline on the same input:
+   it probes one hash entry per ancestor prefix of every right row, so
+   deep documents cost depth*|R| probes. This keeps the bound above
+   honest -- it genuinely discriminates between the implementations. *)
+let test_hash_join_exceeds_linear_budget () =
+  let left, right = deep_atoms () in
+  let joined, snap =
+    Obs.with_scope (fun () ->
+        Struct_join.hash_join left right ~parent:0 ~child:1
+          ~axis:Pattern.Descendant)
+  in
+  let budget = linear_budget ~left ~right ~out:joined in
+  Alcotest.(check bool) "hash-prefix join exceeds the merge budget" true
+    (comparisons snap > budget)
+
+(* Dispatcher counters across both axes on sorted store atoms: every
+   call must take the merge path, never the fallback. *)
+let test_sorted_inputs_never_fall_back () =
+  let s = fixture () in
+  let c = atom s pat_cb 0 and b = atom s pat_cb 1 in
+  let (), snap =
+    Obs.with_scope (fun () ->
+        List.iter
+          (fun axis ->
+            ignore (Struct_join.join c b ~parent:0 ~child:1 ~axis))
+          [ Pattern.Child; Pattern.Descendant ])
+  in
+  Alcotest.(check int) "zero fallbacks" 0
+    (Obs.counter_value snap "algebra.join.hash_fallbacks");
+  Alcotest.(check int) "two merge calls" 2
+    (Obs.counter_value snap "algebra.join.merge_calls");
+  Alcotest.(check int) "row counters flushed" (2 * Tuple_table.length c)
+    (Obs.counter_value snap "algebra.join.rows_left")
+
 let () =
   Alcotest.run "algebra"
     [
       ( "joins",
         [
           Alcotest.test_case "fixture join" `Quick test_join_fixture;
+          Alcotest.test_case "merge join comparison bound" `Quick
+            test_merge_join_comparison_bound;
+          Alcotest.test_case "hash join exceeds linear budget" `Quick
+            test_hash_join_exceeds_linear_budget;
+          Alcotest.test_case "sorted inputs never fall back" `Quick
+            test_sorted_inputs_never_fall_back;
           Alcotest.test_case "column order" `Quick test_join_column_order;
           test_join_random;
           test_join_impls_random;

@@ -199,12 +199,59 @@ let xmark_cases =
       ])
     Xmark_updates.figure20_pairs
 
+(* {1 Work-profile replay}
+
+   [Difftest.work_profile] is the counter profile of checking a triple.
+   It must be a pure function of the triple and engine list: replaying
+   the same seed -- directly or through the reproducer codec -- performs
+   byte-for-byte the same work. This is what makes the "work:" line of a
+   shrunk counterexample report trustworthy as a reproduction recipe. *)
+let test_work_profile_replay () =
+  let rnd = Random.State.make [| 0xd1ff; 42 |] in
+  for _ = 1 to 5 do
+    let t = Difftest.gen_triple rnd in
+    let p1 = Difftest.work_profile t in
+    Alcotest.(check bool) "checking a triple counts some work" true (p1 <> []);
+    Alcotest.(check (list (pair string int))) "second run, same work" p1
+      (Difftest.work_profile t);
+    let t' = Difftest.triple_of_repro (Difftest.repro_of_triple t) in
+    Alcotest.(check (list (pair string int)))
+      "replay through the reproducer codec, same work" p1
+      (Difftest.work_profile t')
+  done
+
+(* A mismatch carries the work profile of the failing check, and
+   [describe] prints it. *)
+let test_mismatch_carries_work () =
+  let engines = [ Difftest.recompute_engine; broken_engine ] in
+  let rnd = Random.State.make [| 0xd1ff; 43 |] in
+  (* Not every random triple exposes the frozen engine (a no-op update
+     doesn't); scan until one does. *)
+  let rec find n =
+    if n = 0 then Alcotest.fail "broken engine not caught in 100 triples"
+    else
+      let t = Difftest.gen_triple rnd in
+      match Difftest.check ~engines t with Some m -> m | None -> find (n - 1)
+  in
+  (match find 100 with
+  | m ->
+    Alcotest.(check bool) "mismatch has a work profile" true (m.Difftest.work <> []);
+    let d = Difftest.describe m in
+    let needle = "\n  work:   " in
+    let nl = String.length needle and dl = String.length d in
+    let rec at i = i + nl <= dl && (String.sub d i nl = needle || at (i + 1)) in
+    Alcotest.(check bool) "describe prints the work line" true (at 0))
+
 let () =
   Alcotest.run "difftest"
     [
       ( "oracle",
         [
           Alcotest.test_case "bounded seeded run is clean" `Quick test_bounded_run;
+          Alcotest.test_case "work profile replays identically" `Quick
+            test_work_profile_replay;
+          Alcotest.test_case "mismatch carries its work profile" `Quick
+            test_mismatch_carries_work;
         ] );
       ( "replay",
         [

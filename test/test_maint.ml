@@ -390,6 +390,93 @@ let mats_integrity =
           dump table = dump fresh)
         mv.Mview.mats)
 
+(* {1 Maintenance work bounds}
+
+   The paper's efficiency claim is that delta extraction scales with the
+   update region, not the document: region-pruned relation scans mean
+   the maintenance joins only ever see tuples inside (or straddling) the
+   inserted subtrees. The [maint.delta] counters make that executable:
+   [nodes] is the number of update-region nodes scanned, [rows] the
+   total delta-table output. *)
+
+let propagate_profile ~kb ~view stmt =
+  let store = Store.of_document (Xmark_gen.document ~seed:7 ~target_kb:kb) in
+  let mv = Mview.materialize store view in
+  let (), snap = Obs.with_scope (fun () -> ignore (Maint.propagate mv stmt)) in
+  snap
+
+(* Every Figure-20 view/update pair: delta output is linearly bounded by
+   the scanned update-region nodes (factor = pattern size), and the
+   region itself is a fraction of the document. *)
+let test_delta_work_bounded_by_region () =
+  List.iter
+    (fun (vname, uname) ->
+      let view = Xmark_views.find vname and u = Xmark_updates.find uname in
+      let doc = Xmark_gen.document ~seed:7 ~target_kb:16 in
+      let doc_nodes = Xml_tree.size doc in
+      let store = Store.of_document doc in
+      let mv = Mview.materialize store view in
+      let (), snap =
+        Obs.with_scope (fun () ->
+            ignore (Maint.propagate mv (Xmark_updates.insert u)))
+      in
+      let nodes = Obs.counter_value snap "maint.delta.nodes"
+      and rows = Obs.counter_value snap "maint.delta.rows" in
+      if rows > Pattern.node_count view * nodes then
+        Alcotest.failf "%s/%s: %d delta rows from %d region nodes (pattern %d)"
+          vname uname rows nodes (Pattern.node_count view);
+      if nodes > doc_nodes / 4 then
+        Alcotest.failf
+          "%s/%s: scanned %d nodes of a %d-node document -- region pruning \
+           regressed to a full scan?"
+          vname uname nodes doc_nodes)
+    Xmark_updates.figure20_pairs
+
+(* A single-target insert of a k-node fragment costs the same whether
+   the document is 16 KB or 256 KB, and scales linearly in k. *)
+let test_delta_work_doc_size_independent () =
+  let frag n =
+    String.concat ""
+      (List.init n (fun i ->
+           Printf.sprintf
+             "<person id=\"pX%d\"><name>Zed %d</name></person>" i i))
+  in
+  let counts ~kb n =
+    let snap =
+      propagate_profile ~kb ~view:Xmark_views.q1
+        (Update.insert ~into:"/site/people" (frag n))
+    in
+    ( Obs.counter_value snap "maint.delta.nodes",
+      Obs.counter_value snap "maint.delta.rows" )
+  in
+  let small = counts ~kb:16 1 in
+  Alcotest.(check (pair int int)) "same work on a 4x document" small
+    (counts ~kb:64 1);
+  Alcotest.(check (pair int int)) "same work on a 16x document" small
+    (counts ~kb:256 1);
+  let n5, r5 = counts ~kb:16 5 and n1, r1 = small in
+  Alcotest.(check bool) "5x fragment, work grows" true (n5 > n1 && r5 > r1);
+  Alcotest.(check bool) "5x fragment, at most linear growth" true
+    (n5 <= 5 * n1 + 5 && r5 <= 5 * r1 + 5)
+
+(* Every phase timer of the Figure 18/19 taxonomy reports a span for a
+   plain propagate, and the phase timing embedded in the report agrees
+   with the [maint.phase] timers. *)
+let test_phase_timers_cover_taxonomy () =
+  let snap =
+    propagate_profile ~kb:16 ~view:Xmark_views.q1
+      (Xmark_updates.insert (Xmark_updates.find "X1_L"))
+  in
+  List.iter
+    (fun phase ->
+      let key = "maint.phase." ^ phase in
+      if Obs.timer_spans snap key = 0 then
+        Alcotest.failf "phase timer %s recorded no span" key)
+    [
+      "find_target"; "apply_doc"; "compute_delta"; "get_expression";
+      "execute"; "update_aux";
+    ]
+
 let () =
   Alcotest.run "maint"
     [
@@ -412,6 +499,12 @@ let () =
       ( "drivers",
         [
           Alcotest.test_case "multi-view shared store" `Quick test_multi_view_shared_store;
+          Alcotest.test_case "delta work bounded by region" `Quick
+            test_delta_work_bounded_by_region;
+          Alcotest.test_case "delta work doc-size independent" `Quick
+            test_delta_work_doc_size_independent;
+          Alcotest.test_case "phase timers cover the taxonomy" `Quick
+            test_phase_timers_cover_taxonomy;
           Alcotest.test_case "view set" `Quick test_view_set;
           Alcotest.test_case "dispatch guards" `Quick test_dispatch_errors;
           Alcotest.test_case "replace value" `Quick test_replace_value;
