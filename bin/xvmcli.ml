@@ -192,38 +192,78 @@ let view_cmd =
 (* {1 maintain} *)
 
 let maintain_cmd =
-  let run metrics doc vname vquery updates check =
+  let run metrics doc vnames vqueries jobs updates check =
     with_metrics metrics @@ fun () ->
     let store = load_store doc in
-    let pat = resolve_view ~name:vname ~query:vquery in
-    let mv = Mview.materialize store pat in
-    Printf.printf "view %s: %d tuples\n" (Pattern.to_string pat) (Mview.cardinality mv);
+    let pats =
+      List.map Xmark_views.find vnames
+      @ List.mapi
+          (fun i q -> View_parser.parse ~name:(Printf.sprintf "cli%d" (i + 1)) q)
+          vqueries
+    in
+    if pats = [] then invalid_arg "give at least one --name or --query";
+    let set = View_set.create store in
+    let mvs = List.map (fun pat -> View_set.add set pat) pats in
+    List.iter
+      (fun mv ->
+        Printf.printf "view %s: %d tuples\n"
+          (Pattern.to_string mv.Mview.pat)
+          (Mview.cardinality mv))
+      mvs;
     List.iter
       (fun text ->
         let stmt = Update.parse text in
-        let r = Maint.propagate mv stmt in
-        let b = r.Maint.timing in
-        Printf.printf
-          "%s\n  +%d -%d tuples, %d refreshed, %d/%d terms%s\n  find %.1f ms | delta %.1f ms | expr %.1f ms | exec %.1f ms | aux %.1f ms\n"
-          (Update.to_string stmt) r.Maint.embeddings_added r.Maint.embeddings_removed
-          r.Maint.tuples_modified r.Maint.terms_surviving r.Maint.terms_developed
-          (if r.Maint.fallback_recompute then " [fallback recompute]" else "")
-          (b.Timing.find_target *. 1000.) (b.Timing.compute_delta *. 1000.)
-          (b.Timing.get_expression *. 1000.) (b.Timing.execute *. 1000.)
-          (b.Timing.update_aux *. 1000.))
+        Printf.printf "%s\n" (Update.to_string stmt);
+        let reports = View_set.update ~jobs set stmt in
+        List.iter
+          (fun (mv, r) ->
+            let b = r.Maint.timing in
+            Printf.printf
+              "  %-6s +%d -%d tuples, %d refreshed, %d/%d terms%s%s\n\
+              \         find %.1f ms | delta %.1f ms | expr %.1f ms | exec %.1f ms | aux %.1f ms\n"
+              mv.Mview.pat.Pattern.name r.Maint.embeddings_added
+              r.Maint.embeddings_removed r.Maint.tuples_modified
+              r.Maint.terms_surviving r.Maint.terms_developed
+              (if r.Maint.fallback_recompute then " [fallback recompute]" else "")
+              (if r.Maint.skipped_irrelevant then " [skipped: irrelevant]" else "")
+              (b.Timing.find_target *. 1000.) (b.Timing.compute_delta *. 1000.)
+              (b.Timing.get_expression *. 1000.) (b.Timing.execute *. 1000.)
+              (b.Timing.update_aux *. 1000.))
+          reports)
       updates;
-    Printf.printf "final view: %d tuples\n" (Mview.cardinality mv);
-    if check then begin
-      let fresh = Mview.materialize ~policy:Mview.Leaves store pat in
-      Printf.printf "consistent with recomputation: %b\n" (Recompute.equal mv fresh)
-    end
+    List.iter
+      (fun mv ->
+        Printf.printf "final view %s: %d tuples\n" mv.Mview.pat.Pattern.name
+          (Mview.cardinality mv))
+      mvs;
+    if check then
+      List.iter
+        (fun mv ->
+          let fresh =
+            Mview.materialize ~policy:Mview.Leaves store mv.Mview.pat
+          in
+          Printf.printf "view %s consistent with recomputation: %b\n"
+            mv.Mview.pat.Pattern.name
+            (Recompute.equal mv fresh))
+        mvs
   in
   let doc = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC") in
-  let vname =
-    Arg.(value & opt (some string) None & info [ "name" ] ~doc:"Built-in view (Q1…Q17).")
+  let vnames =
+    Arg.(
+      value & opt_all string []
+      & info [ "name" ] ~doc:"Built-in view (Q1…Q17); repeatable.")
   in
-  let vquery =
-    Arg.(value & opt (some string) None & info [ "query" ] ~doc:"View statement.")
+  let vqueries =
+    Arg.(
+      value & opt_all string [] & info [ "query" ] ~doc:"View statement; repeatable.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ]
+          ~doc:
+            "Propagate clean views across this many OCaml domains (results \
+             are identical to --jobs 1).")
   in
   let updates =
     Arg.(
@@ -235,8 +275,13 @@ let maintain_cmd =
     Arg.(value & flag & info [ "check" ] ~doc:"Verify against recomputation.")
   in
   Cmd.v
-    (Cmd.info "maintain" ~doc:"Apply updates and maintain a view incrementally.")
-    Term.(const run $ metrics_term $ doc $ vname $ vquery $ updates $ check)
+    (Cmd.info "maintain"
+       ~doc:
+         "Apply updates and maintain one or more views incrementally (batch \
+          engine: shared update-region index, relevance skipping, optional \
+          domain-parallel propagation).")
+    Term.(
+      const run $ metrics_term $ doc $ vnames $ vqueries $ jobs $ updates $ check)
 
 (* {1 fuzz} *)
 
@@ -281,9 +326,26 @@ let fuzz_cmd =
 (* {1 difftest} *)
 
 let difftest_cmd =
-  let run metrics seed iters replay =
+  let run metrics seed iters replay multiview jobs =
     with_metrics metrics @@ fun () ->
     match replay with
+    | Some repro when String.length repro >= 8 && String.sub repro 0 8 = "xvmdtm1|"
+      ->
+      let t =
+        try Difftest.set_of_repro repro
+        with Invalid_argument msg ->
+          Printf.eprintf "difftest: %s\n" msg;
+          exit 2
+      in
+      Printf.printf "replaying: %d views, update %s, %d-node document\n%!"
+        (List.length t.Difftest.sviews)
+        t.Difftest.supdate
+        (Xml_tree.size t.Difftest.sdoc);
+      (match Difftest.check_set ~jobs t with
+      | None -> print_endline "batched = one-by-one (all jobs)"
+      | Some m ->
+        print_endline (Difftest.describe_set m);
+        exit 1)
     | Some repro ->
       let t =
         try Difftest.triple_of_repro repro
@@ -299,6 +361,21 @@ let difftest_cmd =
       | Some m ->
         print_endline (Difftest.describe m);
         exit 1)
+    | None when multiview ->
+      Printf.printf
+        "multi-view batch oracle: View_set.update (jobs 1%s) vs one-by-one \
+         maint (seed %d, %d iterations)\n\
+         %!"
+        (if jobs > 1 then Printf.sprintf " and %d" jobs else "")
+        seed iters;
+      let rep, t =
+        Timing.duration (fun () -> Difftest.run_sets ~jobs ~seed ~iters ())
+      in
+      List.iter print_endline rep.Qgen.failures;
+      Printf.printf "  %s  (%.1f ms)\n%!"
+        (Qgen.summary "batched=one-by-one" rep)
+        (t *. 1000.);
+      if not (Qgen.ok rep) then exit 1
     | None ->
       Printf.printf
         "differential maintenance oracle: recompute vs maint vs ivma (seed \
@@ -327,15 +404,34 @@ let difftest_cmd =
       & info [ "replay" ]
           ~doc:
             "Re-check one reproducer (the string a failure report prints) \
-             instead of running randomized iterations.")
+             instead of running randomized iterations; multi-view \
+             reproducers (xvmdtm1 prefix) are dispatched automatically.")
+  in
+  let multiview =
+    Arg.(
+      value & flag
+      & info [ "multiview" ]
+          ~doc:
+            "Check 2-4-view sets: batched View_set.update against one-by-one \
+             propagation on fresh stores, at --jobs and at 1.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 2
+      & info [ "jobs" ]
+          ~doc:
+            "Domain count for the multiview oracle's parallel run (also \
+             cross-checked against jobs=1).")
   in
   Cmd.v
     (Cmd.info "difftest"
        ~doc:
          "Cross-check the three maintenance engines on random (document, \
-          view, update) triples; failing triples are shrunk and printed as \
-          replayable reproducers. Exits 1 on any mismatch.")
-    Term.(const run $ metrics_term $ seed $ iters $ replay)
+          view, update) triples — or, with $(b,--multiview), batched \
+          View_set maintenance against one-by-one propagation; failing \
+          inputs are shrunk and printed as replayable reproducers. Exits 1 \
+          on any mismatch.")
+    Term.(const run $ metrics_term $ seed $ iters $ replay $ multiview $ jobs)
 
 (* {1 workload} *)
 

@@ -8,6 +8,13 @@
     before value selection. *)
 val entries_matching : Store.t -> Pattern.t -> int -> Store.entry array
 
+(** [region_slices store label region] is the slice of relation [label]
+    inside [region], in document order: one binary-searched
+    {!Store.relation_span} per region root, concatenated.  Exposed for
+    the shared update-region index (Delta.Shared), which extracts each
+    label's slice once per update instead of once per view. *)
+val region_slices : Store.t -> string -> Id_region.t -> Store.entry array
+
 (** [entries_in_region store pat i region] is the subset of
     [entries_matching store pat i] lying inside [region], in document
     order — extracted with binary-search relation spans

@@ -453,35 +453,34 @@ let copy_hoisting doc ~target =
   in
   match go doc with [ d ] -> Some d | _ -> None
 
-let doc_candidates t =
+(* Canonicalized reduced documents, largest cuts first — shared between
+   the single-triple and the view-set shrinkers. *)
+let doc_variants doc =
   let nodes = ref [] in
   Xml_tree.iter
-    (fun nd -> if nd.Xml_tree.serial <> t.doc.Xml_tree.serial then nodes := nd :: !nodes)
-    t.doc;
+    (fun nd -> if nd.Xml_tree.serial <> doc.Xml_tree.serial then nodes := nd :: !nodes)
+    doc;
   (* Largest subtrees first: successful big cuts converge fastest. *)
   let nodes =
     List.sort (fun a b -> compare (Xml_tree.size b) (Xml_tree.size a)) !nodes
   in
   let drops =
-    List.filter_map
-      (fun nd ->
-        Option.map (fun d -> { t with doc = d }) (copy_without t.doc ~skip:nd.Xml_tree.serial))
-      nodes
+    List.filter_map (fun nd -> copy_without doc ~skip:nd.Xml_tree.serial) nodes
   in
   let hoists =
     List.filter_map
       (fun nd ->
         if nd.Xml_tree.kind = Xml_tree.Element && Xml_tree.element_children nd <> []
-        then
-          Option.map (fun d -> { t with doc = d }) (copy_hoisting t.doc ~target:nd.Xml_tree.serial)
+        then copy_hoisting doc ~target:nd.Xml_tree.serial
         else None)
       nodes
   in
   List.filter_map
-    (fun c -> match canonical_doc c.doc with
-      | d -> Some { c with doc = d }
-      | exception _ -> None)
+    (fun d -> match canonical_doc d with d -> Some d | exception _ -> None)
     (drops @ hoists)
+
+let doc_candidates t =
+  List.map (fun d -> { t with doc = d }) (doc_variants t.doc)
 
 (* Rebuild a pattern spec from the compiled arrays, optionally dropping
    the subtree at [drop], clearing the predicate at [clear_vpred], or
@@ -497,20 +496,22 @@ let respec pat ?(drop = -1) ?(clear_vpred = -1) ?(weaken = -1) () =
   in
   Pattern.compile ~name:pat.Pattern.name (build 0)
 
-let view_candidates t =
-  let pat = t.view in
+let view_variants pat =
   let k = Pattern.node_count pat in
   let out = ref [] in
   for i = k - 1 downto 1 do
-    out := { t with view = respec pat ~drop:i () } :: !out
+    out := respec pat ~drop:i () :: !out
   done;
   for i = k - 1 downto 0 do
     if pat.Pattern.vpreds.(i) <> None then
-      out := { t with view = respec pat ~clear_vpred:i () } :: !out;
+      out := respec pat ~clear_vpred:i () :: !out;
     if pat.Pattern.annots.(i) <> Pattern.no_annot then
-      out := { t with view = respec pat ~weaken:i () } :: !out
+      out := respec pat ~weaken:i () :: !out
   done;
   !out
+
+let view_candidates t =
+  List.map (fun v -> { t with view = v }) (view_variants t.view)
 
 type ustmt = UDel of Xpath.path | UIns of Xpath.path * Xml_tree.node list
 
@@ -585,8 +586,8 @@ let fragment_candidates frag =
     frag;
   !out
 
-let update_candidates t =
-  match ustmt_of_string t.update with
+let update_variants update =
+  match ustmt_of_string update with
   | exception _ -> []
   | stmt ->
     let rebuilt =
@@ -602,10 +603,13 @@ let update_candidates t =
         | s -> (
           (* Keep only candidates the replay parser accepts verbatim. *)
           match Update.parse s with
-          | _ -> Some { t with update = s }
+          | _ -> Some s
           | exception _ -> None)
         | exception _ -> None)
       rebuilt
+
+let update_candidates t =
+  List.map (fun u -> { t with update = u }) (update_variants t.update)
 
 let shrink ?(engines = default_engines) m =
   let current = ref m in
@@ -642,5 +646,207 @@ let run ?(engines = default_engines) ~seed ~iters () =
     match check ~engines t with
     | None -> ()
     | Some m -> Qgen.record rc (describe (shrink ~engines m))
+  done;
+  Qgen.report_of rc ~iterations:iters
+
+(* {1 Multi-view sets}
+
+   The batch-maintenance oracle: a random 2–4-view set over one store,
+   maintained in one [View_set.update] call — shared update-region index,
+   relevance skipping, hoisted commit, optional domain fan-out — must be
+   tuple-for-tuple identical to one-by-one [Maint] propagation of the
+   same update on a fresh store per view, and [jobs > 1] must be
+   bit-identical (tables and non-timing report counters) to [jobs = 1]. *)
+
+type set_triple = {
+  sdoc : Xml_tree.node;
+  sviews : Pattern.t list;
+  supdate : string;
+}
+
+type set_mismatch = { scx : set_triple; sdetail : string }
+
+let gen_set_triple rnd =
+  let doc = Qgen.random_document ~profile rnd in
+  let labels = doc_labels doc in
+  let k = 2 + Random.State.int rnd 3 in
+  let views =
+    List.init k (fun i ->
+        Pattern.compile ~name:(Printf.sprintf "v%d" i) (gen_vnode rnd ~labels 2))
+  in
+  let update = gen_update rnd ~labels ~root_label:doc.Xml_tree.name in
+  { sdoc = doc; sviews = views; supdate = update }
+
+(* Everything except the timing floats. *)
+let report_sig (r : Maint.report) =
+  ( r.Maint.terms_developed,
+    r.Maint.terms_surviving,
+    r.Maint.embeddings_added,
+    r.Maint.embeddings_removed,
+    r.Maint.tuples_modified,
+    r.Maint.fallback_recompute,
+    r.Maint.skipped_irrelevant )
+
+let check_set0 ~jobs t =
+  let batched jobs =
+    let store = Store.of_document (Xml_tree.copy t.sdoc) in
+    let set = View_set.create store in
+    List.iter (fun pat -> ignore (View_set.add set pat)) t.sviews;
+    View_set.update ~jobs set (Update.parse t.supdate)
+  in
+  try
+    let seq = batched 1 in
+    let mismatch = ref None in
+    let note i msg =
+      if !mismatch = None then
+        mismatch := Some (Printf.sprintf "view %d (%s): %s" i
+                            (Pattern.to_string (List.nth t.sviews i)) msg)
+    in
+    (* One-by-one propagation on a fresh store per view: the oracle. *)
+    List.iteri
+      (fun i ((mv, _), pat) ->
+        if !mismatch = None then
+          let omv = maint_engine.eval (Xml_tree.copy t.sdoc) pat (Update.parse t.supdate) in
+          match Recompute.diff mv omv with
+          | None -> ()
+          | Some d -> note i ("batched vs one-by-one: " ^ d))
+      (List.combine seq t.sviews);
+    (* jobs > 1 must be bit-identical to jobs = 1. *)
+    if !mismatch = None && jobs > 1 then begin
+      let par = batched jobs in
+      List.iteri
+        (fun i ((mv1, r1), (mv2, r2)) ->
+          if !mismatch = None then
+            if report_sig r1 <> report_sig r2 then
+              note i (Printf.sprintf "jobs=%d report differs from jobs=1" jobs)
+            else
+              match Recompute.diff mv2 mv1 with
+              | None -> ()
+              | Some d -> note i (Printf.sprintf "jobs=%d vs jobs=1: %s" jobs d))
+        (List.combine seq par)
+    end;
+    !mismatch
+  with exn -> Some ("escaped exception: " ^ Printexc.to_string exn)
+
+let check_set ?(jobs = 2) t =
+  Option.map (fun d -> { scx = t; sdetail = d }) (check_set0 ~jobs t)
+
+(* {2 Set replay} *)
+
+let repro_of_set t =
+  let part s = Printf.sprintf "%d:%s" (String.length s) s in
+  String.concat "|"
+    (("xvmdtm1" :: string_of_int (List.length t.sviews)
+      :: List.map (fun v -> part (Pattern.to_string v)) t.sviews)
+    @ [ part t.supdate; part (Xml_tree.serialize t.sdoc) ])
+
+let set_of_repro s =
+  let fail () = invalid_arg "Difftest.set_of_repro: malformed reproducer" in
+  let n = String.length s in
+  if not (n > 8 && String.sub s 0 8 = "xvmdtm1|") then fail ();
+  let pos = ref 8 in
+  let expect c = if !pos < n && s.[!pos] = c then incr pos else fail () in
+  let number () =
+    let st = !pos in
+    while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do
+      incr pos
+    done;
+    if !pos = st then fail ();
+    int_of_string (String.sub s st (!pos - st))
+  in
+  let part () =
+    let len = number () in
+    expect ':';
+    if !pos + len > n then fail ();
+    let r = String.sub s !pos len in
+    pos := !pos + len;
+    r
+  in
+  let k = number () in
+  if k < 1 || k > 64 then fail ();
+  let views =
+    List.init k (fun i ->
+        expect '|';
+        view_of_compact ~name:(Printf.sprintf "v%d" i) (part ()))
+  in
+  expect '|';
+  let update = part () in
+  expect '|';
+  let doc_s = part () in
+  if !pos <> n then fail ();
+  ignore (Update.parse update);
+  { sdoc = Xml_parse.document doc_s; sviews = views; supdate = update }
+
+let describe_set m =
+  let t = m.scx in
+  Printf.sprintf
+    "multi-view batch disagreement\n\
+    \  views:  %s\n\
+    \  update: %s\n\
+    \  doc:    %s (%d nodes)\n\
+    \  detail: %s\n\
+    \  replay: xvmcli difftest --replay %s"
+    (String.concat "  ;  " (List.map Pattern.to_string t.sviews))
+    t.supdate
+    (Qgen.abbrev (Xml_tree.serialize t.sdoc))
+    (Xml_tree.size t.sdoc) m.sdetail
+    (shell_quote (repro_of_set t))
+
+(* {2 Set shrinking: drop whole views first, then the document, the
+   update, and finally nodes inside the surviving views.} *)
+
+let shrink_set ?(jobs = 2) m =
+  let current = ref m in
+  let budget = ref 2000 in
+  let improved = ref true in
+  while !improved && !budget > 0 do
+    improved := false;
+    let t = !current.scx in
+    let replace_view i v =
+      { t with sviews = List.mapi (fun k q -> if k = i then v else q) t.sviews }
+    in
+    let drop_views =
+      if List.length t.sviews > 1 then
+        List.mapi (fun i _ -> { t with sviews = without_nth t.sviews i }) t.sviews
+      else []
+    in
+    let docs =
+      List.map (fun d -> { t with sdoc = d }) (doc_variants t.sdoc)
+    in
+    let updates =
+      List.map (fun u -> { t with supdate = u }) (update_variants t.supdate)
+    in
+    let view_shrinks =
+      List.concat
+        (List.mapi
+           (fun i pat -> List.map (replace_view i) (view_variants pat))
+           t.sviews)
+    in
+    let candidates = drop_views @ docs @ updates @ view_shrinks in
+    (try
+       List.iter
+         (fun c ->
+           if !budget > 0 then begin
+             decr budget;
+             match check_set ~jobs c with
+             | Some m' ->
+               current := m';
+               improved := true;
+               raise Exit
+             | None -> ()
+           end)
+         candidates
+     with Exit -> ())
+  done;
+  !current
+
+let run_sets ?(jobs = 2) ~seed ~iters () =
+  let rnd = Random.State.make [| seed; 0xd1f5 |] in
+  let rc = Qgen.fresh_recorder () in
+  for _ = 1 to iters do
+    let t = gen_set_triple rnd in
+    match check_set ~jobs t with
+    | None -> ()
+    | Some m -> Qgen.record rc (describe_set (shrink_set ~jobs m))
   done;
   Qgen.report_of rc ~iterations:iters

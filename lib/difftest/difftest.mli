@@ -120,3 +120,46 @@ val view_of_compact : name:string -> string -> Pattern.t
 (** [run ~seed ~iters] draws and checks [iters] triples; every mismatch
     is shrunk and recorded (first few) in the report's failure list. *)
 val run : ?engines:engine list -> seed:int -> iters:int -> unit -> Qgen.report
+
+(** {1 Multi-view sets}
+
+    The batch-maintenance oracle: a random 2–4-view set over one store,
+    maintained by a single [View_set.update] — shared update-region
+    index, relevance skipping, hoisted commit, domain fan-out — is
+    cross-checked tuple-for-tuple against one-by-one [Maint] propagation
+    of the same update on a fresh store per view, and [jobs > 1] is
+    additionally required to be bit-identical (tables and non-timing
+    report counters) to [jobs = 1]. *)
+
+type set_triple = {
+  sdoc : Xml_tree.node;
+  sviews : Pattern.t list;  (** 2–4 views with distinct names v0, v1, … *)
+  supdate : string;
+}
+
+type set_mismatch = { scx : set_triple; sdetail : string }
+
+val gen_set_triple : Random.State.t -> set_triple
+
+(** [check_set ?jobs t] (default [jobs = 2]): batched [jobs=1] vs the
+    per-view oracle, then batched [jobs] vs batched [jobs=1]. [jobs <= 1]
+    skips the parallel cross-check. *)
+val check_set : ?jobs:int -> set_triple -> set_mismatch option
+
+(** Greedy minimization; whole views are dropped first, then document
+    subtrees, update steps, and nodes inside the surviving views. *)
+val shrink_set : ?jobs:int -> set_mismatch -> set_mismatch
+
+val describe_set : set_mismatch -> string
+
+(** Reproducer codec for view sets
+    (["xvmdtm1|k|len:view…|len:update|len:doc"]); the CLI replay
+    dispatches on the prefix. *)
+val repro_of_set : set_triple -> string
+
+(** @raise Invalid_argument on a malformed reproducer. *)
+val set_of_repro : string -> set_triple
+
+(** [run_sets ?jobs ~seed ~iters] draws and checks [iters] view sets;
+    mismatches are shrunk and recorded in the report's failure list. *)
+val run_sets : ?jobs:int -> seed:int -> iters:int -> unit -> Qgen.report

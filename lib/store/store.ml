@@ -248,6 +248,12 @@ let detach t node =
   | Some id -> Dewey_tbl.replace t.detached id node
 
 let commit t =
+  (* Read-only parallel contract: domain-parallel view propagation (see
+     Batch / View_set) relies on the store being immutable while child
+     domains read it, so folding staged changes into the relations is a
+     main-domain-only operation. *)
+  if not (Domain.is_main_domain ()) then
+    invalid_arg "Store.commit: must be called from the main domain";
   if t.staged_adds <> [] then begin
     let by_label = Hashtbl.create 16 in
     List.iter

@@ -70,5 +70,10 @@ val attach_beside :
     to [None] immediately. *)
 val detach : t -> Xml_tree.node -> unit
 
-(** Folds staged insertions and removals into the canonical relations. *)
+(** Folds staged insertions and removals into the canonical relations.
+
+    Must be called from the main domain: domain-parallel view
+    propagation (see [Batch] / [View_set]) reads the store from child
+    domains under the contract that nothing mutates it concurrently.
+    @raise Invalid_argument when called from a child domain. *)
 val commit : t -> unit

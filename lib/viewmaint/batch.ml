@@ -1,0 +1,67 @@
+(* Shared-work batch maintenance helpers: the relevance pre-filter and the
+   domain pool used by View_set.update. See batch.mli for the contracts. *)
+
+type update_labels =
+  | Labels of Delta.Shared.t
+  | Text_only
+
+let touches labels tag =
+  match labels with
+  | Labels sh ->
+    if tag = "*" then Delta.Shared.has_elements sh
+    else Delta.Shared.mem_label sh tag
+  | Text_only -> tag = "#text"
+
+(* Star views are always considered relevant — maximally conservative and
+   cheap to decide; the interesting savings are on exact-tag views. *)
+let relevant mv labels =
+  let fp = mv.Mview.footprint in
+  fp.Mview.fp_star || Array.exists (touches labels) fp.Mview.fp_tags
+
+(* Skip-safety (the argument is spelled out in DESIGN.md): with a disjoint
+   footprint every Δ table of the view is empty, so every union term is
+   pruned and no embedding is added or removed; no footprint-labeled node
+   lies inside a deleted region, so no view entry or snowcap row is
+   purged; [cvn = ∅] means no val/cont payload can go stale; and value-
+   predicate flips are guarded separately by the caller's watches. *)
+let can_skip mv labels =
+  Array.length mv.Mview.cvn = 0 && not (relevant mv labels)
+
+(* Round-robin striping: task [i] runs on domain [i mod jobs], stripe 0 on
+   the calling (main) domain. Results are reassembled by index and any
+   task exception is re-raised (first in stripe order) after every domain
+   has been joined, so [jobs] never changes observable behavior — only
+   wall-clock. Child domains hand their buffered Obs increments back to
+   be merged on the main domain. *)
+let parallel_map ~jobs tasks =
+  let n = Array.length tasks in
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 then Array.map (fun f -> f ()) tasks
+  else begin
+    let run_stripe k =
+      let acc = ref [] and exn = ref None and i = ref k in
+      while !i < n && !exn = None do
+        (match tasks.(!i) () with
+        | v -> acc := (!i, v) :: !acc
+        | exception e -> exn := Some e);
+        i := !i + jobs
+      done;
+      (!acc, !exn, Obs.Par.drain ())
+    in
+    let doms =
+      Array.init (jobs - 1) (fun d -> Domain.spawn (fun () -> run_stripe (d + 1)))
+    in
+    let acc0, exn0, _ = run_stripe 0 in
+    let results = Array.make n None in
+    List.iter (fun (i, v) -> results.(i) <- Some v) acc0;
+    let first_exn = ref exn0 in
+    Array.iter
+      (fun d ->
+        let acc, exn, contrib = Domain.join d in
+        Obs.Par.merge contrib;
+        List.iter (fun (i, v) -> results.(i) <- Some v) acc;
+        if !first_exn = None then first_exn := exn)
+      doms;
+    (match !first_exn with Some e -> raise e | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end

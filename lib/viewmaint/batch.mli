@@ -1,0 +1,44 @@
+(** Shared-work batch maintenance helpers for [View_set].
+
+    Two ingredients: the {e relevance pre-filter} — decide from an
+    [Mview]'s cached label footprint whether an update can possibly touch
+    it — and the {e domain pool} used to propagate an update to many
+    clean views in parallel.
+
+    Read-only-store contract: tasks handed to {!parallel_map} run on
+    child domains and therefore must not mutate shared state. View
+    propagation with [~commit:false] qualifies: it reads the store's
+    committed relations and writes only view-private structures
+    ({!Store.commit} additionally raises off the main domain). Obs
+    counter/timer increments performed inside tasks are buffered
+    per-domain and merged into the registry before [parallel_map]
+    returns. *)
+
+(** The label set an applied update touches: for inserts/deletes, the
+    shared index's label map; for replace-value, only text contents
+    change. *)
+type update_labels =
+  | Labels of Delta.Shared.t
+  | Text_only
+
+(** [touches labels tag]: the update region contains a node matching
+    [tag] ([*] matches any element). *)
+val touches : update_labels -> string -> bool
+
+(** [relevant mv labels]: the view's footprint intersects the update's
+    labels. Views with a [*] node are always relevant. *)
+val relevant : Mview.t -> update_labels -> bool
+
+(** [can_skip mv labels]: propagation for [mv] would provably be a no-op
+    — disjoint footprint and no stored val/cont payloads ([cvn] empty).
+    The caller must additionally check its value-predicate watches; a
+    flipped watch forces the rebuild path regardless. *)
+val can_skip : Mview.t -> update_labels -> bool
+
+(** [parallel_map ~jobs tasks] runs the thunks across [jobs] domains
+    (round-robin striping, stripe 0 on the calling domain) and returns
+    their results in task order. [jobs <= 1] degenerates to a plain
+    sequential map on the calling domain — same results, no spawning.
+    If a task raises, the exception is re-raised after all domains have
+    been joined and their Obs contributions merged. *)
+val parallel_map : jobs:int -> (unit -> 'a) array -> 'a array

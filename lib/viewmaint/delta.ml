@@ -7,59 +7,167 @@ type t = {
 (* [nodes] counts update-region nodes scanned during extraction (inserted
    nodes for Δ⁺, region-span entries for Δ⁻); [rows] counts the delta-table
    rows produced. Both are bounded by the update's subtree size times the
-   pattern width — never by the document. *)
+   pattern width — never by the document. With a shared index, [nodes] and
+   [extractions] are charged once per update (at index build time) while
+   [rows] is still charged per consuming view, so the scan-work counters
+   are independent of the number of registered views. *)
 let obs = Obs.Scope.v "maint.delta"
 let c_nodes = Obs.Scope.counter obs "nodes"
 let c_rows = Obs.Scope.counter obs "rows"
 let c_extractions = Obs.Scope.counter obs "extractions"
 
-let flush_tables tables =
-  if Obs.enabled () then begin
-    Obs.Counter.incr c_extractions;
+let flush_rows tables =
+  if Obs.enabled () then
     Obs.Counter.add c_rows
       (Array.fold_left (fun acc tb -> acc + Tuple_table.length tb) 0 tables)
-  end
 
-(* extr-pattern over a list of (id, node) pairs: one pass per pattern node
-   keeps each table in insertion order; a final sort restores document
-   order. *)
-let build_tables pat pairs =
+(* Shared update-region index: the label → sorted-entries map over the
+   update region, built once per applied update. Per-view Δ extraction
+   ({!of_shared}) then reduces to a hash lookup per pattern node plus the
+   view-specific vpred/anchor filter — no re-walk of the inserted forest
+   and no re-extraction of relation spans. *)
+module Shared = struct
+  type nonrec t = {
+    sh_region : Id_region.t;
+    sh_targets : Dewey.t list;
+    sh_by_label : (string, Store.entry array) Hashtbl.t;
+        (* each array in document order *)
+    sh_star : Store.entry array;  (* element entries only, document order *)
+  }
+
+  let region t = t.sh_region
+  let target_ids t = t.sh_targets
+  let mem_label t l = Hashtbl.mem t.sh_by_label l
+  let has_elements t = Array.length t.sh_star > 0
+
+  let is_element_label l =
+    String.length l = 0 || (l.[0] <> '@' && l.[0] <> '#')
+
+  let lookup t tag =
+    if tag = "*" then t.sh_star
+    else
+      match Hashtbl.find_opt t.sh_by_label tag with
+      | Some a -> a
+      | None -> [||]
+
+  (* One Xml_tree.iter pass over the attached forests, one sort, one
+     stable group-by-label. Grouping by Xml_tree.label is equivalent to
+     Pattern.tag_matches for exact tags: elements group under their name,
+     attributes under "@name", text under "#text". *)
+  let of_insert store (applied : Update.applied_insert) =
+    let entries = ref [] and count = ref 0 and roots = ref [] in
+    List.iter
+      (fun (_target_id, forest) ->
+        List.iter
+          (fun tree ->
+            roots := Store.id_of store tree :: !roots;
+            Xml_tree.iter
+              (fun n ->
+                incr count;
+                entries := { Store.id = Store.id_of store n; node = n } :: !entries)
+              tree)
+          forest)
+      applied.Update.pairs;
+    let arr = Array.of_list !entries in
+    Array.sort (fun a b -> Dewey.compare a.Store.id b.Store.id) arr;
+    Obs.Counter.add c_nodes !count;
+    Obs.Counter.incr c_extractions;
+    let groups = Hashtbl.create 16 in
+    Array.iter
+      (fun e ->
+        let l = Xml_tree.label e.Store.node in
+        match Hashtbl.find_opt groups l with
+        | Some acc -> acc := e :: !acc
+        | None -> Hashtbl.add groups l (ref [ e ]))
+      arr;
+    let by_label = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun l acc -> Hashtbl.replace by_label l (Array.of_list (List.rev !acc)))
+      groups;
+    let star =
+      Array.of_list
+        (List.filter (fun e -> e.Store.node.Xml_tree.kind = Xml_tree.Element)
+           (Array.to_list arr))
+    in
+    {
+      sh_region = Id_region.of_roots !roots;
+      sh_targets = List.map fst applied.Update.pairs;
+      sh_by_label = by_label;
+      sh_star = star;
+    }
+
+  (* Region-span extraction keyed by label: every relation's slice inside
+     the deleted region, via binary-searched spans — O(labels × roots ×
+     log |R| + region) once per update, however many views consume it.
+
+     [wanted] narrows the indexed labels to the callers' interests (the
+     union of the consuming views' pattern tags, ["*"] standing for every
+     element label): extracting slices for labels no view can mention is
+     pure waste, and on label-rich documents it dominates the build.
+     Labels outside [wanted] are absent from the index, so callers must
+     not look them up. *)
+  let of_delete ?wanted store (applied : Update.applied_delete) =
+    let labels =
+      match wanted with
+      | None -> Store.relation_labels store
+      | Some tags ->
+        let star = List.mem "*" tags in
+        List.filter
+          (fun l -> (star && is_element_label l) || List.mem l tags)
+          (Store.relation_labels store)
+    in
+    let region = Id_region.of_roots applied.Update.roots in
+    let by_label = Hashtbl.create 16 in
+    let star_groups = ref [] and total = ref 0 in
+    List.iter
+      (fun label ->
+        let entries = Plan.region_slices store label region in
+        if Array.length entries > 0 then begin
+          total := !total + Array.length entries;
+          Hashtbl.replace by_label label entries;
+          if is_element_label label then star_groups := entries :: !star_groups
+        end)
+      labels;
+    Obs.Counter.add c_nodes !total;
+    Obs.Counter.incr c_extractions;
+    let star = Array.concat !star_groups in
+    Array.sort (fun a b -> Dewey.compare a.Store.id b.Store.id) star;
+    {
+      sh_region = region;
+      sh_targets = applied.Update.roots;
+      sh_by_label = by_label;
+      sh_star = star;
+    }
+end
+
+(* extr-pattern against the shared index: per pattern node, a label lookup
+   plus the view's value-predicate and root-anchor filter. Entries arrive
+   already in document order, so no per-table sort is needed. *)
+let of_shared (sh : Shared.t) pat =
   let k = Pattern.node_count pat in
-  Array.init k (fun i ->
-      let matching =
-        List.filter_map
-          (fun (id, node) ->
+  let tables =
+    Array.init k (fun i ->
+        let entries = Shared.lookup sh pat.Pattern.tags.(i) in
+        let matching = ref [] in
+        Array.iter
+          (fun e ->
             if
-              Pattern.tag_matches pat.Pattern.tags.(i) node
-              && Pattern.vpred_holds pat i node
-              && Plan.root_anchor_ok pat i id
-            then Some id
-            else None)
-          pairs
-      in
-      let arr = Array.of_list matching in
-      Array.sort Dewey.compare arr;
-      Tuple_table.of_ids ~sorted:true ~node:i arr)
-
-let of_insert store pat (applied : Update.applied_insert) =
-  let pairs = ref [] in
-  let roots = ref [] in
-  List.iter
-    (fun (_target_id, forest) ->
-      List.iter
-        (fun tree ->
-          roots := Store.id_of store tree :: !roots;
-          Xml_tree.iter (fun n -> pairs := (Store.id_of store n, n) :: !pairs) tree)
-        forest)
-    applied.Update.pairs;
-  let tables = build_tables pat (List.rev !pairs) in
-  Obs.Counter.add c_nodes (List.length !pairs);
-  flush_tables tables;
+              Pattern.vpred_holds pat i e.Store.node
+              && Plan.root_anchor_ok pat i e.Store.id
+            then matching := e.Store.id :: !matching)
+          entries;
+        Tuple_table.of_ids ~sorted:true ~node:i
+          (Array.of_list (List.rev !matching)))
+  in
+  flush_rows tables;
   {
     tables;
-    region = Id_region.of_roots !roots;
-    target_ids = List.map fst applied.Update.pairs;
+    region = Shared.region sh;
+    target_ids = Shared.target_ids sh;
   }
+
+let of_insert store pat (applied : Update.applied_insert) =
+  of_shared (Shared.of_insert store applied) pat
 
 (* Δ⁻ extraction is set-oriented: the deleted [l]-nodes are exactly the
    entries of the (pre-update) canonical relation R_l lying inside the
@@ -84,7 +192,8 @@ let of_delete store pat (applied : Update.applied_delete) =
         Tuple_table.of_ids ~sorted:true ~node:i
           (Array.of_list (List.rev !matching)))
   in
-  flush_tables tables;
+  Obs.Counter.incr c_extractions;
+  flush_rows tables;
   { tables; region; target_ids = applied.Update.roots }
 
 let nonempty t i = not (Tuple_table.is_empty t.tables.(i))

@@ -12,8 +12,51 @@ type t = {
       (** insertion points (parents of new trees) or deletion roots *)
 }
 
+(** Shared update-region index: a label → document-ordered entries map
+    over the update region, built {e once per applied update} and then
+    consumed per view by lookup ({!of_shared}).  The [maint.delta]
+    [nodes]/[extractions] counters are charged at build time, so the
+    per-update scan work they report is independent of how many views
+    consume the index; each consuming view still charges [rows]. *)
+module Shared : sig
+  type t
+
+  (** One [Xml_tree.iter] pass over the attached forests, one sort by ID,
+      one stable group-by-label. *)
+  val of_insert : Store.t -> Update.applied_insert -> t
+
+  (** Region-span extraction keyed by label: each relation's slice inside
+      the deleted region via binary-searched {!Store.relation_span}s.
+
+      [wanted] narrows the indexed labels to the consuming views' pattern
+      tags (["*"] standing for every element label); labels outside it
+      are absent from the index and must not be looked up. Default: every
+      label in the store. *)
+  val of_delete : ?wanted:string list -> Store.t -> Update.applied_delete -> t
+
+  val region : t -> Id_region.t
+  val target_ids : t -> Dewey.t list
+
+  val mem_label : t -> string -> bool
+  (** The update region contains at least one node with this label
+      (["@name"] for attributes, ["#text"] for text). *)
+
+  val has_elements : t -> bool
+  (** The update region contains at least one element node — i.e. a [*]
+      pattern tag is touched. *)
+end
+
+(** [of_shared sh pat] extracts the view-specific Δ tables from the shared
+    index: per pattern node, a label lookup plus the view's vpred /
+    root-anchor filter.  Equivalent to {!of_insert} / {!of_delete} on the
+    same applied update.  Reads only the index (and the nodes it already
+    references), so it is safe to call from multiple domains in
+    parallel. *)
+val of_shared : Shared.t -> Pattern.t -> t
+
 (** [of_insert store pat applied] extracts Δ⁺ from a pending update list
-    whose forests are already attached (so every new node has an ID). *)
+    whose forests are already attached (so every new node has an ID).
+    Builds a throwaway {!Shared} index — single-view convenience. *)
 val of_insert : Store.t -> Pattern.t -> Update.applied_insert -> t
 
 (** [of_delete store pat applied] extracts Δ⁻ from the snapshot of the

@@ -6,6 +6,7 @@ type report = {
   embeddings_removed : int;
   tuples_modified : int;
   fallback_recompute : bool;
+  skipped_irrelevant : bool;
 }
 
 type applied =
@@ -33,6 +34,7 @@ let c_emb_added = Obs.Scope.counter obs_work "embeddings_added"
 let c_emb_removed = Obs.Scope.counter obs_work "embeddings_removed"
 let c_tuples_modified = Obs.Scope.counter obs_work "tuples_modified"
 let c_fallbacks = Obs.Scope.counter obs_work "fallback_recomputes"
+let c_skipped = Obs.Scope.counter obs_work "skipped_irrelevant"
 
 let set_find b t =
   b.Timing.find_target <- b.Timing.find_target +. t;
@@ -67,7 +69,22 @@ let emit r =
   Obs.Counter.add c_emb_removed r.embeddings_removed;
   Obs.Counter.add c_tuples_modified r.tuples_modified;
   if r.fallback_recompute then Obs.Counter.incr c_fallbacks;
+  if r.skipped_irrelevant then Obs.Counter.incr c_skipped;
   r
+
+(* Report for a view the batch engine's relevance pre-filter proved
+   untouched by the update: no propagation work was performed at all. *)
+let skipped_report () =
+  emit {
+    timing = Timing.zero ();
+    terms_developed = 0;
+    terms_surviving = 0;
+    embeddings_added = 0;
+    embeddings_removed = 0;
+    tuples_modified = 0;
+    fallback_recompute = false;
+    skipped_irrelevant = true;
+  }
 
 let apply_only store u =
   let b = Timing.zero () in
@@ -361,7 +378,8 @@ let maintain_mats_delete mv (delta : Delta.t) =
 
 let full_scope mv = Lattice.full mv.Mview.pat
 
-let propagate_applied ?(commit = true) ?(watches = []) ?(prune = true) mv applied =
+let propagate_applied ?(commit = true) ?(watches = []) ?(prune = true) ?shared mv
+    applied =
   let b = Timing.zero () in
   let store = mv.Mview.store in
   if watches_flipped mv watches then begin
@@ -378,6 +396,7 @@ let propagate_applied ?(commit = true) ?(watches = []) ?(prune = true) mv applie
       embeddings_removed = 0;
       tuples_modified = 0;
       fallback_recompute = true;
+      skipped_irrelevant = false;
     }
   end
   else
@@ -397,6 +416,7 @@ let propagate_applied ?(commit = true) ?(watches = []) ?(prune = true) mv applie
         embeddings_removed = 0;
         tuples_modified = 0;
         fallback_recompute = true;
+      skipped_irrelevant = false;
       }
     end
     else begin
@@ -415,11 +435,15 @@ let propagate_applied ?(commit = true) ?(watches = []) ?(prune = true) mv applie
         embeddings_removed = 0;
         tuples_modified = !modified;
         fallback_recompute = false;
+      skipped_irrelevant = false;
       }
     end
   | Ins app ->
     let delta =
-      Timing.timed b set_delta (fun () -> Delta.of_insert store mv.Mview.pat app)
+      Timing.timed b set_delta (fun () ->
+          match shared with
+          | Some sh -> Delta.of_shared sh mv.Mview.pat
+          | None -> Delta.of_insert store mv.Mview.pat app)
     in
     let scope = full_scope mv in
     let candidates = candidate_terms mv ~scope in
@@ -452,10 +476,14 @@ let propagate_applied ?(commit = true) ?(watches = []) ?(prune = true) mv applie
       embeddings_removed = 0;
       tuples_modified = !modified;
       fallback_recompute = false;
+      skipped_irrelevant = false;
     }
   | Del app ->
     let delta =
-      Timing.timed b set_delta (fun () -> Delta.of_delete store mv.Mview.pat app)
+      Timing.timed b set_delta (fun () ->
+          match shared with
+          | Some sh -> Delta.of_shared sh mv.Mview.pat
+          | None -> Delta.of_delete store mv.Mview.pat app)
     in
     let scope = full_scope mv in
     let candidates = candidate_terms mv ~scope in
@@ -488,6 +516,7 @@ let propagate_applied ?(commit = true) ?(watches = []) ?(prune = true) mv applie
       embeddings_removed = !removed;
       tuples_modified = !modified;
       fallback_recompute = false;
+      skipped_irrelevant = false;
     }
 
 let propagate ?prune mv u =

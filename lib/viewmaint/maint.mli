@@ -26,7 +26,15 @@ type report = {
   tuples_modified : int;  (** payload refreshes by PIMT / PDMT *)
   fallback_recompute : bool;
       (** [true] when a value-predicate flip forced a full rebuild *)
+  skipped_irrelevant : bool;
+      (** [true] when the batch engine's relevance pre-filter proved the
+          update could not touch this view and skipped propagation *)
 }
+
+(** Zeroed report for a view skipped by the relevance pre-filter
+    ([skipped_irrelevant] set); counted in
+    [maint.work.skipped_irrelevant]. *)
+val skipped_report : unit -> report
 
 (** [propagate ?prune mv u] applies [u] to the underlying document {e and}
     incrementally maintains [mv]. When several views share one store,
@@ -80,12 +88,25 @@ val vpred_watches : Mview.t -> Xml_tree.node list -> watches
     this view and propagation will rebuild instead. *)
 val watches_flipped : Mview.t -> watches -> bool
 
-(** [propagate_applied ?commit ?watches mv applied] incrementally
+(** [propagate_applied ?commit ?watches ?shared mv applied] incrementally
     maintains [mv]. Without [watches], predicate flips are assumed absent
     (true whenever updates never put text below a vpred-matching
-    ancestor). *)
+    ancestor). [shared] supplies a prebuilt {!Delta.Shared} index for the
+    same applied update, so Δ extraction is a per-pattern-node lookup
+    instead of a fresh scan — the batch engine builds one index per
+    update and passes it to every view.
+
+    Read-only-store contract: with [~commit:false] and non-flipped
+    [watches], propagation of an [Ins]/[Del] application only {e reads}
+    the store (relations, spans, node resolution) and mutates
+    view-private state — this is what makes domain-parallel propagation
+    across distinct views sound (see [Batch]). The [Repl] rebuild path
+    (a ["#text"] structural view) and flipped watches both commit, so
+    the batch engine runs those views sequentially on the main domain;
+    {!Store.commit} itself rejects being called off the main domain. *)
 val propagate_applied :
-  ?commit:bool -> ?watches:watches -> ?prune:bool -> Mview.t -> applied -> report
+  ?commit:bool -> ?watches:watches -> ?prune:bool -> ?shared:Delta.Shared.t ->
+  Mview.t -> applied -> report
 
 (** {1 Union-term introspection}
 

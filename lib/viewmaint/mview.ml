@@ -8,6 +8,10 @@ type cell = {
 
 type entry = { mutable count : int; cells : cell array }
 
+(* The label footprint is cached at materialization time so the batch
+   engine's relevance pre-filter is a pure lookup per update. *)
+type footprint = { fp_star : bool; fp_tags : string array }
+
 type t = {
   pat : Pattern.t;
   store : Store.t;
@@ -15,9 +19,18 @@ type t = {
   stored : int array;
   cvn : int array;
   all_snowcaps : Lattice.nset list;
+  footprint : footprint;
   mutable mats : (Lattice.nset * Tuple_table.t) list;
   entries : (string, entry) Hashtbl.t;
 }
+
+let footprint_of pat =
+  let star = ref false in
+  let tags = Hashtbl.create 8 in
+  Array.iter
+    (fun tag -> if tag = "*" then star := true else Hashtbl.replace tags tag ())
+    pat.Pattern.tags;
+  { fp_star = !star; fp_tags = Array.of_seq (Hashtbl.to_seq_keys tags) }
 
 (* Dewey encodings are self-delimiting, so their concatenation is an
    injective key for the projected tuple. *)
@@ -119,6 +132,7 @@ let materialize ?(policy = Snowcaps) store pat =
       stored = Array.of_list (Pattern.stored_nodes pat);
       cvn = Array.of_list (Pattern.cvn pat);
       all_snowcaps = Lattice.snowcaps pat;
+      footprint = footprint_of pat;
       mats = [];
       entries = Hashtbl.create 1024;
     }
@@ -140,6 +154,7 @@ let empty_shell ?(policy = Snowcaps) store pat =
       stored = Array.of_list (Pattern.stored_nodes pat);
       cvn = Array.of_list (Pattern.cvn pat);
       all_snowcaps = Lattice.snowcaps pat;
+      footprint = footprint_of pat;
       mats = [];
       entries = Hashtbl.create 1024;
     }

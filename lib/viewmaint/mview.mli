@@ -27,6 +27,12 @@ type cell = {
 
 type entry = { mutable count : int; cells : cell array }
 
+(** Label footprint of the pattern, cached at materialization: the set of
+    exact tags plus whether any node is the wildcard [*].  The batch
+    engine's relevance pre-filter intersects this with the update's label
+    set (see [Batch]). *)
+type footprint = { fp_star : bool; fp_tags : string array }
+
 type t = private {
   pat : Pattern.t;
   store : Store.t;
@@ -34,6 +40,7 @@ type t = private {
   stored : int array;  (** annotated pattern nodes, preorder *)
   cvn : int array;  (** pattern nodes storing val or cont *)
   all_snowcaps : Lattice.nset list;  (** cached, ascending size *)
+  footprint : footprint;  (** cached label footprint of [pat] *)
   mutable mats : (Lattice.nset * Tuple_table.t) list;
   entries : (string, entry) Hashtbl.t;
 }

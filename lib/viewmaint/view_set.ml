@@ -1,28 +1,52 @@
-type t = { store : Store.t; mutable views : Mview.t list (* reverse order *) }
+(* Views live in [views] (reverse insertion order, as before) for ordered
+   traversal, and in [index] for O(1) name lookup. *)
+type t = {
+  store : Store.t;
+  mutable views : Mview.t list; (* reverse order *)
+  index : (string, Mview.t) Hashtbl.t;
+}
 
-let create store = { store; views = [] }
+let create store = { store; views = []; index = Hashtbl.create 16 }
 
 let store t = t.store
 
 let name_of mv = mv.Mview.pat.Pattern.name
 
-let find t name = List.find_opt (fun mv -> name_of mv = name) t.views
+let find t name = Hashtbl.find_opt t.index name
 
 let add t ?policy pat =
-  (match find t pat.Pattern.name with
-  | Some _ ->
+  if Hashtbl.mem t.index pat.Pattern.name then
     invalid_arg
-      (Printf.sprintf "View_set.add: a view named %S already exists" pat.Pattern.name)
-  | None -> ());
+      (Printf.sprintf "View_set.add: a view named %S already exists" pat.Pattern.name);
   let mv = Mview.materialize ?policy t.store pat in
   t.views <- mv :: t.views;
+  Hashtbl.replace t.index pat.Pattern.name mv;
   mv
 
-let remove t name = t.views <- List.filter (fun mv -> name_of mv <> name) t.views
+let remove t name =
+  Hashtbl.remove t.index name;
+  t.views <- List.filter (fun mv -> name_of mv <> name) t.views
 
 let views t = List.rev t.views
 
-let update t u =
+(* One update, N views. The work that does not depend on the view — find
+   targets, mutate the document, extract the update region — runs once;
+   per-view propagation consumes the shared index by lookup. Views are
+   then split three ways:
+
+   - [skipped]: the relevance pre-filter proves propagation a no-op
+     (disjoint label footprint, no stored payloads, watches clean);
+   - [clean]: incremental propagation against the pre-update relations,
+     read-only on the store — safe to fan out across domains;
+   - [committing]: a flipped value-predicate watch, or a replace-value
+     against a view with structural "#text" nodes; both take the exact
+     rebuild path, which commits the store, so they run sequentially on
+     the main domain after the shared commit.
+
+   The store commit is hoisted out of per-view propagation ([~commit:
+   false] for every clean view) and performed exactly once, between the
+   parallel section and the committing views. *)
+let update ?(jobs = 1) t u =
   let views = views t in
   match views with
   | [] ->
@@ -50,34 +74,93 @@ let update t u =
             let d, i = Update.apply_replace t.store ~text ~targets in
             Maint.Repl (d, i))
     in
-    (* A view whose value predicate flipped takes the rebuild path, which
-       commits the store — so all incremental propagations (needing the
-       pre-update relations) must run first. *)
-    let clean, flipped =
-      List.partition (fun (mv, watches) -> not (Maint.watches_flipped mv watches)) watched
+    (* Shared update-region index: built once, consumed per view. The
+       delete build is narrowed to the union of the views' label
+       footprints — every lookup any view can make stays answerable,
+       while slices for labels no view mentions are never extracted. *)
+    let wanted =
+      let star = ref false in
+      let tags = Hashtbl.create 16 in
+      List.iter
+        (fun mv ->
+          let fp = mv.Mview.footprint in
+          if fp.Mview.fp_star then star := true;
+          Array.iter (fun tag -> Hashtbl.replace tags tag ()) fp.Mview.fp_tags)
+        views;
+      let l = Hashtbl.fold (fun k () acc -> k :: acc) tags [] in
+      if !star then "*" :: l else l
     in
-    let n_clean = List.length clean in
-    let clean_reports =
-      List.mapi
-        (fun i (mv, watches) ->
-          let commit = flipped = [] && i = n_clean - 1 in
-          (mv, Maint.propagate_applied ~commit ~watches mv applied))
-        clean
+    let shared, labels =
+      Timing.timed b
+        (fun b v -> b.Timing.compute_delta <- v)
+        (fun () ->
+          match applied with
+          | Maint.Ins app ->
+            let sh = Delta.Shared.of_insert t.store app in
+            (Some sh, Batch.Labels sh)
+          | Maint.Del app ->
+            let sh = Delta.Shared.of_delete ~wanted t.store app in
+            (Some sh, Batch.Labels sh)
+          | Maint.Repl _ -> (None, Batch.Text_only))
     in
-    let flipped_reports =
+    let text_structural mv =
+      match applied with
+      | Maint.Repl _ ->
+        Array.exists (( = ) "#text") mv.Mview.pat.Pattern.tags
+      | Maint.Ins _ | Maint.Del _ -> false
+    in
+    (* [`Skip] / [`Clean] / [`Commit] per view, in insertion order. *)
+    let classified =
       List.map
-        (fun (mv, watches) -> (mv, Maint.propagate_applied ~watches mv applied))
-        flipped
+        (fun (mv, watches) ->
+          let cls =
+            if Maint.watches_flipped mv watches || text_structural mv then `Commit
+            else if Batch.can_skip mv labels then `Skip
+            else `Clean
+          in
+          (mv, watches, cls))
+        watched
     in
-    (* Restore the set's insertion order. *)
-    let all = clean_reports @ flipped_reports in
+    let clean =
+      List.filter_map
+        (fun (mv, w, c) -> if c = `Clean then Some (mv, w) else None)
+        classified
+    in
+    (* Read-only fan-out: no commit, no document mutation; Obs increments
+       from child domains are merged back by [Batch.parallel_map]. *)
+    let clean_reports =
+      Batch.parallel_map ~jobs
+        (Array.map
+           (fun (mv, watches) () ->
+             (mv, Maint.propagate_applied ~commit:false ~watches ?shared mv applied))
+           (Array.of_list clean))
+    in
+    Timing.timed b
+      (fun b v -> b.Timing.update_aux <- v)
+      (fun () -> Store.commit t.store);
     let reports =
-      List.filter_map (fun mv -> List.find_opt (fun (m, _) -> m == mv) all) views
+      List.map
+        (fun (mv, watches, cls) ->
+          match cls with
+          | `Skip -> (mv, Maint.skipped_report ())
+          | `Commit -> (mv, Maint.propagate_applied ~watches mv applied)
+          | `Clean ->
+            (match Array.find_opt (fun (m, _) -> m == mv) clean_reports with
+            | Some r -> r
+            | None -> assert false))
+        classified
     in
-    (* Attribute the shared phases to the first report. *)
+    (* Attribute the shared phases — target location, document mutation,
+       shared-index build, store commit — to the first report. *)
     (match reports with
     | (_, first) :: _ ->
-      first.Maint.timing.Timing.find_target <- b.Timing.find_target;
-      first.Maint.timing.Timing.apply_doc <- b.Timing.apply_doc
+      first.Maint.timing.Timing.find_target <-
+        first.Maint.timing.Timing.find_target +. b.Timing.find_target;
+      first.Maint.timing.Timing.apply_doc <-
+        first.Maint.timing.Timing.apply_doc +. b.Timing.apply_doc;
+      first.Maint.timing.Timing.compute_delta <-
+        first.Maint.timing.Timing.compute_delta +. b.Timing.compute_delta;
+      first.Maint.timing.Timing.update_aux <-
+        first.Maint.timing.Timing.update_aux +. b.Timing.update_aux
     | [] -> ());
     reports

@@ -15,7 +15,8 @@ val store : t -> Store.t
     @raise Invalid_argument if a view with the same name exists. *)
 val add : t -> ?policy:Mview.policy -> Pattern.t -> Mview.t
 
-(** [find set name] — the view named [name], if any. *)
+(** [find set name] — the view named [name], if any. O(1): views are
+    name-indexed in a hash table besides the insertion-ordered list. *)
 val find : t -> string -> Mview.t option
 
 (** [remove set name] drops a view from the set (the store is
@@ -25,8 +26,23 @@ val remove : t -> string -> unit
 (** Views in insertion order. *)
 val views : t -> Mview.t list
 
-(** [update set u] applies [u] to the document once and incrementally
-    maintains every view; reports are in view insertion order. The
-    find-targets and document-mutation times appear in the first report
-    only (they are shared work). *)
-val update : t -> Update.t -> (Mview.t * Maint.report) list
+(** [update ?jobs set u] applies [u] to the document once and maintains
+    every view from a shared update-region index ({!Delta.Shared}, built
+    once per update); reports are in view insertion order. The shared
+    work — target location, document mutation, index build, the single
+    store commit — is timed into the first report.
+
+    Views whose label footprint is provably untouched by the update are
+    skipped outright and get a zeroed report with
+    [Maint.skipped_irrelevant] set.
+
+    [jobs] (default [1]) fans clean-view propagation out across that
+    many OCaml domains. Propagation before the commit is read-only on
+    the store and views are pairwise independent, so the results are
+    {e bit-identical} to [jobs = 1] (timing fields aside) — reports are
+    reassembled in insertion order and per-domain Obs counters are
+    merged back into the registry. Views needing a rebuild (flipped
+    value-predicate watch, or a replace-value against a view with
+    structural ["#text"] nodes) always run sequentially on the calling
+    domain, after the commit. *)
+val update : ?jobs:int -> t -> Update.t -> (Mview.t * Maint.report) list

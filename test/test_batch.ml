@@ -1,0 +1,217 @@
+(* Tests for batch view-set maintenance: the name index, the relevance
+   pre-filter (skip safety), the domain fan-out's determinism, and the
+   flat-in-N scan counters of the shared update-region index. *)
+
+let n = Pattern.n
+
+let doc_text =
+  {|<r><a>x<b>1</b><b>2</b></a><c><d>y</d></c><a><b>3</b></a><e k="v">z</e></r>|}
+
+let fresh_store () = Store.of_document (Xml_parse.document doc_text)
+
+(* Id-only views (empty [cvn]): eligible for the relevance skip. *)
+let v_ab name = Pattern.compile ~name (n "a" ~id:true [ n "b" ~id:true [] ])
+let v_cd name = Pattern.compile ~name (n "c" ~id:true [ n "d" ~id:true [] ])
+let v_b name = Pattern.compile ~name (n "b" ~id:true [])
+let v_star name = Pattern.compile ~name (n "*" ~id:true [])
+
+let names set = List.map (fun mv -> mv.Mview.pat.Pattern.name) (View_set.views set)
+
+(* {1 Name index} *)
+
+let test_name_index () =
+  let set = View_set.create (fresh_store ()) in
+  let _ = View_set.add set (v_ab "one") in
+  let _ = View_set.add set (v_cd "two") in
+  (match View_set.find set "one" with
+  | Some mv -> Alcotest.(check string) "found one" "one" mv.Mview.pat.Pattern.name
+  | None -> Alcotest.fail "view 'one' not found");
+  Alcotest.(check bool) "absent name" true (View_set.find set "zzz" = None);
+  (match View_set.add set (v_b "one") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate name accepted");
+  Alcotest.(check (list string)) "insertion order" [ "one"; "two" ] (names set);
+  View_set.remove set "one";
+  Alcotest.(check bool) "removed" true (View_set.find set "one" = None);
+  Alcotest.(check (list string)) "order after remove" [ "two" ] (names set);
+  let _ = View_set.add set (v_b "one") in
+  Alcotest.(check bool) "name reusable after remove" true
+    (View_set.find set "one" <> None);
+  Alcotest.(check (list string)) "re-added goes last" [ "two"; "one" ] (names set)
+
+(* {1 Relevance skip} *)
+
+let check_against_recompute mv pat stmt =
+  let store = Store.of_document (Xml_parse.document doc_text) in
+  let mv2, _ = Recompute.recompute_after store stmt ~pat in
+  match Recompute.diff mv mv2 with
+  | None -> ()
+  | Some d -> Alcotest.fail ("batched view diverged from recompute: " ^ d)
+
+let test_skip_irrelevant () =
+  (* Inserted fragment holds only f/g nodes: disjoint from the a/b
+     footprint, and the view stores no payloads, so it is skipped — and
+     the skip must be invisible in the view's extent. *)
+  let stmt = Update.insert ~into:"/r/c" "<f><g/></f>" in
+  let set = View_set.create (fresh_store ()) in
+  let mv = View_set.add set (v_ab "w") in
+  let reports = View_set.update set stmt in
+  let r = List.assq mv reports in
+  Alcotest.(check bool) "skipped" true r.Maint.skipped_irrelevant;
+  Alcotest.(check int) "no terms developed" 0 r.Maint.terms_developed;
+  check_against_recompute mv (v_ab "w") stmt
+
+let test_star_never_skipped () =
+  (* A [*] pattern tag matches any element: the same irrelevant-looking
+     insert must not be skipped for a star view. *)
+  let stmt = Update.insert ~into:"/r/c" "<f><g/></f>" in
+  let set = View_set.create (fresh_store ()) in
+  let mv = View_set.add set (v_star "s") in
+  let reports = View_set.update set stmt in
+  let r = List.assq mv reports in
+  Alcotest.(check bool) "not skipped" false r.Maint.skipped_irrelevant;
+  Alcotest.(check bool) "view grew" true (r.Maint.embeddings_added > 0);
+  check_against_recompute mv (v_star "s") stmt
+
+(* Property form of skip safety: on random documents, whether or not the
+   pre-filter fires, every view in the batched set matches a fresh
+   recomputation. The insert's f/g labels are outside the generator's
+   vocabulary, so insert runs exercise the skip path; deletes of [e]
+   subtrees may or may not touch each view's footprint. *)
+let prop_skip_safety =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"batched set = recompute (incl. skipped views)"
+       ~count:120 Tutil.arb_doc (fun doc ->
+         let pats = [ v_cd "p0"; v_ab "p1" ] in
+         List.for_all
+           (fun stmt ->
+             let store = Store.of_document (Xml_tree.copy doc) in
+             let set = View_set.create store in
+             let mvs = List.map (fun p -> View_set.add set p) pats in
+             ignore (View_set.update set stmt);
+             List.for_all2
+               (fun mv pat ->
+                 let store2 = Store.of_document (Xml_tree.copy doc) in
+                 let mv2, _ = Recompute.recompute_after store2 stmt ~pat in
+                 Recompute.diff mv mv2 = None)
+               mvs pats)
+           [ Update.insert ~into:"//a" "<f><g/></f>"; Update.delete "//e" ]))
+
+(* {1 Domain fan-out} *)
+
+let report_sig (r : Maint.report) =
+  ( r.Maint.terms_developed,
+    r.Maint.terms_surviving,
+    r.Maint.embeddings_added,
+    r.Maint.embeddings_removed,
+    r.Maint.tuples_modified,
+    r.Maint.fallback_recompute,
+    r.Maint.skipped_irrelevant )
+
+(* One batched run: per-view dumps, non-timing report fields, and the
+   counter snapshot. [jobs > 1] must be bit-identical to [jobs = 1] on
+   all three (the snapshot also exercises the per-domain Obs buffers). *)
+let batched_run ~jobs stmt =
+  let pats = [ v_ab "d0"; v_cd "d1"; v_star "d2"; v_b "d3" ] in
+  let set = View_set.create (fresh_store ()) in
+  let mvs = List.map (fun p -> View_set.add set p) pats in
+  let reports, snap = Obs.with_scope (fun () -> View_set.update ~jobs set stmt) in
+  ( List.map Mview.dump mvs,
+    List.map (fun (_, r) -> report_sig r) reports,
+    Obs.nonzero_counters snap )
+
+let test_jobs_deterministic () =
+  List.iter
+    (fun stmt ->
+      let d1, r1, c1 = batched_run ~jobs:1 stmt in
+      let d3, r3, c3 = batched_run ~jobs:3 stmt in
+      Alcotest.(check bool) "dumps identical" true (d1 = d3);
+      Alcotest.(check bool) "reports identical" true (r1 = r3);
+      Alcotest.(check bool) "counters identical" true (c1 = c3))
+    [ Update.insert ~into:"/r/a" "<b>9</b>"; Update.delete "//b" ]
+
+let test_parallel_map () =
+  let tasks = Array.init 10 (fun i () -> i * i) in
+  Alcotest.(check (array int))
+    "results in task order"
+    (Array.init 10 (fun i -> i * i))
+    (Batch.parallel_map ~jobs:4 tasks);
+  match
+    Batch.parallel_map ~jobs:3 [| (fun () -> 1); (fun () -> failwith "boom") |]
+  with
+  | exception Failure m -> Alcotest.(check string) "exception propagated" "boom" m
+  | _ -> Alcotest.fail "worker exception swallowed"
+
+let par_scope = Obs.Scope.v "test.batch"
+let par_ticks = Obs.Scope.counter par_scope "ticks"
+
+let test_par_counter_merge () =
+  let _, snap =
+    Obs.with_scope (fun () ->
+        ignore
+          (Batch.parallel_map ~jobs:4
+             (Array.init 8 (fun _ () -> Obs.Counter.incr par_ticks))))
+  in
+  let got =
+    try List.assoc "test.batch.ticks" (Obs.nonzero_counters snap)
+    with Not_found -> 0
+  in
+  Alcotest.(check int) "child-domain increments merged" 8 got
+
+(* {1 Shared-index counters flat in N} *)
+
+let delta_counters pats stmt =
+  let set = View_set.create (fresh_store ()) in
+  List.iter (fun p -> ignore (View_set.add set p)) pats;
+  let _, snap = Obs.with_scope (fun () -> View_set.update set stmt) in
+  let get k = try List.assoc k (Obs.nonzero_counters snap) with Not_found -> 0 in
+  (get "maint.delta.nodes", get "maint.delta.extractions")
+
+let test_insert_counters_flat () =
+  let stmt = Update.insert ~into:"/r/a" "<b>new</b>" in
+  let one = delta_counters [ v_b "f0" ] stmt in
+  let four = delta_counters [ v_b "f0"; v_ab "f1"; v_star "f2"; v_cd "f3" ] stmt in
+  Alcotest.(check (pair int int)) "insert scan work independent of view count"
+    one four
+
+let test_delete_counters_flat () =
+  (* Same-footprint views, so the shared delete build's wanted-label
+     narrowing extracts the same slices whatever the view count. *)
+  let stmt = Update.delete "//b" in
+  let one = delta_counters [ v_b "g0" ] stmt in
+  let four =
+    delta_counters
+      [ v_b "g0"; v_b "g1"; v_b "g2"; Pattern.compile ~name:"g3" (n "a" [ n "b" ~id:true [] ]) ]
+      stmt
+  in
+  Alcotest.(check (pair int int)) "delete scan work independent of view count"
+    one four
+
+let () =
+  Alcotest.run "batch"
+    [
+      ( "view_set",
+        [
+          Alcotest.test_case "name index" `Quick test_name_index;
+          Alcotest.test_case "irrelevant view skipped" `Quick test_skip_irrelevant;
+          Alcotest.test_case "star view never skipped" `Quick
+            test_star_never_skipped;
+          prop_skip_safety;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "jobs>1 bit-identical to jobs=1" `Quick
+            test_jobs_deterministic;
+          Alcotest.test_case "parallel_map order & exceptions" `Quick
+            test_parallel_map;
+          Alcotest.test_case "child-domain counter merge" `Quick
+            test_par_counter_merge;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "insert delta work flat in N" `Quick
+            test_insert_counters_flat;
+          Alcotest.test_case "delete delta work flat in N" `Quick
+            test_delete_counters_flat;
+        ] );
+    ]

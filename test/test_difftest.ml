@@ -13,6 +13,35 @@ let test_bounded_run () =
   Alcotest.(check int) "iterations" 400 r.Qgen.iterations;
   Alcotest.(check int) "mismatches" 0 r.Qgen.failed
 
+(* The multi-view set oracle: batched [View_set.update] against
+   one-by-one propagation, with the [jobs = 2] cross-check against
+   [jobs = 1] inside every iteration. *)
+let test_bounded_set_run () =
+  let r = Difftest.run_sets ~jobs:2 ~seed:7 ~iters:150 () in
+  List.iter print_endline r.Qgen.failures;
+  Alcotest.(check int) "iterations" 150 r.Qgen.iterations;
+  Alcotest.(check int) "mismatches" 0 r.Qgen.failed
+
+let test_set_repro_roundtrip () =
+  let rnd = Random.State.make [| 0x5e7; 13 |] in
+  for _ = 1 to 50 do
+    let t = Difftest.gen_set_triple rnd in
+    let t' = Difftest.set_of_repro (Difftest.repro_of_set t) in
+    Alcotest.(check int) "view count preserved"
+      (List.length t.Difftest.sviews)
+      (List.length t'.Difftest.sviews);
+    List.iter2
+      (fun a b ->
+        Alcotest.(check string) "view preserved" (Pattern.to_string a)
+          (Pattern.to_string b))
+      t.Difftest.sviews t'.Difftest.sviews;
+    Alcotest.(check string) "update preserved" t.Difftest.supdate
+      t'.Difftest.supdate;
+    Alcotest.(check string) "document preserved"
+      (Xml_tree.serialize t.Difftest.sdoc)
+      (Xml_tree.serialize t'.Difftest.sdoc)
+  done
+
 (* {1 Compact view syntax} *)
 
 let compact_roundtrip pat =
@@ -248,6 +277,8 @@ let () =
       ( "oracle",
         [
           Alcotest.test_case "bounded seeded run is clean" `Quick test_bounded_run;
+          Alcotest.test_case "bounded multi-view set run is clean" `Quick
+            test_bounded_set_run;
           Alcotest.test_case "work profile replays identically" `Quick
             test_work_profile_replay;
           Alcotest.test_case "mismatch carries its work profile" `Quick
@@ -260,6 +291,8 @@ let () =
           test_compact_qcheck;
           Alcotest.test_case "reproducer encode/decode round-trip" `Quick
             test_repro_roundtrip;
+          Alcotest.test_case "set reproducer encode/decode round-trip" `Quick
+            test_set_repro_roundtrip;
         ] );
       ("degenerate updates", degenerate_cases);
       ( "shrinker",
