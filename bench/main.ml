@@ -36,6 +36,27 @@ let only =
   in
   find 1
 
+let valid_sections =
+  [
+    "fig18"; "fig19"; "fig20"; "fig21"; "fig22"; "fig24"; "fig25"; "fig26";
+    "fig27"; "fig28"; "fig29"; "fig33"; "ablations"; "joinab"; "prims";
+    "figMV"; "fuzz"; "difftest"; "micro";
+  ]
+
+(* A typo'd section name must not silently bench nothing. *)
+let () =
+  match only with
+  | None -> ()
+  | Some ts -> (
+    match List.filter (fun t -> not (List.mem t valid_sections)) ts with
+    | [] -> ()
+    | unknown ->
+      Printf.eprintf "error: unknown section%s %s\nvalid sections: %s\n"
+        (if List.length unknown > 1 then "s" else "")
+        (String.concat ", " unknown)
+        (String.concat ", " valid_sections);
+      exit 2)
+
 let wanted tag = match only with None -> true | Some ts -> List.mem tag ts
 
 let seed = 42
@@ -839,16 +860,30 @@ let join_ab () =
   Printf.printf
     "(xmark ~%d KB; deep = 2000 chains of depth 12; inputs are Dewey-sorted store relations)\n"
     kb;
-  Printf.printf "  %-28s %-10s %8s %8s %8s %10s %10s %8s\n" "pair" "axis" "left"
-    "right" "out" "merge(ns)" "hash(ns)" "speedup";
+  Printf.printf "  %-28s %-10s %8s %8s %8s %10s %10s %10s %8s %8s\n" "pair"
+    "axis" "left" "right" "out" "cols(ns)" "boxed(ns)" "hash(ns)" "vs-box"
+    "vs-hash";
   let atom store node label =
     Tuple_table.of_ids ~sorted:true ~node
       (Array.map (fun e -> e.Store.id) (Store.relation store label))
   in
+  (* Same relation as [atom], columnar layout: arena-handle column pulled
+     straight from the store, so the dispatcher takes the int fast path. *)
+  let atom_cols store node label =
+    let _, handles = Store.relation_handles store label in
+    Tuple_table.of_handles ~sorted:true ~arena:(Store.arena store) ~node
+      (Array.copy handles)
+  in
   List.iter
     (fun (doc_name, store, lname, rname, axis, axis_name) ->
       let left = atom store 0 lname and right = atom store 1 rname in
+      let cleft = atom_cols store 0 lname
+      and cright = atom_cols store 1 rname in
       let merged, snap_merge =
+        Obs.with_scope (fun () ->
+            Struct_join.merge_join cleft cright ~parent:0 ~child:1 ~axis)
+      in
+      let boxed_merged, snap_boxed =
         Obs.with_scope (fun () ->
             Struct_join.merge_join left right ~parent:0 ~child:1 ~axis)
       in
@@ -858,8 +893,16 @@ let join_ab () =
       in
       if Tuple_table.length merged <> Tuple_table.length hashed then
         failwith "join A/B: merge and hash outputs disagree";
+      if Tuple_table.length merged <> Tuple_table.length boxed_merged then
+        failwith "join A/B: columnar and boxed merge outputs disagree";
       let cmps snap = Obs.counter_value snap "algebra.join.comparisons" in
+      if cmps snap_merge <> cmps snap_boxed then
+        failwith "join A/B: columnar and boxed merge comparison counts differ";
       let t_merge =
+        time_median (fun () ->
+            Struct_join.merge_join cleft cright ~parent:0 ~child:1 ~axis)
+      in
+      let t_boxed =
         time_median (fun () ->
             Struct_join.merge_join left right ~parent:0 ~child:1 ~axis)
       in
@@ -869,10 +912,13 @@ let join_ab () =
       in
       let ns t = t *. 1e9 in
       let speedup = t_hash /. t_merge in
-      Printf.printf "  %-28s %-10s %8d %8d %8d %10.0f %10.0f %7.2fx\n%!"
+      let speedup_columnar = t_boxed /. t_merge in
+      Printf.printf
+        "  %-28s %-10s %8d %8d %8d %10.0f %10.0f %10.0f %7.2fx %7.2fx\n%!"
         (Printf.sprintf "%s:%s//%s" doc_name lname rname)
         axis_name (Tuple_table.length left) (Tuple_table.length right)
-        (Tuple_table.length merged) (ns t_merge) (ns t_hash) speedup;
+        (Tuple_table.length merged) (ns t_merge) (ns t_boxed) (ns t_hash)
+        speedup_columnar speedup;
       record "micro_join_ab"
         [
           ("doc", Json.Str doc_name);
@@ -882,8 +928,10 @@ let join_ab () =
           ("rows_right", Json.int (Tuple_table.length right));
           ("rows_out", Json.int (Tuple_table.length merged));
           ("merge_ns", Json.num (ns t_merge));
+          ("merge_boxed_ns", Json.num (ns t_boxed));
           ("hash_ns", Json.num (ns t_hash));
           ("speedup", Json.num speedup);
+          ("speedup_columnar", Json.num speedup_columnar);
           ("merge_comparisons", Json.int (cmps snap_merge));
           ("hash_comparisons", Json.int (cmps snap_hash));
         ])
@@ -896,6 +944,176 @@ let join_ab () =
       ("xmark", xmark_store, "site", "increase", Pattern.Descendant, "descendant");
       ("xmark", xmark_store, "person", "name", Pattern.Child, "child");
       ("xmark", xmark_store, "bidder", "increase", Pattern.Child, "child");
+    ]
+
+(* {1 prims: per-primitive columnar A/B}
+
+   The columnar refactor justified primitive by primitive: interning,
+   document-order compare, the ancestor test and the merge-join inner
+   loop, each timed on both layouts over identical inputs (the deep
+   document's [wrap] relation — depth ~12, where per-step work shows).
+   Then the safety net: a tuple-for-tuple columnar = boxed equivalence
+   sweep over the Figure-20 view/update pairs, at materialization and
+   after one propagated insert and delete each. *)
+
+let prims () =
+  header "prims: Dewey arena & columnar primitives (boxed vs columnar)";
+  let store = Store.of_document (deep_doc ~chains:2000 ~depth:10) in
+  let arena = Store.arena store in
+  let entries, handles = Store.relation_handles store "wrap" in
+  let ids = Array.map (fun e -> e.Store.id) entries in
+  let n = Array.length ids in
+  (* Arena ingest counters for one deep-document build. *)
+  let (), snap_build =
+    Obs.with_scope (fun () ->
+        ignore (Store.of_document (deep_doc ~chains:200 ~depth:10)))
+  in
+  let cval name = Obs.counter_value snap_build ("dewey.arena." ^ name) in
+  Printf.printf
+    "  arena ingest (200x10 deep doc): interned=%d hits=%d bytes=%d\n"
+    (cval "interned") (cval "hits") (cval "bytes");
+  record "prims"
+    [
+      ("name", Json.Str "arena_ingest");
+      ("interned", Json.int (cval "interned"));
+      ("hits", Json.int (cval "hits"));
+      ("bytes", Json.int (cval "bytes"));
+    ];
+  (* Deterministic index pairs over the deep [wrap] relation. *)
+  let npairs = 8192 in
+  let idx = Array.make (2 * npairs) 0 in
+  let s = ref 0x2545F491 in
+  for i = 0 to (2 * npairs) - 1 do
+    s := ((!s * 1103515245) + 12345) land 0x3FFFFFFF;
+    idx.(i) <- !s mod n
+  done;
+  let sink = ref 0 in
+  let per_op ops f = time_median f *. 1e9 /. float_of_int ops in
+  Printf.printf "  %-24s %10s %10s %8s\n" "primitive" "boxed(ns)" "cols(ns)"
+    "speedup";
+  let report name ops boxed cols =
+    let b = per_op ops boxed and c = per_op ops cols in
+    Printf.printf "  %-24s %10.1f %10.1f %7.2fx\n%!" name b c (b /. c);
+    record "prims"
+      [
+        ("name", Json.Str name);
+        ("boxed_ns", Json.num b);
+        ("columnar_ns", Json.num c);
+        ("speedup", Json.num (b /. c));
+      ]
+  in
+  (* intern has no boxed counterpart: report cold (fresh arena, closure
+     built as it goes) and hit (every id already present) medians. *)
+  let t_cold =
+    per_op n (fun () ->
+        let a = Dewey_arena.create () in
+        Array.iter (fun id -> ignore (Dewey_arena.intern a id)) ids)
+  in
+  let t_hit =
+    per_op n (fun () ->
+        Array.iter (fun id -> sink := !sink + Dewey_arena.intern arena id) ids)
+  in
+  Printf.printf "  %-24s %10s %10.1f\n" "intern (cold)" "-" t_cold;
+  Printf.printf "  %-24s %10s %10.1f\n%!" "intern (hit)" "-" t_hit;
+  record "prims" [ ("name", Json.Str "intern_cold"); ("columnar_ns", Json.num t_cold) ];
+  record "prims" [ ("name", Json.Str "intern_hit"); ("columnar_ns", Json.num t_hit) ];
+  report "compare" npairs
+    (fun () ->
+      for i = 0 to npairs - 1 do
+        sink := !sink + Dewey.compare ids.(idx.(2 * i)) ids.(idx.((2 * i) + 1))
+      done)
+    (fun () ->
+      for i = 0 to npairs - 1 do
+        sink :=
+          !sink
+          + Dewey_arena.compare arena
+              handles.(idx.(2 * i))
+              handles.(idx.((2 * i) + 1))
+      done);
+  report "is_prefix" npairs
+    (fun () ->
+      for i = 0 to npairs - 1 do
+        if Dewey.is_ancestor_or_self ids.(idx.(2 * i)) ids.(idx.((2 * i) + 1))
+        then incr sink
+      done)
+    (fun () ->
+      for i = 0 to npairs - 1 do
+        if
+          Dewey_arena.is_prefix arena
+            handles.(idx.(2 * i))
+            handles.(idx.((2 * i) + 1))
+        then incr sink
+      done);
+  (* Merge-join inner loop, per output row: section//para on the deep
+     store, boxed rows vs arena-handle columns through the dispatcher. *)
+  let boxed_atom node label =
+    Tuple_table.of_ids ~sorted:true ~node
+      (Array.map (fun e -> e.Store.id) (Store.relation store label))
+  in
+  let cols_atom node label =
+    let _, h = Store.relation_handles store label in
+    Tuple_table.of_handles ~sorted:true ~arena ~node (Array.copy h)
+  in
+  let bl = boxed_atom 0 "section" and br = boxed_atom 1 "para" in
+  let cl = cols_atom 0 "section" and cr = cols_atom 1 "para" in
+  let out =
+    Struct_join.merge_join cl cr ~parent:0 ~child:1 ~axis:Pattern.Descendant
+  in
+  report "merge_join (per row)" (Tuple_table.length out)
+    (fun () ->
+      ignore
+        (Struct_join.merge_join bl br ~parent:0 ~child:1
+           ~axis:Pattern.Descendant))
+    (fun () ->
+      ignore
+        (Struct_join.merge_join cl cr ~parent:0 ~child:1
+           ~axis:Pattern.Descendant));
+  ignore !sink;
+  (* Figure-20 equivalence: the two layouts must agree tuple for tuple —
+     same keys, same counts — at materialization and after propagating
+     every figure-20 insert and delete. *)
+  let prev = Tuple_table.columnar_enabled () in
+  let kb = if full then 256 else 96 in
+  let base = doc kb in
+  let dumps_with columnar vname op u =
+    Tuple_table.set_columnar columnar;
+    let st = Store.of_document (Xml_tree.copy base) in
+    let mv = Mview.materialize st (Xmark_views.find vname) in
+    let snapshot () =
+      List.sort compare (List.map (fun (k, c, _) -> (k, c)) (Mview.dump mv))
+    in
+    let d0 = snapshot () in
+    ignore (Maint.propagate mv (stmt_of op u));
+    (d0, snapshot ())
+  in
+  let checked = ref 0 in
+  List.iter
+    (fun (vname, uname) ->
+      let u = Xmark_updates.find uname in
+      List.iter
+        (fun op ->
+          let dc = dumps_with true vname op u in
+          let db = dumps_with false vname op u in
+          if dc <> db then begin
+            Tuple_table.set_columnar prev;
+            write_results ();
+            failwith
+              (Printf.sprintf
+                 "prims: columnar and boxed view contents differ for %s / %s"
+                 vname uname)
+          end;
+          incr checked)
+        [ Insert; Delete ])
+    Xmark_updates.figure20_pairs;
+  Tuple_table.set_columnar prev;
+  Printf.printf
+    "  fig20 equivalence: %d view/update propagations, columnar = boxed\n%!"
+    !checked;
+  record "prims"
+    [
+      ("name", Json.Str "fig20_equiv");
+      ("runs", Json.int !checked);
+      ("ok", Json.int 1);
     ]
 
 (* {1 figMV: multi-view batch maintenance}
@@ -1127,6 +1345,7 @@ let () =
     ablation_deferred ()
   end;
   if wanted "joinab" then join_ab ();
+  if wanted "prims" then prims ();
   if wanted "figMV" then figmv ();
   if wanted "fuzz" then fuzz_oracle ();
   if wanted "difftest" then difftest_oracle ();

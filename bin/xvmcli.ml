@@ -18,14 +18,17 @@ let resolve_view ~name ~query =
   | None, Some q -> View_parser.parse ~name:"cli" q
   | _ -> invalid_arg "give exactly one of --name or --query"
 
-(* {1 --metrics}
+(* {1 --metrics / --boxed}
 
-   Shared by every subcommand: enable the process-wide [Obs] registry
-   for the whole run and dump it afterwards — flat [key=value] lines by
-   default, or a single JSON line with [--metrics=json] (always the last
-   line of stdout, so pipelines can [tail -n 1] it). *)
+   Shared by every subcommand. [--metrics] enables the process-wide
+   [Obs] registry for the whole run and dumps it afterwards — flat
+   [key=value] lines by default, or a single JSON line with
+   [--metrics=json] (always the last line of stdout, so pipelines can
+   [tail -n 1] it). [--boxed] is the columnar-layout escape hatch:
+   tuple tables are built row-major over boxed identifiers instead of
+   as arena-handle columns, with identical results. *)
 
-let metrics_term =
+let metrics_fmt_term =
   let fmt = Arg.enum [ ("flat", `Flat); ("json", `Json) ] in
   Arg.(
     value
@@ -35,7 +38,21 @@ let metrics_term =
           "Collect operator-level metrics during the run and print the \
            registry afterwards; $(docv) is $(b,flat) (default) or $(b,json).")
 
-let with_metrics metrics f =
+let boxed_term =
+  Arg.(
+    value & flag
+    & info [ "boxed" ]
+        ~doc:
+          "Build tuple tables in the boxed row-major layout instead of the \
+           default columnar arena-handle layout (same effect as setting \
+           XVM_BOXED_TABLES=1); results are identical, only the physical \
+           representation changes.")
+
+let metrics_term =
+  Term.(const (fun metrics boxed -> (metrics, boxed)) $ metrics_fmt_term $ boxed_term)
+
+let with_metrics (metrics, boxed) f =
+  if boxed then Tuple_table.set_columnar false;
   match metrics with
   | None -> f ()
   | Some fmt ->

@@ -45,21 +45,104 @@ let entries_in_region store pat i region =
   end
   else region_slices store tag region
 
+(* Handle-paired variants of the scan helpers, for the columnar layout:
+   each returns the matching entries alongside the parallel array of
+   arena handles, both in document order. *)
+
+let sort_pairs arena (entries : Store.entry array) (handles : int array) =
+  let n = Array.length handles in
+  let idx = Array.init n Fun.id in
+  Array.sort (fun a b -> Dewey_arena.compare arena handles.(a) handles.(b)) idx;
+  (Array.map (fun j -> entries.(j)) idx, Array.map (fun j -> handles.(j)) idx)
+
+let entries_matching_handles store pat i =
+  let tag = pat.Pattern.tags.(i) in
+  if tag = "*" then begin
+    let parts =
+      List.filter_map
+        (fun label ->
+          if String.length label > 0 && (label.[0] = '@' || label.[0] = '#') then None
+          else Some (Store.relation_handles store label))
+        (Store.relation_labels store)
+    in
+    let entries = Array.concat (List.map fst parts) in
+    let handles = Array.concat (List.map snd parts) in
+    sort_pairs (Store.arena store) entries handles
+  end
+  else Store.relation_handles store tag
+
+let region_slices_handles store label region =
+  let roots = Id_region.roots region in
+  match Array.length roots with
+  | 0 -> ([||], [||])
+  | 1 -> Store.relation_span_handles store label ~root:roots.(0)
+  | _ ->
+    let parts =
+      Array.to_list
+        (Array.map (fun r -> Store.relation_span_handles store label ~root:r) roots)
+    in
+    (Array.concat (List.map fst parts), Array.concat (List.map snd parts))
+
+let entries_in_region_handles store pat i region =
+  let tag = pat.Pattern.tags.(i) in
+  if tag = "*" then begin
+    let parts =
+      List.filter_map
+        (fun label ->
+          if String.length label > 0 && (label.[0] = '@' || label.[0] = '#') then None
+          else Some (region_slices_handles store label region))
+        (Store.relation_labels store)
+    in
+    let entries = Array.concat (List.map fst parts) in
+    let handles = Array.concat (List.map snd parts) in
+    sort_pairs (Store.arena store) entries handles
+  end
+  else region_slices_handles store tag region
+
 let root_anchor_ok pat i id =
   i <> 0 || pat.Pattern.axes.(0) = Pattern.Descendant || Dewey.depth id = 1
 
+let atom_keep pat i e =
+  root_anchor_ok pat i e.Store.id
+  &&
+  match pat.Pattern.vpreds.(i) with
+  | None -> true
+  | Some c -> Xml_tree.string_value e.Store.node = c
+
 let atom_of_store store pat i =
-  let entries = entries_matching store pat i in
-  let keep e =
-    root_anchor_ok pat i e.Store.id
-    &&
-    match pat.Pattern.vpreds.(i) with
-    | None -> true
-    | Some c -> Xml_tree.string_value e.Store.node = c
-  in
-  let selected = Array.of_seq (Seq.filter keep (Array.to_seq entries)) in
-  (* Canonical relations are in document order; selection preserves it. *)
-  Tuple_table.of_ids ~sorted:true ~node:i (Array.map (fun e -> e.Store.id) selected)
+  if Tuple_table.columnar_enabled () then begin
+    let entries, handles = entries_matching_handles store pat i in
+    let n = Array.length handles in
+    if
+      pat.Pattern.vpreds.(i) = None
+      && (i <> 0 || pat.Pattern.axes.(0) = Pattern.Descendant)
+    then
+      (* No selection: the relation's handle column verbatim (copied —
+         tables own their columns). *)
+      Tuple_table.of_handles ~sorted:true ~arena:(Store.arena store) ~node:i
+        (Array.copy handles)
+    else begin
+      let buf = Array.make n 0 in
+      let k = ref 0 in
+      Array.iteri
+        (fun idx e ->
+          if atom_keep pat i e then begin
+            buf.(!k) <- handles.(idx);
+            incr k
+          end)
+        entries;
+      Tuple_table.of_handles ~sorted:true ~arena:(Store.arena store) ~node:i
+        (Array.sub buf 0 !k)
+    end
+  end
+  else begin
+    let entries = entries_matching store pat i in
+    let selected =
+      Array.of_seq (Seq.filter (atom_keep pat i) (Array.to_seq entries))
+    in
+    (* Canonical relations are in document order; selection preserves it. *)
+    Tuple_table.of_ids ~sorted:true ~node:i (Array.map (fun e -> e.Store.id) selected)
+  end
 
 (* Columns an evaluation of the subtree at [j] would produce. *)
 let rec subtree_cols pat ~within j =

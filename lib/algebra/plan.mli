@@ -23,6 +23,19 @@ val region_slices : Store.t -> string -> Id_region.t -> Store.entry array
 val entries_in_region :
   Store.t -> Pattern.t -> int -> Id_region.t -> Store.entry array
 
+(** Handle-paired variants for the columnar layout: the same entries as
+    the boxed helpers, each paired with the parallel array of
+    {!Store.arena} handles. Do not mutate the returned arrays. *)
+
+val entries_matching_handles :
+  Store.t -> Pattern.t -> int -> Store.entry array * int array
+
+val region_slices_handles :
+  Store.t -> string -> Id_region.t -> Store.entry array * int array
+
+val entries_in_region_handles :
+  Store.t -> Pattern.t -> int -> Id_region.t -> Store.entry array * int array
+
 (** [root_anchor_ok pat i id]: when the pattern root uses the [Child]
     axis, only the document root (depth 1) may bind to node [0]; always
     true for other nodes. Used when building atoms and delta tables. *)

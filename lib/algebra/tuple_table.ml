@@ -1,41 +1,138 @@
+(* Two physical layouts share one logical table type:
+
+   - [Boxed]: row-major [Dewey.t array array] — the original layout,
+     kept as the escape hatch (--boxed / XVM_BOXED_TABLES=1) and for
+     tables built away from any arena;
+   - [Cols]: struct-of-arrays over [Dewey_arena] handles — one unboxed
+     int column per pattern node, so the join/delta hot loops run over
+     contiguous ints.
+
+   The boxed row API ([rows]/[get]/[iter]/[filter]) stays available on
+   columnar tables as a compatibility view (rows are materialized from
+   the handle columns, and cached by [rows]), so operators migrate to
+   the columnar fast paths incrementally. *)
+
+type repr =
+  | Boxed of boxed
+  | Cols of colstore
+
+and boxed = { mutable buf : Dewey.t array array (* capacity = Array.length buf *) }
+
+and colstore = {
+  arena : Dewey_arena.t;
+  mutable data : int array array;
+      (* one per column; shared capacity = Array.length data.(0) *)
+  mutable cache : Dewey.t array array option; (* boxed compatibility view *)
+}
+
 type t = {
   tcols : int array;
-  mutable buf : Dewey.t array array; (* capacity = Array.length buf *)
+  mutable repr : repr;
   mutable len : int;
   mutable sorted : int option; (* column in non-decreasing document order *)
 }
 
+(* Global layout toggle: columnar by default, boxed via the environment
+   escape hatch or [set_columnar false] (xvmcli --boxed). Consulted by
+   the scan builders (Plan, Delta), not by existing tables. *)
+let columnar =
+  ref
+    (match Sys.getenv_opt "XVM_BOXED_TABLES" with
+    | Some ("1" | "true" | "yes") -> false
+    | Some _ | None -> true)
+
+let columnar_enabled () = !columnar
+let set_columnar b = columnar := b
+
 let dummy_row : Dewey.t array = [||]
 
-let create ~cols = { tcols = cols; buf = [||]; len = 0; sorted = None }
+let create ~cols = { tcols = cols; repr = Boxed { buf = [||] }; len = 0; sorted = None }
 
 let of_rows ?sorted_by ~cols rows =
-  { tcols = cols; buf = rows; len = Array.length rows; sorted = sorted_by }
+  { tcols = cols; repr = Boxed { buf = rows }; len = Array.length rows; sorted = sorted_by }
 
 let of_ids ?(sorted = false) ~node ids =
   {
     tcols = [| node |];
-    buf = Array.map (fun id -> [| id |]) ids;
+    repr = Boxed { buf = Array.map (fun id -> [| id |]) ids };
     len = Array.length ids;
     sorted = (if sorted then Some node else None);
   }
+
+let of_handles ?(sorted = false) ~arena ~node handles =
+  {
+    tcols = [| node |];
+    repr = Cols { arena; data = [| handles |]; cache = None };
+    len = Array.length handles;
+    sorted = (if sorted then Some node else None);
+  }
+
+let of_cols ?sorted_by ~arena ~cols ~len data =
+  if Array.length data <> Array.length cols then
+    invalid_arg "Tuple_table.of_cols: column count mismatch";
+  if Array.length cols = 0 then
+    { tcols = cols; repr = Boxed { buf = [||] }; len = 0; sorted = sorted_by }
+  else
+    { tcols = cols; repr = Cols { arena; data; cache = None }; len; sorted = sorted_by }
 
 let length t = t.len
 let is_empty t = t.len = 0
 let cols t = t.tcols
 
+let compact_cols t c =
+  if Array.length c.data > 0 && Array.length c.data.(0) <> t.len then
+    c.data <- Array.map (fun a -> Array.sub a 0 t.len) c.data
+
+let columns t =
+  match t.repr with
+  | Boxed _ -> None
+  | Cols c ->
+    compact_cols t c;
+    Some (c.arena, c.data)
+
+let arena t = match t.repr with Boxed _ -> None | Cols c -> Some c.arena
+
+let build_row c i =
+  Array.map (fun col -> Dewey_arena.to_dewey c.arena col.(i)) c.data
+
 let rows t =
-  if Array.length t.buf <> t.len then t.buf <- Array.sub t.buf 0 t.len;
-  t.buf
+  match t.repr with
+  | Boxed b ->
+    if Array.length b.buf <> t.len then b.buf <- Array.sub b.buf 0 t.len;
+    b.buf
+  | Cols c -> (
+    match c.cache with
+    | Some r -> r
+    | None ->
+      let r = Array.init t.len (fun i -> build_row c i) in
+      c.cache <- Some r;
+      r)
 
 let get t i =
   if i < 0 || i >= t.len then invalid_arg "Tuple_table.get";
-  t.buf.(i)
+  match t.repr with
+  | Boxed b -> b.buf.(i)
+  | Cols c -> ( match c.cache with Some r -> r.(i) | None -> build_row c i)
 
 let iter f t =
-  for i = 0 to t.len - 1 do
-    f t.buf.(i)
-  done
+  match t.repr with
+  | Boxed b ->
+    for i = 0 to t.len - 1 do
+      f b.buf.(i)
+    done
+  | Cols c -> (
+    match c.cache with
+    | Some r -> Array.iter f r
+    | None ->
+      for i = 0 to t.len - 1 do
+        f (build_row c i)
+      done)
+
+let cell_id t i p =
+  if i < 0 || i >= t.len then invalid_arg "Tuple_table.cell_id";
+  match t.repr with
+  | Boxed b -> b.buf.(i).(p)
+  | Cols c -> Dewey_arena.to_dewey c.arena c.data.(p).(i)
 
 let col_pos t node =
   let n = Array.length t.tcols in
@@ -50,13 +147,27 @@ let mark_sorted_by t node = t.sorted <- Some node
 
 let ensure_capacity t extra =
   let need = t.len + extra in
-  let cap = Array.length t.buf in
-  if need > cap then begin
-    let cap' = max need (max 8 (2 * cap)) in
-    let buf = Array.make cap' dummy_row in
-    Array.blit t.buf 0 buf 0 t.len;
-    t.buf <- buf
-  end
+  match t.repr with
+  | Boxed b ->
+    let cap = Array.length b.buf in
+    if need > cap then begin
+      let cap' = max need (max 8 (2 * cap)) in
+      let buf = Array.make cap' dummy_row in
+      Array.blit b.buf 0 buf 0 t.len;
+      b.buf <- buf
+    end
+  | Cols c ->
+    let cap = if Array.length c.data = 0 then 0 else Array.length c.data.(0) in
+    if need > cap then begin
+      let cap' = max need (max 8 (2 * cap)) in
+      c.data <-
+        Array.map
+          (fun a ->
+            let a' = Array.make cap' 0 in
+            Array.blit a 0 a' 0 t.len;
+            a')
+          c.data
+    end
 
 (* Appends keep the metadata honest with one comparison per boundary: the
    incoming row must not sort before the current last one. *)
@@ -67,13 +178,24 @@ let still_sorted_after t row =
     if t.len = 0 then Some c
     else begin
       let p = col_pos t c in
-      if Dewey.compare t.buf.(t.len - 1).(p) row.(p) <= 0 then Some c else None
+      let last =
+        match t.repr with
+        | Boxed b -> b.buf.(t.len - 1).(p)
+        | Cols cs -> Dewey_arena.to_dewey cs.arena cs.data.(p).(t.len - 1)
+      in
+      if Dewey.compare last row.(p) <= 0 then Some c else None
     end
 
 let append_row t row =
   t.sorted <- still_sorted_after t row;
   ensure_capacity t 1;
-  t.buf.(t.len) <- row;
+  (match t.repr with
+  | Boxed b -> b.buf.(t.len) <- row
+  | Cols c ->
+    (* Row cells coming from any live table originate in the store, so
+       off the main domain these interns are guaranteed lookups. *)
+    Array.iteri (fun p col -> col.(t.len) <- Dewey_arena.intern c.arena row.(p)) c.data;
+    c.cache <- None);
   t.len <- t.len + 1
 
 let append_rows t rows =
@@ -83,7 +205,7 @@ let append_rows t rows =
     | None -> ()
     | Some c ->
       let p = col_pos t c in
-      let ok = ref (t.len = 0 || Dewey.compare t.buf.(t.len - 1).(p) rows.(0).(p) <= 0) in
+      let ok = ref (still_sorted_after t rows.(0) <> None) in
       let i = ref 1 in
       while !ok && !i < n do
         if Dewey.compare rows.(!i - 1).(p) rows.(!i).(p) > 0 then ok := false;
@@ -91,36 +213,113 @@ let append_rows t rows =
       done;
       if not !ok then t.sorted <- None);
     ensure_capacity t n;
-    Array.blit rows 0 t.buf t.len n;
+    (match t.repr with
+    | Boxed b -> Array.blit rows 0 b.buf t.len n
+    | Cols c ->
+      for i = 0 to n - 1 do
+        let row = rows.(i) in
+        Array.iteri
+          (fun p col -> col.(t.len + i) <- Dewey_arena.intern c.arena row.(p))
+          c.data
+      done;
+      c.cache <- None);
     t.len <- t.len + n
   end
 
-let filter t keep =
-  let k = ref 0 in
-  for i = 0 to t.len - 1 do
-    let row = t.buf.(i) in
-    if keep row then begin
-      t.buf.(!k) <- row;
-      incr k
+let same_cols a b =
+  Array.length a.tcols = Array.length b.tcols
+  && Array.for_all2 ( = ) a.tcols b.tcols
+
+(* Bulk append of a whole table; columnar→columnar over one arena is a
+   per-column blit with int-only order checks, anything else goes
+   through the boxed view. *)
+let append_table t src =
+  match (t.repr, src.repr) with
+  | Cols c, Cols cs when c.arena == cs.arena && same_cols t src ->
+    if src.len > 0 then begin
+      compact_cols src cs;
+      (match t.sorted with
+      | None -> ()
+      | Some cl ->
+        let p = col_pos t cl in
+        let col = cs.data.(p) in
+        let ok =
+          ref
+            (t.len = 0
+            || Dewey_arena.compare c.arena c.data.(p).(t.len - 1) col.(0) <= 0)
+        in
+        if !ok && not (sorted_on src cl) then begin
+          let i = ref 1 in
+          while !ok && !i < src.len do
+            if Dewey_arena.compare c.arena col.(!i - 1) col.(!i) > 0 then ok := false;
+            incr i
+          done
+        end;
+        if not !ok then t.sorted <- None);
+      ensure_capacity t src.len;
+      Array.iteri (fun p col -> Array.blit cs.data.(p) 0 col t.len src.len) c.data;
+      c.cache <- None;
+      t.len <- t.len + src.len
     end
-  done;
-  if !k < t.len then begin
-    Array.fill t.buf !k (t.len - !k) dummy_row;
-    t.len <- !k
-  end
+  | _ -> append_rows t (rows src)
+
+let filter t keep =
+  match t.repr with
+  | Boxed b ->
+    let k = ref 0 in
+    for i = 0 to t.len - 1 do
+      let row = b.buf.(i) in
+      if keep row then begin
+        b.buf.(!k) <- row;
+        incr k
+      end
+    done;
+    if !k < t.len then begin
+      Array.fill b.buf !k (t.len - !k) dummy_row;
+      t.len <- !k
+    end
+  | Cols c ->
+    let ncols = Array.length c.data in
+    let k = ref 0 in
+    for i = 0 to t.len - 1 do
+      if keep (build_row c i) then begin
+        if !k < i then
+          for p = 0 to ncols - 1 do
+            c.data.(p).(!k) <- c.data.(p).(i)
+          done;
+        incr k
+      end
+    done;
+    if !k < t.len then t.len <- !k;
+    c.cache <- None
 
 let sort_by_node t node =
   let pos = col_pos t node in
   if not (sorted_on t node) then begin
-    let r = rows t in
-    Array.sort (fun a b -> Dewey.compare a.(pos) b.(pos)) r
+    match t.repr with
+    | Boxed _ ->
+      let r = rows t in
+      Array.sort (fun a b -> Dewey.compare a.(pos) b.(pos)) r
+    | Cols c ->
+      compact_cols t c;
+      let key = c.data.(pos) in
+      let perm = Array.init t.len Fun.id in
+      Array.sort (fun i j -> Dewey_arena.compare c.arena key.(i) key.(j)) perm;
+      c.data <- Array.map (fun col -> Array.map (fun i -> col.(i)) perm) c.data;
+      c.cache <- None
   end;
   t.sorted <- Some node
 
 let copy t =
-  {
-    tcols = t.tcols;
-    buf = Array.sub t.buf 0 t.len;
-    len = t.len;
-    sorted = t.sorted;
-  }
+  let repr =
+    match t.repr with
+    | Boxed b -> Boxed { buf = Array.sub b.buf 0 t.len }
+    | Cols c ->
+      Cols
+        {
+          arena = c.arena;
+          data = Array.map (fun a -> Array.sub a 0 t.len) c.data;
+          cache = None;
+        }
+  in
+  { tcols = t.tcols; repr; len = t.len; sorted = t.sorted }

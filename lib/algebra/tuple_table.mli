@@ -5,12 +5,30 @@
     in an amortized growable buffer, so repeated {!append_row} calls are
     O(1) amortized rather than O(rows).
 
+    Two physical layouts coexist behind this interface: the original
+    boxed row-major layout, and a {e columnar} struct-of-arrays layout
+    of unboxed {!Dewey_arena} handle columns ({!of_handles} /
+    {!of_cols}), on which structural predicates are flat int arithmetic.
+    The boxed row API ({!rows}/{!get}/{!iter}) works on both — on a
+    columnar table it is a materialized compatibility view — so
+    operators migrate to {!columns}/{!cell_id} incrementally.
+
     Each table tracks {e sortedness metadata}: the column (if any) whose
     identifiers are known to be in non-decreasing document order. The
     physical operators use it to pick a sort-merge structural join over
     the hash fallback and to skip redundant sorts. *)
 
 type t
+
+(** {1 Layout toggle}
+
+    Scan builders ([Plan.atom_of_store], [Delta]) consult this global
+    toggle when constructing base tables. Columnar by default; boxed via
+    [XVM_BOXED_TABLES=1] in the environment or {!set_columnar}[ false]
+    (the [xvmcli --boxed] escape hatch). *)
+
+val columnar_enabled : unit -> bool
+val set_columnar : bool -> unit
 
 (** [create ~cols] is an empty table over [cols]. *)
 val create : cols:int array -> t
@@ -23,6 +41,31 @@ val of_rows : ?sorted_by:int -> cols:int array -> Dewey.t array array -> t
 (** Single-column table over pattern node [node]. [sorted] asserts the
     ids are already in document order (e.g. a canonical-relation scan). *)
 val of_ids : ?sorted:bool -> node:int -> Dewey.t array -> t
+
+(** {1 Columnar construction}
+
+    Columnar tables reference identifiers by {!Dewey_arena} handle; all
+    handle columns of one table index the same arena. *)
+
+(** Columnar single-column table over [node]; takes ownership of
+    [handles]. *)
+val of_handles : ?sorted:bool -> arena:Dewey_arena.t -> node:int -> int array -> t
+
+(** [of_cols ?sorted_by ~arena ~cols ~len data] wraps one handle array
+    per column, taking ownership; the arrays share a capacity that may
+    exceed [len]. An empty [cols] degrades to an empty boxed table. *)
+val of_cols :
+  ?sorted_by:int -> arena:Dewey_arena.t -> cols:int array -> len:int ->
+  int array array -> t
+
+(** [columns t] is [Some (arena, cols)] when the table is columnar, with
+    each column compacted to [length t]. Operators use it to dispatch
+    onto handle fast paths (both join inputs must return the {e same}
+    arena). Do not mutate. *)
+val columns : t -> (Dewey_arena.t * int array array) option
+
+(** The arena of a columnar table. *)
+val arena : t -> Dewey_arena.t option
 
 val length : t -> int
 val is_empty : t -> bool
@@ -38,6 +81,11 @@ val rows : t -> Dewey.t array array
 val get : t -> int -> Dewey.t array
 
 val iter : (Dewey.t array -> unit) -> t -> unit
+
+(** [cell_id t i p] is the identifier at row [i], column position [p] —
+    O(1) on either layout, with no row materialization on columnar
+    tables. *)
+val cell_id : t -> int -> int -> Dewey.t
 
 (** [col_pos t node] is the row offset of pattern node [node].
     @raise Not_found if the node is not a column. *)
@@ -64,6 +112,12 @@ val mark_sorted_by : t -> int -> unit
 
 val append_row : t -> Dewey.t array -> unit
 val append_rows : t -> Dewey.t array array -> unit
+
+(** [append_table t src] appends every row of [src] (same column sets,
+    in the same order). Columnar→columnar over one arena is a
+    per-column int blit; any other combination goes through the boxed
+    view. Sortedness metadata is checked like {!append_rows}. *)
+val append_table : t -> t -> unit
 
 (** [filter t keep] drops rows not satisfying [keep], in place, in one
     pass. Sortedness is preserved. *)

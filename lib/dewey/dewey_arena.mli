@@ -1,0 +1,63 @@
+(** Intern arena for Dewey identifiers.
+
+    Every distinct identifier interned into an arena gets a dense [int]
+    {e handle}; the arena stores, per handle, the last step of the
+    identifier packed into one growable flat [int] buffer plus flat int
+    side-arrays (ordinal offset/length, parent handle, label code,
+    depth). Handles are canonical — two handles of one arena are equal
+    iff the identifiers are — so equality is [(=)] on ints, and
+    [compare] / [is_prefix] / ancestor navigation are branchy int
+    arithmetic over contiguous arrays with no allocation.
+
+    Ancestor closure invariant: interning an identifier interns all its
+    step-prefixes, so {!parent} always yields a valid handle (or [-1]
+    for roots) and lifting a handle to any ancestor depth stays inside
+    the arena.
+
+    Concurrency contract (matching [Store]'s read-only parallel fan-out):
+    {!intern} may add to the arena only on the main domain; calling it
+    off the main domain is allowed only when the identifier is already
+    present (a pure lookup). All other operations are read-only. *)
+
+type t
+
+(** Dense handle. Valid handles are [0 .. size arena - 1]. *)
+type handle = int
+
+val create : unit -> t
+
+(** Number of interned identifiers (= smallest invalid handle). *)
+val size : t -> int
+
+(** [intern a id] is the canonical handle of [id], interning [id] and
+    all its ancestors on first sight.
+    @raise Invalid_argument when [id] is not yet interned and the caller
+    is not the main domain. *)
+val intern : t -> Dewey.t -> handle
+
+(** Pure lookup; never mutates, safe from any domain. *)
+val find : t -> Dewey.t -> handle option
+
+(** [to_dewey a h] is the boxed identifier of [h] (O(1), cached). *)
+val to_dewey : t -> handle -> Dewey.t
+
+val depth : t -> handle -> int
+
+(** Label code of the node itself. *)
+val label : t -> handle -> int
+
+(** Parent handle, [-1] for roots. *)
+val parent : t -> handle -> handle
+
+(** [ancestor_at a h d] is the ancestor-or-self of [h] at depth [d];
+    requires [1 <= d <= depth a h]. *)
+val ancestor_at : t -> handle -> int -> handle
+
+(** Document order; agrees with [Dewey.compare] on {!to_dewey}. *)
+val compare : t -> handle -> handle -> int
+
+(** [is_prefix a h d]: [h] is an ancestor-or-self of [d]. *)
+val is_prefix : t -> handle -> handle -> bool
+
+val is_ancestor : t -> handle -> handle -> bool
+val is_parent : t -> handle -> handle -> bool

@@ -15,12 +15,17 @@ module Dewey_tbl = Hashtbl.Make (struct
   let hash = Dewey.hash
 end)
 
-type rel = { mutable sorted : entry array }
+(* [handles] is parallel to [sorted]: the arena handle of each entry's
+   identifier, maintained through the same merge/purge passes so that
+   columnar scans ({!relation_handles}) never re-intern. *)
+type rel = { mutable sorted : entry array; mutable handles : int array }
 
 type t = {
   root : Xml_tree.node;
   dict : Label_dict.t;
+  arena : Dewey_arena.t; (* intern arena: one per store, append-only *)
   ids : (int, Dewey.t) Hashtbl.t; (* node serial -> id *)
+  hids : (int, int) Hashtbl.t; (* node serial -> arena handle *)
   nodes : Xml_tree.node Dewey_tbl.t; (* id -> node *)
   rels : (int, rel) Hashtbl.t; (* label code -> canonical relation *)
   mutable staged_adds : entry list; (* newest first *)
@@ -31,6 +36,7 @@ type t = {
 
 let root t = t.root
 let dict t = t.dict
+let arena t = t.arena
 
 (* A node inside a detached-but-uncommitted subtree is already dead for
    the outside world; its identifier still resolves internally so that
@@ -59,12 +65,17 @@ let rel_of t lab_code =
   match Hashtbl.find_opt t.rels lab_code with
   | Some r -> r
   | None ->
-    let r = { sorted = [||] } in
+    let r = { sorted = [||]; handles = [||] } in
     Hashtbl.add t.rels lab_code r;
     r
 
+(* Interning at registration time keeps every live identifier (and all
+   its ancestors) in the arena, so scans hand pre-interned handles to
+   the joins and every intern during parallel propagation is a pure
+   lookup. *)
 let register t node id =
   Hashtbl.replace t.ids node.Xml_tree.serial id;
+  Hashtbl.replace t.hids node.Xml_tree.serial (Dewey_arena.intern t.arena id);
   Dewey_tbl.replace t.nodes id node;
   t.live <- t.live + 1
 
@@ -74,7 +85,10 @@ let unregister t node =
   | None -> ()
   | Some id ->
     Hashtbl.remove t.ids serial;
+    Hashtbl.remove t.hids serial;
     Dewey_tbl.remove t.nodes id
+
+let handle_of_node t node = Hashtbl.find t.hids node.Xml_tree.serial
 
 (* Assign IDs to [node] (child of the node identified by [parent_id], with
    ordinal [ord]) and all its descendants; stage every new entry. *)
@@ -97,7 +111,9 @@ let of_document ?dict root =
     {
       root;
       dict;
+      arena = Dewey_arena.create ();
       ids = Hashtbl.create 4096;
+      hids = Hashtbl.create 4096;
       nodes = Dewey_tbl.create 4096;
       rels = Hashtbl.create 64;
       staged_adds = [];
@@ -118,60 +134,83 @@ let of_document ?dict root =
     (fun lab entries ->
       let arr = Array.of_list entries in
       Array.sort (fun a b -> Dewey.compare a.id b.id) arr;
-      (rel_of t lab).sorted <- arr)
+      let r = rel_of t lab in
+      r.sorted <- arr;
+      r.handles <- Array.map (fun e -> Hashtbl.find t.hids e.node.Xml_tree.serial) arr)
     by_label;
   t.staged_adds <- [];
   t
 
-let relation t label =
+let find_rel t label =
   match Label_dict.find t.dict label with
+  | None -> None
+  | Some code -> Hashtbl.find_opt t.rels code
+
+let relation t label =
+  match find_rel t label with
   | None -> [||]
-  | Some code -> (
-    match Hashtbl.find_opt t.rels code with
-    | None -> [||]
-    | Some r ->
-      Obs.Counter.incr c_scan_calls;
-      Obs.Counter.add c_scan_rows (Array.length r.sorted);
-      r.sorted)
+  | Some r ->
+    Obs.Counter.incr c_scan_calls;
+    Obs.Counter.add c_scan_rows (Array.length r.sorted);
+    r.sorted
+
+let relation_handles t label =
+  match find_rel t label with
+  | None -> ([||], [||])
+  | Some r ->
+    Obs.Counter.incr c_scan_calls;
+    Obs.Counter.add c_scan_rows (Array.length r.sorted);
+    (r.sorted, r.handles)
 
 (* Subtrees are contiguous document-order intervals, so the entries of a
    sorted relation lying under [root] form one block: binary-search its
    two endpoints instead of scanning the relation. *)
+(* Subtree bounds of [root] in the sorted relation: [start, stop). *)
+let span_bounds r ~root =
+  let track = Obs.enabled () in
+  let probes = ref 0 in
+  let arr = r.sorted in
+  let n = Array.length arr in
+  (* First index with id >= root. *)
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    if track then incr probes;
+    let mid = (!lo + !hi) / 2 in
+    if Dewey.compare arr.(mid).id root < 0 then lo := mid + 1 else hi := mid
+  done;
+  let start = !lo in
+  (* First index past the subtree: id > root and not below it. *)
+  let lo = ref start and hi = ref n in
+  while !lo < !hi do
+    if track then incr probes;
+    let mid = (!lo + !hi) / 2 in
+    if Dewey.is_ancestor_or_self root arr.(mid).id then lo := mid + 1
+    else hi := mid
+  done;
+  let stop = !lo in
+  if track then begin
+    Obs.Counter.incr c_span_calls;
+    Obs.Counter.add c_span_probes !probes;
+    Obs.Counter.add c_span_rows (max 0 (stop - start))
+  end;
+  (start, stop)
+
 let relation_span t label ~root =
-  match Label_dict.find t.dict label with
+  match find_rel t label with
   | None -> [||]
-  | Some code -> (
-    match Hashtbl.find_opt t.rels code with
-    | None -> [||]
-    | Some r ->
-      let track = Obs.enabled () in
-      let probes = ref 0 in
-      let arr = r.sorted in
-      let n = Array.length arr in
-      (* First index with id >= root. *)
-      let lo = ref 0 and hi = ref n in
-      while !lo < !hi do
-        if track then incr probes;
-        let mid = (!lo + !hi) / 2 in
-        if Dewey.compare arr.(mid).id root < 0 then lo := mid + 1 else hi := mid
-      done;
-      let start = !lo in
-      (* First index past the subtree: id > root and not below it. *)
-      let lo = ref start and hi = ref n in
-      while !lo < !hi do
-        if track then incr probes;
-        let mid = (!lo + !hi) / 2 in
-        if Dewey.is_ancestor_or_self root arr.(mid).id then lo := mid + 1
-        else hi := mid
-      done;
-      let stop = !lo in
-      let res = if stop <= start then [||] else Array.sub arr start (stop - start) in
-      if track then begin
-        Obs.Counter.incr c_span_calls;
-        Obs.Counter.add c_span_probes !probes;
-        Obs.Counter.add c_span_rows (Array.length res)
-      end;
-      res)
+  | Some r ->
+    let start, stop = span_bounds r ~root in
+    if stop <= start then [||] else Array.sub r.sorted start (stop - start)
+
+let relation_span_handles t label ~root =
+  match find_rel t label with
+  | None -> ([||], [||])
+  | Some r ->
+    let start, stop = span_bounds r ~root in
+    if stop <= start then ([||], [||])
+    else
+      ( Array.sub r.sorted start (stop - start),
+        Array.sub r.handles start (stop - start) )
 
 let relation_labels t =
   Hashtbl.fold
@@ -271,9 +310,14 @@ let commit t =
         let r = rel_of t lab in
         let fresh = Array.of_list entries in
         Array.sort (fun a b -> Dewey.compare a.id b.id) fresh;
-        (* Merge the (small) sorted batch into the sorted relation. *)
-        let old = r.sorted in
+        let freshh =
+          Array.map (fun e -> Hashtbl.find t.hids e.node.Xml_tree.serial) fresh
+        in
+        (* Merge the (small) sorted batch into the sorted relation,
+           keeping the handle array aligned. *)
+        let old = r.sorted and oldh = r.handles in
         let merged = Array.make (Array.length old + Array.length fresh) fresh.(0) in
+        let mergedh = Array.make (Array.length merged) 0 in
         let i = ref 0 and j = ref 0 in
         for k = 0 to Array.length merged - 1 do
           if
@@ -281,14 +325,17 @@ let commit t =
             || (!i < Array.length old && Dewey.compare old.(!i).id fresh.(!j).id <= 0)
           then begin
             merged.(k) <- old.(!i);
+            mergedh.(k) <- oldh.(!i);
             incr i
           end
           else begin
             merged.(k) <- fresh.(!j);
+            mergedh.(k) <- freshh.(!j);
             incr j
           end
         done;
-        r.sorted <- merged)
+        r.sorted <- merged;
+        r.handles <- mergedh)
       by_label;
     t.staged_adds <- []
   end;
@@ -316,16 +363,22 @@ let commit t =
         | Some r ->
           (* Single pass: compact live entries toward the front in place,
              then truncate — no pre-scan, no Seq allocation. *)
-          let arr = r.sorted in
+          let arr = r.sorted and h = r.handles in
           let n = Array.length arr in
           let k = ref 0 in
           for i = 0 to n - 1 do
             let e = arr.(i) in
             if Hashtbl.mem t.ids e.node.Xml_tree.serial then begin
-              if !k < i then arr.(!k) <- e;
+              if !k < i then begin
+                arr.(!k) <- e;
+                h.(!k) <- h.(i)
+              end;
               incr k
             end
           done;
-          if !k < n then r.sorted <- Array.sub arr 0 !k)
+          if !k < n then begin
+            r.sorted <- Array.sub arr 0 !k;
+            r.handles <- Array.sub h 0 !k
+          end)
       touched
   end

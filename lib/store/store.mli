@@ -23,6 +23,17 @@ val of_document : ?dict:Label_dict.t -> Xml_tree.node -> t
 val root : t -> Xml_tree.node
 val dict : t -> Label_dict.t
 
+(** The store's Dewey intern arena. One per store, populated at
+    registration time (every live identifier and all its ancestors are
+    interned), append-only, and shared read-only across domain-parallel
+    view propagation. *)
+val arena : t -> Dewey_arena.t
+
+(** [handle_of_node store node] is the arena handle of [node]'s
+    identifier — a pure hash lookup, safe from any domain.
+    @raise Not_found if [node] does not belong to the store. *)
+val handle_of_node : t -> Xml_tree.node -> int
+
 (** Total number of indexed (live) nodes. *)
 val node_count : t -> int
 
@@ -45,6 +56,17 @@ val relation : t -> string -> entry array
     (descendants-or-self), located by binary search on the two interval
     endpoints: O(log |R| + output) instead of a full relation scan. *)
 val relation_span : t -> string -> root:Dewey.t -> entry array
+
+(** [relation_handles store label] is the committed canonical relation
+    paired with the parallel array of arena handles, both in document
+    order. Columnar scans build handle columns from it directly. Do not
+    mutate either array. *)
+val relation_handles : t -> string -> entry array * int array
+
+(** {!relation_span} returning the entries paired with their parallel
+    arena-handle slice. *)
+val relation_span_handles :
+  t -> string -> root:Dewey.t -> entry array * int array
 
 (** Labels having a non-empty committed relation. *)
 val relation_labels : t -> string list

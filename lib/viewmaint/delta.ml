@@ -27,18 +27,24 @@ let flush_rows tables =
    view-specific vpred/anchor filter — no re-walk of the inserted forest
    and no re-extraction of relation spans. *)
 module Shared = struct
+  (* Entries are stored alongside the parallel array of arena handles
+     so that columnar Δ extraction never re-interns; the boxed view
+     simply ignores the handle halves. *)
   type nonrec t = {
     sh_region : Id_region.t;
     sh_targets : Dewey.t list;
-    sh_by_label : (string, Store.entry array) Hashtbl.t;
-        (* each array in document order *)
-    sh_star : Store.entry array;  (* element entries only, document order *)
+    sh_arena : Dewey_arena.t;
+    sh_by_label : (string, Store.entry array * int array) Hashtbl.t;
+        (* each array pair in document order *)
+    sh_star : Store.entry array * int array;
+        (* element entries only, document order *)
   }
 
   let region t = t.sh_region
   let target_ids t = t.sh_targets
+  let arena t = t.sh_arena
   let mem_label t l = Hashtbl.mem t.sh_by_label l
-  let has_elements t = Array.length t.sh_star > 0
+  let has_elements t = Array.length (fst t.sh_star) > 0
 
   let is_element_label l =
     String.length l = 0 || (l.[0] <> '@' && l.[0] <> '#')
@@ -48,12 +54,15 @@ module Shared = struct
     else
       match Hashtbl.find_opt t.sh_by_label tag with
       | Some a -> a
-      | None -> [||]
+      | None -> ([||], [||])
 
   (* One Xml_tree.iter pass over the attached forests, one sort, one
      stable group-by-label. Grouping by Xml_tree.label is equivalent to
      Pattern.tag_matches for exact tags: elements group under their name,
      attributes under "@name", text under "#text". *)
+  let split_pairs pairs =
+    (Array.map fst pairs, Array.map snd pairs)
+
   let of_insert store (applied : Update.applied_insert) =
     let entries = ref [] and count = ref 0 and roots = ref [] in
     List.iter
@@ -64,34 +73,42 @@ module Shared = struct
             Xml_tree.iter
               (fun n ->
                 incr count;
-                entries := { Store.id = Store.id_of store n; node = n } :: !entries)
+                entries :=
+                  ({ Store.id = Store.id_of store n; node = n },
+                   Store.handle_of_node store n)
+                  :: !entries)
               tree)
           forest)
       applied.Update.pairs;
     let arr = Array.of_list !entries in
-    Array.sort (fun a b -> Dewey.compare a.Store.id b.Store.id) arr;
+    Array.sort (fun (a, _) (b, _) -> Dewey.compare a.Store.id b.Store.id) arr;
     Obs.Counter.add c_nodes !count;
     Obs.Counter.incr c_extractions;
     let groups = Hashtbl.create 16 in
     Array.iter
-      (fun e ->
+      (fun ((e, _) as p) ->
         let l = Xml_tree.label e.Store.node in
         match Hashtbl.find_opt groups l with
-        | Some acc -> acc := e :: !acc
-        | None -> Hashtbl.add groups l (ref [ e ]))
+        | Some acc -> acc := p :: !acc
+        | None -> Hashtbl.add groups l (ref [ p ]))
       arr;
     let by_label = Hashtbl.create 16 in
     Hashtbl.iter
-      (fun l acc -> Hashtbl.replace by_label l (Array.of_list (List.rev !acc)))
+      (fun l acc ->
+        Hashtbl.replace by_label l
+          (split_pairs (Array.of_list (List.rev !acc))))
       groups;
     let star =
-      Array.of_list
-        (List.filter (fun e -> e.Store.node.Xml_tree.kind = Xml_tree.Element)
-           (Array.to_list arr))
+      split_pairs
+        (Array.of_list
+           (List.filter
+              (fun (e, _) -> e.Store.node.Xml_tree.kind = Xml_tree.Element)
+              (Array.to_list arr)))
     in
     {
       sh_region = Id_region.of_roots !roots;
       sh_targets = List.map fst applied.Update.pairs;
+      sh_arena = Store.arena store;
       sh_by_label = by_label;
       sh_star = star;
     }
@@ -121,22 +138,24 @@ module Shared = struct
     let star_groups = ref [] and total = ref 0 in
     List.iter
       (fun label ->
-        let entries = Plan.region_slices store label region in
+        let (entries, handles) = Plan.region_slices_handles store label region in
         if Array.length entries > 0 then begin
           total := !total + Array.length entries;
-          Hashtbl.replace by_label label entries;
-          if is_element_label label then star_groups := entries :: !star_groups
+          Hashtbl.replace by_label label (entries, handles);
+          if is_element_label label then
+            star_groups := Array.map2 (fun e h -> (e, h)) entries handles :: !star_groups
         end)
       labels;
     Obs.Counter.add c_nodes !total;
     Obs.Counter.incr c_extractions;
     let star = Array.concat !star_groups in
-    Array.sort (fun a b -> Dewey.compare a.Store.id b.Store.id) star;
+    Array.sort (fun (a, _) (b, _) -> Dewey.compare a.Store.id b.Store.id) star;
     {
       sh_region = region;
       sh_targets = applied.Update.roots;
+      sh_arena = Store.arena store;
       sh_by_label = by_label;
-      sh_star = star;
+      sh_star = split_pairs star;
     }
 end
 
@@ -145,19 +164,41 @@ end
    already in document order, so no per-table sort is needed. *)
 let of_shared (sh : Shared.t) pat =
   let k = Pattern.node_count pat in
+  let columnar = Tuple_table.columnar_enabled () in
   let tables =
     Array.init k (fun i ->
-        let entries = Shared.lookup sh pat.Pattern.tags.(i) in
-        let matching = ref [] in
-        Array.iter
-          (fun e ->
-            if
-              Pattern.vpred_holds pat i e.Store.node
-              && Plan.root_anchor_ok pat i e.Store.id
-            then matching := e.Store.id :: !matching)
-          entries;
-        Tuple_table.of_ids ~sorted:true ~node:i
-          (Array.of_list (List.rev !matching)))
+        let entries, handles = Shared.lookup sh pat.Pattern.tags.(i) in
+        if columnar then begin
+          (* Handles come pre-interned from the shared index, so this
+             per-view extraction is allocation-lean and safe to run from
+             child domains: a filter over an int column. *)
+          let buf = Array.make (Array.length handles) 0 in
+          let kept = ref 0 in
+          Array.iteri
+            (fun idx e ->
+              if
+                Pattern.vpred_holds pat i e.Store.node
+                && Plan.root_anchor_ok pat i e.Store.id
+              then begin
+                buf.(!kept) <- handles.(idx);
+                incr kept
+              end)
+            entries;
+          Tuple_table.of_handles ~sorted:true ~arena:(Shared.arena sh) ~node:i
+            (Array.sub buf 0 !kept)
+        end
+        else begin
+          let matching = ref [] in
+          Array.iter
+            (fun e ->
+              if
+                Pattern.vpred_holds pat i e.Store.node
+                && Plan.root_anchor_ok pat i e.Store.id
+              then matching := e.Store.id :: !matching)
+            entries;
+          Tuple_table.of_ids ~sorted:true ~node:i
+            (Array.of_list (List.rev !matching))
+        end)
   in
   flush_rows tables;
   {
@@ -177,20 +218,41 @@ let of_insert store pat (applied : Update.applied_insert) =
 let of_delete store pat (applied : Update.applied_delete) =
   let region = Id_region.of_roots applied.Update.roots in
   let k = Pattern.node_count pat in
+  let columnar = Tuple_table.columnar_enabled () in
   let tables =
     Array.init k (fun i ->
-        let entries = Plan.entries_in_region store pat i region in
-        Obs.Counter.add c_nodes (Array.length entries);
-        let matching = ref [] in
-        Array.iter
-          (fun e ->
-            if
-              Pattern.vpred_holds pat i e.Store.node
-              && Plan.root_anchor_ok pat i e.Store.id
-            then matching := e.Store.id :: !matching)
-          entries;
-        Tuple_table.of_ids ~sorted:true ~node:i
-          (Array.of_list (List.rev !matching)))
+        if columnar then begin
+          let entries, handles = Plan.entries_in_region_handles store pat i region in
+          Obs.Counter.add c_nodes (Array.length entries);
+          let buf = Array.make (Array.length handles) 0 in
+          let kept = ref 0 in
+          Array.iteri
+            (fun idx e ->
+              if
+                Pattern.vpred_holds pat i e.Store.node
+                && Plan.root_anchor_ok pat i e.Store.id
+              then begin
+                buf.(!kept) <- handles.(idx);
+                incr kept
+              end)
+            entries;
+          Tuple_table.of_handles ~sorted:true ~arena:(Store.arena store) ~node:i
+            (Array.sub buf 0 !kept)
+        end
+        else begin
+          let entries = Plan.entries_in_region store pat i region in
+          Obs.Counter.add c_nodes (Array.length entries);
+          let matching = ref [] in
+          Array.iter
+            (fun e ->
+              if
+                Pattern.vpred_holds pat i e.Store.node
+                && Plan.root_anchor_ok pat i e.Store.id
+              then matching := e.Store.id :: !matching)
+            entries;
+          Tuple_table.of_ids ~sorted:true ~node:i
+            (Array.of_list (List.rev !matching))
+        end)
   in
   Obs.Counter.incr c_extractions;
   flush_rows tables;

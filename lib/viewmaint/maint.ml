@@ -458,11 +458,13 @@ let propagate_applied ?(commit = true) ?(watches = []) ?(prune = true) ?shared m
         List.iter
           (fun s ->
             let t = eval_term mv delta ~scope ~s_set:s ~survivors_only:false in
-            Tuple_table.iter
-              (fun row ->
-                Mview.add_binding mv (fun i -> row.(Tuple_table.col_pos t i));
-                incr added)
-              t)
+            (* Cell-wise access: on columnar tables this reads handle
+               columns directly, with no boxed row materialization. *)
+            for r = 0 to Tuple_table.length t - 1 do
+              Mview.add_binding mv (fun i ->
+                  Tuple_table.cell_id t r (Tuple_table.col_pos t i));
+              incr added
+            done)
           terms;
         modified := pimt mv app);
     Timing.timed b set_aux (fun () ->
@@ -498,11 +500,11 @@ let propagate_applied ?(commit = true) ?(watches = []) ?(prune = true) ?shared m
         List.iter
           (fun s ->
             let t = eval_term mv delta ~scope ~s_set:s ~survivors_only:true in
-            Tuple_table.iter
-              (fun row ->
-                Mview.remove_binding mv (fun i -> row.(Tuple_table.col_pos t i));
-                incr removed)
-              t)
+            for r = 0 to Tuple_table.length t - 1 do
+              Mview.remove_binding mv (fun i ->
+                  Tuple_table.cell_id t r (Tuple_table.col_pos t i));
+              incr removed
+            done)
           terms;
         modified := pdmt mv app);
     Timing.timed b set_aux (fun () ->

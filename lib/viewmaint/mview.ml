@@ -112,15 +112,18 @@ let populate mv =
   let pat = mv.pat and store = mv.store in
   let full = Plan.eval store pat in
   let positions = Array.map (fun i -> Tuple_table.col_pos full i) mv.stored in
-  Tuple_table.iter
-    (fun row ->
-      (* [get] is only consulted on stored nodes. *)
-      let get i =
-        let rec find p = if mv.stored.(p) = i then row.(positions.(p)) else find (p + 1) in
-        find 0
+  for r = 0 to Tuple_table.length full - 1 do
+    (* [get] is only consulted on stored nodes; cell-wise access skips
+       boxed row materialization on columnar tables. *)
+    let get i =
+      let rec find p =
+        if mv.stored.(p) = i then Tuple_table.cell_id full r positions.(p)
+        else find (p + 1)
       in
-      add_binding mv get)
-    full;
+      find 0
+    in
+    add_binding mv get
+  done;
   populate_mats mv
 
 let materialize ?(policy = Snowcaps) store pat =

@@ -419,6 +419,92 @@ let test_sorted_inputs_never_fall_back () =
   Alcotest.(check int) "row counters flushed" (2 * Tuple_table.length c)
     (Obs.counter_value snap "algebra.join.rows_left")
 
+(* {1 Columnar layout equivalence}
+
+   The arena-handle columnar layout must be observationally identical to
+   the boxed row layout: same rows through the compatibility API, same
+   join outputs and sortedness metadata, same table-op results. *)
+
+let boxed_atom store node label =
+  Tuple_table.of_ids ~sorted:true ~node
+    (Array.map (fun e -> e.Store.id) (Store.relation store label))
+
+let cols_atom store node label =
+  let _, handles = Store.relation_handles store label in
+  Tuple_table.of_handles ~sorted:true ~arena:(Store.arena store) ~node
+    (Array.copy handles)
+
+let arb_doc_label =
+  QCheck.pair Tutil.arb_doc (QCheck.oneofa Tutil.labels)
+
+let test_columnar_join_equiv =
+  Tutil.qtest ~count:200 "columnar merge join = boxed merge join"
+    (QCheck.triple Tutil.arb_doc
+       (QCheck.oneofl [ Pattern.Child; Pattern.Descendant ])
+       (QCheck.pair (QCheck.oneofa Tutil.labels) (QCheck.oneofa Tutil.labels)))
+    (fun (d, axis, (l1, l2)) ->
+      let store = Store.of_document d in
+      let bl = boxed_atom store 0 l1 and br = boxed_atom store 1 l2 in
+      let cl = cols_atom store 0 l1 and cr = cols_atom store 1 l2 in
+      let boxed, snap_b =
+        Obs.with_scope (fun () ->
+            Struct_join.merge_join bl br ~parent:0 ~child:1 ~axis)
+      in
+      let cols, snap_c =
+        Obs.with_scope (fun () ->
+            Struct_join.merge_join cl cr ~parent:0 ~child:1 ~axis)
+      in
+      join_result cols = join_result boxed
+      && Tuple_table.sorted_by cols = Tuple_table.sorted_by boxed
+      (* counter parity: the complexity regression tests must not depend
+         on the physical layout *)
+      && comparisons snap_c = comparisons snap_b)
+
+let test_columnar_table_ops =
+  Tutil.qtest ~count:200 "columnar table ops mirror boxed" arb_doc_label
+    (fun (d, lab) ->
+      let store = Store.of_document d in
+      let b = boxed_atom store 0 lab and c = cols_atom store 0 lab in
+      join_result b = join_result c
+      && (let n = Tuple_table.length b in
+          let ok = ref (Tuple_table.length c = n) in
+          for i = 0 to n - 1 do
+            if
+              not
+                (Dewey.equal (Tuple_table.cell_id b i 0)
+                   (Tuple_table.cell_id c i 0))
+            then ok := false
+          done;
+          !ok)
+      && (let b2 = Tuple_table.copy b and c2 = Tuple_table.copy c in
+          Tuple_table.append_table b2 b;
+          Tuple_table.append_table c2 c;
+          join_result b2 = join_result c2
+          && Tuple_table.sorted_by b2 = Tuple_table.sorted_by c2)
+      &&
+      let b3 = Tuple_table.copy b and c3 = Tuple_table.copy c in
+      let keep row = Dewey.depth row.(0) mod 2 = 0 in
+      Tuple_table.filter b3 keep;
+      Tuple_table.filter c3 keep;
+      join_result b3 = join_result c3)
+
+let test_columnar_sort =
+  Tutil.qtest ~count:100 "columnar sort_by_node = boxed order" arb_doc_label
+    (fun (d, lab) ->
+      let store = Store.of_document d in
+      let _, handles = Store.relation_handles store lab in
+      let shuf = Array.copy handles in
+      let n = Array.length shuf in
+      for i = n - 1 downto 1 do
+        let j = ((i * 7919) + 13) mod (i + 1) in
+        let t = shuf.(i) in
+        shuf.(i) <- shuf.(j);
+        shuf.(j) <- t
+      done;
+      let c = Tuple_table.of_handles ~arena:(Store.arena store) ~node:0 shuf in
+      Tuple_table.sort_by_node c 0;
+      join_result c = join_result (boxed_atom store 0 lab))
+
 let () =
   Alcotest.run "algebra"
     [
@@ -441,6 +527,12 @@ let () =
           Alcotest.test_case "append growth" `Quick test_append_growth;
           Alcotest.test_case "sortedness metadata" `Quick test_sortedness_metadata;
           Alcotest.test_case "sort by node" `Quick test_sort_by_node;
+        ] );
+      ( "columnar",
+        [
+          test_columnar_join_equiv;
+          test_columnar_table_ops;
+          test_columnar_sort;
         ] );
       ( "id ops",
         [

@@ -112,6 +112,78 @@ let test_no_relabel () =
   Alcotest.(check bool) "still ordered" true
     (Dewey.compare (Dewey.child p ~lab:1 ~ord:!o1) (Dewey.child p ~lab:1 ~ord:!o2) < 0)
 
+(* Deep ordinals: repeated sibling splits grow ordinal sequences well
+   past the shallow 1–4 range above; the codec and the ordering must not
+   degrade there. *)
+let ord_deep =
+  QCheck.Gen.(map Array.of_list (list_size (int_range 9 14) (int_range (-70) 70)))
+
+let arb_ord_deep =
+  QCheck.make ord_deep ~print:(fun o ->
+      String.concat "_" (Array.to_list (Array.map string_of_int o)))
+
+let gen_id_deep =
+  QCheck.Gen.(
+    let* depth = int_range 1 4 in
+    let rec build i acc =
+      if i >= depth then pure acc
+      else
+        let* lab = int_range 0 200 in
+        let* o = ord_deep in
+        build (i + 1) (Dewey.child acc ~lab ~ord:o)
+    in
+    let* root_lab = int_range 0 6 in
+    build 1 (Dewey.root ~lab:root_lab))
+
+let arb_id_deep = QCheck.make gen_id_deep ~print:(fun id -> Dewey.to_string id)
+
+let arb_id_any =
+  QCheck.make
+    QCheck.Gen.(oneof [ gen_id; gen_id_deep ])
+    ~print:(fun id -> Dewey.to_string id)
+
+let test_ord_between_deep =
+  Tutil.qtest "Ord.between is strictly between (deep ordinals)"
+    (QCheck.pair arb_ord_deep arb_ord_deep) (fun (a, b) ->
+      let c = Dewey.Ord.compare a b in
+      QCheck.assume (c <> 0);
+      let lo, hi = if c < 0 then (a, b) else (b, a) in
+      let m = Dewey.Ord.between lo hi in
+      Dewey.Ord.compare lo m < 0 && Dewey.Ord.compare m hi < 0)
+
+let test_ord_after_before_deep =
+  Tutil.qtest "Ord.after/before bracket their input (deep ordinals)" arb_ord_deep
+    (fun o ->
+      Dewey.Ord.compare o (Dewey.Ord.after o) < 0
+      && Dewey.Ord.compare (Dewey.Ord.before o) o < 0)
+
+let test_codec_deep =
+  Tutil.qtest "encode/decode roundtrip at ordinal depth > 8" arb_id_deep (fun id ->
+      Dewey.equal (Dewey.decode (Dewey.encode id)) id)
+
+(* Known answers at the varint byte boundaries. Layout: varint step
+   count, then per step varint label, varint ordinal length, zig-zag
+   varint ordinals. Zig-zag maps 63→126 and -64→127 (the last one-byte
+   values), 64→128 and -65→129 (the first two-byte ones), and
+   8192→16384 (the first three-byte one). *)
+let test_codec_known () =
+  let enc lab o = Dewey.encode (Dewey.of_steps [| { Dewey.lab; ord = [| o |] } |]) in
+  let check name want lab o =
+    Alcotest.(check string) name want (enc lab o);
+    Alcotest.(check bool) (name ^ " decodes back") true
+      (Dewey.equal (Dewey.decode want)
+         (Dewey.of_steps [| { Dewey.lab; ord = [| o |] } |]))
+  in
+  check "ord 0" "\x01\x00\x01\x00" 0 0;
+  check "ord 63: last 1-byte positive" "\x01\x00\x01\x7e" 0 63;
+  check "ord 64: first 2-byte positive" "\x01\x00\x01\x80\x01" 0 64;
+  check "ord -64: last 1-byte negative" "\x01\x00\x01\x7f" 0 (-64);
+  check "ord -65: first 2-byte negative" "\x01\x00\x01\x81\x01" 0 (-65);
+  check "ord 8191: last 2-byte" "\x01\x00\x01\xfe\x7f" 0 8191;
+  check "ord 8192: first 3-byte" "\x01\x00\x01\x80\x80\x01" 0 8192;
+  check "label 127: last 1-byte (not zig-zagged)" "\x01\x7f\x01\x00" 127 0;
+  check "label 128: first 2-byte" "\x01\x80\x01\x01\x00" 128 0
+
 let test_decode_errors () =
   Alcotest.check_raises "empty" (Invalid_argument "Dewey.decode: empty") (fun () ->
       ignore (Dewey.decode "\x00"));
@@ -126,6 +198,69 @@ let test_decode_errors () =
     (Invalid_argument "Dewey.decode: varint overflow") (fun () ->
       ignore (Dewey.decode (String.make 10 '\xff')))
 
+(* {1 Intern arena}
+
+   The arena's int-arithmetic predicates must agree with the boxed
+   reference implementation on arbitrary identifiers, and interning
+   must be canonical (same id, same handle) and closed under parents. *)
+
+let test_arena_agrees =
+  Tutil.qtest "arena predicates agree with Dewey" (QCheck.pair arb_id_any arb_id_any)
+    (fun (x, y) ->
+      let a = Dewey_arena.create () in
+      let hx = Dewey_arena.intern a x and hy = Dewey_arena.intern a y in
+      let sgn c = compare c 0 in
+      sgn (Dewey_arena.compare a hx hy) = sgn (Dewey.compare x y)
+      && Dewey_arena.is_prefix a hx hy = Dewey.is_ancestor_or_self x y
+      && Dewey_arena.is_ancestor a hx hy = Dewey.is_ancestor x y
+      && Dewey_arena.is_parent a hx hy = Dewey.is_parent x y)
+
+let test_arena_canonical =
+  Tutil.qtest "interning is canonical and parent-closed" arb_id_any (fun id ->
+      let a = Dewey_arena.create () in
+      let h = Dewey_arena.intern a id in
+      Dewey_arena.intern a id = h
+      && Dewey.equal (Dewey_arena.to_dewey a h) id
+      && Dewey_arena.depth a h = Dewey.depth id
+      && Dewey_arena.label a h = Dewey.label id
+      && (match Dewey.parent id with
+         | None -> Dewey_arena.parent a h = -1
+         | Some p -> (
+           match Dewey_arena.find a p with
+           | Some hp -> Dewey_arena.parent a h = hp
+           | None -> false)))
+
+let test_arena_sorts_like_dewey =
+  Tutil.qtest "arena sort order = Dewey sort order"
+    (QCheck.list_of_size (QCheck.Gen.int_range 2 20) arb_id_any) (fun ids ->
+      let a = Dewey_arena.create () in
+      let hs = List.map (Dewey_arena.intern a) ids in
+      let by_id = List.sort Dewey.compare ids in
+      let by_handle =
+        List.map (Dewey_arena.to_dewey a)
+          (List.sort (Dewey_arena.compare a) hs)
+      in
+      List.for_all2 Dewey.equal by_id by_handle)
+
+let test_arena_ancestor_at () =
+  let a = Dewey_arena.create () in
+  let i1 = Dewey.root ~lab:3 in
+  let i2 = Dewey.child i1 ~lab:5 ~ord:[| 1; -2 |] in
+  let i3 = Dewey.child i2 ~lab:7 ~ord:[| 4 |] in
+  let h3 = Dewey_arena.intern a i3 in
+  (* Closure: ancestors were interned along the way. *)
+  Alcotest.(check int) "three ids interned" 3 (Dewey_arena.size a);
+  let h2 = Dewey_arena.ancestor_at a h3 2 in
+  let h1 = Dewey_arena.ancestor_at a h3 1 in
+  Alcotest.(check bool) "depth-2 ancestor" true
+    (Dewey.equal (Dewey_arena.to_dewey a h2) i2);
+  Alcotest.(check bool) "depth-1 ancestor" true
+    (Dewey.equal (Dewey_arena.to_dewey a h1) i1);
+  Alcotest.(check int) "root parent is -1" (-1) (Dewey_arena.parent a h1);
+  Alcotest.(check bool) "is_prefix root of leaf" true (Dewey_arena.is_prefix a h1 h3);
+  Alcotest.(check bool) "leaf not prefix of root" false
+    (Dewey_arena.is_prefix a h3 h1)
+
 let () =
   Alcotest.run "dewey"
     [
@@ -133,6 +268,8 @@ let () =
         [
           test_ord_between;
           test_ord_after_before;
+          test_ord_between_deep;
+          test_ord_after_before_deep;
           Alcotest.test_case "sibling insertion order" `Quick test_siblings_order;
           Alcotest.test_case "no relabeling under splits" `Quick test_no_relabel;
         ] );
@@ -147,6 +284,15 @@ let () =
         [
           test_codec;
           test_codec_injective;
+          test_codec_deep;
+          Alcotest.test_case "varint known answers" `Quick test_codec_known;
           Alcotest.test_case "decode errors" `Quick test_decode_errors;
+        ] );
+      ( "arena",
+        [
+          test_arena_agrees;
+          test_arena_canonical;
+          test_arena_sorts_like_dewey;
+          Alcotest.test_case "ancestor navigation" `Quick test_arena_ancestor_at;
         ] );
     ]
