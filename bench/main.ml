@@ -40,7 +40,7 @@ let valid_sections =
   [
     "fig18"; "fig19"; "fig20"; "fig21"; "fig22"; "fig24"; "fig25"; "fig26";
     "fig27"; "fig28"; "fig29"; "fig33"; "ablations"; "joinab"; "prims";
-    "figMV"; "fuzz"; "difftest"; "micro";
+    "figMV"; "fuzz"; "difftest"; "micro"; "serve";
   ]
 
 (* A typo'd section name must not silently bench nothing. *)
@@ -1312,6 +1312,93 @@ let difftest_oracle () =
     failwith ("differential oracle failed: " ^ Qgen.summary "difftest" r)
   end
 
+(* {1 serve: the always-on server under concurrent load}
+
+   The pgbench-style driver: reader domains answering queries from
+   published snapshots while the serving loop applies the bounded XMark
+   update mix on the main domain. Three regimes per run: read-only
+   (baseline snapshot-read latency), an open-loop writer at a fixed
+   arrival rate (readers vs concurrent commits), and a closed-loop
+   writer (write-visibility latency floor). *)
+
+let serve_bench () =
+  header "serve: snapshot readers under a concurrent writer";
+  let dur = if full then 2.0 else 0.6 in
+  let rate = if full then 200. else 100. in
+  let views = [ "Q1"; "Q2"; "Q6" ] in
+  let fresh_set () =
+    let store = Store.of_document (doc small_kb) in
+    let set = View_set.create store in
+    List.iter
+      (fun n -> ignore (View_set.add set (Xmark_views.find n)))
+      views;
+    set
+  in
+  let scenarios =
+    [
+      ("read-only", { Load.default with Load.readers = 2; duration = dur });
+      ( "open-loop",
+        { Load.default with Load.readers = 2; duration = dur; write_rate = rate }
+      );
+      ( "closed-loop",
+        {
+          Load.default with
+          Load.readers = 2;
+          duration = dur;
+          closed_loop = true;
+        } );
+    ]
+  in
+  List.iter
+    (fun (name, config) ->
+      let r = Load.run config (fresh_set ()) ~gen:Xmark_mix.statement in
+      let lat prefix l =
+        match l with
+        | None -> []
+        | Some l ->
+          [
+            (prefix ^ "_p50_ms", Json.num l.Load.p50);
+            (prefix ^ "_p95_ms", Json.num l.Load.p95);
+            (prefix ^ "_p99_ms", Json.num l.Load.p99);
+            (prefix ^ "_max_ms", Json.num l.Load.max);
+          ]
+      in
+      Printf.printf
+        "  %-11s %7d reads (%.0f/s)%s, %d epoch(s), %d write(s) applied\n%!"
+        name r.Load.reads r.Load.read_rps
+        (match r.Load.read_ms with
+        | Some l ->
+          Printf.sprintf ", p50 %.4f / p95 %.4f / p99 %.4f ms" l.Load.p50
+            l.Load.p95 l.Load.p99
+        | None -> "")
+        r.Load.epochs r.Load.writes_applied;
+      record "serve"
+        ([
+           ("scenario", Json.Str name);
+           ("views", Json.Str (String.concat "," views));
+           ("doc_kb", Json.int small_kb);
+           ("readers", Json.int config.Load.readers);
+           ("write_rate", Json.num config.Load.write_rate);
+           ("closed_loop", Json.Bool config.Load.closed_loop);
+           ("wall_s", Json.num r.Load.wall_s);
+           ("epochs", Json.int r.Load.epochs);
+           ("reads", Json.int r.Load.reads);
+           ("read_rps", Json.num r.Load.read_rps);
+           ("writes_submitted", Json.int r.Load.writes_submitted);
+           ("writes_applied", Json.int r.Load.writes_applied);
+           ("max_batch_fill", Json.int r.Load.max_batch_fill);
+         ]
+        @ lat "read" r.Load.read_ms
+        @ lat "write_visible" r.Load.write_visible_ms);
+      (* The driver's accounting must be self-consistent: a writer
+         regime that applied nothing, or lost statements, is a harness
+         bug worth failing the bench over. *)
+      if r.Load.writes_applied <> r.Load.writes_submitted then begin
+        write_results ();
+        failwith (name ^ ": submitted statements were lost")
+      end)
+    scenarios
+
 let () =
   Printf.printf "xvm benchmark harness — %s mode, %d run(s) per point\n"
     (if full then "full (paper-scale)" else "scaled")
@@ -1349,6 +1436,7 @@ let () =
   if wanted "figMV" then figmv ();
   if wanted "fuzz" then fuzz_oracle ();
   if wanted "difftest" then difftest_oracle ();
+  if wanted "serve" then serve_bench ();
   if (not skip_micro) && wanted "micro" then micro ();
   write_results ();
   print_newline ()

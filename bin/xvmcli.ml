@@ -12,6 +12,19 @@ let read_file path =
 
 let load_store path = Store.of_document (Xml_parse.document (read_file path))
 
+(* [--jobs] must be a positive domain count: 0 or negative values are
+   rejected at parse time instead of flowing into the fan-out machinery
+   (View_set.update additionally clamps, so the library API is safe
+   too). *)
+let pos_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Ok n
+    | Some n -> Error (`Msg (Printf.sprintf "expected a positive integer, got %d" n))
+    | None -> Error (`Msg (Printf.sprintf "expected a positive integer, got %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let resolve_view ~name ~query =
   match (name, query) with
   | Some n, None -> Xmark_views.find n
@@ -276,11 +289,11 @@ let maintain_cmd =
   in
   let jobs =
     Arg.(
-      value & opt int 1
+      value & opt pos_int 1
       & info [ "jobs" ]
           ~doc:
             "Propagate clean views across this many OCaml domains (results \
-             are identical to --jobs 1).")
+             are identical to --jobs 1; must be positive).")
   in
   let updates =
     Arg.(
@@ -434,11 +447,11 @@ let difftest_cmd =
   in
   let jobs =
     Arg.(
-      value & opt int 2
+      value & opt pos_int 2
       & info [ "jobs" ]
           ~doc:
             "Domain count for the multiview oracle's parallel run (also \
-             cross-checked against jobs=1).")
+             cross-checked against jobs=1; must be positive).")
   in
   Cmd.v
     (Cmd.info "difftest"
@@ -449,6 +462,344 @@ let difftest_cmd =
           inputs are shrunk and printed as replayable reproducers. Exits 1 \
           on any mismatch.")
     Term.(const run $ metrics_term $ seed $ iters $ replay $ multiview $ jobs)
+
+(* {1 serve} *)
+
+(* Shared by serve/bench-serve: a document from a file or the XMark
+   generator, and a view set over it. *)
+let serve_set ~doc ~gen_kb ~seed ~vnames ~vqueries =
+  let root =
+    match doc with
+    | Some path -> Xml_parse.document (read_file path)
+    | None -> Xmark_gen.document ~seed ~target_kb:gen_kb
+  in
+  let store = Store.of_document root in
+  let pats =
+    List.map Xmark_views.find vnames
+    @ List.mapi
+        (fun i q -> View_parser.parse ~name:(Printf.sprintf "cli%d" (i + 1)) q)
+        vqueries
+  in
+  let pats = if pats = [] then [ Xmark_views.find "Q1" ] else pats in
+  let set = View_set.create store in
+  List.iter (fun pat -> ignore (View_set.add set pat)) pats;
+  set
+
+let start_endpoint server port =
+  let ep = Metrics_http.start ~port (fun () -> Server.prometheus server) in
+  Printf.eprintf "metrics endpoint: http://127.0.0.1:%d/metrics\n%!"
+    (Metrics_http.port ep);
+  ep
+
+let serve_cmd =
+  let run metrics doc gen_kb seed vnames vqueries jobs max_batch port =
+    with_metrics metrics @@ fun () ->
+    let set = serve_set ~doc ~gen_kb ~seed ~vnames ~vqueries in
+    let server = Server.create ~jobs ~max_batch set in
+    let endpoint = Option.map (start_endpoint server) port in
+    let s0 = Server.snapshot server in
+    Printf.eprintf
+      "serving %d view(s) over %d nodes; statements on stdin (also: query \
+       NAME | epoch | metrics | quit)\n\
+       %!"
+      (Array.length s0.Snapshot.views)
+      s0.Snapshot.node_count;
+    (* The console runs on its own domain: it only submits to the
+       admission queue and reads published snapshots. The main domain —
+       the store's writer — runs the serving loop. *)
+    let console =
+      Domain.spawn (fun () ->
+          let rec loop () =
+            match In_channel.input_line In_channel.stdin with
+            | None -> Server.stop server
+            | Some line -> (
+              match String.trim line with
+              | "" -> loop ()
+              | "quit" | "exit" -> Server.stop server
+              | "epoch" ->
+                let s = Server.snapshot server in
+                Printf.printf "epoch %d; %d applied; %d pending\n%!"
+                  s.Snapshot.epoch s.Snapshot.applied (Server.pending server);
+                loop ()
+              | "metrics" ->
+                print_string (Server.prometheus server);
+                flush stdout;
+                loop ()
+              | line when String.length line > 6 && String.sub line 0 6 = "query "
+                ->
+                let name = String.trim (String.sub line 6 (String.length line - 6)) in
+                let s = Server.snapshot server in
+                (match Snapshot.find_view s name with
+                | None ->
+                  Printf.printf "no view %S at epoch %d\n%!" name s.Snapshot.epoch
+                | Some v ->
+                  Printf.printf
+                    "view %s @ epoch %d: %d tuples, %d embeddings\n%!" name
+                    s.Snapshot.epoch (Snapshot.cardinality v) v.Snapshot.v_total);
+                loop ()
+              | line ->
+                let stmt =
+                  if String.length line > 7 && String.sub line 0 7 = "update " then
+                    String.sub line 7 (String.length line - 7)
+                  else line
+                in
+                (match Update.parse stmt with
+                | exception e ->
+                  Printf.printf "parse error: %s\n%!" (Printexc.to_string e)
+                | u ->
+                  if Server.submit server u then
+                    Printf.printf "queued (%d pending)\n%!" (Server.pending server)
+                  else Printf.printf "rejected: server is stopping\n%!");
+                loop ())
+          in
+          loop ())
+    in
+    Server.run server;
+    Domain.join console;
+    Option.iter Metrics_http.stop endpoint;
+    let s = Server.snapshot server in
+    Printf.printf "served %d epoch(s), %d statement(s) applied\n"
+      s.Snapshot.epoch s.Snapshot.applied
+  in
+  let doc =
+    Arg.(
+      value & pos 0 (some file) None
+      & info [] ~docv:"DOC"
+          ~doc:"Document to serve; omitted, one is generated ($(b,--gen-kb)).")
+  in
+  let gen_kb =
+    Arg.(
+      value & opt int 64
+      & info [ "gen-kb" ]
+          ~doc:"Without $(docv), generate an XMark document of this size (KB).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Generator seed.") in
+  let vnames =
+    Arg.(
+      value & opt_all string []
+      & info [ "name" ] ~doc:"Built-in view (Q1…Q17); repeatable. Default Q1.")
+  in
+  let vqueries =
+    Arg.(
+      value & opt_all string [] & info [ "query" ] ~doc:"View statement; repeatable.")
+  in
+  let jobs =
+    Arg.(
+      value & opt pos_int 1
+      & info [ "jobs" ]
+          ~doc:"Domain fan-out for clean-view propagation (must be positive).")
+  in
+  let max_batch =
+    Arg.(
+      value & opt pos_int 64
+      & info [ "max-batch" ]
+          ~doc:"Maximum statements coalesced into one published epoch.")
+  in
+  let port =
+    Arg.(
+      value & opt (some int) None
+      & info [ "port" ]
+          ~doc:"Serve Prometheus metrics on this TCP port (0 = ephemeral).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the view set as a long-lived server: update statements read \
+          from stdin are admitted into a pending queue and coalesced into \
+          batched maintenance passes, while queries are answered from \
+          epoch-tagged immutable snapshots — readers never block on the \
+          store commit. With $(b,--port), expose Prometheus metrics over \
+          HTTP.")
+    Term.(
+      const run $ metrics_term $ doc $ gen_kb $ seed $ vnames $ vqueries $ jobs
+      $ max_batch $ port)
+
+(* {1 bench-serve} *)
+
+let bench_serve_cmd =
+  let run metrics gen_kb seed vnames vqueries readers duration write_rate
+      closed_loop jobs max_batch port prom_out json =
+    with_metrics metrics @@ fun () ->
+    let set = serve_set ~doc:None ~gen_kb ~seed ~vnames ~vqueries in
+    let endpoint = ref None in
+    let on_server server =
+      match (port, prom_out) with
+      | None, None -> ()
+      | _ ->
+        endpoint := Some (start_endpoint server (Option.value ~default:0 port))
+    in
+    let config =
+      {
+        Load.readers;
+        duration;
+        write_rate;
+        closed_loop;
+        jobs;
+        max_batch;
+        seed;
+      }
+    in
+    let r = Load.run ~on_server config set ~gen:Xmark_mix.statement in
+    (* Self-scrape over real TCP after the run: the endpoint serves the
+       final published snapshot and counters. *)
+    (match (!endpoint, prom_out) with
+    | Some ep, Some file ->
+      let code, body = Metrics_http.get ~port:(Metrics_http.port ep) "/metrics" in
+      if code <> 200 then Printf.eprintf "self-scrape failed: HTTP %d\n" code
+      else begin
+        let oc = open_out_bin file in
+        output_string oc body;
+        close_out oc;
+        Printf.eprintf "wrote %d bytes of metrics to %s\n" (String.length body)
+          file
+      end
+    | _ -> ());
+    Option.iter Metrics_http.stop !endpoint;
+    let lat_fields l =
+      match l with
+      | None -> []
+      | Some l ->
+        [
+          ("p50_ms", l.Load.p50);
+          ("p95_ms", l.Load.p95);
+          ("p99_ms", l.Load.p99);
+          ("mean_ms", l.Load.mean);
+          ("max_ms", l.Load.max);
+        ]
+    in
+    if json then begin
+      let b = Buffer.create 256 in
+      Buffer.add_char b '{';
+      let first = ref true in
+      let field k v =
+        if not !first then Buffer.add_char b ',';
+        first := false;
+        Buffer.add_string b (Printf.sprintf "%S:%s" k v)
+      in
+      field "wall_s" (Printf.sprintf "%.3f" r.Load.wall_s);
+      field "epochs" (string_of_int r.Load.epochs);
+      field "reads" (string_of_int r.Load.reads);
+      field "read_rps" (Printf.sprintf "%.1f" r.Load.read_rps);
+      List.iter
+        (fun (k, v) -> field ("read_" ^ k) (Printf.sprintf "%.4f" v))
+        (lat_fields r.Load.read_ms);
+      field "writes_submitted" (string_of_int r.Load.writes_submitted);
+      field "writes_applied" (string_of_int r.Load.writes_applied);
+      List.iter
+        (fun (k, v) -> field ("write_visible_" ^ k) (Printf.sprintf "%.4f" v))
+        (lat_fields r.Load.write_visible_ms);
+      field "max_batch_fill" (string_of_int r.Load.max_batch_fill);
+      Buffer.add_char b '}';
+      print_endline (Buffer.contents b)
+    end
+    else begin
+      Printf.printf
+        "serve bench: %.2f s wall, %d epoch(s), %d reader(s), %s writer\n"
+        r.Load.wall_s r.Load.epochs readers
+        (if closed_loop then "closed-loop"
+         else if write_rate > 0. then Printf.sprintf "%.0f/s open-loop" write_rate
+         else "no");
+      Printf.printf "  reads: %d (%.0f/s)\n" r.Load.reads r.Load.read_rps;
+      (match r.Load.read_ms with
+      | Some l ->
+        Printf.printf
+          "  read latency: p50 %.4f ms | p95 %.4f ms | p99 %.4f ms | mean \
+           %.4f ms | max %.2f ms\n"
+          l.Load.p50 l.Load.p95 l.Load.p99 l.Load.mean l.Load.max
+      | None -> ());
+      Printf.printf "  writes: %d submitted, %d applied, max batch fill %d\n"
+        r.Load.writes_submitted r.Load.writes_applied r.Load.max_batch_fill;
+      match r.Load.write_visible_ms with
+      | Some l ->
+        Printf.printf
+          "  write visibility: p50 %.3f ms | p95 %.3f ms | p99 %.3f ms | max \
+           %.2f ms\n"
+          l.Load.p50 l.Load.p95 l.Load.p99 l.Load.max
+      | None -> ()
+    end
+  in
+  let gen_kb =
+    Arg.(
+      value & opt int 64
+      & info [ "gen-kb" ] ~doc:"XMark document size to generate (KB).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let vnames =
+    Arg.(
+      value & opt_all string []
+      & info [ "name" ] ~doc:"Built-in view (Q1…Q17); repeatable. Default Q1.")
+  in
+  let vqueries =
+    Arg.(
+      value & opt_all string [] & info [ "query" ] ~doc:"View statement; repeatable.")
+  in
+  let readers =
+    Arg.(
+      value & opt int 2
+      & info [ "readers" ] ~doc:"Concurrent reader domains.")
+  in
+  let duration =
+    Arg.(
+      value & opt float 2.0
+      & info [ "duration" ] ~doc:"Wall-clock seconds of load.")
+  in
+  let write_rate =
+    Arg.(
+      value & opt float 50.0
+      & info [ "write-rate" ]
+          ~doc:
+            "Open-loop statement arrival rate (statements/second); 0 disables \
+             the writer.")
+  in
+  let closed_loop =
+    Arg.(
+      value & flag
+      & info [ "closed-loop" ]
+          ~doc:
+            "Closed-loop writer: submit the next statement only once the \
+             previous one is visible in a published snapshot (overrides \
+             $(b,--write-rate) pacing).")
+  in
+  let jobs =
+    Arg.(
+      value & opt pos_int 1
+      & info [ "jobs" ]
+          ~doc:"Domain fan-out for clean-view propagation (must be positive).")
+  in
+  let max_batch =
+    Arg.(
+      value & opt pos_int 64
+      & info [ "max-batch" ]
+          ~doc:"Maximum statements coalesced into one published epoch.")
+  in
+  let port =
+    Arg.(
+      value & opt (some int) None
+      & info [ "port" ]
+          ~doc:"Expose Prometheus metrics during the run (0 = ephemeral).")
+  in
+  let prom_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "prom-out" ]
+          ~doc:
+            "After the run, scrape the run's own metrics endpoint over TCP \
+             and write the Prometheus exposition to $(docv).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the report as one JSON line.")
+  in
+  Cmd.v
+    (Cmd.info "bench-serve"
+       ~doc:
+         "pgbench-style load driver for the serving loop: reader domains \
+          answering snapshot queries, an open- or closed-loop writer feeding \
+          the bounded XMark update mix, throughput and p50/p95/p99 latency \
+          reporting, and an optional Prometheus self-scrape.")
+    Term.(
+      const run $ metrics_term $ gen_kb $ seed $ vnames $ vqueries $ readers
+      $ duration $ write_rate $ closed_loop $ jobs $ max_batch $ port $ prom_out
+      $ json)
 
 (* {1 workload} *)
 
@@ -481,6 +832,8 @@ let () =
             eval_cmd;
             view_cmd;
             maintain_cmd;
+            serve_cmd;
+            bench_serve_cmd;
             workload_cmd;
             fuzz_cmd;
             difftest_cmd;

@@ -34,12 +34,23 @@ type t = {
 
 (* Global layout toggle: columnar by default, boxed via the environment
    escape hatch or [set_columnar false] (xvmcli --boxed). Consulted by
-   the scan builders (Plan, Delta), not by existing tables. *)
-let columnar =
-  ref
-    (match Sys.getenv_opt "XVM_BOXED_TABLES" with
-    | Some ("1" | "true" | "yes") -> false
-    | Some _ | None -> true)
+   the scan builders (Plan, Delta), not by existing tables.
+
+   Only the explicit truthy spellings "1" and "true" (case-insensitive,
+   surrounding whitespace ignored) request the boxed layout; any other
+   value — including "0", "false", "", "on" — leaves the default
+   columnar layout, exactly like an unset variable. The parse is a pure
+   function of the variable's value so tests can cover it without
+   mutating the process environment. *)
+let boxed_requested env =
+  match env with
+  | None -> false
+  | Some s -> (
+    match String.lowercase_ascii (String.trim s) with
+    | "1" | "true" -> true
+    | _ -> false)
+
+let columnar = ref (not (boxed_requested (Sys.getenv_opt "XVM_BOXED_TABLES")))
 
 let columnar_enabled () = !columnar
 let set_columnar b = columnar := b

@@ -25,10 +25,19 @@ type t
     Scan builders ([Plan.atom_of_store], [Delta]) consult this global
     toggle when constructing base tables. Columnar by default; boxed via
     [XVM_BOXED_TABLES=1] in the environment or {!set_columnar}[ false]
-    (the [xvmcli --boxed] escape hatch). *)
+    (the [xvmcli --boxed] escape hatch). Precedence: an explicit
+    {!set_columnar} call (e.g. the [--boxed] flag) always wins over the
+    environment, which wins over the columnar default. *)
 
 val columnar_enabled : unit -> bool
 val set_columnar : bool -> unit
+
+(** [boxed_requested env] — does the value of [XVM_BOXED_TABLES] request
+    the boxed layout? Only the explicit truthy spellings ["1"] and
+    ["true"] (case-insensitive, surrounding whitespace ignored) do; any
+    other value, like an unset variable, means columnar. Pure — exposed
+    so the parse is testable without touching the real environment. *)
+val boxed_requested : string option -> bool
 
 (** [create ~cols] is an empty table over [cols]. *)
 val create : cols:int array -> t

@@ -850,3 +850,155 @@ let run_sets ?(jobs = 2) ~seed ~iters () =
     | Some m -> Qgen.record rc (describe_set (shrink_set ~jobs m))
   done;
   Qgen.report_of rc ~iterations:iters
+
+(* {1 Serve snapshot-isolation oracle}
+
+   The serving loop's correctness claim is stronger than batch
+   equivalence: a reader loading published snapshots *while* the writer
+   is applying statements must only ever observe committed epochs, and
+   every observed epoch must be bit-identical to a sequential replay of
+   exactly the statements it claims to contain. A torn epoch — a
+   snapshot taken mid-commit, a stale view shared when it actually
+   changed, a lost statement — shows up as a tuple-level diff against
+   the replay oracle. *)
+
+type serve_case = { sc_set : set_triple; sc_stmts : string list }
+
+let gen_serve_case rnd =
+  let t = gen_set_triple rnd in
+  let labels = doc_labels t.sdoc in
+  let extra =
+    List.init
+      (1 + Random.State.int rnd 4)
+      (fun _ -> gen_update rnd ~labels ~root_label:t.sdoc.Xml_tree.name)
+  in
+  { sc_set = t; sc_stmts = t.supdate :: extra }
+
+let build_serve_set t =
+  let store = Store.of_document (Xml_tree.copy t.sdoc) in
+  let set = View_set.create store in
+  List.iter (fun pat -> ignore (View_set.add set pat)) t.sviews;
+  set
+
+let describe_serve c ~epoch ~applied ~detail =
+  Printf.sprintf
+    "serve isolation violation\n\
+    \  epoch %d (applied %d of %d statements): %s\n\
+    \  views:  %s\n\
+    \  statements: %s\n\
+    \  doc:    %s (%d nodes)\n\
+    \  set replay (first statement): xvmcli difftest --replay %s"
+    epoch applied (List.length c.sc_stmts) detail
+    (String.concat "  ;  " (List.map Pattern.to_string c.sc_set.sviews))
+    (String.concat "  ;  " c.sc_stmts)
+    (Qgen.abbrev (Xml_tree.serialize c.sc_set.sdoc))
+    (Xml_tree.size c.sc_set.sdoc)
+    (shell_quote (repro_of_set c.sc_set))
+
+let check_serve ?(jobs = 1) c =
+  try
+    let stmts = List.map Update.parse c.sc_stmts in
+    let server = Server.create ~jobs ~max_batch:2 (build_serve_set c.sc_set) in
+    let stop_reader = Atomic.make false in
+    (* The concurrent reader: poll the published snapshot, keep the
+       first observation of every epoch, in observation order. *)
+    let reader =
+      Domain.spawn (fun () ->
+          let seen = Hashtbl.create 16 in
+          let acc = ref [] in
+          while not (Atomic.get stop_reader) do
+            let s = Server.snapshot server in
+            if not (Hashtbl.mem seen s.Snapshot.epoch) then begin
+              Hashtbl.add seen s.Snapshot.epoch ();
+              acc := s :: !acc
+            end;
+            Domain.cpu_relax ()
+          done;
+          List.rev !acc)
+    in
+    let submitter =
+      Domain.spawn (fun () ->
+          List.iter (fun u -> ignore (Server.submit server u)) stmts;
+          Server.stop server)
+    in
+    Server.run server;
+    Domain.join submitter;
+    Atomic.set stop_reader true;
+    let observed = Domain.join reader in
+    let final = Server.snapshot server in
+    let observed =
+      if
+        List.exists (fun s -> s.Snapshot.epoch = final.Snapshot.epoch) observed
+      then observed
+      else observed @ [ final ]
+    in
+    (* Observation order must respect publication order. *)
+    let monotone =
+      let rec go = function
+        | a :: (b :: _ as rest) ->
+          if a.Snapshot.epoch < b.Snapshot.epoch
+             && a.Snapshot.applied <= b.Snapshot.applied
+          then go rest
+          else
+            Some
+              (describe_serve c ~epoch:b.Snapshot.epoch
+                 ~applied:b.Snapshot.applied
+                 ~detail:
+                   (Printf.sprintf
+                      "non-monotone observation after epoch %d (applied %d)"
+                      a.Snapshot.epoch a.Snapshot.applied))
+        | _ -> None
+      in
+      go observed
+    in
+    if monotone <> None then monotone
+    else if final.Snapshot.applied <> List.length stmts then
+      Some
+        (describe_serve c ~epoch:final.Snapshot.epoch
+           ~applied:final.Snapshot.applied
+           ~detail:"statements lost: final epoch misses admitted statements")
+    else
+      (* Every observed epoch must equal a sequential replay of exactly
+         the statements it claims to contain. *)
+      List.find_map
+        (fun s ->
+          let oset = build_serve_set c.sc_set in
+          List.iteri
+            (fun i stmt ->
+              if i < s.Snapshot.applied then
+                ignore (View_set.update oset (Update.parse stmt)))
+            c.sc_stmts;
+          let oracle = Snapshot.initial oset in
+          let pairs =
+            Array.combine s.Snapshot.views oracle.Snapshot.views
+          in
+          Array.fold_left
+            (fun acc (got, want) ->
+              match acc with
+              | Some _ -> acc
+              | None -> (
+                match Snapshot.view_diff got want with
+                | None -> None
+                | Some d ->
+                  Some
+                    (describe_serve c ~epoch:s.Snapshot.epoch
+                       ~applied:s.Snapshot.applied
+                       ~detail:
+                         (Printf.sprintf "view %s: %s" got.Snapshot.v_name d))))
+            None pairs)
+        observed
+  with exn ->
+    Some
+      (describe_serve c ~epoch:(-1) ~applied:(-1)
+         ~detail:("escaped exception: " ^ Printexc.to_string exn))
+
+let run_serve ?(jobs = 1) ~seed ~iters () =
+  let rnd = Random.State.make [| seed; 0x5e7e |] in
+  let rc = Qgen.fresh_recorder () in
+  for _ = 1 to iters do
+    let c = gen_serve_case rnd in
+    match check_serve ~jobs c with
+    | None -> ()
+    | Some msg -> Qgen.record rc msg
+  done;
+  Qgen.report_of rc ~iterations:iters

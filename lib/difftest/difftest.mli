@@ -163,3 +163,32 @@ val set_of_repro : string -> set_triple
 (** [run_sets ?jobs ~seed ~iters] draws and checks [iters] view sets;
     mismatches are shrunk and recorded in the report's failure list. *)
 val run_sets : ?jobs:int -> seed:int -> iters:int -> unit -> Qgen.report
+
+(** {1 Serve snapshot-isolation oracle}
+
+    The live-server counterpart of {!run_sets}: a random view set plus a
+    {e sequence} of 2–5 update statements is fed through a running
+    {!Server} by a submitter domain while a concurrent reader domain
+    polls published snapshots. Every observed epoch — including those
+    captured mid-run, between batches — must be bit-identical
+    (tuple-for-tuple, payloads included) to a {e sequential} replay of
+    exactly the first [applied] statements on a fresh store; epochs must
+    be observed in publication order and no admitted statement may be
+    lost. This is the snapshot-isolation guarantee: a reader never sees
+    a half-committed batch, a torn view, or a stale share of a view that
+    actually changed. *)
+
+type serve_case = {
+  sc_set : set_triple;
+  sc_stmts : string list;  (** applied in order; 2–5 statements *)
+}
+
+val gen_serve_case : Random.State.t -> serve_case
+
+(** [check_serve ?jobs c] (default [jobs = 1]) runs the live server on
+    the calling domain ([max_batch = 2], forcing multi-epoch runs) with
+    a submitter and a polling reader domain; [Some message] describes
+    the first isolation violation. *)
+val check_serve : ?jobs:int -> serve_case -> string option
+
+val run_serve : ?jobs:int -> seed:int -> iters:int -> unit -> Qgen.report

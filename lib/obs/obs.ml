@@ -10,13 +10,19 @@ let on = ref false
 let enabled () = !on
 let set_enabled b = on := b
 
-(* Wall clock clamped non-decreasing: durations derived from [now] can
-   never be negative even if the system clock steps backwards.  The clamp
-   is a CAS-max loop so [now] is safe to call from any domain. *)
+(* Monotonic clock (CLOCK_MONOTONIC via the C stub): seconds since an
+   arbitrary fixed origin, immune to wall-clock steps.  A backwards step
+   of the old gettimeofday source could flatten spans to zero, which
+   would silently corrupt latency percentiles.  The non-decreasing
+   contract is still enforced by a CAS-max clamp — it makes [now] safe
+   against any residual source anomaly and keeps reads from concurrent
+   domains totally ordered. *)
+external monotonic_ns : unit -> int64 = "xvm_obs_monotonic_ns"
+
 let last = Atomic.make 0.
 
 let now () =
-  let t = Unix.gettimeofday () in
+  let t = Int64.to_float (monotonic_ns ()) *. 1e-9 in
   let rec clamp () =
     let prev = Atomic.get last in
     if t <= prev then prev
@@ -368,6 +374,41 @@ let dump_kv ?snapshot:snap () =
 let kv_line s =
   String.concat " "
     (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) (nonzero_counters s))
+
+(* Prometheus text exposition format (0.0.4). Every registry cell
+   becomes its own metric family: counters as [xvm_<key>_total], timers
+   as the [_seconds_total] / [_spans_total] pair. Cell keys are dotted
+   ("dewey.arena.interned"); metric names allow [A-Za-z0-9_:] only, so
+   every other character maps to '_'. *)
+let prometheus_name key =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    key
+
+let to_prometheus ?snapshot:snap () =
+  let s = match snap with Some s -> s | None -> snapshot () in
+  let buf = Buffer.create 2048 in
+  let emit name value =
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" name);
+    Buffer.add_string buf name;
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf value;
+    Buffer.add_char buf '\n'
+  in
+  List.iter
+    (fun (k, v) ->
+      emit ("xvm_" ^ prometheus_name k ^ "_total") (string_of_int v))
+    s.snap_counters;
+  List.iter
+    (fun (k, secs, n) ->
+      let base = "xvm_" ^ prometheus_name k in
+      emit (base ^ "_seconds_total") (Printf.sprintf "%.9f" secs);
+      emit (base ^ "_spans_total") (string_of_int n))
+    s.snap_timers;
+  Buffer.contents buf
 
 (* Shared helpers for bench/tests *)
 

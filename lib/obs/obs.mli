@@ -14,9 +14,12 @@ val set_enabled : bool -> unit
 
 (** {1 Monotonic clock}
 
-    [now] is a wall-clock read clamped to be non-decreasing across calls,
-    so durations derived from it are never negative even if the system
-    clock steps backwards. *)
+    [now] reads the operating system's monotonic clock
+    ([CLOCK_MONOTONIC]): seconds since an arbitrary fixed origin — {e
+    not} a wall-clock time — immune to NTP slews and manual clock
+    resets, and additionally clamped to be non-decreasing across calls
+    (from any domain), so durations derived from it are never
+    negative. *)
 
 val now : unit -> float
 
@@ -147,6 +150,17 @@ val dump_kv : ?snapshot:snapshot -> unit -> string
 val kv_line : snapshot -> string
 (** Space-separated ["key=value"] digest of the non-zero counters of a
     snapshot — compact enough for failure messages. *)
+
+val prometheus_name : string -> string
+(** Sanitize a dotted cell key into a valid Prometheus metric-name
+    fragment: every character outside [[A-Za-z0-9_]] becomes ['_']. *)
+
+val to_prometheus : ?snapshot:snapshot -> unit -> string
+(** Prometheus text exposition format (0.0.4): one metric family per
+    cell — counters as [xvm_<key>_total], timers as the
+    [xvm_<key>_seconds_total] / [xvm_<key>_spans_total] pair — each
+    preceded by its [# TYPE … counter] line.  Defaults to the live
+    registry contents. *)
 
 (** {1 Shared numeric/printing helpers} *)
 

@@ -1,0 +1,21 @@
+/* Monotonic clock stub for Obs.now.
+
+   CLOCK_MONOTONIC is immune to wall-clock steps (NTP slews, manual
+   resets), which matters because every latency percentile in the
+   serving benchmarks is a difference of two Obs.now reads: a backwards
+   step of the wall clock would silently flatten spans to zero. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value xvm_obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+#ifdef CLOCK_MONOTONIC
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
+}

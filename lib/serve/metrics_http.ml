@@ -1,0 +1,150 @@
+type t = {
+  sock : Unix.file_descr;
+  port : int;
+  stopping : bool Atomic.t;
+  dom : unit Domain.t;
+  mutable stopped : bool;
+}
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+(* First index after the blank line terminating an HTTP head, if any. *)
+let head_end s =
+  let n = String.length s in
+  let rec go i =
+    if i >= n then None
+    else if s.[i] <> '\n' then go (i + 1)
+    else if i + 1 < n && s.[i + 1] = '\n' then Some (i + 2)
+    else if i + 2 < n && s.[i + 1] = '\r' && s.[i + 2] = '\n' then Some (i + 3)
+    else go (i + 1)
+  in
+  go 0
+
+(* Read until the blank line ending the request head (or EOF, or a 4 KiB
+   cap — we only ever need the request line). *)
+let read_head fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 512 in
+  let rec go () =
+    if Buffer.length buf < 4096 && head_end (Buffer.contents buf) = None then begin
+      let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+      if n > 0 then begin
+        Buffer.add_subbytes buf chunk 0 n;
+        go ()
+      end
+    end
+  in
+  (try go () with Unix.Unix_error _ -> ());
+  Buffer.contents buf
+
+let request_path head =
+  let line =
+    match String.index_opt head '\n' with
+    | None -> String.trim head
+    | Some i -> String.trim (String.sub head 0 i)
+  in
+  match String.split_on_char ' ' line with
+  | meth :: path :: _ when String.uppercase_ascii meth = "GET" -> Some path
+  | _ -> None
+
+let respond fd ~status ~body =
+  let code, reason = status in
+  write_all fd
+    (Printf.sprintf
+       "HTTP/1.0 %d %s\r\n\
+        Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+        Content-Length: %d\r\n\
+        Connection: close\r\n\
+        \r\n\
+        %s"
+       code reason (String.length body) body)
+
+let serve_client fd body =
+  match request_path (read_head fd) with
+  | Some ("/metrics" | "/") -> respond fd ~status:(200, "OK") ~body:(body ())
+  | Some _ -> respond fd ~status:(404, "Not Found") ~body:"not found\n"
+  | None -> respond fd ~status:(400, "Bad Request") ~body:"bad request\n"
+
+let start ?(addr = Unix.inet_addr_loopback) ~port body =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt sock Unix.SO_REUSEADDR true;
+     Unix.bind sock (Unix.ADDR_INET (addr, port));
+     Unix.listen sock 16
+   with e ->
+     (try Unix.close sock with _ -> ());
+     raise e);
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let stopping = Atomic.make false in
+  let dom =
+    Domain.spawn (fun () ->
+        let rec loop () =
+          match Unix.accept sock with
+          | exception _ -> if not (Atomic.get stopping) then loop ()
+          | client, _ ->
+            (try serve_client client body with _ -> ());
+            (try Unix.close client with _ -> ());
+            if not (Atomic.get stopping) then loop ()
+        in
+        loop ())
+  in
+  { sock; port; stopping; dom; stopped = false }
+
+let port t = t.port
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Atomic.set t.stopping true;
+    (* Closing the listening socket makes the blocked [accept] raise,
+       which the loop treats as shutdown. *)
+    (try Unix.shutdown t.sock Unix.SHUTDOWN_ALL with _ -> ());
+    (try Unix.close t.sock with _ -> ());
+    Domain.join t.dom
+  end
+
+let get ?(host = "127.0.0.1") ~port path =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with _ -> ())
+    (fun () ->
+      Unix.connect sock
+        (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+      write_all sock
+        (Printf.sprintf
+           "GET %s HTTP/1.0\r\nHost: %s\r\nConnection: close\r\n\r\n" path host);
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        let n = Unix.read sock chunk 0 (Bytes.length chunk) in
+        if n > 0 then begin
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+        end
+      in
+      drain ();
+      let resp = Buffer.contents buf in
+      let code =
+        match String.split_on_char ' ' resp with
+        | _http :: code :: _ -> (
+          match int_of_string_opt code with
+          | Some c -> c
+          | None -> failwith "Metrics_http.get: bad status line")
+        | _ -> failwith "Metrics_http.get: bad status line"
+      in
+      let body =
+        match head_end resp with
+        | Some i -> String.sub resp i (String.length resp - i)
+        | None -> failwith "Metrics_http.get: no header terminator"
+      in
+      (code, body))

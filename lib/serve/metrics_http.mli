@@ -1,0 +1,27 @@
+(** A minimal HTTP text endpoint for Prometheus scraping.
+
+    Deliberately tiny: blocking accept loop on its own domain, one
+    HTTP/1.0 response per connection, [Connection: close]. Good enough
+    for a scraper or [curl]; not a general web server. *)
+
+type t
+
+(** [start ?addr ~port body] binds a listening socket ([port] 0 picks an
+    ephemeral port) and serves [body ()] with content type
+    [text/plain; version=0.0.4] on every [GET] for [/metrics] or [/]
+    (404 otherwise). [body] runs on the endpoint's domain, so it must
+    only touch domain-safe state (e.g. {!Server.prometheus}).
+    @raise Unix.Unix_error when the bind fails. *)
+val start : ?addr:Unix.inet_addr -> port:int -> (unit -> string) -> t
+
+(** The bound port (useful with [~port:0]). *)
+val port : t -> int
+
+(** Close the listening socket and join the endpoint domain.
+    Idempotent. *)
+val stop : t -> unit
+
+(** [get ~port path] — a one-shot loopback HTTP client for tests and
+    self-scrapes: returns [(status_code, body)].
+    @raise Failure on a malformed response. *)
+val get : ?host:string -> port:int -> string -> int * string

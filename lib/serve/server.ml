@@ -1,0 +1,169 @@
+(* The serving loop: a mutex/condition admission queue drained on the
+   main domain, with snapshot publication through Atomics. See the mli
+   for the domain discipline. *)
+
+let scope = Obs.Scope.v "serve"
+let c_applied = Obs.Scope.counter scope "applied"
+let c_batches = Obs.Scope.counter scope "batches"
+let c_epochs = Obs.Scope.counter scope "epochs"
+let t_batch = Obs.Scope.timer scope "batch"
+
+type t = {
+  set : View_set.t;
+  jobs : int;
+  max_batch : int;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : Update.t Queue.t;
+  mutable stopping : bool;  (* under [mutex] *)
+  published : Snapshot.t Atomic.t;
+  published_metrics : Obs.snapshot Atomic.t;
+  (* Main-domain-only bookkeeping. *)
+  mutable applied : int;
+  mutable batch_count : int;
+  mutable log : (int * int * float) list;  (* newest first *)
+}
+
+let create ?(jobs = 1) ?(max_batch = 64) set =
+  {
+    set;
+    jobs = max 1 jobs;
+    max_batch = max 1 max_batch;
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    queue = Queue.create ();
+    stopping = false;
+    published = Atomic.make (Snapshot.initial set);
+    published_metrics = Atomic.make (Obs.snapshot ());
+    applied = 0;
+    batch_count = 0;
+    log = [];
+  }
+
+let submit t u =
+  Mutex.lock t.mutex;
+  let admitted = not t.stopping in
+  if admitted then begin
+    Queue.push u t.queue;
+    Condition.signal t.nonempty
+  end;
+  Mutex.unlock t.mutex;
+  admitted
+
+let stop t =
+  Mutex.lock t.mutex;
+  t.stopping <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex
+
+let snapshot t = Atomic.get t.published
+let metrics t = Atomic.get t.published_metrics
+
+let pending t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.mutex;
+  n
+
+let batches t = t.batch_count
+let publish_log t = List.rev t.log
+
+(* A view is unchanged by a statement when the relevance pre-filter
+   skipped it, or when propagation touched nothing: no embeddings in or
+   out, no payload refresh, and no rebuild (a rebuild can rewrite
+   payloads without being itemized in the counts). *)
+let report_changes r =
+  (not r.Maint.skipped_irrelevant)
+  && (r.Maint.embeddings_added > 0
+     || r.Maint.embeddings_removed > 0
+     || r.Maint.tuples_modified > 0
+     || r.Maint.fallback_recompute)
+
+let drain_batch t =
+  (* Caller holds [t.mutex]. *)
+  let batch = ref [] in
+  let k = ref 0 in
+  while (not (Queue.is_empty t.queue)) && !k < t.max_batch do
+    batch := Queue.pop t.queue :: !batch;
+    incr k
+  done;
+  List.rev !batch
+
+let apply_batch t batch =
+  let changed = Hashtbl.create 16 in
+  Obs.Timer.time t_batch (fun () ->
+      List.iter
+        (fun u ->
+          let reports = View_set.update ~jobs:t.jobs t.set u in
+          List.iter
+            (fun (mv, r) ->
+              if report_changes r then
+                Hashtbl.replace changed mv.Mview.pat.Pattern.name ())
+            reports;
+          t.applied <- t.applied + 1;
+          Obs.Counter.incr c_applied)
+        batch);
+  t.batch_count <- t.batch_count + 1;
+  Obs.Counter.incr c_batches;
+  Obs.Counter.incr c_epochs;
+  let prev = Atomic.get t.published in
+  let snap =
+    Snapshot.advance prev ~applied:t.applied ~changed:(Hashtbl.mem changed)
+      t.set
+  in
+  (* Data first, then metrics: a reader pairing the two can see metrics
+     at most one epoch behind, never ahead. *)
+  Atomic.set t.published snap;
+  if Obs.enabled () then Atomic.set t.published_metrics (Obs.snapshot ());
+  t.log <- (snap.Snapshot.epoch, snap.Snapshot.applied, Obs.now ()) :: t.log
+
+let step ?(block = false) t =
+  Mutex.lock t.mutex;
+  if block then
+    while Queue.is_empty t.queue && not t.stopping do
+      Condition.wait t.nonempty t.mutex
+    done;
+  let batch = drain_batch t in
+  Mutex.unlock t.mutex;
+  match batch with
+  | [] -> 0
+  | _ ->
+    apply_batch t batch;
+    List.length batch
+
+let run t =
+  let rec loop () =
+    let n = step ~block:true t in
+    if n > 0 then loop ()
+    else begin
+      Mutex.lock t.mutex;
+      let finished = t.stopping && Queue.is_empty t.queue in
+      Mutex.unlock t.mutex;
+      if not finished then loop ()
+    end
+  in
+  loop ()
+
+let prometheus t =
+  let metrics_snap = Atomic.get t.published_metrics in
+  let s = Atomic.get t.published in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (Obs.to_prometheus ~snapshot:metrics_snap ());
+  let gauge name v =
+    Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n%s %d\n" name name v)
+  in
+  gauge "xvm_serve_epoch" s.Snapshot.epoch;
+  gauge "xvm_serve_applied_statements" s.Snapshot.applied;
+  gauge "xvm_serve_pending_updates" (pending t);
+  gauge "xvm_serve_node_count" s.Snapshot.node_count;
+  if Array.length s.Snapshot.views > 0 then begin
+    Buffer.add_string b "# TYPE xvm_serve_view_tuples gauge\n";
+    Array.iter
+      (fun v ->
+        Buffer.add_string b
+          (Printf.sprintf "xvm_serve_view_tuples{view=%S} %d\n"
+             v.Snapshot.v_name
+             (Array.length v.Snapshot.v_tuples)))
+      s.Snapshot.views
+  end;
+  Buffer.contents b

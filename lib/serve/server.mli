@@ -1,0 +1,73 @@
+(** The always-on serving loop.
+
+    One {!Server.t} owns a {!View_set} and runs the paper's maintenance
+    machinery as a long-lived writer: update statements are {e admitted}
+    from any domain into a pending queue ({!submit}), and the main
+    domain drains them in batches ({!step} / {!run}), applying each
+    through {!View_set.update} — shared Δ index, relevance skip,
+    optional domain fan-out — then publishing one fresh
+    {!Snapshot.t} per batch.
+
+    Reader domains call {!snapshot} (a single [Atomic.get]) and answer
+    queries from the returned immutable epoch; they never take the
+    queue lock and never block on {!Store.commit}. Writes and reads
+    meet only at the two [Atomic] publication cells (data snapshot and
+    metrics snapshot).
+
+    Main-domain discipline: {!step}, {!run} and {!stop}'s drain run on
+    the domain that owns the store ({!Store.commit} enforces this);
+    {!submit}, {!snapshot}, {!metrics}, {!prometheus} and {!pending}
+    are safe from any domain. *)
+
+type t
+
+(** [create ?jobs ?max_batch set] wraps a committed view set and
+    publishes epoch 0. [jobs] (default 1, clamped to >= 1) is passed to
+    {!View_set.update}; [max_batch] (default 64, clamped to >= 1) caps
+    how many queued statements one {!step} applies before publishing. *)
+val create : ?jobs:int -> ?max_batch:int -> View_set.t -> t
+
+(** [submit t u] enqueues a statement; returns [false] (statement
+    dropped) once {!stop} has been called. Any domain. *)
+val submit : t -> Update.t -> bool
+
+(** [step ?block t] drains up to [max_batch] pending statements, applies
+    them, publishes the next epoch and returns the batch size. With
+    [block] (default [false]) an empty queue waits on the condition
+    variable until a statement arrives or {!stop} is called; otherwise
+    an empty queue returns 0 immediately. *)
+val step : ?block:bool -> t -> int
+
+(** [run t] loops [step ~block:true] until {!stop} has been called {e
+    and} the queue is drained — every statement admitted before [stop]
+    is applied and published before [run] returns. *)
+val run : t -> unit
+
+(** Signal termination; wakes a blocked {!step}. Any domain,
+    idempotent. *)
+val stop : t -> unit
+
+(** The current published snapshot. Any domain. *)
+val snapshot : t -> Snapshot.t
+
+(** The Obs registry snapshot taken at the last publication (empty if
+    the registry is disabled). Any domain. *)
+val metrics : t -> Obs.snapshot
+
+(** Queue length right now. Any domain. *)
+val pending : t -> int
+
+(** Batches published so far (main domain, or after {!run} returned). *)
+val batches : t -> int
+
+(** Publication log, oldest first: [(epoch, applied, Obs.now at
+    publication)]. Read it after {!run} returned (or from the main
+    domain between steps). *)
+val publish_log : t -> (int * int * float) list
+
+(** Prometheus text-format exposition (version 0.0.4): every Obs
+    counter and timer from the last published metrics snapshot
+    ({!Obs.to_prometheus}), followed by [xvm_serve_*] gauges — epoch,
+    applied statements, pending queue length, node count and per-view
+    tuple counts. Any domain. *)
+val prometheus : t -> string

@@ -37,8 +37,10 @@ val can_skip : Mview.t -> update_labels -> bool
 
 (** [parallel_map ~jobs tasks] runs the thunks across [jobs] domains
     (round-robin striping, stripe 0 on the calling domain) and returns
-    their results in task order. [jobs <= 1] degenerates to a plain
-    sequential map on the calling domain — same results, no spawning.
+    their results in task order. [jobs] is clamped to
+    [1 .. Array.length tasks], so [jobs <= 1] — including zero and
+    negative values — degenerates to a plain sequential map on the
+    calling domain: same results, no spawning.
     If a task raises, the exception is re-raised after all domains have
     been joined and their Obs contributions merged. *)
 val parallel_map : jobs:int -> (unit -> 'a) array -> 'a array

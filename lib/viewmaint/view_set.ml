@@ -47,6 +47,9 @@ let views t = List.rev t.views
    false] for every clean view) and performed exactly once, between the
    parallel section and the committing views. *)
 let update ?(jobs = 1) t u =
+  (* Zero or negative job counts mean "no fan-out", never a bogus stripe
+     count handed to [Batch.parallel_map]. *)
+  let jobs = max 1 jobs in
   let views = views t in
   match views with
   | [] ->

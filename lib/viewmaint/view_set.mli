@@ -37,7 +37,8 @@ val views : t -> Mview.t list
     [Maint.skipped_irrelevant] set.
 
     [jobs] (default [1]) fans clean-view propagation out across that
-    many OCaml domains. Propagation before the commit is read-only on
+    many OCaml domains; values [<= 1] (including zero and negative,
+    which are clamped) run sequentially on the calling domain. Propagation before the commit is read-only on
     the store and views are pairwise independent, so the results are
     {e bit-identical} to [jobs = 1] (timing fields aside) — reports are
     reassembled in insertion order and per-domain Obs counters are

@@ -1,0 +1,20 @@
+let period = 6
+
+(* Each insert/delete pair targets one label population: the deletion
+   removes every node the paired insertion (and the generator's initial
+   document) put there, so repeated cycles reach a steady state instead
+   of growing without bound. Paths and fragments follow the Appendix A
+   idiom (see [Xmark_updates]). *)
+let statement i =
+  match (i mod period + period) mod period with
+  | 0 -> Update.insert ~into:"/site/people/person" "<phone>+1-555-0199</phone>"
+  | 1 -> Update.delete "/site/people/person/phone"
+  | 2 ->
+    Update.insert ~into:"/site/open_auctions/open_auction"
+      "<bidder><date>01/01/2000</date><increase>7.50</increase></bidder>"
+  | 3 -> Update.delete "/site/open_auctions/open_auction/bidder"
+  | 4 ->
+    (* A label no generated document or view mentions: propagation is
+       provably irrelevant to every view, exercising the skip path. *)
+    Update.insert ~into:"/site/categories" "<edge from=\"c0\" to=\"c1\"/>"
+  | _ -> Update.delete "/site/categories/edge"

@@ -136,6 +136,27 @@ let test_join_column_order () =
         [ lab 0; lab 1; lab 2 ])
     acb
 
+(* XVM_BOXED_TABLES: only the explicit truthy spellings request the
+   boxed layout; everything else — unset, empty, "0", "no", garbage —
+   keeps the columnar default. *)
+let test_boxed_env_parse () =
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S requests boxed"
+           (Option.value ~default:"<unset>" v))
+        true
+        (Tuple_table.boxed_requested v))
+    [ Some "1"; Some "true"; Some "TRUE"; Some "True"; Some " 1 "; Some "\ttrue\n" ];
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S stays columnar"
+           (Option.value ~default:"<unset>" v))
+        false
+        (Tuple_table.boxed_requested v))
+    [ None; Some ""; Some "0"; Some "false"; Some "no"; Some "yes"; Some "2"; Some "on"; Some "boxed" ]
+
 let test_tuple_table () =
   let t = Tuple_table.of_ids ~node:7 [| Dewey.root ~lab:1 |] in
   Alcotest.(check int) "col_pos" 0 (Tuple_table.col_pos t 7);
@@ -523,6 +544,7 @@ let () =
         ] );
       ( "tables",
         [
+          Alcotest.test_case "boxed env parse" `Quick test_boxed_env_parse;
           Alcotest.test_case "tuple table" `Quick test_tuple_table;
           Alcotest.test_case "append growth" `Quick test_append_growth;
           Alcotest.test_case "sortedness metadata" `Quick test_sortedness_metadata;

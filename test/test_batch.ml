@@ -130,6 +130,31 @@ let test_jobs_deterministic () =
       Alcotest.(check bool) "counters identical" true (c1 = c3))
     [ Update.insert ~into:"/r/a" "<b>9</b>"; Update.delete "//b" ]
 
+(* Regression: zero and negative job counts must be clamped to the
+   sequential path everywhere — never handed to [Domain.spawn] as a
+   stripe count — and produce the same extents as [jobs = 1]. *)
+let test_jobs_clamped () =
+  let stmt = Update.insert ~into:"/r/a" "<b>9</b>" in
+  let d1, r1, _ = batched_run ~jobs:1 stmt in
+  List.iter
+    (fun jobs ->
+      let d, r, _ = batched_run ~jobs stmt in
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d dumps = jobs=1" jobs)
+        true (d = d1);
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d reports = jobs=1" jobs)
+        true (r = r1))
+    [ 0; -3 ];
+  let tasks = Array.init 5 (fun i () -> i * i) in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "parallel_map jobs=%d" jobs)
+        [| 0; 1; 4; 9; 16 |]
+        (Batch.parallel_map ~jobs tasks))
+    [ -1; 0; 100 ]
+
 let test_parallel_map () =
   let tasks = Array.init 10 (fun i () -> i * i) in
   Alcotest.(check (array int))
@@ -202,6 +227,8 @@ let () =
         [
           Alcotest.test_case "jobs>1 bit-identical to jobs=1" `Quick
             test_jobs_deterministic;
+          Alcotest.test_case "jobs<=0 clamped to sequential" `Quick
+            test_jobs_clamped;
           Alcotest.test_case "parallel_map order & exceptions" `Quick
             test_parallel_map;
           Alcotest.test_case "child-domain counter merge" `Quick

@@ -73,6 +73,55 @@ let test_monotonic_now () =
   in
   loop 1000 (Obs.now ())
 
+(* The clock must actually advance (it is a real monotonic source, not a
+   constant passing the non-decreasing check) and measure a sleep with
+   sane magnitude. *)
+let test_clock_advances () =
+  let t0 = Obs.now () in
+  Unix.sleepf 0.02;
+  let elapsed = Obs.now () -. t0 in
+  Alcotest.(check bool) "sleep measured as > 5 ms" true (elapsed > 0.005);
+  Alcotest.(check bool) "sleep measured as < 10 s" true (elapsed < 10.)
+
+let contains haystack needle =
+  let n = String.length needle and l = String.length haystack in
+  let rec at i = i + n <= l && (String.sub haystack i n = needle || at (i + 1)) in
+  at 0
+
+let test_prometheus_export () =
+  Alcotest.(check string) "name sanitization" "a_b_c_d"
+    (Obs.prometheus_name "a.b-c d");
+  let ((), snap) =
+    Obs.with_scope (fun () ->
+        Obs.Counter.add c_hits 3;
+        Obs.Timer.add_span t_work 0.25)
+  in
+  let prom = Obs.to_prometheus ~snapshot:snap () in
+  List.iter
+    (fun needle ->
+      if not (contains prom needle) then
+        Alcotest.failf "prometheus dump missing %S in:\n%s" needle prom)
+    [
+      "# TYPE xvm_test_obs_hits_total counter";
+      "xvm_test_obs_hits_total 3\n";
+      "xvm_test_obs_work_seconds_total 0.250000000\n";
+      "xvm_test_obs_work_spans_total 1\n";
+    ];
+  (* Every non-comment line is "<name> <value>". *)
+  List.iter
+    (fun line ->
+      if String.length line > 0 && line.[0] <> '#' then
+        match String.split_on_char ' ' line with
+        | [ name; value ] ->
+          Alcotest.(check string) "metric name is sanitized" name
+            (Obs.prometheus_name name);
+          Alcotest.(check bool)
+            (Printf.sprintf "value %S parses" value)
+            true
+            (float_of_string_opt value <> None)
+        | _ -> Alcotest.failf "malformed exposition line %S" line)
+    (String.split_on_char '\n' prom)
+
 let test_export_formats () =
   let ((), snap) =
     Obs.with_scope (fun () ->
@@ -138,6 +187,8 @@ let () =
       ( "clock+export",
         [
           Alcotest.test_case "monotonic now" `Quick test_monotonic_now;
+          Alcotest.test_case "clock advances" `Quick test_clock_advances;
+          Alcotest.test_case "prometheus export" `Quick test_prometheus_export;
           Alcotest.test_case "export formats" `Quick test_export_formats;
           Alcotest.test_case "stats median" `Quick test_stats_median;
         ] );
