@@ -40,7 +40,7 @@ let valid_sections =
   [
     "fig18"; "fig19"; "fig20"; "fig21"; "fig22"; "fig24"; "fig25"; "fig26";
     "fig27"; "fig28"; "fig29"; "fig33"; "ablations"; "joinab"; "prims";
-    "figMV"; "fuzz"; "difftest"; "micro"; "serve";
+    "figMV"; "fuzz"; "difftest"; "micro"; "serve"; "wal";
   ]
 
 (* A typo'd section name must not silently bench nothing. *)
@@ -1385,19 +1385,143 @@ let serve_bench () =
            ("reads", Json.int r.Load.reads);
            ("read_rps", Json.num r.Load.read_rps);
            ("writes_submitted", Json.int r.Load.writes_submitted);
+           ("writes_rejected", Json.int r.Load.writes_rejected);
            ("writes_applied", Json.int r.Load.writes_applied);
            ("max_batch_fill", Json.int r.Load.max_batch_fill);
          ]
         @ lat "read" r.Load.read_ms
         @ lat "write_visible" r.Load.write_visible_ms);
-      (* The driver's accounting must be self-consistent: a writer
-         regime that applied nothing, or lost statements, is a harness
-         bug worth failing the bench over. *)
+      (* The driver's accounting must be self-consistent. Rejection at
+         admission (the post-stop shutdown race) is benign and counted
+         separately; an {e admitted} statement that never applied was
+         lost in flight — a harness bug worth failing the bench over. *)
       if r.Load.writes_applied <> r.Load.writes_submitted then begin
         write_results ();
-        failwith (name ^ ": submitted statements were lost")
+        failwith
+          (Printf.sprintf
+             "%s: %d admitted statement(s) lost in flight (%d rejected at \
+              admission)"
+             name
+             (r.Load.writes_submitted - r.Load.writes_applied)
+             r.Load.writes_rejected)
       end)
     scenarios
+
+(* {1 wal: durability-layer costs}
+
+   Three numbers the durability layer owes the evaluation: raw
+   append+fsync throughput, group-commit cost as the batch grows (one
+   fsync amortized over [batch] records — the discipline the server's
+   admission loop uses), and recovery time as the log between
+   checkpoints lengthens (checkpoint load + full statement replay
+   through [View_set.update]). The writer figures exercise the [Wal]
+   layer alone; recovery runs the whole [Durable] path against a real
+   view set. *)
+
+let wal_bench () =
+  header "wal: append/fsync throughput, group commit, recovery";
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | exception Unix.Unix_error _ -> ()
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+    | _ -> ( try Sys.remove path with Sys_error _ -> ())
+  in
+  let tmp =
+    let f = Filename.temp_file "xvmwal" ".bench" in
+    Sys.remove f;
+    Unix.mkdir f 0o700;
+    f
+  in
+  Fun.protect ~finally:(fun () -> rm_rf tmp) @@ fun () ->
+  (* Group commit: realistic statement payloads, one fsync per [batch]
+     records. batch = 1 is the every-statement-durable worst case. *)
+  let payloads =
+    Array.init 64 (fun i -> Update.to_string (Xmark_mix.statement i))
+  in
+  let n = if full then 40_000 else 6_000 in
+  List.iter
+    (fun batch ->
+      let path = Filename.concat tmp (Printf.sprintf "thr-%d.log" batch) in
+      let w = Wal.create_writer ~path ~next_seq:1 in
+      let (), elapsed =
+        Obs.duration (fun () ->
+            for i = 0 to n - 1 do
+              ignore (Wal.append w payloads.(i land 63));
+              if (i + 1) mod batch = 0 then Wal.sync w
+            done;
+            Wal.sync w)
+      in
+      Wal.close_writer w;
+      let size = (Unix.stat path).Unix.st_size in
+      let syncs = ((n + batch - 1) / batch) + 1 in
+      Printf.printf
+        "  batch %4d: %9.0f rec/s, %6.2f MB/s, %8.1f us/sync, %6.2f us/rec\n%!"
+        batch
+        (float_of_int n /. elapsed)
+        (float_of_int size /. elapsed /. 1048576.)
+        (elapsed *. 1e6 /. float_of_int syncs)
+        (elapsed *. 1e6 /. float_of_int n);
+      record "wal"
+        [
+          ("metric", Json.Str "group_commit");
+          ("batch", Json.int batch);
+          ("records", Json.int n);
+          ("file_bytes", Json.int size);
+          ("records_per_s", Json.num (float_of_int n /. elapsed));
+          ("mb_per_s", Json.num (float_of_int size /. elapsed /. 1048576.));
+          ("us_per_sync", Json.num (elapsed *. 1e6 /. float_of_int syncs));
+          ("us_per_record", Json.num (elapsed *. 1e6 /. float_of_int n));
+        ])
+    [ 1; 8; 64; 512 ];
+  (* Recovery time vs log length: journal K statements past checkpoint 0,
+     crash, and time the full recover walk (checkpoint load + replay).
+     The replay count doubles as a correctness check. *)
+  let views = [ "Q1"; "Q2"; "Q6" ] in
+  let sizes = if full then [ 250; 1000; 4000 ] else [ 100; 400; 1600 ] in
+  let parse_pattern ~name s = Difftest.view_of_compact ~name s in
+  List.iter
+    (fun k ->
+      let dir = Filename.concat tmp (Printf.sprintf "rec-%d" k) in
+      let store = Store.of_document (doc small_kb) in
+      let set = View_set.create store in
+      List.iter
+        (fun nm -> ignore (View_set.add set (Xmark_views.find nm)))
+        views;
+      let d = Durable.init ~dir set in
+      for i = 0 to k - 1 do
+        ignore (View_set.update set (Xmark_mix.statement i))
+      done;
+      Durable.sync d;
+      Durable.crash d;
+      let o, elapsed =
+        Obs.duration (fun () ->
+            match Durable.recover ~dir ~parse_pattern () with
+            | Some o -> o
+            | None -> failwith "wal bench: recovery found no checkpoint")
+      in
+      Durable.close o.Durable.engine;
+      Printf.printf "  recover %5d stmts: %8.1f ms (%.3f ms/stmt)\n%!" k
+        (elapsed *. 1e3)
+        (elapsed *. 1e3 /. float_of_int k);
+      record "wal"
+        [
+          ("metric", Json.Str "recovery");
+          ("log_statements", Json.int k);
+          ("views", Json.Str (String.concat "," views));
+          ("doc_kb", Json.int small_kb);
+          ("replayed", Json.int o.Durable.replayed);
+          ("recover_ms", Json.num (elapsed *. 1e3));
+          ("ms_per_statement", Json.num (elapsed *. 1e3 /. float_of_int k));
+        ];
+      if o.Durable.replayed <> k then begin
+        write_results ();
+        failwith
+          (Printf.sprintf "wal bench: replayed %d of %d logged statements"
+             o.Durable.replayed k)
+      end)
+    sizes
 
 let () =
   Printf.printf "xvm benchmark harness — %s mode, %d run(s) per point\n"
@@ -1437,6 +1561,7 @@ let () =
   if wanted "fuzz" then fuzz_oracle ();
   if wanted "difftest" then difftest_oracle ();
   if wanted "serve" then serve_bench ();
+  if wanted "wal" then wal_bench ();
   if (not skip_micro) && wanted "micro" then micro ();
   write_results ();
   print_newline ()

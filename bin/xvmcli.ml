@@ -316,7 +316,7 @@ let maintain_cmd =
 (* {1 fuzz} *)
 
 let fuzz_cmd =
-  let run metrics seed trees codec =
+  let run metrics seed trees codec wal =
     with_metrics metrics @@ fun () ->
     Printf.printf "fuzzing the ingestion & persistence boundary (seed %d)\n%!" seed;
     let rt, t_rt =
@@ -331,7 +331,14 @@ let fuzz_cmd =
     Printf.printf "  %s  (%.1f ms)\n%!"
       (Fuzz_oracle.summary "codec corrupt-or-correct" cc)
       (t_cc *. 1000.);
-    if not (Fuzz_oracle.ok rt && Fuzz_oracle.ok cc) then exit 1
+    let wc, t_wc =
+      Timing.duration (fun () -> Fuzz_oracle.wal_corrupt ~seed ~count:wal)
+    in
+    Printf.printf "  %s  (%.1f ms)\n%!"
+      (Fuzz_oracle.summary "wal corrupt-or-correct" wc)
+      (t_wc *. 1000.);
+    if not (Fuzz_oracle.ok rt && Fuzz_oracle.ok cc && Fuzz_oracle.ok wc) then
+      exit 1
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
   let trees =
@@ -345,20 +352,43 @@ let fuzz_cmd =
       & info [ "codec" ]
           ~doc:"Random/mutated byte inputs for the view-codec property.")
   in
+  let wal =
+    Arg.(
+      value & opt int 2000
+      & info [ "wal" ]
+          ~doc:
+            "Torn/truncated/bit-flipped/checksum-forged write-ahead-log \
+             images for the WAL scanner property.")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
          "Run the round-trip fuzzing oracle: parse/serialize identity over \
-          random trees and Corrupt-or-correct over mutated view images. \
-          Exits 1 on any failure.")
-    Term.(const run $ metrics_term $ seed $ trees $ codec)
+          random trees, Corrupt-or-correct over mutated view images, and \
+          scanner robustness over damaged write-ahead-log images. Exits 1 on \
+          any failure.")
+    Term.(const run $ metrics_term $ seed $ trees $ codec $ wal)
 
 (* {1 difftest} *)
 
 let difftest_cmd =
-  let run metrics seed iters replay multiview jobs =
+  let run metrics seed iters replay multiview recover jobs =
     with_metrics metrics @@ fun () ->
     match replay with
+    | None when recover ->
+      Printf.printf
+        "kill-and-recover oracle: checkpoint + WAL replay vs uninterrupted \
+         run (seed %d, %d iterations)\n\
+         %!"
+        seed iters;
+      let rep, t =
+        Timing.duration (fun () -> Difftest.run_recover ~jobs ~seed ~iters ())
+      in
+      List.iter print_endline rep.Qgen.failures;
+      Printf.printf "  %s  (%.1f ms)\n%!"
+        (Qgen.summary "recovered=uninterrupted" rep)
+        (t *. 1000.);
+      if not (Qgen.ok rep) then exit 1
     | Some repro when String.length repro >= 8 && String.sub repro 0 8 = "xvmdtm1|"
       ->
       let t =
@@ -445,6 +475,16 @@ let difftest_cmd =
             "Check 2-4-view sets: batched View_set.update against one-by-one \
              propagation on fresh stores, at --jobs and at 1.")
   in
+  let recover =
+    Arg.(
+      value & flag
+      & info [ "recover" ]
+          ~doc:
+            "Check the durability engine: kill a durable run at a seeded \
+             statement boundary, recover from checkpoint + write-ahead log, \
+             and require tuple-for-tuple agreement with an uninterrupted \
+             run (then once more after finishing the statement sequence).")
+  in
   let jobs =
     Arg.(
       value & opt pos_int 2
@@ -457,11 +497,14 @@ let difftest_cmd =
     (Cmd.info "difftest"
        ~doc:
          "Cross-check the three maintenance engines on random (document, \
-          view, update) triples — or, with $(b,--multiview), batched \
-          View_set maintenance against one-by-one propagation; failing \
+          view, update) triples — with $(b,--multiview), batched View_set \
+          maintenance against one-by-one propagation; with $(b,--recover), \
+          kill-and-recover durability against an uninterrupted run; failing \
           inputs are shrunk and printed as replayable reproducers. Exits 1 \
           on any mismatch.")
-    Term.(const run $ metrics_term $ seed $ iters $ replay $ multiview $ jobs)
+    Term.(
+      const run $ metrics_term $ seed $ iters $ replay $ multiview $ recover
+      $ jobs)
 
 (* {1 serve} *)
 
@@ -492,18 +535,49 @@ let start_endpoint server port =
   ep
 
 let serve_cmd =
-  let run metrics doc gen_kb seed vnames vqueries jobs max_batch port =
+  let run metrics doc gen_kb seed vnames vqueries jobs max_batch port wal =
     with_metrics metrics @@ fun () ->
-    let set = serve_set ~doc ~gen_kb ~seed ~vnames ~vqueries in
-    let server = Server.create ~jobs ~max_batch set in
+    (* With --wal, an existing manifest wins over the command-line
+       document/view flags: the directory IS the state, and startup is a
+       recovery. A fresh directory is initialized from the flags. *)
+    let set, durable =
+      match wal with
+      | None -> (serve_set ~doc ~gen_kb ~seed ~vnames ~vqueries, None)
+      | Some dir -> (
+        let parse_pattern ~name s = Difftest.view_of_compact ~name s in
+        match Durable.recover ~dir ~parse_pattern ~jobs () with
+        | Some o ->
+          Printf.eprintf
+            "recovered from %s: checkpoint %d, %d statement(s) replayed%s%s\n%!"
+            dir o.Durable.ck_seq o.Durable.replayed
+            (match o.Durable.rebuilt_views with
+            | [] -> ""
+            | vs -> Printf.sprintf ", %d view image(s) rebuilt" (List.length vs))
+            (match o.Durable.truncated with
+            | [] -> ""
+            | ts ->
+              String.concat ""
+                (List.map
+                   (fun (f, d) ->
+                     Printf.sprintf "\n  truncated %s: %s" f
+                       (Wal.damage_to_string d))
+                   ts));
+          (o.Durable.set, Some o.Durable.engine)
+        | None ->
+          let set = serve_set ~doc ~gen_kb ~seed ~vnames ~vqueries in
+          Printf.eprintf "initialized durability in %s\n%!" dir;
+          (set, Some (Durable.init ~dir set)))
+    in
+    let server = Server.create ~jobs ~max_batch ?durable set in
     let endpoint = Option.map (start_endpoint server) port in
     let s0 = Server.snapshot server in
     Printf.eprintf
       "serving %d view(s) over %d nodes; statements on stdin (also: query \
-       NAME | epoch | metrics | quit)\n\
+       NAME | epoch | metrics%s | quit)\n\
        %!"
       (Array.length s0.Snapshot.views)
-      s0.Snapshot.node_count;
+      s0.Snapshot.node_count
+      (if durable <> None then " | checkpoint" else "");
     (* The console runs on its own domain: it only submits to the
        admission queue and reads published snapshots. The main domain —
        the store's writer — runs the serving loop. *)
@@ -518,8 +592,18 @@ let serve_cmd =
               | "quit" | "exit" -> Server.stop server
               | "epoch" ->
                 let s = Server.snapshot server in
-                Printf.printf "epoch %d; %d applied; %d pending\n%!"
-                  s.Snapshot.epoch s.Snapshot.applied (Server.pending server);
+                Printf.printf "epoch %d; %d applied; %d pending%s\n%!"
+                  s.Snapshot.epoch s.Snapshot.applied (Server.pending server)
+                  (if durable = None then ""
+                   else Printf.sprintf "; durable seq %d" (Server.durable_seq server));
+                loop ()
+              | "checkpoint" ->
+                if durable = None then
+                  Printf.printf "no --wal directory: nothing to checkpoint\n%!"
+                else begin
+                  Server.request_checkpoint server;
+                  Printf.printf "checkpoint requested\n%!"
+                end;
                 loop ()
               | "metrics" ->
                 print_string (Server.prometheus server);
@@ -557,9 +641,12 @@ let serve_cmd =
     Server.run server;
     Domain.join console;
     Option.iter Metrics_http.stop endpoint;
+    Option.iter Durable.close durable;
     let s = Server.snapshot server in
-    Printf.printf "served %d epoch(s), %d statement(s) applied\n"
+    Printf.printf "served %d epoch(s), %d statement(s) applied%s\n"
       s.Snapshot.epoch s.Snapshot.applied
+      (if durable = None then ""
+       else Printf.sprintf ", durable through seq %d" (Server.durable_seq server))
   in
   let doc =
     Arg.(
@@ -601,6 +688,19 @@ let serve_cmd =
       & info [ "port" ]
           ~doc:"Serve Prometheus metrics on this TCP port (0 = ephemeral).")
   in
+  let wal =
+    Arg.(
+      value & opt (some string) None
+      & info [ "wal" ] ~docv:"DIR"
+          ~doc:
+            "Durability directory: journal every admitted statement to a \
+             write-ahead log before applying it (a batch is acknowledged \
+             only after its records are fsynced), and on startup recover \
+             automatically from the directory's last checkpoint plus log — \
+             an existing $(docv) overrides the document/view flags. The \
+             $(b,checkpoint) console command persists the current state and \
+             truncates the log.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -609,10 +709,11 @@ let serve_cmd =
           batched maintenance passes, while queries are answered from \
           epoch-tagged immutable snapshots — readers never block on the \
           store commit. With $(b,--port), expose Prometheus metrics over \
-          HTTP.")
+          HTTP; with $(b,--wal), journal statements durably and recover on \
+          restart.")
     Term.(
       const run $ metrics_term $ doc $ gen_kb $ seed $ vnames $ vqueries $ jobs
-      $ max_batch $ port)
+      $ max_batch $ port $ wal)
 
 (* {1 bench-serve} *)
 
@@ -684,6 +785,7 @@ let bench_serve_cmd =
         (fun (k, v) -> field ("read_" ^ k) (Printf.sprintf "%.4f" v))
         (lat_fields r.Load.read_ms);
       field "writes_submitted" (string_of_int r.Load.writes_submitted);
+      field "writes_rejected" (string_of_int r.Load.writes_rejected);
       field "writes_applied" (string_of_int r.Load.writes_applied);
       List.iter
         (fun (k, v) -> field ("write_visible_" ^ k) (Printf.sprintf "%.4f" v))
@@ -707,8 +809,11 @@ let bench_serve_cmd =
            %.4f ms | max %.2f ms\n"
           l.Load.p50 l.Load.p95 l.Load.p99 l.Load.mean l.Load.max
       | None -> ());
-      Printf.printf "  writes: %d submitted, %d applied, max batch fill %d\n"
-        r.Load.writes_submitted r.Load.writes_applied r.Load.max_batch_fill;
+      Printf.printf
+        "  writes: %d submitted, %d applied, %d rejected at admission, max \
+         batch fill %d\n"
+        r.Load.writes_submitted r.Load.writes_applied r.Load.writes_rejected
+        r.Load.max_batch_fill;
       match r.Load.write_visible_ms with
       | Some l ->
         Printf.printf

@@ -1002,3 +1002,237 @@ let run_serve ?(jobs = 1) ~seed ~iters () =
     | Some msg -> Qgen.record rc msg
   done;
   Qgen.report_of rc ~iterations:iters
+
+(* {1 Kill-and-recover durability oracle}
+
+   The durability claim: killing the process at any synced statement
+   boundary and recovering from the last checkpoint plus the log yields
+   a state tuple-for-tuple identical to a run that was never
+   interrupted. Each case runs a random view set through the durable
+   engine, kills it after a seeded number of statements (optionally with
+   an extra statement journaled but never synced — which a real crash
+   loses, and so must recovery), recovers into the same directory, and
+   compares every view and the document against an uninterrupted
+   sequential oracle. The surviving engine then finishes the statement
+   sequence and is killed and recovered a second time, proving that
+   appends resume contiguously into a recovered log. *)
+
+type recover_case = {
+  rc_set : set_triple;
+  rc_stmts : string list;
+  rc_crash_after : int;
+  rc_checkpoint_at : int option;
+  rc_unsynced_tail : bool;
+}
+
+(* The journal persists [Update.to_string] renderings, so the recovery
+   oracle must draw from every journalable statement form — not just the
+   delete/insert-into mix of [gen_update]. *)
+let gen_recover_stmt rnd ~labels ~root_label =
+  let stmt =
+    match Random.State.int rnd 6 with
+    | 0 ->
+      Printf.sprintf "insert before %s %s"
+        (gen_path rnd ~labels ~root_label ~allow_attr:false)
+        (gen_fragment rnd)
+    | 1 ->
+      Printf.sprintf "insert after %s %s"
+        (gen_path rnd ~labels ~root_label ~allow_attr:false)
+        (gen_fragment rnd)
+    | 2 ->
+      Printf.sprintf "replace value of %s with %S"
+        (gen_path rnd ~labels ~root_label ~allow_attr:true)
+        (Qgen.pick rnd profile.Qgen.text_pieces)
+    | _ -> gen_update rnd ~labels ~root_label
+  in
+  ignore (Update.parse stmt);
+  stmt
+
+let gen_recover_case rnd =
+  let t = gen_set_triple rnd in
+  let labels = doc_labels t.sdoc in
+  let extra =
+    List.init
+      (2 + Random.State.int rnd 5)
+      (fun _ -> gen_recover_stmt rnd ~labels ~root_label:t.sdoc.Xml_tree.name)
+  in
+  let stmts = t.supdate :: extra in
+  let n = List.length stmts in
+  let crash_after = Random.State.int rnd (n + 1) in
+  let checkpoint_at =
+    if Random.State.bool rnd then Some (Random.State.int rnd (crash_after + 1))
+    else None
+  in
+  {
+    rc_set = t;
+    rc_stmts = stmts;
+    rc_crash_after = crash_after;
+    rc_checkpoint_at = checkpoint_at;
+    rc_unsynced_tail = crash_after < n && Random.State.int rnd 3 = 0;
+  }
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error _ -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
+
+let with_tmp_dir f =
+  let path = Filename.temp_file "xvm-recover" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o700;
+  Fun.protect ~finally:(fun () -> rm_rf path) (fun () -> f path)
+
+let describe_recover c ~detail =
+  Printf.sprintf
+    "kill-and-recover disagreement\n\
+    \  crash after %d of %d statements, checkpoint at %s%s\n\
+    \  detail: %s\n\
+    \  views:  %s\n\
+    \  statements: %s\n\
+    \  doc:    %s (%d nodes)\n\
+    \  set replay (first statement): xvmcli difftest --replay %s"
+    c.rc_crash_after
+    (List.length c.rc_stmts)
+    (match c.rc_checkpoint_at with None -> "-" | Some k -> string_of_int k)
+    (if c.rc_unsynced_tail then ", one unsynced statement in flight" else "")
+    detail
+    (String.concat "  ;  " (List.map Pattern.to_string c.rc_set.sviews))
+    (String.concat "  ;  " c.rc_stmts)
+    (Qgen.abbrev (Xml_tree.serialize c.rc_set.sdoc))
+    (Xml_tree.size c.rc_set.sdoc)
+    (shell_quote (repro_of_set c.rc_set))
+
+(* Tuple-for-tuple: every view payload included, then the document. *)
+let diff_view_sets got want =
+  let gs = Snapshot.initial got and ws = Snapshot.initial want in
+  if Array.length gs.Snapshot.views <> Array.length ws.Snapshot.views then
+    Some "view count differs"
+  else begin
+    let r = ref None in
+    Array.iter2
+      (fun g w ->
+        if !r = None then
+          match Snapshot.view_diff g w with
+          | Some d -> r := Some (Printf.sprintf "view %s: %s" g.Snapshot.v_name d)
+          | None -> ())
+      gs.Snapshot.views ws.Snapshot.views;
+    if
+      !r = None
+      && not
+           (Xml_tree.equal
+              (Store.root (View_set.store got))
+              (Store.root (View_set.store want)))
+    then r := Some "recovered document differs from the oracle document";
+    !r
+  end
+
+let check_recover ?(jobs = 1) c =
+  let fail detail = Some (describe_recover c ~detail) in
+  try
+    with_tmp_dir @@ fun dir ->
+    let stmts = Array.of_list c.rc_stmts in
+    let n = Array.length stmts in
+    let crash_at = c.rc_crash_after in
+    (* The durable run: journal (via the installed hook), apply, sync at
+       each statement boundary, checkpoint where the case says, kill. *)
+    let set = build_serve_set c.rc_set in
+    let d = Durable.init ~dir set in
+    for i = 0 to crash_at - 1 do
+      ignore (View_set.update ~jobs set (Update.parse stmts.(i)));
+      Durable.sync d;
+      if c.rc_checkpoint_at = Some (i + 1) then Durable.checkpoint d set
+    done;
+    if c.rc_unsynced_tail then
+      (* Journaled and applied in memory, but never synced: a real kill
+         loses this statement, and recovery must agree that it did. *)
+      ignore (View_set.update ~jobs set (Update.parse stmts.(crash_at)));
+    Durable.crash d;
+    let parse_pattern ~name s = view_of_compact ~name s in
+    (* Checkpoint at 0 (or at a boundary where nothing was journaled
+       since) is a no-op: generation 0 from [init] already covers it. *)
+    let expect_ck =
+      match c.rc_checkpoint_at with Some k when k >= 1 -> k | _ -> 0
+    in
+    match Durable.recover ~dir ~parse_pattern ~jobs () with
+    | None -> fail "no manifest found after the crash"
+    | Some o ->
+      if o.Durable.ck_seq <> expect_ck then
+        fail
+          (Printf.sprintf "recovered from checkpoint %d, expected %d"
+             o.Durable.ck_seq expect_ck)
+      else if o.Durable.replayed <> crash_at - expect_ck then
+        fail
+          (Printf.sprintf "replayed %d statements, expected %d"
+             o.Durable.replayed (crash_at - expect_ck))
+      else if o.Durable.skipped <> 0 then
+        fail
+          (Printf.sprintf "%d already-covered records survived segment GC"
+             o.Durable.skipped)
+      else if o.Durable.truncated <> [] then
+        fail
+          (Printf.sprintf "clean log reported damage: %s"
+             (String.concat "; "
+                (List.map
+                   (fun (f, dmg) -> f ^ ": " ^ Wal.damage_to_string dmg)
+                   o.Durable.truncated)))
+      else if o.Durable.rebuilt_views <> [] then
+        fail
+          (Printf.sprintf "intact images reported corrupt: %s"
+             (String.concat ", " o.Durable.rebuilt_views))
+      else begin
+        (* The oracle: the same prefix applied sequentially, never
+           interrupted. *)
+        let oset = build_serve_set c.rc_set in
+        for i = 0 to crash_at - 1 do
+          ignore (View_set.update oset (Update.parse stmts.(i)))
+        done;
+        match diff_view_sets o.Durable.set oset with
+        | Some m -> fail ("after first recovery: " ^ m)
+        | None -> (
+          (* Finish the sequence on the recovered engine — appends must
+             resume contiguously in the recovered segment — then kill
+             and recover once more. *)
+          let d2 = o.Durable.engine in
+          for i = crash_at to n - 1 do
+            ignore (View_set.update ~jobs o.Durable.set (Update.parse stmts.(i)));
+            Durable.sync d2
+          done;
+          Durable.crash d2;
+          match Durable.recover ~dir ~parse_pattern ~jobs () with
+          | None -> fail "no manifest found on second recovery"
+          | Some o2 ->
+            if o2.Durable.replayed <> n - expect_ck then
+              fail
+                (Printf.sprintf
+                   "second recovery replayed %d statements, expected %d"
+                   o2.Durable.replayed (n - expect_ck))
+            else if o2.Durable.truncated <> [] then
+              fail "second recovery reported damage in a clean log"
+            else begin
+              for i = crash_at to n - 1 do
+                ignore (View_set.update oset (Update.parse stmts.(i)))
+              done;
+              let r =
+                match diff_view_sets o2.Durable.set oset with
+                | Some m -> fail ("after second recovery: " ^ m)
+                | None -> None
+              in
+              Durable.close o2.Durable.engine;
+              r
+            end)
+      end
+  with exn -> fail ("escaped exception: " ^ Printexc.to_string exn)
+
+let run_recover ?(jobs = 1) ~seed ~iters () =
+  let rnd = Random.State.make [| seed; 0xc4a5 |] in
+  let rc = Qgen.fresh_recorder () in
+  for _ = 1 to iters do
+    let c = gen_recover_case rnd in
+    match check_recover ~jobs c with
+    | None -> ()
+    | Some msg -> Qgen.record rc msg
+  done;
+  Qgen.report_of rc ~iterations:iters

@@ -192,3 +192,38 @@ val gen_serve_case : Random.State.t -> serve_case
 val check_serve : ?jobs:int -> serve_case -> string option
 
 val run_serve : ?jobs:int -> seed:int -> iters:int -> unit -> Qgen.report
+
+(** {1 Kill-and-recover durability oracle}
+
+    The durability guarantee, differentially: a run killed at a seeded
+    statement boundary and recovered from its last checkpoint plus the
+    write-ahead log must be tuple-for-tuple identical — every view
+    payload, then the document itself — to a sequential run that was
+    never interrupted. Cases vary the crash point, the checkpoint
+    boundary (including none, and exactly at the crash point), and
+    whether a final statement was journaled but never synced (a real
+    kill loses it; recovery must agree). The recovered engine then
+    finishes the statement sequence and is killed and recovered a
+    second time, proving appends resume contiguously into a recovered
+    log segment. *)
+
+type recover_case = {
+  rc_set : set_triple;
+  rc_stmts : string list;  (** 3–8 journalable statements, in order *)
+  rc_crash_after : int;  (** statements applied and synced before the kill *)
+  rc_checkpoint_at : int option;
+      (** checkpoint boundary, [<= rc_crash_after]; [None] = log only *)
+  rc_unsynced_tail : bool;
+      (** when set, one more statement is journaled but never synced *)
+}
+
+val gen_recover_case : Random.State.t -> recover_case
+
+(** [check_recover ?jobs c] (default [jobs = 1]) runs the durable
+    engine in a fresh temporary directory, kills and recovers it twice,
+    and compares against the uninterrupted oracle; [Some message]
+    describes the first divergence. The directory is removed on exit
+    either way. *)
+val check_recover : ?jobs:int -> recover_case -> string option
+
+val run_recover : ?jobs:int -> seed:int -> iters:int -> unit -> Qgen.report

@@ -143,6 +143,182 @@ let mutate rnd data =
   | 5 -> (`Forged, refooter (flip_bits rnd (String.sub data 0 body_len)))
   | _ -> (`Forged, refooter (String.sub data 0 (Random.State.int rnd body_len)))
 
+(* {1 Property 3: the WAL scanner is corrupt-or-correct}
+
+   Torn, truncated, bit-flipped and checksum-forged images of a valid
+   write-ahead log. The scanner must never raise; with a stale CRC
+   ([`Raw] mutations) every record it returns must be an exact prefix of
+   the original sequence; a forged out-of-order sequence number must
+   stop the scan at exactly that record; and [Wal.repair_file] must
+   leave a file that rescans clean with the same records — idempotently
+   (repairing twice changes nothing). *)
+
+let wal_records rnd =
+  let n = 2 + Random.State.int rnd 6 in
+  List.init n (fun i ->
+      let payload =
+        match Random.State.int rnd 4 with
+        | 0 -> ""
+        | 1 -> Printf.sprintf "delete //item[%d]" i
+        | 2 -> String.make (1 + Random.State.int rnd 200) 'x'
+        | _ -> random_bytes rnd (Random.State.int rnd 64)
+      in
+      (i + 1, payload))
+
+let wal_image records =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf Wal.header;
+  List.iter
+    (fun (seq, p) -> Buffer.add_string buf (Wal.encode_record ~seq p))
+    records;
+  Buffer.contents buf
+
+(* [`Raw] leaves some stored CRC stale; [`Forged_payload k] re-encodes
+   record [k] with a different payload and a freshly valid CRC (framing
+   cannot tell it from a legitimate write); [`Forged_seq k] re-encodes
+   record [k] with a jumped sequence number and a valid CRC, which the
+   contiguity check must stop at. *)
+let mutate_wal rnd records image =
+  let len = String.length image in
+  let hlen = String.length Wal.header in
+  let n = List.length records in
+  let rebuild f = wal_image (List.mapi (fun i r -> f i r) records) in
+  match Random.State.int rnd 8 with
+  | 0 -> (`Raw, random_bytes rnd (Random.State.int rnd (len + 16)))
+  | 1 -> (`Raw, String.sub image 0 (Random.State.int rnd (len + 1)))
+  | 2 -> (`Raw, flip_bits rnd image)
+  | 3 -> (`Raw, splice rnd image)
+  | 4 -> (`Raw, image ^ random_bytes rnd (1 + Random.State.int rnd 20))
+  | 5 ->
+    (`Raw, flip_bits rnd (String.sub image 0 hlen) ^ String.sub image hlen (len - hlen))
+  | 6 ->
+    let k = Random.State.int rnd n in
+    ( `Forged_payload k,
+      rebuild (fun i (seq, p) ->
+          if i = k then (seq, random_bytes rnd (1 + Random.State.int rnd 32))
+          else (seq, p)) )
+  | _ ->
+    let k = Random.State.int rnd n in
+    let jump = 2 + Random.State.int rnd 5 in
+    ( `Forged_seq k,
+      rebuild (fun i (seq, p) -> if i = k then (seq + jump, p) else (seq, p)) )
+
+let wal_prefix_diff originals scan =
+  let got = scan.Wal.records in
+  if Array.length got > Array.length originals then
+    Some
+      (Printf.sprintf "scan returned %d records from a %d-record image"
+         (Array.length got) (Array.length originals))
+  else begin
+    let d = ref None in
+    Array.iteri
+      (fun i (seq, payload) ->
+        if !d = None then
+          let oseq, opayload = originals.(i) in
+          if seq <> oseq || payload <> opayload then
+            d := Some (Printf.sprintf "record %d is not the original (seq %d vs %d)" i seq oseq))
+      got;
+    !d
+  end
+
+let wal_corrupt ~seed ~count =
+  let rnd = Random.State.make [| seed; 0x3a1 |] in
+  let rc = Qgen.fresh_recorder () in
+  let path = Filename.temp_file "xvm-fuzz-wal" ".log" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let write_image data =
+    let oc = open_out_bin path in
+    output_string oc data;
+    close_out oc
+  in
+  let read_back () =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  for i = 1 to count do
+    let records = wal_records rnd in
+    let originals = Array.of_list records in
+    let image = wal_image records in
+    (* The pristine image must scan fully and cleanly. *)
+    (match Wal.scan_bytes ~expect_seq:1 image with
+    | s when s.Wal.damage <> None ->
+      Qgen.record rc
+        (Printf.sprintf "input %d: pristine image reported damage: %s" i
+           (Wal.damage_to_string (Option.get s.Wal.damage)))
+    | s when Array.length s.Wal.records <> Array.length originals ->
+      Qgen.record rc (Printf.sprintf "input %d: pristine image lost records" i)
+    | _ -> ()
+    | exception e ->
+      Qgen.record rc
+        (Printf.sprintf "input %d: scanner raised on pristine image: %s" i
+           (Printexc.to_string e)));
+    let kind, mutated = mutate_wal rnd records image in
+    match Wal.scan_bytes ~expect_seq:1 mutated with
+    | exception e ->
+      Qgen.record rc
+        (Printf.sprintf "input %d: scanner raised: %s" i (Printexc.to_string e))
+    | scan -> (
+      let verdict =
+        if Array.length scan.Wal.records <> Array.length scan.Wal.offsets then
+          Some "records/offsets length mismatch"
+        else if scan.Wal.valid_bytes > scan.Wal.file_bytes then
+          Some "valid prefix longer than the file"
+        else
+          match kind with
+          | `Raw ->
+            (* A stale checksum cannot survive the CRC gate: whatever the
+               scanner keeps is an exact prefix of what was written. *)
+            wal_prefix_diff originals scan
+          | `Forged_seq k ->
+            if Array.length scan.Wal.records <> k then
+              Some
+                (Printf.sprintf
+                   "forged sequence at record %d: scan kept %d records" k
+                   (Array.length scan.Wal.records))
+            else if scan.Wal.damage = None then
+              Some
+                (Printf.sprintf "forged sequence at record %d went undetected" k)
+            else None
+          | `Forged_payload _ ->
+            (* Indistinguishable from a legitimate write at this layer;
+               contiguity must still hold through it. *)
+            if scan.Wal.damage <> None then
+              Some
+                (Printf.sprintf "forged-CRC record rejected: %s"
+                   (Wal.damage_to_string (Option.get scan.Wal.damage)))
+            else None
+      in
+      match verdict with
+      | Some msg -> Qgen.record rc (Printf.sprintf "input %d: %s" i msg)
+      | None -> (
+        (* Repair must truncate to the valid prefix, rescan clean, and be
+           idempotent. (A zero-byte file stays empty by design.) *)
+        write_image mutated;
+        match Wal.repair_file ~expect_seq:1 path with
+        | exception e ->
+          Qgen.record rc
+            (Printf.sprintf "input %d: repair raised: %s" i (Printexc.to_string e))
+        | s1 -> (
+          let s2 = Wal.scan_file ~expect_seq:1 path in
+          let d2 = read_back () in
+          ignore (Wal.repair_file ~expect_seq:1 path);
+          let d3 = read_back () in
+          if s2.Wal.records <> s1.Wal.records then
+            Qgen.record rc
+              (Printf.sprintf "input %d: repair changed the valid records" i)
+          else if s2.Wal.damage <> None && String.length mutated > 0 then
+            Qgen.record rc
+              (Printf.sprintf "input %d: repaired file still reports damage: %s" i
+                 (Wal.damage_to_string (Option.get s2.Wal.damage)))
+          else if d3 <> d2 then
+            Qgen.record rc (Printf.sprintf "input %d: repair is not idempotent" i)))
+      )
+  done;
+  Qgen.report_of rc ~iterations:count
+
 let codec_corrupt ~seed ~count =
   let rnd = Random.State.make [| seed; 0xc0dec |] in
   let rc = Qgen.fresh_recorder () in

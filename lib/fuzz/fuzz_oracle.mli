@@ -35,3 +35,12 @@ val roundtrip_trees : seed:int -> count:int -> report
 (** [codec_corrupt ~seed ~count] feeds [count] mutated/random byte
     strings (plus the pristine image) to {!Mview_codec.load}. *)
 val codec_corrupt : seed:int -> count:int -> report
+
+(** [wal_corrupt ~seed ~count] builds [count] valid write-ahead-log
+    images and damages each one — torn writes, truncations, bit flips,
+    spliced garbage, forged-CRC payloads, forged sequence numbers. The
+    {!Wal} scanner must never raise; stale-CRC damage must yield an
+    exact prefix of the original records; a forged sequence must stop
+    the scan at exactly that record; and [Wal.repair_file] must leave a
+    file that rescans clean with the same records, idempotently. *)
+val wal_corrupt : seed:int -> count:int -> report

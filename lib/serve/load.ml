@@ -28,6 +28,7 @@ type report = {
   read_rps : float;
   read_ms : latency option;
   writes_submitted : int;
+  writes_rejected : int;
   writes_applied : int;
   write_visible_ms : latency option;
   max_batch_fill : int;
@@ -124,12 +125,16 @@ let reader_loop server stop_flag seed idx =
   done;
   (Fbuf.contents lats, !count)
 
-(* The submitter records the wall-clock submit time of each statement
-   (1-based index = the server's [applied] watermark once visible), so
-   visibility latency can be joined against the publication log after
-   the run. *)
+(* The submitter records the wall-clock submit time of each {e admitted}
+   statement (1-based index = the server's [applied] watermark once
+   visible), so visibility latency can be joined against the publication
+   log after the run. A statement the server turns away at admission
+   (post-[stop] shutdown race) is counted as {e rejected}, never as
+   submitted — so [writes_applied < writes_submitted] always means a
+   statement was genuinely lost in flight. *)
 let submitter_loop server stop_flag ~gen ~rate ~closed_loop ~deadline =
   let times = Fbuf.create () in
+  let rejected = ref 0 in
   let start = Obs.now () in
   let continue_ () = (not (Atomic.get stop_flag)) && Obs.now () < deadline in
   let i = ref 0 in
@@ -138,7 +143,10 @@ let submitter_loop server stop_flag ~gen ~rate ~closed_loop ~deadline =
        if closed_loop then begin
          let u = gen !i in
          let t = Obs.now () in
-         if not (Server.submit server u) then raise Exit;
+         if not (Server.submit server u) then begin
+           incr rejected;
+           raise Exit
+         end;
          Fbuf.push times t;
          incr i;
          let target = !i in
@@ -158,14 +166,18 @@ let submitter_loop server stop_flag ~gen ~rate ~closed_loop ~deadline =
          if now < due then Unix.sleepf (min (due -. now) 0.01)
          else begin
            let u = gen !i in
-           Fbuf.push times (Obs.now ());
-           if not (Server.submit server u) then raise Exit;
+           let t = Obs.now () in
+           if not (Server.submit server u) then begin
+             incr rejected;
+             raise Exit
+           end;
+           Fbuf.push times t;
            incr i
          end
        end
      done
    with Exit -> ());
-  Fbuf.contents times
+  (Fbuf.contents times, !rejected)
 
 (* Join submit times against the publication log: statements with index
    in (applied_prev, applied] became visible when that epoch was
@@ -174,10 +186,11 @@ let visibility_latencies submit_times log =
   let lats = Fbuf.create () in
   let prev = ref 0 in
   List.iter
-    (fun (_epoch, applied, t_pub) ->
+    (fun p ->
+      let applied = p.Server.p_applied in
       for i = !prev to applied - 1 do
         if i < Array.length submit_times then
-          Fbuf.push lats ((t_pub -. submit_times.(i)) *. 1000.)
+          Fbuf.push lats ((p.Server.p_time -. submit_times.(i)) *. 1000.)
       done;
       prev := max !prev applied)
     log;
@@ -186,9 +199,9 @@ let visibility_latencies submit_times log =
 let max_batch_fill log =
   let prev = ref 0 and m = ref 0 in
   List.iter
-    (fun (_epoch, applied, _t) ->
-      m := max !m (applied - !prev);
-      prev := applied)
+    (fun p ->
+      m := max !m (p.Server.p_applied - !prev);
+      prev := p.Server.p_applied)
     log;
   !m
 
@@ -228,8 +241,8 @@ let run ?on_server config set ~gen =
   (* The serving loop itself runs here: this is the store's writer. *)
   Server.run server;
   Domain.join timer;
-  let submit_times =
-    match submitter with Some d -> Domain.join d | None -> [||]
+  let submit_times, rejected =
+    match submitter with Some d -> Domain.join d | None -> ([||], 0)
   in
   let reader_results = Array.map Domain.join readers in
   let wall = Obs.now () -. t0 in
@@ -246,6 +259,7 @@ let run ?on_server config set ~gen =
     read_rps = (if wall > 0. then float_of_int reads /. wall else 0.);
     read_ms = digest all_lats;
     writes_submitted = Array.length submit_times;
+    writes_rejected = rejected;
     writes_applied = final.Snapshot.applied;
     write_visible_ms = digest (visibility_latencies submit_times log);
     max_batch_fill = max_batch_fill log;

@@ -40,7 +40,12 @@ type report = {
   reads : int;
   read_rps : float;
   read_ms : latency option;  (** [None] when [readers = 0] *)
-  writes_submitted : int;
+  writes_submitted : int;  (** statements the server {e admitted} *)
+  writes_rejected : int;
+      (** statements turned away at admission (post-[stop] shutdown
+          race) — distinct from submitted, so
+          [writes_applied < writes_submitted] always means a statement
+          was genuinely lost in flight *)
   writes_applied : int;
   write_visible_ms : latency option;
       (** submit → first snapshot containing the statement; [None] when

@@ -8,10 +8,19 @@ let c_batches = Obs.Scope.counter scope "batches"
 let c_epochs = Obs.Scope.counter scope "epochs"
 let t_batch = Obs.Scope.timer scope "batch"
 
+type publication = {
+  p_epoch : int;
+  p_applied : int;
+  p_durable_seq : int;
+  p_time : float;
+}
+
 type t = {
   set : View_set.t;
   jobs : int;
   max_batch : int;
+  durable : Durable.t option;
+  checkpoint_requested : bool Atomic.t;
   mutex : Mutex.t;
   nonempty : Condition.t;
   queue : Update.t Queue.t;
@@ -21,14 +30,16 @@ type t = {
   (* Main-domain-only bookkeeping. *)
   mutable applied : int;
   mutable batch_count : int;
-  mutable log : (int * int * float) list;  (* newest first *)
+  mutable log : publication list;  (* newest first *)
 }
 
-let create ?(jobs = 1) ?(max_batch = 64) set =
+let create ?(jobs = 1) ?(max_batch = 64) ?durable set =
   {
     set;
     jobs = max 1 jobs;
     max_batch = max 1 max_batch;
+    durable;
+    checkpoint_requested = Atomic.make false;
     mutex = Mutex.create ();
     nonempty = Condition.create ();
     queue = Queue.create ();
@@ -106,6 +117,17 @@ let apply_batch t batch =
   t.batch_count <- t.batch_count + 1;
   Obs.Counter.incr c_batches;
   Obs.Counter.incr c_epochs;
+  (* Durable ack: the batch's journal records are group-committed to
+     disk {e before} the snapshot publishes. Publication is the
+     acknowledgement — a reader can never observe state a crash would
+     forget. *)
+  let durable_seq =
+    match t.durable with
+    | None -> -1
+    | Some d ->
+      Durable.sync d;
+      Durable.durable_seq d
+  in
   let prev = Atomic.get t.published in
   let snap =
     Snapshot.advance prev ~applied:t.applied ~changed:(Hashtbl.mem changed)
@@ -115,20 +137,52 @@ let apply_batch t batch =
      at most one epoch behind, never ahead. *)
   Atomic.set t.published snap;
   if Obs.enabled () then Atomic.set t.published_metrics (Obs.snapshot ());
-  t.log <- (snap.Snapshot.epoch, snap.Snapshot.applied, Obs.now ()) :: t.log
+  t.log <-
+    {
+      p_epoch = snap.Snapshot.epoch;
+      p_applied = snap.Snapshot.applied;
+      p_durable_seq = durable_seq;
+      p_time = Obs.now ();
+    }
+    :: t.log
+
+(* Checkpoints run on the writer domain, between batches — always at a
+   statement boundary. *)
+let service_checkpoint t =
+  if Atomic.exchange t.checkpoint_requested false then
+    match t.durable with
+    | None -> ()
+    | Some d -> Durable.checkpoint d t.set
+
+let request_checkpoint t =
+  Atomic.set t.checkpoint_requested true;
+  (* Wake a blocked [step]; the broadcast is taken under the mutex so it
+     cannot land in the window between its predicate check and wait. *)
+  Mutex.lock t.mutex;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex
+
+let durable_seq t =
+  match t.durable with None -> -1 | Some d -> Durable.durable_seq d
 
 let step ?(block = false) t =
   Mutex.lock t.mutex;
   if block then
-    while Queue.is_empty t.queue && not t.stopping do
+    while
+      Queue.is_empty t.queue && (not t.stopping)
+      && not (Atomic.get t.checkpoint_requested)
+    do
       Condition.wait t.nonempty t.mutex
     done;
   let batch = drain_batch t in
   Mutex.unlock t.mutex;
   match batch with
-  | [] -> 0
+  | [] ->
+    service_checkpoint t;
+    0
   | _ ->
     apply_batch t batch;
+    service_checkpoint t;
     List.length batch
 
 let run t =

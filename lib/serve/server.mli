@@ -21,11 +21,27 @@
 
 type t
 
-(** [create ?jobs ?max_batch set] wraps a committed view set and
-    publishes epoch 0. [jobs] (default 1, clamped to >= 1) is passed to
-    {!View_set.update}; [max_batch] (default 64, clamped to >= 1) caps
-    how many queued statements one {!step} applies before publishing. *)
-val create : ?jobs:int -> ?max_batch:int -> View_set.t -> t
+(** One publication-log entry. [p_durable_seq] is the durable-epoch
+    watermark: the highest WAL sequence fsynced before this epoch
+    published ([-1] on a non-durable server) — every statement visible
+    in the epoch survives a crash. *)
+type publication = {
+  p_epoch : int;
+  p_applied : int;
+  p_durable_seq : int;
+  p_time : float;
+}
+
+(** [create ?jobs ?max_batch ?durable set] wraps a committed view set
+    and publishes epoch 0. [jobs] (default 1, clamped to >= 1) is passed
+    to {!View_set.update}; [max_batch] (default 64, clamped to >= 1)
+    caps how many queued statements one {!step} applies before
+    publishing. [durable] attaches a durability engine whose journal
+    hook is already installed on [set] (see [Durable.init] /
+    [Durable.recover]): each batch is group-committed to the log —
+    one fsync — {e before} its snapshot publishes, so publication
+    doubles as the durable acknowledgement. *)
+val create : ?jobs:int -> ?max_batch:int -> ?durable:Durable.t -> View_set.t -> t
 
 (** [submit t u] enqueues a statement; returns [false] (statement
     dropped) once {!stop} has been called. Any domain. *)
@@ -60,10 +76,18 @@ val pending : t -> int
 (** Batches published so far (main domain, or after {!run} returned). *)
 val batches : t -> int
 
-(** Publication log, oldest first: [(epoch, applied, Obs.now at
-    publication)]. Read it after {!run} returned (or from the main
-    domain between steps). *)
-val publish_log : t -> (int * int * float) list
+(** Publication log, oldest first. Read it after {!run} returned (or
+    from the main domain between steps). *)
+val publish_log : t -> publication list
+
+(** Highest WAL sequence known durable ([-1] on a non-durable server).
+    Main domain (or after {!run} returned). *)
+val durable_seq : t -> int
+
+(** Ask the writer loop to checkpoint at the next statement boundary
+    (after the in-flight batch, or immediately when idle). No-op on a
+    non-durable server. Any domain; wakes a blocked {!step}. *)
+val request_checkpoint : t -> unit
 
 (** Prometheus text-format exposition (version 0.0.4): every Obs
     counter and timer from the last published metrics snapshot

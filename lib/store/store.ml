@@ -91,8 +91,11 @@ let unregister t node =
 let handle_of_node t node = Hashtbl.find t.hids node.Xml_tree.serial
 
 (* Assign IDs to [node] (child of the node identified by [parent_id], with
-   ordinal [ord]) and all its descendants; stage every new entry. *)
-let rec assign t node ~parent_id ~ord =
+   ordinal [ord]) and all its descendants; stage every new entry. [ord_of],
+   when given, overrides the canonical 1..n child numbering — checkpoint
+   recovery uses it to re-intern the exact dynamic ordinals the crashed
+   store had minted, so persisted view images keep resolving. *)
+let rec assign t ?ord_of node ~parent_id ~ord =
   let lab = Label_dict.code t.dict (Xml_tree.label node) in
   let id =
     match parent_id with
@@ -102,10 +105,12 @@ let rec assign t node ~parent_id ~ord =
   register t node id;
   t.staged_adds <- { id; node } :: t.staged_adds;
   List.iteri
-    (fun i child -> assign t child ~parent_id:(Some id) ~ord:[| i + 1 |])
+    (fun i child ->
+      let ord = match ord_of with None -> [| i + 1 |] | Some f -> f child in
+      assign t ?ord_of child ~parent_id:(Some id) ~ord)
     node.Xml_tree.children
 
-let of_document ?dict root =
+let of_document ?dict ?ord_of root =
   let dict = match dict with Some d -> d | None -> Label_dict.create () in
   let t =
     {
@@ -121,7 +126,7 @@ let of_document ?dict root =
       live = 0;
     }
   in
-  assign t root ~parent_id:None ~ord:Dewey.Ord.first;
+  assign t ?ord_of root ~parent_id:None ~ord:Dewey.Ord.first;
   (* Inline commit of the initial load. *)
   let by_label = Hashtbl.create 64 in
   List.iter

@@ -17,8 +17,16 @@ type t
 
 type entry = { id : Dewey.t; node : Xml_tree.node }
 
-(** [of_document ?dict root] indexes a document. *)
-val of_document : ?dict:Label_dict.t -> Xml_tree.node -> t
+(** [of_document ?dict ?ord_of root] indexes a document. [ord_of], when
+    given, supplies the sibling ordinal of each non-root node instead of
+    the canonical [1..n] numbering; checkpoint recovery uses it (with a
+    restored dictionary) to re-intern exactly the identifiers a previous
+    store had minted, including the fractional ordinals of sibling
+    insertions — so identifiers persisted beside the document (view
+    images, logs) stay valid. *)
+val of_document :
+  ?dict:Label_dict.t -> ?ord_of:(Xml_tree.node -> Dewey.Ord.o) ->
+  Xml_tree.node -> t
 
 val root : t -> Xml_tree.node
 val dict : t -> Label_dict.t

@@ -6,6 +6,7 @@ type t =
       target : Xpath.path;
       forest : Xml_tree.node -> Xml_tree.node list;
       placement : placement;
+      template : Xml_tree.node list option;
     }
   | Replace_value of { target : Xpath.path; text : string }
 
@@ -14,13 +15,20 @@ let delete s = Delete (Xpath.parse s)
 let insert_at placement path fragment =
   let target = Xpath.parse path in
   let template = Xml_parse.fragment fragment in
-  Insert { target; forest = (fun _ -> List.map Xml_tree.copy template); placement }
+  Insert
+    {
+      target;
+      forest = (fun _ -> List.map Xml_tree.copy template);
+      placement;
+      template = Some template;
+    }
 
 let insert ~into fragment = insert_at Into into fragment
 let insert_before ~target fragment = insert_at Before target fragment
 let insert_after ~target fragment = insert_at After target fragment
 
-let insert_forest ~into forest = Insert { target = into; forest; placement = Into }
+let insert_forest ~into forest =
+  Insert { target = into; forest; placement = Into; template = None }
 
 let replace_value ~target text = Replace_value { target = Xpath.parse target; text }
 
@@ -40,6 +48,39 @@ let parse s =
   else if prefix "insert into" then begin
     let path, frag = split_on_fragment "'insert into'" (after "insert into") in
     insert ~into:path frag
+  end
+  else if prefix "insert before" then begin
+    let path, frag = split_on_fragment "'insert before'" (after "insert before") in
+    insert_before ~target:path frag
+  end
+  else if prefix "insert after" then begin
+    let path, frag = split_on_fragment "'insert after'" (after "insert after") in
+    insert_after ~target:path frag
+  end
+  else if prefix "replace value of" then begin
+    (* replace value of PATH with TEXT — the text is an OCaml-escaped,
+       quoted string literal (the exact rendering of [to_string]). Split
+       at the rightmost quote-opening separator so paths containing the
+       word with inside a value predicate cannot confuse the scan. *)
+    let rest = after "replace value of" in
+    let sep = " with \"" in
+    let sep_len = String.length sep in
+    let rec find_last i best =
+      if i + sep_len > String.length rest then best
+      else if String.sub rest i sep_len = sep then find_last (i + 1) (Some i)
+      else find_last (i + 1) best
+    in
+    match find_last 0 None with
+    | None -> invalid_arg "Update.parse: expected 'with \"TEXT\"' in replace"
+    | Some i ->
+      let path = String.trim (String.sub rest 0 i) in
+      let lit = String.sub rest (i + 6) (String.length rest - i - 6) in
+      let text =
+        try Scanf.sscanf lit "%S%!" (fun s -> s)
+        with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+          invalid_arg "Update.parse: malformed string literal in replace"
+      in
+      replace_value ~target:path text
   end
   else if prefix "for" then begin
     (* The statement form of Section 2.3:
@@ -72,17 +113,29 @@ let parse s =
       in
       insert ~into:path frag
   end
-  else invalid_arg "Update.parse: expected 'delete …', 'insert into …' or 'for … insert …'"
+  else
+    invalid_arg
+      "Update.parse: expected 'delete …', 'insert into|before|after …', \
+       'replace value of … with \"…\"' or 'for … insert …'"
 
 let to_string = function
   | Delete p -> "delete " ^ Xpath.to_string p
   | Replace_value { target; text } ->
     Printf.sprintf "replace value of %s with %S" (Xpath.to_string target) text
-  | Insert { target; placement; _ } ->
+  | Insert { target; placement; template; _ } ->
     let mode =
       match placement with Into -> "into" | Before -> "before" | After -> "after"
     in
-    Printf.sprintf "insert %s %s <...>" mode (Xpath.to_string target)
+    let frag =
+      match template with
+      | Some nodes -> String.concat "" (List.map Xml_tree.serialize nodes)
+      | None -> "<...>"
+    in
+    Printf.sprintf "insert %s %s %s" mode (Xpath.to_string target) frag
+
+let journalable = function
+  | Delete _ | Replace_value _ -> true
+  | Insert { template; _ } -> template <> None
 
 let targets store u =
   let path =

@@ -23,6 +23,12 @@ type t =
       target : Xpath.path;
       forest : Xml_tree.node -> Xml_tree.node list;
       placement : placement;
+      template : Xml_tree.node list option;
+          (** The parsed fragment behind [forest] when the insertion was
+              built from text ([insert]/[insert_before]/[insert_after]/
+              [parse]); [None] for the opaque [insert_forest] form. A
+              [Some] template makes the statement journalable: [to_string]
+              round-trips through [parse]. *)
     }
   | Replace_value of { target : Xpath.path; text : string }
       (** XQuery Update's [replace value of node q with "text"]: every
@@ -54,13 +60,23 @@ val insert_forest : into:Xpath.path -> (Xml_tree.node -> Xml_tree.node list) -> 
 val replace_value : target:string -> string -> t
 
 (** [parse s] accepts the textual forms ["delete PATH"],
-    ["insert into PATH FRAGMENT"] and
-    ["for $x in PATH insert FRAGMENT [into $x]"] (the statement shape of
-    Section 2.3; the trailing [into $x] is implied).
+    ["insert into|before|after PATH FRAGMENT"],
+    ["replace value of PATH with \"TEXT\""] (TEXT an OCaml-escaped string
+    literal) and ["for $x in PATH insert FRAGMENT [into $x]"] (the
+    statement shape of Section 2.3; the trailing [into $x] is implied).
     @raise Invalid_argument on other shapes. *)
 val parse : string -> t
 
+(** [to_string u] renders the statement back to [parse]d syntax. For every
+    [journalable] statement the round trip is faithful:
+    [parse (to_string u)] applies identically to [u] — the property the
+    write-ahead log relies on. Opaque [insert_forest] statements render
+    their fragment as ["<...>"], which [parse] rejects. *)
 val to_string : t -> string
+
+(** [journalable u] is [true] iff [to_string u] round-trips through
+    [parse] — every statement except the opaque [insert_forest] form. *)
+val journalable : t -> bool
 
 (** {1 Phased application} *)
 

@@ -180,10 +180,28 @@ let load ?policy store pat data =
   | Corrupt _ as e -> raise e
   | Invalid_argument m | Failure m -> raise (Corrupt m)
 
+(* Crash-safe: the image lands in a temp file first and is renamed over
+   [path] only after it is fully written and fsynced, so an interrupted
+   save can never clobber the previous good image. *)
 let save_to_file mv path =
-  let oc = open_out_bin path in
-  output_string oc (save mv);
-  close_out oc
+  let data = save mv in
+  let tmp = path ^ ".tmp" in
+  let fd =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  (try
+     let n = String.length data in
+     let written = ref 0 in
+     while !written < n do
+       written := !written + Unix.write_substring fd data !written (n - !written)
+     done;
+     Unix.fsync fd;
+     Unix.close fd
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
 
 let load_from_file ?policy store pat path =
   let ic = open_in_bin path in

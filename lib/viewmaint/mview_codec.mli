@@ -27,7 +27,9 @@ exception Corrupt of string
 val load : ?policy:Mview.policy -> Store.t -> Pattern.t -> string -> Mview.t
 
 (** [save_to_file mv path] / [load_from_file ?policy store pat path] —
-    file-based convenience wrappers. *)
+    file-based convenience wrappers. [save_to_file] writes to
+    [path ^ ".tmp"], fsyncs, and atomically renames over [path], so a
+    crash mid-save never clobbers the previous good image. *)
 val save_to_file : Mview.t -> string -> unit
 
 val load_from_file :

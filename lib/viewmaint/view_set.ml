@@ -4,24 +4,37 @@ type t = {
   store : Store.t;
   mutable views : Mview.t list; (* reverse order *)
   index : (string, Mview.t) Hashtbl.t;
+  mutable journal : (Update.t -> unit) option;
 }
 
-let create store = { store; views = []; index = Hashtbl.create 16 }
+let create store =
+  { store; views = []; index = Hashtbl.create 16; journal = None }
 
 let store t = t.store
+
+let set_journal t j = t.journal <- j
 
 let name_of mv = mv.Mview.pat.Pattern.name
 
 let find t name = Hashtbl.find_opt t.index name
 
-let add t ?policy pat =
-  if Hashtbl.mem t.index pat.Pattern.name then
+let register t mv =
+  let name = name_of mv in
+  if Hashtbl.mem t.index name then
     invalid_arg
-      (Printf.sprintf "View_set.add: a view named %S already exists" pat.Pattern.name);
-  let mv = Mview.materialize ?policy t.store pat in
+      (Printf.sprintf "View_set.add: a view named %S already exists" name);
   t.views <- mv :: t.views;
-  Hashtbl.replace t.index pat.Pattern.name mv;
+  Hashtbl.replace t.index name mv
+
+let add t ?policy pat =
+  let mv = Mview.materialize ?policy t.store pat in
+  register t mv;
   mv
+
+let add_view t mv =
+  if mv.Mview.store != t.store then
+    invalid_arg "View_set.add_view: view materialized over a different store";
+  register t mv
 
 let remove t name =
   Hashtbl.remove t.index name;
@@ -50,6 +63,9 @@ let update ?(jobs = 1) t u =
   (* Zero or negative job counts mean "no fan-out", never a bogus stripe
      count handed to [Batch.parallel_map]. *)
   let jobs = max 1 jobs in
+  (* Write-ahead: the statement reaches the journal before any document
+     mutation, so a crash mid-update replays it in full. *)
+  (match t.journal with None -> () | Some j -> j u);
   let views = views t in
   match views with
   | [] ->

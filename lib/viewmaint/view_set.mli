@@ -15,6 +15,19 @@ val store : t -> Store.t
     @raise Invalid_argument if a view with the same name exists. *)
 val add : t -> ?policy:Mview.policy -> Pattern.t -> Mview.t
 
+(** [add_view set mv] installs an already-materialized view (e.g. one
+    restored from an {!Mview_codec} image by the recovery path).
+    @raise Invalid_argument if a view with the same name exists or [mv]
+    was materialized over a different store. *)
+val add_view : t -> Mview.t -> unit
+
+(** [set_journal set hook] installs (or, with [None], removes) a
+    write-ahead hook: {!update} calls it with the statement {e before}
+    any document mutation, so a crash between journaling and commit
+    replays the statement in full. The durability layer ([Durable])
+    points this at its log appender. *)
+val set_journal : t -> (Update.t -> unit) option -> unit
+
 (** [find set name] — the view named [name], if any. O(1): views are
     name-indexed in a hash table besides the insertion-ordered list. *)
 val find : t -> string -> Mview.t option

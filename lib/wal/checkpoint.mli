@@ -1,0 +1,71 @@
+(** Atomic checkpoints of a view set: the base document plus every view's
+    {!Mview_codec} v2 image, committed by renaming a manifest.
+
+    Directory layout (all inside the durability directory):
+
+    {v
+      MANIFEST            — commit point (temp-file + rename)
+      ck-<seq>/doc.bin    — {!Doc_codec} base document (+ CRC in manifest)
+      ck-<seq>/view-<i>.xvm — Mview_codec v2 image per view
+      wal-<seq+1>.log     — the log segment continuing this checkpoint
+    v}
+
+    A checkpoint generation [ck-<seq>] captures the state after the
+    statement with sequence [seq] was applied (0 = the freshly-loaded
+    document). Writing a generation only creates new files; the rename
+    of [MANIFEST.tmp] over [MANIFEST] is the single atomic commit point,
+    after which stale generations and fully-covered log segments are
+    garbage-collected. A crash anywhere leaves either the old or the new
+    checkpoint fully intact. *)
+
+exception Corrupt of string
+
+type view_spec = {
+  vs_name : string;  (** the pattern's display name *)
+  vs_compact : string;  (** [Pattern.to_string] rendering *)
+  vs_file : string;  (** image file name inside the generation dir *)
+}
+
+type manifest = {
+  m_seq : int;  (** sequence the checkpoint state includes *)
+  m_gen : string;  (** generation directory name, e.g. ["ck-42"] *)
+  m_doc_crc : int;  (** CRC-32 of the serialized document *)
+  m_live : bool;
+      (** [false] when the document root had been deleted: the persisted
+          tree is a dangling husk that recovery re-detaches *)
+  m_views : view_spec list;  (** in view-set insertion order *)
+}
+
+(** Log-segment name continuing a checkpoint: ["wal-<seq+1>.log"]. *)
+val segment_name : int -> string
+
+(** [wal_segments dir] — every ["wal-<n>.log"] in [dir] with its start
+    sequence, ascending. *)
+val wal_segments : string -> (int * string) list
+
+(** [write ~dir ~seq set] writes a full checkpoint generation and commits
+    it by renaming the manifest; creates [dir] if needed, then deletes
+    superseded generations and log segments whose every record is
+    [<= seq]. The caller guarantees [seq] statements have been applied to
+    [set]. *)
+val write : dir:string -> seq:int -> View_set.t -> unit
+
+(** [read_manifest dir] parses the committed manifest, if any.
+    @raise Corrupt on a malformed manifest file. *)
+val read_manifest : string -> manifest option
+
+(** [load ~dir ~parse_pattern m] rebuilds a view set from checkpoint [m]:
+    parses the document, re-materializes the store, and restores each
+    view from its image — falling back to fresh materialization when an
+    image is corrupt (the document is authoritative). Returns the set and
+    the names of views that needed the fallback.
+    [parse_pattern] maps a [view_spec]'s name and compact rendering back
+    to a pattern (the inverse of [Pattern.to_string]; the difftest layer
+    provides one).
+    @raise Corrupt when the document itself is damaged — a checkpoint
+    without a readable document is unrecoverable. *)
+val load :
+  dir:string ->
+  parse_pattern:(name:string -> string -> Pattern.t) ->
+  manifest ->
+  View_set.t * string list

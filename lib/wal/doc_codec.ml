@@ -1,0 +1,144 @@
+exception Corrupt of string
+
+type image = {
+  labels : string list;
+  root : Xml_tree.node;
+  ord_of : Xml_tree.node -> int array;
+}
+
+let magic = "XVMDOC1\n"
+let magic_len = String.length magic
+
+let add_varint buf v =
+  let v = ref v in
+  let continue = ref true in
+  while !continue do
+    let byte = !v land 0x7f in
+    v := !v lsr 7;
+    if !v = 0 then begin
+      Buffer.add_char buf (Char.chr byte);
+      continue := false
+    end
+    else Buffer.add_char buf (Char.chr (byte lor 0x80))
+  done
+
+(* Ordinal components can be negative (ordinals minted before a first
+   sibling): zig-zag them into non-negative varints. *)
+let zigzag n = (n lsl 1) lxor (n asr 62)
+let unzigzag v = (v lsr 1) lxor (- (v land 1))
+
+let add_string buf s =
+  add_varint buf (String.length s);
+  Buffer.add_string buf s
+
+let add_ord buf ord =
+  add_varint buf (Array.length ord);
+  Array.iter (fun c -> add_varint buf (zigzag c)) ord
+
+let tag_of_kind = function
+  | Xml_tree.Element -> 0
+  | Xml_tree.Attribute -> 1
+  | Xml_tree.Text -> 2
+
+(* Preorder, explicit child counts: no recursion on the encode side
+   either — an explicit stack keeps deep documents safe. *)
+let encode ~labels ~ord root =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  add_varint buf (List.length labels);
+  List.iter (fun l -> add_string buf l) labels;
+  let stack = ref [ root ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | n :: rest ->
+      stack := n.Xml_tree.children @ rest;
+      add_varint buf (tag_of_kind n.Xml_tree.kind);
+      add_string buf n.Xml_tree.name;
+      add_string buf n.Xml_tree.text;
+      add_ord buf (ord n);
+      add_varint buf (List.length n.Xml_tree.children)
+  done;
+  Buffer.contents buf
+
+let decode data =
+  let n = String.length data in
+  if n < magic_len || String.sub data 0 magic_len <> magic then
+    raise (Corrupt "doc image: bad magic");
+  let pos = ref magic_len in
+  let read_varint () =
+    let v = ref 0 and shift = ref 0 and continue = ref true in
+    while !continue do
+      if !pos >= n then raise (Corrupt "doc image: truncated varint");
+      if !shift > 56 then raise (Corrupt "doc image: oversized varint");
+      let b = Char.code data.[!pos] in
+      incr pos;
+      v := !v lor ((b land 0x7f) lsl !shift);
+      shift := !shift + 7;
+      if b land 0x80 = 0 then continue := false
+    done;
+    !v
+  in
+  let read_string () =
+    let len = read_varint () in
+    if len < 0 || len > n - !pos then raise (Corrupt "doc image: bad string length");
+    let s = String.sub data !pos len in
+    pos := !pos + len;
+    s
+  in
+  let read_ord () =
+    let count = read_varint () in
+    (* Each component needs at least one byte. *)
+    if count < 0 || count > n - !pos then
+      raise (Corrupt "doc image: ordinal exceeds remaining bytes");
+    Array.init count (fun _ -> unzigzag (read_varint ()))
+  in
+  let nlabels = read_varint () in
+  if nlabels < 0 || nlabels > n - !pos then
+    raise (Corrupt "doc image: label count exceeds remaining bytes");
+  let labels = List.init nlabels (fun _ -> read_string ()) in
+  let ords : (int, int array) Hashtbl.t = Hashtbl.create 256 in
+  (* One node, then recursively its declared children. Recursion depth =
+     tree depth (same as the XML parser's). *)
+  let rec read_node () =
+    let kind =
+      match read_varint () with
+      | 0 -> Xml_tree.Element
+      | 1 -> Xml_tree.Attribute
+      | 2 -> Xml_tree.Text
+      | k -> raise (Corrupt (Printf.sprintf "doc image: unknown node kind %d" k))
+    in
+    let name = read_string () in
+    let text = read_string () in
+    let ord = read_ord () in
+    let count = read_varint () in
+    (* Each child needs >= 5 bytes (kind, three counts, a length): a
+       forged count cannot drive allocation past the bytes that remain. *)
+    if count < 0 || count > (n - !pos) / 5 + 1 then
+      raise (Corrupt "doc image: child count exceeds remaining bytes");
+    (* Attribute and text nodes can legitimately carry children in a
+       live tree (value replacement attaches fresh text under its
+       target), so only the element/text-payload invariant — enforced by
+       the [Xml_tree] constructors themselves — is checked. *)
+    let node =
+      match kind with
+      | Xml_tree.Element ->
+        if text <> "" then raise (Corrupt "doc image: element with text payload");
+        Xml_tree.element name
+      | Xml_tree.Attribute -> Xml_tree.attribute name text
+      | Xml_tree.Text -> Xml_tree.text text
+    in
+    for _ = 1 to count do
+      Xml_tree.append_child node (read_node ())
+    done;
+    Hashtbl.replace ords node.Xml_tree.serial ord;
+    node
+  in
+  let root = read_node () in
+  if !pos <> n then raise (Corrupt "doc image: trailing bytes");
+  let ord_of node =
+    match Hashtbl.find_opt ords node.Xml_tree.serial with
+    | Some o -> o
+    | None -> raise (Corrupt "doc image: node without an ordinal")
+  in
+  { labels; root; ord_of }

@@ -1,0 +1,41 @@
+(** Identifier-faithful document persistence for checkpoints.
+
+    XML text is not a faithful store format for a {e live} document.
+    Two things are lost that incremental maintenance depends on:
+    {ul
+    {- node boundaries — after a deletion leaves two text siblings
+       adjacent, serialize∘parse merges them into one node, shifting the
+       Dewey ordinals of every following sibling;}
+    {- identifiers — sibling insertions mint {e fractional} dynamic
+       ordinals, and re-indexing a reloaded document canonically would
+       renumber them, invalidating the identifiers persisted inside the
+       checkpoint's view images and diverging from the never-restarted
+       run.}}
+
+    This codec therefore writes the exact tree (kind, name, text, child
+    list, preorder) {e plus} each node's Dewey sibling ordinal and the
+    store's label dictionary in code order, with varint framing.
+    Re-indexing with [Store.of_document ~dict ~ord_of] then reproduces
+    precisely the identifiers the crashed store had minted.
+
+    Robustness contract: {!decode} on arbitrary bytes either returns an
+    image or raises {!Corrupt} — lengths and counts are validated
+    against the remaining bytes before any allocation. *)
+
+exception Corrupt of string
+
+type image = {
+  labels : string list;  (** dictionary labels in code order *)
+  root : Xml_tree.node;
+  ord_of : Xml_tree.node -> int array;
+      (** sibling ordinal of each decoded node (root's is vestigial) *)
+}
+
+(** [encode ~labels ~ord root]: [ord n] must give node [n]'s sibling
+    ordinal; [labels] the dictionary in code order. *)
+val encode :
+  labels:string list -> ord:(Xml_tree.node -> int array) ->
+  Xml_tree.node -> string
+
+(** @raise Corrupt on malformed input. *)
+val decode : string -> image

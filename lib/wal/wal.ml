@@ -1,0 +1,238 @@
+let header = "XVMWAL1\n"
+let header_len = String.length header
+let max_payload = 1 lsl 20
+
+type damage =
+  | Bad_header
+  | Torn_length of int
+  | Oversized of int * int
+  | Torn_record of int
+  | Crc_mismatch of int
+  | Bad_sequence of int * int * int
+
+let damage_to_string = function
+  | Bad_header -> "bad file header"
+  | Torn_length off -> Printf.sprintf "torn record header at offset %d" off
+  | Oversized (off, len) ->
+    Printf.sprintf "oversized payload length %d at offset %d" len off
+  | Torn_record off -> Printf.sprintf "torn record at offset %d" off
+  | Crc_mismatch off -> Printf.sprintf "CRC mismatch at offset %d" off
+  | Bad_sequence (off, want, got) ->
+    Printf.sprintf "sequence gap at offset %d: expected %d, found %d" off want got
+
+type scan = {
+  records : (int * string) array;
+  offsets : int array;
+  valid_bytes : int;
+  file_bytes : int;
+  damage : damage option;
+}
+
+(* Record layout: u32 payload length ‖ u64 sequence ‖ payload ‖ u32 CRC,
+   all integers big-endian, the CRC covering everything before it. *)
+let record_header_len = 12
+let record_overhead = record_header_len + 4
+
+let encode_record ~seq payload =
+  let plen = String.length payload in
+  if plen > max_payload then
+    invalid_arg
+      (Printf.sprintf "Wal.encode_record: payload of %d bytes exceeds cap %d"
+         plen max_payload);
+  if seq < 1 then invalid_arg "Wal.encode_record: sequence must be positive";
+  let b = Bytes.create (record_overhead + plen) in
+  Bytes.set_int32_be b 0 (Int32.of_int plen);
+  Bytes.set_int64_be b 4 (Int64.of_int seq);
+  Bytes.blit_string payload 0 b record_header_len plen;
+  let body = Bytes.sub_string b 0 (record_header_len + plen) in
+  let crc = Crc32.string body in
+  Bytes.set_int32_be b (record_header_len + plen) (Int32.of_int crc);
+  Bytes.unsafe_to_string b
+
+let scan_bytes ?expect_seq data =
+  let n = String.length data in
+  let records = ref [] in
+  let offsets = ref [] in
+  let count = ref 0 in
+  if n < header_len || String.sub data 0 header_len <> header then
+    {
+      records = [||];
+      offsets = [||];
+      valid_bytes = 0;
+      file_bytes = n;
+      damage = Some Bad_header;
+    }
+  else begin
+    let damage = ref None in
+    let pos = ref header_len in
+    let expect = ref expect_seq in
+    let stop = ref false in
+    while not !stop do
+      let off = !pos in
+      if off = n then stop := true
+      else if n - off < record_header_len then begin
+        damage := Some (Torn_length off);
+        stop := true
+      end
+      else begin
+        let plen = Int32.to_int (String.get_int32_be data off) land 0xFFFFFFFF in
+        if plen > max_payload then begin
+          damage := Some (Oversized (off, plen));
+          stop := true
+        end
+        else if n - off < record_overhead + plen then begin
+          damage := Some (Torn_record off);
+          stop := true
+        end
+        else begin
+          let stored =
+            Int32.to_int (String.get_int32_be data (off + record_header_len + plen))
+            land 0xFFFFFFFF
+          in
+          let crc = Crc32.string ~pos:off ~len:(record_header_len + plen) data in
+          if stored <> crc then begin
+            damage := Some (Crc_mismatch off);
+            stop := true
+          end
+          else begin
+            let seq = Int64.to_int (String.get_int64_be data (off + 4)) in
+            let want = match !expect with None -> seq | Some w -> w in
+            if seq <> want || seq < 1 then begin
+              damage := Some (Bad_sequence (off, want, seq));
+              stop := true
+            end
+            else begin
+              let payload = String.sub data (off + record_header_len) plen in
+              records := (seq, payload) :: !records;
+              offsets := off :: !offsets;
+              incr count;
+              expect := Some (seq + 1);
+              pos := off + record_overhead + plen
+            end
+          end
+        end
+      end
+    done;
+    {
+      records = Array.of_list (List.rev !records);
+      offsets = Array.of_list (List.rev !offsets);
+      valid_bytes = !pos;
+      file_bytes = n;
+      damage = !damage;
+    }
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let scan_file ?expect_seq path =
+  if not (Sys.file_exists path) then
+    { records = [||]; offsets = [||]; valid_bytes = 0; file_bytes = 0; damage = None }
+  else scan_bytes ?expect_seq (read_file path)
+
+let truncate_at path len =
+  let len = max len header_len in
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.ftruncate fd len;
+      Unix.fsync fd)
+
+let repair_file ?expect_seq path =
+  let scan = scan_file ?expect_seq path in
+  (match scan.damage with
+  | None -> ()
+  | Some _ when scan.file_bytes = 0 -> ()
+  | Some _ ->
+    let keep = max scan.valid_bytes header_len in
+    let data = read_file path in
+    let prefix =
+      if scan.valid_bytes = 0 then header
+      else String.sub data 0 keep
+    in
+    let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o644 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let n = String.length prefix in
+        let written = ref 0 in
+        while !written < n do
+          written :=
+            !written
+            + Unix.write_substring fd prefix !written (n - !written)
+        done;
+        Unix.fsync fd));
+  scan
+
+type writer = {
+  path : string;
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  mutable w_next_seq : int;
+  mutable w_durable_seq : int;
+  mutable closed : bool;
+}
+
+let create_writer ~path ~next_seq =
+  if next_seq < 1 then invalid_arg "Wal.create_writer: sequence must be positive";
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
+  let size = (Unix.fstat fd).Unix.st_size in
+  if size = 0 then begin
+    let n = String.length header in
+    let written = ref 0 in
+    while !written < n do
+      written := !written + Unix.write_substring fd header !written (n - !written)
+    done;
+    Unix.fsync fd
+  end;
+  {
+    path;
+    fd;
+    buf = Buffer.create 4096;
+    w_next_seq = next_seq;
+    w_durable_seq = next_seq - 1;
+    closed = false;
+  }
+
+let writer_path w = w.path
+let next_seq w = w.w_next_seq
+let durable_seq w = w.w_durable_seq
+
+let append w payload =
+  if w.closed then invalid_arg "Wal.append: writer is closed";
+  let seq = w.w_next_seq in
+  Buffer.add_string w.buf (encode_record ~seq payload);
+  w.w_next_seq <- seq + 1;
+  seq
+
+let sync w =
+  if w.closed then invalid_arg "Wal.sync: writer is closed";
+  if w.w_durable_seq < w.w_next_seq - 1 then begin
+    let data = Buffer.contents w.buf in
+    Buffer.clear w.buf;
+    let n = String.length data in
+    let written = ref 0 in
+    while !written < n do
+      written := !written + Unix.write_substring w.fd data !written (n - !written)
+    done;
+    Unix.fsync w.fd;
+    w.w_durable_seq <- w.w_next_seq - 1
+  end
+
+let close_writer w =
+  if not w.closed then begin
+    sync w;
+    w.closed <- true;
+    Unix.close w.fd
+  end
+
+let crash w =
+  if not w.closed then begin
+    w.closed <- true;
+    Buffer.clear w.buf;
+    Unix.close w.fd
+  end

@@ -71,6 +71,80 @@ let test_isolation_across_commits () =
     stmts;
   Alcotest.(check int) "empty step is a no-op" 0 (Server.step server)
 
+(* {1 view_diff on adversarial inputs}
+
+   The comparison oracle itself must be trustworthy at its edges: empty
+   views, single tuples, and views that agree everywhere except the very
+   last tuple (the off-by-one a naive loop bound would miss). Views are
+   built by hand — the point is the comparator, not the capture path. *)
+
+let mk_view tuples =
+  {
+    Snapshot.v_name = "v";
+    v_pattern = "-";
+    v_tuples = Array.of_list tuples;
+    v_total = List.fold_left (fun a t -> a + t.Snapshot.t_count) 0 tuples;
+  }
+
+let tup ?(count = 1) key cells =
+  { Snapshot.t_key = key; t_count = count; t_cells = Array.of_list cells }
+
+let test_view_diff_adversarial () =
+  let id1 = Dewey.root ~lab:1 in
+  let id2 = Dewey.child id1 ~lab:2 ~ord:[| 1 |] in
+  let id3 = Dewey.child id1 ~lab:2 ~ord:[| 2 |] in
+  let cell ?v ?c id = (id, v, c) in
+  (* Empty vs empty, empty vs single. *)
+  let empty = mk_view [] in
+  let single = mk_view [ tup "k" [ cell ~v:"x" id1 ] ] in
+  Alcotest.(check (option string)) "empty = empty" None
+    (Snapshot.view_diff empty empty);
+  Alcotest.(check bool) "empty = empty (equal)" true
+    (Snapshot.view_equal empty empty);
+  Alcotest.(check (option string)) "single = single" None
+    (Snapshot.view_diff single single);
+  (match Snapshot.view_diff empty single with
+  | Some d ->
+    Alcotest.(check bool) "0 vs 1 names cardinality" true
+      (d = "cardinality 0 vs 1")
+  | None -> Alcotest.fail "empty vs single-tuple not detected");
+  (match Snapshot.view_diff single empty with
+  | Some d ->
+    Alcotest.(check bool) "1 vs 0 names cardinality" true
+      (d = "cardinality 1 vs 0")
+  | None -> Alcotest.fail "single-tuple vs empty not detected");
+  (* Same cardinality, divergence only in the LAST tuple — once per
+     divergence channel: payload, derivation count, identifier, key. *)
+  let base = [ tup "a" [ cell id1 ]; tup "b" [ cell id2 ] ] in
+  let with_last t = mk_view (base @ [ t ]) in
+  let check_last what a b =
+    Alcotest.(check bool) (what ^ ": equal is false") false
+      (Snapshot.view_equal a b);
+    match Snapshot.view_diff a b with
+    | Some d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: diff points at last tuple (%s)" what d)
+        true
+        (String.length d >= 7 && String.sub d 0 7 = "tuple 2")
+    | None -> Alcotest.failf "%s: last-tuple divergence missed" what
+  in
+  check_last "payload"
+    (with_last (tup "z" [ cell ~v:"1" id3 ]))
+    (with_last (tup "z" [ cell ~v:"2" id3 ]));
+  check_last "count"
+    (with_last (tup ~count:1 "z" [ cell id3 ]))
+    (with_last (tup ~count:2 "z" [ cell id3 ]));
+  check_last "identifier"
+    (with_last (tup "z" [ cell id2 ]))
+    (with_last (tup "z" [ cell id3 ]));
+  check_last "key"
+    (with_last (tup "z1" [ cell id3 ]))
+    (with_last (tup "z2" [ cell id3 ]));
+  (* None-vs-Some payloads must not compare equal. *)
+  check_last "absent payload"
+    (with_last (tup "z" [ cell id3 ]))
+    (with_last (tup "z" [ cell ~c:"" id3 ]))
+
 (* {1 Structure sharing}
 
    A view the statement provably cannot touch keeps its physical tuple
@@ -136,11 +210,15 @@ let test_run_drains_and_stop_refuses () =
     (List.length log);
   ignore
     (List.fold_left
-       (fun (pe, pa, pt) (e, a, t) ->
+       (fun (pe, pa, pt) p ->
+         let e = p.Server.p_epoch
+         and a = p.Server.p_applied
+         and t = p.Server.p_time in
          Alcotest.(check bool) "epochs increase" true (e > pe);
          Alcotest.(check bool) "applied increases" true (a > pa);
          Alcotest.(check bool) "publication times non-decreasing" true
            (t >= pt);
+         Alcotest.(check int) "non-durable watermark" (-1) p.Server.p_durable_seq;
          (e, a, t))
        (0, 0, 0.) log)
 
@@ -252,6 +330,8 @@ let () =
         [
           Alcotest.test_case "isolation across commits" `Quick
             test_isolation_across_commits;
+          Alcotest.test_case "view_diff adversarial" `Quick
+            test_view_diff_adversarial;
           Alcotest.test_case "structure sharing" `Quick test_structure_sharing;
           Alcotest.test_case "run drains, stop refuses" `Quick
             test_run_drains_and_stop_refuses;

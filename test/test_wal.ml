@@ -1,0 +1,248 @@
+(* Tests for the durability layer's edges: the WAL scanner on empty,
+   header-only, torn and mis-sequenced logs, and the checkpoint+replay
+   walk at its sequence-number boundaries — recovery of an empty log, a
+   checkpoint exactly at the log head (nothing to replay), idempotent
+   skipping of records a checkpoint already covers, and on-disk
+   truncation of a torn tail. The bulk randomized coverage lives in the
+   difftest kill-and-recover oracle and the WAL fuzz corpus; these are
+   the deterministic corner cases. *)
+
+let n = Pattern.n
+
+let doc_text =
+  {|<r><a>x<b>1</b><b>2</b></a><c><d>y</d></c><a><b>3</b></a><e k="v">z</e></r>|}
+
+let v_ab name = Pattern.compile ~name (n "a" ~id:true [ n "b" ~id:true [] ])
+let v_cd name = Pattern.compile ~name (n "c" ~id:true [ n "d" ~id:true [] ])
+
+let fresh_set () =
+  let store = Store.of_document (Xml_parse.document doc_text) in
+  let set = View_set.create store in
+  ignore (View_set.add set (v_ab "ab"));
+  ignore (View_set.add set (v_cd "cd"));
+  set
+
+(* All journalable forms: constant-forest inserts, a delete, a value
+   replacement. *)
+let stmts =
+  [|
+    Update.insert ~into:"/r/a" "<b>9</b>";
+    Update.delete "/r/c/d";
+    Update.insert ~into:"/r" "<c><d>w</d></c>";
+    Update.replace_value ~target:"//e" "q";
+  |]
+
+(* Sequential oracle: a fresh set with the first [k] statements applied,
+   captured as a snapshot. *)
+let oracle_at k =
+  let set = fresh_set () in
+  Array.iteri (fun i u -> if i < k then ignore (View_set.update set u)) stmts;
+  Snapshot.initial set
+
+let check_against_oracle what set k =
+  let got = Snapshot.initial set and want = oracle_at k in
+  Array.iter2
+    (fun (g : Snapshot.view) (w : Snapshot.view) ->
+      match Snapshot.view_diff g w with
+      | None -> ()
+      | Some d ->
+        Alcotest.failf "%s: view %s diverged from oracle: %s" what
+          g.Snapshot.v_name d)
+    got.Snapshot.views want.Snapshot.views
+
+let parse_pattern ~name s = Difftest.view_of_compact ~name s
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error _ -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
+
+let with_tmp_dir f =
+  let dir = Filename.temp_file "xvmwal" ".test" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let write_raw path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+(* {1 Scanner edge cases} *)
+
+let test_scan_edges () =
+  with_tmp_dir @@ fun dir ->
+  (* A missing file is an empty, undamaged log. *)
+  let s = Wal.scan_file (Filename.concat dir "missing.log") in
+  Alcotest.(check int) "missing: records" 0 (Array.length s.Wal.records);
+  Alcotest.(check bool) "missing: clean" true (s.Wal.damage = None);
+  (* A zero-byte file has no header — damaged — but repair must leave it
+     empty rather than promote it to a valid log. *)
+  let empty = Filename.concat dir "empty.log" in
+  write_raw empty "";
+  let s = Wal.repair_file empty in
+  Alcotest.(check bool) "empty: bad header" true
+    (s.Wal.damage = Some Wal.Bad_header);
+  Alcotest.(check int) "empty: stays zero bytes" 0
+    (Unix.stat empty).Unix.st_size;
+  (* A header-only file is a valid empty log. *)
+  let hdr = Filename.concat dir "hdr.log" in
+  write_raw hdr Wal.header;
+  let s = Wal.scan_file hdr in
+  Alcotest.(check bool) "header-only: clean" true (s.Wal.damage = None);
+  Alcotest.(check int) "header-only: records" 0 (Array.length s.Wal.records);
+  (* Round trip, and sequence pinning. *)
+  let data =
+    Wal.header ^ Wal.encode_record ~seq:5 "alpha"
+    ^ Wal.encode_record ~seq:6 "beta"
+  in
+  let s = Wal.scan_bytes data in
+  Alcotest.(check (array (pair int string)))
+    "roundtrip"
+    [| (5, "alpha"); (6, "beta") |]
+    s.Wal.records;
+  Alcotest.(check bool) "roundtrip: clean" true (s.Wal.damage = None);
+  Alcotest.(check int) "roundtrip: whole file valid" (String.length data)
+    s.Wal.valid_bytes;
+  let s = Wal.scan_bytes ~expect_seq:1 data in
+  (match s.Wal.damage with
+  | Some (Wal.Bad_sequence (_, 1, 5)) -> ()
+  | d ->
+    Alcotest.failf "expected Bad_sequence(_,1,5), got %s"
+      (match d with None -> "no damage" | Some d -> Wal.damage_to_string d));
+  Alcotest.(check int) "pinned seq keeps nothing" 0
+    (Array.length s.Wal.records);
+  (* A torn final record: scan keeps the prefix, repair truncates to it,
+     and the repaired file scans clean. *)
+  let torn = Filename.concat dir "torn.log" in
+  write_raw torn (String.sub data 0 (String.length data - 3));
+  let s = Wal.repair_file torn in
+  Alcotest.(check int) "torn: prefix kept" 1 (Array.length s.Wal.records);
+  Alcotest.(check bool) "torn: damage reported" true (s.Wal.damage <> None);
+  let s = Wal.scan_file torn in
+  Alcotest.(check bool) "repaired: clean" true (s.Wal.damage = None);
+  Alcotest.(check (array (pair int string)))
+    "repaired: first record intact"
+    [| (5, "alpha") |]
+    s.Wal.records
+
+(* {1 Recovery at sequence boundaries} *)
+
+(* An empty log above checkpoint 0: recovery is a pure checkpoint load. *)
+let test_recover_empty_log () =
+  with_tmp_dir @@ fun dir ->
+  let set = fresh_set () in
+  let d = Durable.init ~dir set in
+  Durable.crash d;
+  match Durable.recover ~dir ~parse_pattern () with
+  | None -> Alcotest.fail "no checkpoint found"
+  | Some o ->
+    Alcotest.(check int) "ck_seq" 0 o.Durable.ck_seq;
+    Alcotest.(check int) "replayed" 0 o.Durable.replayed;
+    Alcotest.(check int) "skipped" 0 o.Durable.skipped;
+    Alcotest.(check bool) "no truncation" true (o.Durable.truncated = []);
+    check_against_oracle "empty log" o.Durable.set 0;
+    Durable.close o.Durable.engine
+
+(* Checkpoint exactly at the log head: every journaled statement is
+   covered, the continuing segment is empty, and the recovered engine
+   resumes at the checkpoint sequence. *)
+let test_checkpoint_at_log_head () =
+  with_tmp_dir @@ fun dir ->
+  let set = fresh_set () in
+  let d = Durable.init ~dir set in
+  for i = 0 to 2 do
+    ignore (View_set.update set stmts.(i));
+    Durable.sync d
+  done;
+  Durable.checkpoint d set;
+  Durable.crash d;
+  match Durable.recover ~dir ~parse_pattern () with
+  | None -> Alcotest.fail "no checkpoint found"
+  | Some o ->
+    Alcotest.(check int) "ck_seq" 3 o.Durable.ck_seq;
+    Alcotest.(check int) "replayed" 0 o.Durable.replayed;
+    Alcotest.(check int) "skipped" 0 o.Durable.skipped;
+    Alcotest.(check int) "resumes at checkpoint seq" 3
+      (Durable.last_seq o.Durable.engine);
+    check_against_oracle "checkpoint at head" o.Durable.set 3;
+    Durable.close o.Durable.engine
+
+(* Records at or below the checkpoint sequence are checked no-ops: a
+   crash between the manifest rename and segment GC can leave a fully
+   covered segment behind, and replaying it twice must change nothing. *)
+let test_duplicate_records_skipped () =
+  with_tmp_dir @@ fun dir ->
+  let set = fresh_set () in
+  let d = Durable.init ~dir set in
+  ignore (View_set.update set stmts.(0));
+  Durable.sync d;
+  ignore (View_set.update set stmts.(1));
+  Durable.sync d;
+  Durable.checkpoint d set;
+  (* ck-2 committed; journal continues in wal-3.log *)
+  ignore (View_set.update set stmts.(2));
+  Durable.sync d;
+  Durable.crash d;
+  (* Resurrect the pre-checkpoint segment as the GC-interrupted crash
+     would have left it. *)
+  let stale = Wal.create_writer ~path:(Filename.concat dir "wal-1.log") ~next_seq:1 in
+  ignore (Wal.append stale (Update.to_string stmts.(0)));
+  ignore (Wal.append stale (Update.to_string stmts.(1)));
+  Wal.close_writer stale;
+  match Durable.recover ~dir ~parse_pattern () with
+  | None -> Alcotest.fail "no checkpoint found"
+  | Some o ->
+    Alcotest.(check int) "ck_seq" 2 o.Durable.ck_seq;
+    Alcotest.(check int) "covered records skipped" 2 o.Durable.skipped;
+    Alcotest.(check int) "replayed above checkpoint" 1 o.Durable.replayed;
+    check_against_oracle "duplicate replay" o.Durable.set 3;
+    Durable.close o.Durable.engine
+
+(* A torn append bolted onto a synced segment: recovery replays the
+   intact prefix, reports the truncation, and repairs the file on disk. *)
+let test_torn_tail_truncated () =
+  with_tmp_dir @@ fun dir ->
+  let set = fresh_set () in
+  let d = Durable.init ~dir set in
+  ignore (View_set.update set stmts.(0));
+  Durable.sync d;
+  ignore (View_set.update set stmts.(1));
+  Durable.sync d;
+  Durable.crash d;
+  let seg = Filename.concat dir "wal-1.log" in
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 seg in
+  output_string oc "\x00\x00\x00\x09GARBAGE";
+  close_out oc;
+  match Durable.recover ~dir ~parse_pattern () with
+  | None -> Alcotest.fail "no checkpoint found"
+  | Some o ->
+    Alcotest.(check int) "intact prefix replayed" 2 o.Durable.replayed;
+    Alcotest.(check int) "one segment truncated" 1
+      (List.length o.Durable.truncated);
+    check_against_oracle "torn tail" o.Durable.set 2;
+    let s = Wal.scan_file seg in
+    Alcotest.(check bool) "repaired on disk" true (s.Wal.damage = None);
+    Alcotest.(check int) "both records survive repair" 2
+      (Array.length s.Wal.records);
+    Durable.close o.Durable.engine
+
+let () =
+  Alcotest.run "wal"
+    [
+      ( "scanner",
+        [ Alcotest.test_case "edge cases" `Quick test_scan_edges ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "empty log" `Quick test_recover_empty_log;
+          Alcotest.test_case "checkpoint at log head" `Quick
+            test_checkpoint_at_log_head;
+          Alcotest.test_case "duplicate records skipped" `Quick
+            test_duplicate_records_skipped;
+          Alcotest.test_case "torn tail truncated" `Quick
+            test_torn_tail_truncated;
+        ] );
+    ]
