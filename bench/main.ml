@@ -40,7 +40,7 @@ let valid_sections =
   [
     "fig18"; "fig19"; "fig20"; "fig21"; "fig22"; "fig24"; "fig25"; "fig26";
     "fig27"; "fig28"; "fig29"; "fig33"; "ablations"; "joinab"; "prims";
-    "figMV"; "fuzz"; "difftest"; "micro"; "serve"; "wal";
+    "figMV"; "fuzz"; "difftest"; "micro"; "serve"; "wal"; "answer";
   ]
 
 (* A typo'd section name must not silently bench nothing. *)
@@ -1523,6 +1523,199 @@ let wal_bench () =
       end)
     sizes
 
+(* {1 answer: rewriting from views + DTD independence skip}
+
+   Part 1 measures answering a fresh query from the materialized views
+   against algebraic recomputation over the base document, checking
+   tuple-for-tuple agreement on every run. The view set is the Figure-20
+   set minus Q13, plus Q13's two legs ([prune]/[subpattern] at node 1) —
+   so Q13 itself exercises the two-view intersection plan. Part 2
+   installs the DTD-based independence prover on the exact Figure-20 set
+   and drives update statements through [View_set.update], reporting the
+   static-skip hit rate and proving every skip safe against a fresh
+   materialization. *)
+
+let answer_bench () =
+  header "answer: answering from views vs base recompute; DTD independence skip";
+  let root = doc small_kb in
+  let store = Store.of_document root in
+  let set = View_set.create store in
+  List.iter
+    (fun (nm, pat) -> if nm <> "Q13" then ignore (View_set.add set pat))
+    Xmark_views.all;
+  ignore (View_set.add set (Pattern.prune Xmark_views.q13 1 ~name:"Q13top"));
+  ignore (View_set.add set (Pattern.subpattern Xmark_views.q13 1 ~name:"Q13bot"));
+  let sources = List.map Answer.source_of_mview (View_set.views set) in
+  (* Q1 with an extra value predicate on its stored-val node: answered
+     from the Q1 view through a [Val_eq] compensation. The constant is a
+     value the view actually stores, so the residual result is
+     nonempty. *)
+  let q1_vpred =
+    let q = Xmark_views.q1 in
+    let vi =
+      let found = ref (-1) in
+      Array.iteri
+        (fun i (a : Pattern.annot) ->
+          if !found < 0 && a.Pattern.store_val then found := i)
+        q.Pattern.annots;
+      !found
+    in
+    let const =
+      let rec first_val = function
+        | [] -> "unmatched"
+        | (_, _, cells) :: rest -> (
+          match
+            Array.find_opt (fun c -> c.Mview.cell_value <> None) cells
+          with
+          | Some c -> Option.get c.Mview.cell_value
+          | None -> first_val rest)
+      in
+      match View_set.find set "Q1" with
+      | Some mv -> first_val (Mview.dump mv)
+      | None -> "unmatched"
+    in
+    let rec build i =
+      let a = q.Pattern.annots.(i) in
+      let vp = if i = vi then Some const else q.Pattern.vpreds.(i) in
+      Pattern.n ~axis:q.Pattern.axes.(i) ~id:a.Pattern.store_id
+        ~value:a.Pattern.store_val ~content:a.Pattern.store_cont ?vpred:vp
+        q.Pattern.tags.(i)
+        (List.map build (Pattern.children q i))
+    in
+    Pattern.compile ~name:"Q1v" (build 0)
+  in
+  (* A shape no view covers: forced base fallback. *)
+  let fallback_q =
+    Pattern.compile ~name:"Qfb"
+      (Pattern.n ~axis:Pattern.Descendant ~id:true "bidder"
+         [ Pattern.n ~axis:Pattern.Descendant ~id:true "date" [] ])
+  in
+  let queries =
+    [
+      ("Q1_exact", Pattern.rename Xmark_views.q1 "Q1x", "single(");
+      ("Q1_vpred", q1_vpred, "single(");
+      ("Q13_join", Pattern.rename Xmark_views.q13 "Q13j", "join(");
+      ("fallback", fallback_q, "fallback(");
+    ]
+  in
+  Printf.printf "  %-10s %-38s %10s %10s %8s\n" "query" "plan" "views(ms)"
+    "base(ms)" "tuples";
+  List.iter
+    (fun (label, q, expect_plan) ->
+      let plan_desc, rows =
+        match Answer.answer ~store ~sources q with
+        | Some (plan, rows) -> (Answer.describe plan, rows)
+        | None -> assert false
+      in
+      let base = Answer.base_rows store q in
+      (match Answer.diff ~expect:base ~got:rows with
+      | None -> ()
+      | Some d ->
+        write_results ();
+        failwith (Printf.sprintf "answer bench: %s: views vs base: %s" label d));
+      if
+        String.length plan_desc < String.length expect_plan
+        || String.sub plan_desc 0 (String.length expect_plan) <> expect_plan
+      then begin
+        write_results ();
+        failwith
+          (Printf.sprintf "answer bench: %s: expected a %s… plan, got %s"
+             label expect_plan plan_desc)
+      end;
+      let views_s =
+        time_median (fun () -> ignore (Answer.answer ~store ~sources q))
+      in
+      let base_s = time_median (fun () -> ignore (Answer.base_rows store q)) in
+      Printf.printf "  %-10s %-38s %10.3f %10.3f %8d\n%!" label plan_desc
+        (ms views_s) (ms base_s) (List.length rows);
+      record "answer"
+        [
+          ("metric", Json.Str "rewrite");
+          ("query", Json.Str label);
+          ("plan", Json.Str plan_desc);
+          ("views_ms", Json.num (ms views_s));
+          ("base_ms", Json.num (ms base_s));
+          ("speedup", Json.num (base_s /. views_s));
+          ("tuples", Json.int (List.length rows));
+        ])
+    queries;
+  (* Part 2: the independence skip, proven safe on every statement. The
+     DTD is re-inferred after each mutation so the soundness precondition
+     (document valid for the DTD) keeps holding as the document
+     drifts. *)
+  let root2 = doc 64 in
+  let store2 = Store.of_document root2 in
+  let set2 = View_set.create store2 in
+  List.iter (fun (_, pat) -> ignore (View_set.add set2 pat)) Xmark_views.all;
+  let hits = ref 0 and pairs = ref 0 in
+  let install_prover () =
+    let dtd = Dtd.infer (Store.root store2) in
+    View_set.set_independence set2
+      (Some
+         (fun u mv ->
+           incr pairs;
+           let r = Independence.prover dtd u mv in
+           if r then incr hits;
+           r))
+  in
+  let names =
+    List.filteri
+      (fun i _ -> i < 6)
+      (List.sort_uniq compare (List.map snd Xmark_updates.figure20_pairs))
+  in
+  let stmts =
+    List.concat_map
+      (fun nm ->
+        let u = Xmark_updates.find nm in
+        [ (nm ^ "_ins", Xmark_updates.insert u); (nm ^ "_del", Xmark_updates.delete u) ])
+      names
+    @ [
+        ("none_del", Update.parse "delete //xyzzy");
+        ("none_ins", Update.parse "insert into //xyzzy <wrap/>");
+      ]
+  in
+  let nviews = List.length (View_set.views set2) in
+  List.iter
+    (fun (label, u) ->
+      install_prover ();
+      let reports = View_set.update set2 u in
+      let skipped =
+        List.length (List.filter (fun (_, r) -> r.Maint.skipped_irrelevant) reports)
+      in
+      Printf.printf "  %-10s: %2d/%2d view(s) skipped\n%!" label skipped nviews;
+      (* Safety oracle: every view — skipped or not — must equal a fresh
+         materialization over the post-update store. *)
+      List.iter
+        (fun mv ->
+          let fresh = Mview.materialize store2 mv.Mview.pat in
+          match Recompute.diff mv fresh with
+          | None -> ()
+          | Some d ->
+            write_results ();
+            failwith
+              (Printf.sprintf
+                 "answer bench: view %s diverged after %s (unsound skip?): %s"
+                 mv.Mview.pat.Pattern.name label d))
+        (View_set.views set2))
+    stmts;
+  let rate = float_of_int !hits /. float_of_int (max 1 !pairs) in
+  Printf.printf
+    "  independence: %d/%d (update, view) pairs statically discharged (%.1f%%)\n%!"
+    !hits !pairs (100. *. rate);
+  record "answer"
+    [
+      ("metric", Json.Str "independence");
+      ("statements", Json.int (List.length stmts));
+      ("views", Json.int nviews);
+      ("indep_pairs", Json.int !pairs);
+      ("indep_hits", Json.int !hits);
+      ("hit_rate", Json.num rate);
+    ];
+  if !hits = 0 then begin
+    write_results ();
+    failwith "answer bench: independence prover discharged no pair"
+  end
+
 let () =
   Printf.printf "xvm benchmark harness — %s mode, %d run(s) per point\n"
     (if full then "full (paper-scale)" else "scaled")
@@ -1562,6 +1755,7 @@ let () =
   if wanted "difftest" then difftest_oracle ();
   if wanted "serve" then serve_bench ();
   if wanted "wal" then wal_bench ();
+  if wanted "answer" then answer_bench ();
   if (not skip_micro) && wanted "micro" then micro ();
   write_results ();
   print_newline ()

@@ -372,9 +372,37 @@ let fuzz_cmd =
 (* {1 difftest} *)
 
 let difftest_cmd =
-  let run metrics seed iters replay multiview recover jobs =
+  let run metrics seed iters replay multiview recover answer indep jobs =
     with_metrics metrics @@ fun () ->
     match replay with
+    | None when answer ->
+      Printf.printf
+        "answer-from-views oracle: Answer.answer vs brute-force embeddings, \
+         before and after maintenance (seed %d, %d iterations)\n\
+         %!"
+        seed iters;
+      let rep, t =
+        Timing.duration (fun () -> Difftest.run_answer ~seed ~iters ())
+      in
+      List.iter print_endline rep.Qgen.failures;
+      Printf.printf "  %s  (%.1f ms)\n%!"
+        (Qgen.summary "views=base" rep)
+        (t *. 1000.);
+      if not (Qgen.ok rep) then exit 1
+    | None when indep ->
+      Printf.printf
+        "independence-safety oracle: declared independent => maintenance \
+         no-op (seed %d, %d iterations)\n\
+         %!"
+        seed iters;
+      let rep, t =
+        Timing.duration (fun () -> Difftest.run_indep ~seed ~iters ())
+      in
+      List.iter print_endline rep.Qgen.failures;
+      Printf.printf "  %s  (%.1f ms)\n%!"
+        (Qgen.summary "independent=no-op" rep)
+        (t *. 1000.);
+      if not (Qgen.ok rep) then exit 1
     | None when recover ->
       Printf.printf
         "kill-and-recover oracle: checkpoint + WAL replay vs uninterrupted \
@@ -389,6 +417,25 @@ let difftest_cmd =
         (Qgen.summary "recovered=uninterrupted" rep)
         (t *. 1000.);
       if not (Qgen.ok rep) then exit 1
+    | Some repro when String.length repro >= 8 && String.sub repro 0 8 = "xvmdta1|"
+      ->
+      let c =
+        try Difftest.answer_of_repro repro
+        with Invalid_argument msg ->
+          Printf.eprintf "difftest: %s\n" msg;
+          exit 2
+      in
+      Printf.printf
+        "replaying: %d views, query %s, update %s, %d-node document\n%!"
+        (List.length c.Difftest.aset.Difftest.sviews)
+        (Pattern.to_string c.Difftest.aquery)
+        c.Difftest.aset.Difftest.supdate
+        (Xml_tree.size c.Difftest.aset.Difftest.sdoc);
+      (match Difftest.check_answer c with
+      | None -> print_endline "answer-from-views = brute force (both phases)"
+      | Some m ->
+        print_endline (Difftest.describe_answer m);
+        exit 1)
     | Some repro when String.length repro >= 8 && String.sub repro 0 8 = "xvmdtm1|"
       ->
       let t =
@@ -485,6 +532,25 @@ let difftest_cmd =
              and require tuple-for-tuple agreement with an uninterrupted \
              run (then once more after finishing the statement sequence).")
   in
+  let answer =
+    Arg.(
+      value & flag
+      & info [ "answer" ]
+          ~doc:
+            "Check the rewriting planner: queries answered from the \
+             materialized view set (single view with compensations, \
+             two-view intersection, or base fallback) against brute-force \
+             embedding enumeration, before and after a maintenance round.")
+  in
+  let indep =
+    Arg.(
+      value & flag
+      & info [ "indep" ]
+          ~doc:
+            "Check independence safety: whenever the DTD-based analysis \
+             declares an (update, view) pair independent, maintenance must \
+             be a no-op and equal recomputation from scratch.")
+  in
   let jobs =
     Arg.(
       value & opt pos_int 2
@@ -504,7 +570,148 @@ let difftest_cmd =
           on any mismatch.")
     Term.(
       const run $ metrics_term $ seed $ iters $ replay $ multiview $ recover
-      $ jobs)
+      $ answer $ indep $ jobs)
+
+(* {1 answer} *)
+
+(* A query argument is a built-in view name (Q1…Q17), a view statement
+   (View_parser dialect), or a compact pattern (Pattern.to_string
+   syntax) — tried in that order. *)
+let parse_query ~name s =
+  match Xmark_views.find s with
+  | pat -> Pattern.rename pat name
+  | exception _ -> (
+    match View_parser.parse ~name s with
+    | pat -> pat
+    | exception _ -> Difftest.view_of_compact ~name s)
+
+let answer_cmd =
+  let run metrics doc gen_kb seed vnames vqueries query update check limit =
+    with_metrics metrics @@ fun () ->
+    let root =
+      match doc with
+      | Some path -> Xml_parse.document (read_file path)
+      | None -> Xmark_gen.document ~seed ~target_kb:gen_kb
+    in
+    let store = Store.of_document root in
+    let pats =
+      List.map Xmark_views.find vnames
+      @ List.mapi
+          (fun i q -> parse_query ~name:(Printf.sprintf "cli%d" (i + 1)) q)
+          vqueries
+    in
+    let pats = if pats = [] then [ Xmark_views.find "Q1" ] else pats in
+    let set = View_set.create store in
+    List.iter (fun pat -> ignore (View_set.add set pat)) pats;
+    let q = parse_query ~name:"query" query in
+    let dict = Store.dict store in
+    let show_answer () =
+      let sources = List.map Answer.source_of_mview (View_set.views set) in
+      match Answer.answer ~store ~sources q with
+      | None -> assert false (* a store is at hand: fallback always runs *)
+      | Some (plan, rows) ->
+        let total = List.fold_left (fun a r -> a + r.Answer.count) 0 rows in
+        Printf.printf "plan: %s\n%d tuple(s), %d embedding(s)\n"
+          (Answer.describe plan) (List.length rows) total;
+        List.iteri
+          (fun i r ->
+            if i < limit then print_endline ("  " ^ Answer.row_to_string ~dict r))
+          rows;
+        if List.length rows > limit then
+          Printf.printf "  … %d more (raise --limit)\n" (List.length rows - limit);
+        if check then begin
+          match Answer.diff ~expect:(Answer.base_rows store q) ~got:rows with
+          | None -> print_endline "check: views = base recomputation"
+          | Some d ->
+            Printf.printf "check FAILED: %s\n" d;
+            exit 1
+        end
+    in
+    show_answer ();
+    match update with
+    | None -> ()
+    | Some stmt ->
+      (* Apply one statement with the DTD-based independence prover
+         installed, report which views it discharged, and re-answer. *)
+      let dtd = Dtd.infer root in
+      View_set.set_independence set (Some (Independence.prover dtd));
+      let reports = View_set.update set (Update.parse stmt) in
+      let skipped =
+        List.filter (fun (_, r) -> r.Maint.skipped_irrelevant) reports
+      in
+      Printf.printf "\napplied %s: %d/%d view(s) proven independent (%s)\n"
+        stmt (List.length skipped) (List.length reports)
+        (match skipped with
+        | [] -> "none skipped"
+        | l ->
+          String.concat ", "
+            (List.map (fun (mv, _) -> mv.Mview.pat.Pattern.name) l));
+      show_answer ()
+  in
+  let query =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"QUERY"
+          ~doc:
+            "Query to answer: a built-in view name (Q1…Q17), a view \
+             statement, or a compact pattern.")
+  in
+  let doc =
+    Arg.(
+      value & opt (some file) None
+      & info [ "doc" ] ~docv:"FILE"
+          ~doc:"Document; omitted, one is generated ($(b,--gen-kb)).")
+  in
+  let gen_kb =
+    Arg.(
+      value & opt int 64
+      & info [ "gen-kb" ]
+          ~doc:"Without $(b,--doc), generate an XMark document of this size (KB).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Generator seed.") in
+  let vnames =
+    Arg.(
+      value & opt_all string []
+      & info [ "name" ]
+          ~doc:"Built-in view (Q1…Q17) to materialize; repeatable. Default Q1.")
+  in
+  let vqueries =
+    Arg.(
+      value & opt_all string []
+      & info [ "view" ] ~doc:"View statement to materialize; repeatable.")
+  in
+  let update =
+    Arg.(
+      value & opt (some string) None
+      & info [ "update" ] ~docv:"STMT"
+          ~doc:
+            "After answering, apply this update statement through the view \
+             set with the DTD-based independence prover installed (the DTD \
+             is inferred from the document), report which views were \
+             statically skipped, and answer again.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Cross-check every answer against base-document recomputation; \
+             exit 1 on any discrepancy.")
+  in
+  let limit =
+    Arg.(value & opt int 20 & info [ "limit" ] ~doc:"Tuples to print.")
+  in
+  Cmd.v
+    (Cmd.info "answer"
+       ~doc:
+         "Answer a fresh tree-pattern query from materialized views — a \
+          single view with residual compensations, the intersection of two \
+          views joined on a shared node, or base-document recomputation \
+          when no rewriting exists.")
+    Term.(
+      const run $ metrics_term $ doc $ gen_kb $ seed $ vnames $ vqueries
+      $ query $ update $ check $ limit)
 
 (* {1 serve} *)
 
@@ -614,12 +821,57 @@ let serve_cmd =
                 let name = String.trim (String.sub line 6 (String.length line - 6)) in
                 let s = Server.snapshot server in
                 (match Snapshot.find_view s name with
-                | None ->
-                  Printf.printf "no view %S at epoch %d\n%!" name s.Snapshot.epoch
                 | Some v ->
                   Printf.printf
                     "view %s @ epoch %d: %d tuples, %d embeddings\n%!" name
-                    s.Snapshot.epoch (Snapshot.cardinality v) v.Snapshot.v_total);
+                    s.Snapshot.epoch (Snapshot.cardinality v) v.Snapshot.v_total
+                | None -> (
+                  (* Not a view name: a fresh query, answered from the
+                     snapshot's immutable view images — never the live
+                     store, so this is safe on the console domain and
+                     reads one consistent epoch. *)
+                  match parse_query ~name:"query" name with
+                  | exception _ ->
+                    Printf.printf
+                      "no view %S at epoch %d (and not a parseable query)\n%!"
+                      name s.Snapshot.epoch
+                  | q -> (
+                    let sources =
+                      Array.to_list s.Snapshot.views
+                      |> List.map (fun v ->
+                             Answer.source ~name:v.Snapshot.v_name
+                               (Difftest.view_of_compact ~name:v.Snapshot.v_name
+                                  v.Snapshot.v_pattern)
+                               (fun () ->
+                                 Array.to_list v.Snapshot.v_tuples
+                                 |> List.map (fun t ->
+                                        {
+                                          Answer.count = t.Snapshot.t_count;
+                                          cells = t.Snapshot.t_cells;
+                                        })))
+                    in
+                    match Answer.answer ~sources q with
+                    | None ->
+                      Printf.printf
+                        "no rewriting from the materialized views at epoch \
+                         %d (base fallback is not available on a reader)\n%!"
+                        s.Snapshot.epoch
+                    | Some (plan, rows) ->
+                      let total =
+                        List.fold_left (fun a r -> a + r.Answer.count) 0 rows
+                      in
+                      Printf.printf
+                        "%s @ epoch %d: %d tuples, %d embeddings\n"
+                        (Answer.describe plan) s.Snapshot.epoch
+                        (List.length rows) total;
+                      List.iteri
+                        (fun i r ->
+                          if i < 10 then
+                            print_endline ("  " ^ Answer.row_to_string r))
+                        rows;
+                      if List.length rows > 10 then
+                        Printf.printf "  … %d more\n" (List.length rows - 10);
+                      flush stdout)));
                 loop ()
               | line ->
                 let stmt =
@@ -937,6 +1189,7 @@ let () =
             eval_cmd;
             view_cmd;
             maintain_cmd;
+            answer_cmd;
             serve_cmd;
             bench_serve_cmd;
             workload_cmd;

@@ -1,0 +1,361 @@
+type row = {
+  count : int;
+  cells : (Dewey.t * string option * string option) array;
+}
+
+type source = { src_name : string; src_pat : Pattern.t; src_rows : unit -> row list }
+
+let source ~name pat rows = { src_name = name; src_pat = pat; src_rows = rows }
+
+let source_of_mview mv =
+  {
+    src_name = mv.Mview.pat.Pattern.name;
+    src_pat = mv.Mview.pat;
+    src_rows =
+      (fun () ->
+        Mview.dump mv
+        |> List.map (fun (_, count, cells) ->
+               {
+                 count;
+                 cells =
+                   Array.map
+                     (fun c ->
+                       (c.Mview.cell_id, c.Mview.cell_value, c.Mview.cell_content))
+                     cells;
+               }));
+  }
+
+type comp =
+  | Val_eq of int * string
+  | Child_of of int * int
+  | Root_at of int
+
+type single = {
+  s_src : source;
+  s_comps : comp list;
+  s_project : (int * Pattern.annot) array;
+      (* per query stored node in preorder: the view stored position it
+         comes from, and the query's annot (payloads the view stores but
+         the query does not are stripped). *)
+}
+
+(* How each output cell of a join is built: a stored position in the top
+   or bottom leg's projected row, plus the query's annot there. *)
+type emit = From_top of int * Pattern.annot | From_bottom of int * Pattern.annot
+
+type join = {
+  j_split : int;
+  j_top : single;
+  j_bottom : single;
+  j_top_pos : int;  (* split's position in top-leg rows *)
+  j_bottom_pos : int;  (* split's position in bottom-leg rows (always 0) *)
+  j_emit : emit array;
+}
+
+type plan = Single of single | Join of join | Fallback
+
+let annot_le (a : Pattern.annot) (b : Pattern.annot) =
+  ((not a.Pattern.store_id) || b.Pattern.store_id)
+  && ((not a.Pattern.store_val) || b.Pattern.store_val)
+  && ((not a.Pattern.store_cont) || b.Pattern.store_cont)
+
+let stored_pos pat i =
+  let rec find k = function
+    | [] -> raise Not_found
+    | j :: rest -> if j = i then k else find (k + 1) rest
+  in
+  find 0 (Pattern.stored_nodes pat)
+
+(* Tree isomorphism of [query] onto [view] with compensations: exact tag
+   equality, matching children bijectively; a query [/]-edge may map to a
+   view [//]-edge when both endpoint IDs are stored (compensated by a
+   [Child_of] / [Root_at] filter); an extra query value predicate is
+   compensated by [Val_eq] when the view stores [val] there. Compensations
+   are first recorded against view *node* indices, then resolved to stored
+   positions. *)
+let match_single ~(query : Pattern.t) ~(view : Pattern.t) =
+  if Pattern.node_count query <> Pattern.node_count view then None
+  else begin
+    let m = Array.make (Pattern.node_count query) (-1) in
+    let vpred_comp qi vj =
+      match (query.Pattern.vpreds.(qi), view.Pattern.vpreds.(vj)) with
+      | None, None -> Some []
+      | Some a, Some b -> if a = b then Some [] else None
+      | Some c, None ->
+        if view.Pattern.annots.(vj).Pattern.store_val then Some [ `Val (vj, c) ]
+        else None
+      | None, Some _ -> None
+    in
+    let edge_comp qi vj =
+      if qi = 0 then
+        match (query.Pattern.axes.(0), view.Pattern.axes.(0)) with
+        | Pattern.Child, Pattern.Child | Pattern.Descendant, Pattern.Descendant ->
+          Some []
+        | Pattern.Child, Pattern.Descendant ->
+          if view.Pattern.annots.(vj).Pattern.store_id then Some [ `Root vj ]
+          else None
+        | Pattern.Descendant, Pattern.Child -> None
+      else
+        match (query.Pattern.axes.(qi), view.Pattern.axes.(vj)) with
+        | Pattern.Child, Pattern.Child | Pattern.Descendant, Pattern.Descendant ->
+          Some []
+        | Pattern.Child, Pattern.Descendant ->
+          let vp = view.Pattern.parents.(vj) in
+          if
+            view.Pattern.annots.(vj).Pattern.store_id
+            && view.Pattern.annots.(vp).Pattern.store_id
+          then Some [ `Child (vj, vp) ]
+          else None
+        | Pattern.Descendant, Pattern.Child -> None
+    in
+    let rec match_node qi vj =
+      if query.Pattern.tags.(qi) <> view.Pattern.tags.(vj) then None
+      else if not (annot_le query.Pattern.annots.(qi) view.Pattern.annots.(vj)) then
+        None
+      else
+        match (vpred_comp qi vj, edge_comp qi vj) with
+        | Some c1, Some c2 -> (
+          m.(qi) <- vj;
+          match
+            match_children (Pattern.children query qi) (Pattern.children view vj)
+          with
+          | Some c3 -> Some (c1 @ c2 @ c3)
+          | None -> None)
+        | _ -> None
+    and match_children qcs vcs =
+      match qcs with
+      | [] -> if vcs = [] then Some [] else None
+      | qc :: qrest ->
+        let rec try_pick before = function
+          | [] -> None
+          | vc :: after -> (
+            match match_node qc vc with
+            | Some c1 -> (
+              match match_children qrest (List.rev_append before after) with
+              | Some c2 -> Some (c1 @ c2)
+              | None -> try_pick (vc :: before) after)
+            | None -> try_pick (vc :: before) after)
+        in
+        try_pick [] vcs
+    in
+    match match_node 0 0 with
+    | None -> None
+    | Some comps ->
+      let comps =
+        List.map
+          (function
+            | `Val (vj, c) -> Val_eq (stored_pos view vj, c)
+            | `Child (vj, vp) -> Child_of (stored_pos view vj, stored_pos view vp)
+            | `Root vj -> Root_at (stored_pos view vj))
+          comps
+      in
+      let project =
+        Pattern.stored_nodes query
+        |> List.map (fun s -> (stored_pos view m.(s), query.Pattern.annots.(s)))
+        |> Array.of_list
+      in
+      Some (comps, project, Array.copy m)
+  end
+
+let single_of ~query src =
+  match match_single ~query ~view:src.src_pat with
+  | None -> None
+  | Some (comps, project, _) -> Some { s_src = src; s_comps = comps; s_project = project }
+
+let comp_holds cells = function
+  | Val_eq (pos, c) ->
+    let _, v, _ = cells.(pos) in
+    v = Some c
+  | Child_of (cpos, ppos) -> (
+    let cid, _, _ = cells.(cpos) and pid, _, _ = cells.(ppos) in
+    match Dewey.parent cid with Some p -> Dewey.equal p pid | None -> false)
+  | Root_at pos ->
+    let id, _, _ = cells.(pos) in
+    Dewey.parent id = None
+
+let project_cell cells (pos, (a : Pattern.annot)) =
+  let id, v, c = cells.(pos) in
+  ( id,
+    (if a.Pattern.store_val then v else None),
+    if a.Pattern.store_cont then c else None )
+
+let run_single s =
+  s.s_src.src_rows ()
+  |> List.filter_map (fun r ->
+         if List.for_all (comp_holds r.cells) s.s_comps then
+           Some { count = r.count; cells = Array.map (project_cell r.cells) s.s_project }
+         else None)
+
+(* {1 Canonical form} *)
+
+let cell_key (id, v, c) =
+  Dewey.encode id ^ "\x02"
+  ^ (match v with None -> "" | Some s -> "v" ^ s)
+  ^ "\x02"
+  ^ match c with None -> "" | Some s -> "c" ^ s
+
+let row_key r = String.concat "\x01" (Array.to_list (Array.map cell_key r.cells))
+
+let canonical rows =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      let k = row_key r in
+      match Hashtbl.find_opt tbl k with
+      | Some r' -> Hashtbl.replace tbl k { r' with count = r'.count + r.count }
+      | None -> Hashtbl.add tbl k r)
+    rows;
+  Hashtbl.fold (fun k r acc -> (k, r) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map snd
+
+(* {1 Planning} *)
+
+let plan ~sources (query : Pattern.t) =
+  let rec first f = function
+    | [] -> None
+    | x :: rest -> ( match f x with Some _ as r -> r | None -> first f rest)
+  in
+  match first (single_of ~query) sources with
+  | Some s -> Single s
+  | None ->
+    let nq = Pattern.node_count query in
+    let try_split split =
+      let top_pat = Pattern.prune query split ~name:(query.Pattern.name ^ "#top") in
+      let bottom_pat =
+        Pattern.subpattern query split ~name:(query.Pattern.name ^ "#bottom")
+      in
+      match first (single_of ~query:top_pat) sources with
+      | None -> None
+      | Some top -> (
+        match first (single_of ~query:bottom_pat) sources with
+        | None -> None
+        | Some bottom ->
+          let ndesc = List.length (Pattern.descendants query split) in
+          let emit =
+            Pattern.stored_nodes query
+            |> List.map (fun s ->
+                   let a = query.Pattern.annots.(s) in
+                   if s > split && s <= split + ndesc then
+                     From_bottom (stored_pos bottom_pat (s - split), a)
+                   else
+                     (* [prune] keeps indices [<= split] unchanged and
+                        shifts the nodes after the subtree down by its
+                        size. *)
+                     let top_i = if s <= split then s else s - ndesc in
+                     From_top (stored_pos top_pat top_i, a))
+            |> Array.of_list
+          in
+          Some
+            (Join
+               {
+                 j_split = split;
+                 j_top = top;
+                 j_bottom = bottom;
+                 j_top_pos = stored_pos top_pat split;
+                 j_bottom_pos = 0;
+                 j_emit = emit;
+               }))
+    in
+    let rec splits k = if k >= nq then Fallback else
+      match try_split k with Some p -> p | None -> splits (k + 1)
+    in
+    splits 1
+
+let run_join j =
+  let top_rows = run_single j.j_top and bottom_rows = run_single j.j_bottom in
+  let by_id = Hashtbl.create 64 in
+  List.iter
+    (fun b ->
+      let id, _, _ = b.cells.(j.j_bottom_pos) in
+      let k = Dewey.encode id in
+      Hashtbl.replace by_id k
+        (b :: (match Hashtbl.find_opt by_id k with Some l -> l | None -> [])))
+    bottom_rows;
+  List.concat_map
+    (fun t ->
+      let id, _, _ = t.cells.(j.j_top_pos) in
+      match Hashtbl.find_opt by_id (Dewey.encode id) with
+      | None -> []
+      | Some bs ->
+        List.map
+          (fun b ->
+            {
+              count = t.count * b.count;
+              cells =
+                Array.map
+                  (function
+                    | From_top (pos, a) -> project_cell t.cells (pos, a)
+                    | From_bottom (pos, a) -> project_cell b.cells (pos, a))
+                  j.j_emit;
+            })
+          bs)
+    top_rows
+
+let run = function
+  | Single s -> Some (canonical (run_single s))
+  | Join j -> Some (canonical (run_join j))
+  | Fallback -> None
+
+let base_rows store pat =
+  let mv = Mview.materialize ~policy:Mview.Leaves store pat in
+  Mview.dump mv
+  |> List.map (fun (_, count, cells) ->
+         {
+           count;
+           cells =
+             Array.map
+               (fun c -> (c.Mview.cell_id, c.Mview.cell_value, c.Mview.cell_content))
+               cells;
+         })
+  |> canonical
+
+let answer ?store ~sources query =
+  let p = plan ~sources query in
+  match run p with
+  | Some rows -> Some (p, rows)
+  | None -> (
+    match store with
+    | Some st -> Some (Fallback, base_rows st query)
+    | None -> None)
+
+let describe = function
+  | Single s ->
+    Printf.sprintf "single(%s), %d compensation%s" s.s_src.src_name
+      (List.length s.s_comps)
+      (if List.length s.s_comps = 1 then "" else "s")
+  | Join j ->
+    Printf.sprintf "join(%s * %s @ query node %d)" j.j_top.s_src.src_name
+      j.j_bottom.s_src.src_name j.j_split
+  | Fallback -> "fallback(base recompute)"
+
+let diff ~expect ~got =
+  let keyed rows = List.map (fun r -> (row_key r, r.count)) rows in
+  let e = keyed expect and g = keyed got in
+  if e = g then None
+  else
+    let summarize rows = Printf.sprintf "%d rows" (List.length rows) in
+    let rec first_diff e g =
+      match (e, g) with
+      | [], [] -> "identical keys?"
+      | (k, c) :: _, [] -> Printf.sprintf "missing row %S (count %d)" k c
+      | [], (k, c) :: _ -> Printf.sprintf "extra row %S (count %d)" k c
+      | (ke, ce) :: e', (kg, cg) :: g' ->
+        if ke = kg then
+          if ce = cg then first_diff e' g'
+          else Printf.sprintf "row %S: count %d vs %d" ke ce cg
+        else if ke < kg then Printf.sprintf "missing row %S (count %d)" ke ce
+        else Printf.sprintf "extra row %S (count %d)" kg cg
+    in
+    Some
+      (Printf.sprintf "expect %s, got %s; %s" (summarize expect) (summarize got)
+         (first_diff e g))
+
+let row_to_string ?dict r =
+  let cell (id, v, c) =
+    Dewey.to_string ?dict id
+    ^ (match v with None -> "" | Some s -> Printf.sprintf " val=%S" s)
+    ^ match c with None -> "" | Some s -> Printf.sprintf " cont=%S" s
+  in
+  Printf.sprintf "%dx [%s]" r.count
+    (String.concat "; " (Array.to_list (Array.map cell r.cells)))

@@ -1,0 +1,46 @@
+let homomorphisms ~from ~into =
+  let np = Pattern.node_count from and nq = Pattern.node_count into in
+  let qparents = into.Pattern.parents in
+  (* [j] a strict descendant of [pj] in [into]'s tree — every edge, [/] or
+     [//], forces strict document descendancy, so any parent chain does. *)
+  let strict_desc j pj =
+    let rec up k = k <> -1 && (k = pj || up qparents.(k)) in
+    up qparents.(j)
+  in
+  let h = Array.make (max np 1) (-1) in
+  let out = ref [] in
+  let ok i j =
+    Pattern.tag_subsumes from.Pattern.tags.(i) into.Pattern.tags.(j)
+    && (match from.Pattern.vpreds.(i) with
+       | None -> true
+       | Some c -> into.Pattern.vpreds.(j) = Some c)
+    &&
+    if i = 0 then
+      match from.Pattern.axes.(0) with
+      | Pattern.Child -> j = 0 && into.Pattern.axes.(0) = Pattern.Child
+      | Pattern.Descendant -> true
+    else
+      let pi = from.Pattern.parents.(i) in
+      match from.Pattern.axes.(i) with
+      | Pattern.Child -> qparents.(j) = h.(pi) && into.Pattern.axes.(j) = Pattern.Child
+      | Pattern.Descendant -> strict_desc j h.(pi)
+  in
+  (* Preorder: a node's parent is always assigned before the node. *)
+  let rec go i =
+    if i = np then out := Array.sub h 0 np :: !out
+    else
+      for j = 0 to nq - 1 do
+        if ok i j then begin
+          h.(i) <- j;
+          go (i + 1);
+          h.(i) <- -1
+        end
+      done
+  in
+  go 0;
+  List.rev !out
+
+let homomorphism ~from ~into =
+  match homomorphisms ~from ~into with [] -> None | h :: _ -> Some h
+
+let contains p q = homomorphism ~from:p ~into:q <> None

@@ -1,0 +1,30 @@
+(** Containment of tree patterns by homomorphism (the classical
+    Miklau/Suciu-style sufficient condition, exact on this dialect's
+    small patterns).
+
+    A {e homomorphism} [h] from pattern [p] into pattern [q] maps every
+    [p]-node to a [q]-node such that for {e every} embedding [β] of [q]
+    into a document, [β ∘ h] is an embedding of [p]:
+
+    - labels: [p]'s tag at [i] subsumes [q]'s tag at [h i]
+      ({!Pattern.tag_subsumes});
+    - value predicates: a predicate on [p]'s node must appear verbatim on
+      its image;
+    - [/]-edges map to [/]-edges (same parent image); [//]-edges map to
+      strict ancestor chains of any composition;
+    - a [/]-anchored root must map to a [/]-anchored root.
+
+    The existence of [h : p → q] therefore witnesses [q ⊆ p]: every
+    document node set produced by [q] is also produced by [p]. *)
+
+(** All homomorphisms from [from] into [into], as arrays indexed by
+    [from]-node (preorder), in lexicographic order of images. The search
+    is exponential in the worst case; patterns in this codebase are
+    small (≤ a dozen nodes). *)
+val homomorphisms : from:Pattern.t -> into:Pattern.t -> int array list
+
+(** First homomorphism, if any. *)
+val homomorphism : from:Pattern.t -> into:Pattern.t -> int array option
+
+(** [contains p q]: a homomorphism [p → q] exists, hence [q ⊆ p]. *)
+val contains : Pattern.t -> Pattern.t -> bool

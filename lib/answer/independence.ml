@@ -1,0 +1,260 @@
+module SS = Set.Make (String)
+
+(* Label sets with a ⊤ element: a label without a DTD rule has unknown
+   content, and any closure through it loses all precision. *)
+type lset = Top | Fin of SS.t
+
+let empty = Fin SS.empty
+let is_empty = function Top -> false | Fin s -> SS.is_empty s
+let union a b =
+  match (a, b) with Top, _ | _, Top -> Top | Fin a, Fin b -> Fin (SS.union a b)
+
+let is_attr l = String.length l > 0 && l.[0] = '@'
+let is_element l = l <> "#text" && not (is_attr l)
+let elements_of = function Top -> Top | Fin s -> Fin (SS.filter is_element s)
+
+(* Possible child labels of one label. Attributes and text have none. *)
+let children_of dtd l =
+  if not (is_element l) then empty
+  else
+    match Dtd.rule dtd l with
+    | None -> Top
+    | Some re -> Fin (SS.of_list (Dtd.alphabet re))
+
+let step_children dtd = function
+  | Top -> Top
+  | Fin s ->
+    SS.fold (fun l acc -> union acc (children_of dtd l)) s empty
+
+exception Hit_top
+
+let desc_or_self dtd = function
+  | Top -> Top
+  | Fin s -> (
+    try
+      let rec closure acc frontier =
+        if SS.is_empty frontier then Fin acc
+        else
+          let next =
+            SS.fold
+              (fun l acc2 ->
+                match children_of dtd l with
+                | Top -> raise Hit_top
+                | Fin cs -> SS.union acc2 cs)
+              frontier SS.empty
+          in
+          let fresh = SS.diff next acc in
+          closure (SS.union acc fresh) fresh
+      in
+      closure s s
+    with Hit_top -> Top)
+
+let descendants dtd ls = desc_or_self dtd (step_children dtd ls)
+
+(* Every element may carry text and attributes (content models do not
+   constrain them) — add the leaf markers when closing over a deletion. *)
+let add_leaves = function
+  | Top -> Top
+  | Fin s ->
+    if SS.exists is_element s then Fin (SS.add "#text" (SS.add "@" s)) else Fin s
+
+(* Labels from which some member of [targets] is reachable (including the
+   targets themselves) — the backward half of the ancestor approximation. *)
+let can_reach dtd = function
+  | Top -> Top
+  | Fin targets -> (
+    let universe = SS.of_list (Dtd.labels dtd) |> SS.add (Dtd.root dtd) in
+    let universe =
+      SS.fold
+        (fun l acc ->
+          match children_of dtd l with Top -> acc | Fin cs -> SS.union acc cs)
+        universe universe
+    in
+    try
+      let reaches = ref targets in
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        SS.iter
+          (fun l ->
+            if not (SS.mem l !reaches) then
+              match children_of dtd l with
+              | Top -> raise Hit_top
+              | Fin cs ->
+                if not (SS.is_empty (SS.inter cs !reaches)) then begin
+                  reaches := SS.add l !reaches;
+                  changed := true
+                end)
+          universe
+      done;
+      Fin !reaches
+    with Hit_top -> Top)
+
+(* Ancestors-or-self of [targets], restricted to the forward chain the
+   target path actually walked: chain ∩ can-reach(targets), plus the
+   targets themselves. *)
+let between dtd ~chain ~targets =
+  match (chain, targets, can_reach dtd (elements_of targets)) with
+  | Top, _, _ | _, Top, _ | _, _, Top -> Top
+  | Fin chain, Fin targets, Fin reach -> Fin (SS.union targets (SS.inter chain reach))
+
+(* [walk dtd path] over-approximates the labels of the nodes a target
+   path can select. Returns [(targets, chain, last_elems)]: the final
+   label set, the union of every intermediate label set (ancestors live
+   in it), and the element context of the final step (the owners, when
+   the path ends on an attribute step). Predicates are ignored — a pure
+   over-approximation. *)
+let walk dtd (path : Xpath.path) =
+  let start = Fin (SS.singleton (Dtd.root dtd)) in
+  let rec go ~first current chain last_elems = function
+    | [] -> (current, chain, last_elems)
+    | (step : Xpath.step) :: rest ->
+      let base =
+        if first then
+          match step.Xpath.axis with
+          | Xpath.Child -> current
+          | Xpath.Descendant -> desc_or_self dtd current
+        else
+          match step.Xpath.axis with
+          | Xpath.Child -> step_children dtd current
+          | Xpath.Descendant -> descendants dtd current
+      in
+      let filtered, owners =
+        match step.Xpath.test with
+        | Xpath.Name a ->
+          ( (match base with
+            | Top -> Fin (SS.singleton a)
+            | Fin s -> Fin (SS.filter (String.equal a) s)),
+            empty )
+        | Xpath.Star -> (elements_of base, empty)
+        | Xpath.Attr a ->
+          (* Attribute candidates of a Descendant axis hang off any
+             element in the descendant-or-self closure of the context. *)
+          let ctx =
+            match step.Xpath.axis with
+            | Xpath.Child -> current
+            | Xpath.Descendant ->
+              if first then desc_or_self dtd current
+              else desc_or_self dtd (step_children dtd current)
+          in
+          let ctx = elements_of ctx in
+          ((if is_empty ctx then empty else Fin (SS.singleton ("@" ^ a))), ctx)
+      in
+      go ~first:false filtered (union chain base) owners rest
+  in
+  go ~first:true start start empty path
+
+type verdict = Independent of string | Dependent of string
+
+(* Does a view tag intersect an over-approximated label set? *)
+let tag_hits tag = function
+  | Top -> true
+  | Fin s ->
+    if tag = "*" then SS.exists is_element s
+    else if is_attr tag then SS.mem tag s || SS.mem "@" s
+    else SS.mem tag s
+
+let view_hits (pat : Pattern.t) ls =
+  let hit = ref None in
+  Array.iteri
+    (fun i tag -> if !hit = None && tag_hits tag ls then hit := Some i)
+    pat.Pattern.tags;
+  !hit
+
+(* Tags of view nodes whose payload the view materializes or tests:
+   [cont] is sensitive to any descendant change; [val] (and value
+   predicates) to text changes. *)
+let payload_tags (pat : Pattern.t) =
+  let cont = ref [] and value = ref [] in
+  Array.iteri
+    (fun i (a : Pattern.annot) ->
+      if a.Pattern.store_cont then cont := pat.Pattern.tags.(i) :: !cont;
+      if a.Pattern.store_val || pat.Pattern.vpreds.(i) <> None then
+        value := pat.Pattern.tags.(i) :: !value)
+    pat.Pattern.annots;
+  (!cont, !value)
+
+let fragment_labels forest =
+  let labels = ref SS.empty in
+  List.iter
+    (Xml_tree.iter (fun n ->
+         labels :=
+           SS.add
+             (match n.Xml_tree.kind with
+             | Xml_tree.Element -> n.Xml_tree.name
+             | Xml_tree.Attribute -> "@" ^ n.Xml_tree.name
+             | Xml_tree.Text -> "#text")
+             !labels))
+    forest;
+  Fin !labels
+
+let analyze dtd (u : Update.t) (pat : Pattern.t) =
+  let cont_tags, val_tags = payload_tags pat in
+  let dep fmt = Printf.ksprintf (fun s -> Dependent s) fmt in
+  let structural ls =
+    match view_hits pat ls with
+    | Some i -> Some (dep "view node %d (%s) may gain or lose bindings" i pat.Pattern.tags.(i))
+    | None -> None
+  in
+  let payload ~anc ~text_possible =
+    match List.find_opt (fun t -> tag_hits t anc) cont_tags with
+    | Some t -> Some (dep "cont payload of %s lies on an affected path" t)
+    | None ->
+      if text_possible then
+        match List.find_opt (fun t -> tag_hits t anc) val_tags with
+        | Some t -> Some (dep "val/vpred of %s lies on an affected path" t)
+        | None -> None
+      else None
+  in
+  let anchors targets last_elems = union (elements_of targets) last_elems in
+  match u with
+  | Update.Delete path -> (
+    let targets, chain, last_elems = walk dtd path in
+    if is_empty targets then Independent "target path unsatisfiable under the DTD"
+    else
+      let affected = add_leaves (union (desc_or_self dtd (elements_of targets)) targets) in
+      match structural affected with
+      | Some d -> d
+      | None -> (
+        let anc = between dtd ~chain ~targets:(anchors targets last_elems) in
+        match payload ~anc ~text_possible:true with
+        | Some d -> d
+        | None -> Independent "deletion cannot reach the view"))
+  | Update.Insert { target; template = None; _ } ->
+    ignore target;
+    Dependent "opaque insert_forest fragment"
+  | Update.Insert { target; template = Some forest; _ } -> (
+    let targets, chain, last_elems = walk dtd target in
+    if is_empty targets then Independent "target path unsatisfiable under the DTD"
+    else
+      let frag = fragment_labels forest in
+      match structural frag with
+      | Some d -> d
+      | None -> (
+        let anc = between dtd ~chain ~targets:(anchors targets last_elems) in
+        let text_possible =
+          match frag with
+          | Top -> true
+          | Fin s -> SS.mem "#text" s || SS.exists is_attr s
+        in
+        match payload ~anc ~text_possible with
+        | Some d -> d
+        | None -> Independent "insertion cannot reach the view"))
+  | Update.Replace_value { target; _ } -> (
+    let targets, chain, last_elems = walk dtd target in
+    if is_empty targets then Independent "target path unsatisfiable under the DTD"
+    else
+      match
+        List.find_opt (fun t -> t = "#text") (Array.to_list pat.Pattern.tags)
+      with
+      | Some _ -> Dependent "view binds #text nodes; replace value rewrites them"
+      | None -> (
+        let anc = between dtd ~chain ~targets:(union targets (anchors targets last_elems)) in
+        match payload ~anc ~text_possible:true with
+        | Some d -> d
+        | None -> Independent "replaced value invisible to the view"))
+
+let independent dtd u pat =
+  match analyze dtd u pat with Independent _ -> true | Dependent _ -> false
+
+let prover dtd u mv = independent dtd u mv.Mview.pat

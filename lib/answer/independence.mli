@@ -1,0 +1,32 @@
+(** Type-based query-update independence (after Bidoit-Tollu/Colazzo/
+    Ulliana): given a DTD, statically prove that an update statement
+    cannot change a view's contents, so [View_set.update] can skip the
+    view before any delta work — a schema-aware upgrade of the
+    label-footprint relevance skip.
+
+    The analysis over-approximates, per update, the set of {e labels}
+    whose nodes may appear or disappear (structural effect) and the set
+    of labels whose [val]/[cont] payloads may change (ancestors-or-self
+    of the touched region, computed by intersecting the target path's
+    forward label chain with backward DTD reachability). A view is
+    declared independent only when neither set meets the view's node
+    tags, respectively its payload-bearing or value-tested tags.
+    Attributes are tracked as ["@name"] (with ["@"] the wildcard
+    over-approximation) and text as ["#text"]; labels lacking a DTD rule
+    have unknown content and poison the approximation to ⊤.
+
+    Soundness assumes the document is valid for the DTD (use
+    {!Dtd.infer} when no authored DTD exists — the source document is
+    always valid for its inferred DTD). *)
+
+type verdict =
+  | Independent of string  (** reason, for diagnostics *)
+  | Dependent of string
+
+val analyze : Dtd.t -> Update.t -> Pattern.t -> verdict
+
+(** [independent dtd u pat]: {!analyze} says [Independent]. *)
+val independent : Dtd.t -> Update.t -> Pattern.t -> bool
+
+(** Adapter with the shape [View_set.set_independence] expects. *)
+val prover : Dtd.t -> Update.t -> Mview.t -> bool

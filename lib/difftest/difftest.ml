@@ -1226,6 +1226,400 @@ let check_recover ?(jobs = 1) c =
       end
   with exn -> fail ("escaped exception: " ^ Printexc.to_string exn)
 
+(* {1 Answer-from-views oracle}
+
+   The rewriting planner's claim: a query answered from the materialized
+   view set — single-view with compensations, two-view intersection, or
+   base fallback — is tuple-for-tuple equal (cells, payloads, derivation
+   counts) to independent brute-force evaluation over the document, both
+   before and after a maintenance round. The brute side goes through
+   [Embed], not the algebraic evaluator, so the comparison also
+   re-validates the view contents the rewriting consumed. *)
+
+type answer_case = { aset : set_triple; aquery : Pattern.t }
+
+type answer_mismatch = { acx : answer_case; adetail : string }
+
+(* Brute-force query evaluation: enumerate embeddings, project stored
+   nodes, compute payloads straight off the document. *)
+let brute_rows store (pat : Pattern.t) =
+  let stored = Pattern.stored_nodes pat in
+  (* After a root deletion the store's tree handle dangles (cf.
+     [Update.targets]); the document is empty, so no embeddings. *)
+  if not (Store.mem store (Store.root store)) then []
+  else
+    Embed.embeddings store pat
+  |> List.map (fun (binding : Dewey.t array) ->
+         {
+           Answer.count = 1;
+           cells =
+             stored
+             |> List.map (fun s ->
+                    let id = binding.(s) in
+                    let a = pat.Pattern.annots.(s) in
+                    let node =
+                      match Store.node_of store id with
+                      | Some nd -> nd
+                      | None -> failwith "brute_rows: dangling identifier"
+                    in
+                    ( id,
+                      (if a.Pattern.store_val then
+                         Some (Xml_tree.string_value node)
+                       else None),
+                      if a.Pattern.store_cont then Some (Xml_tree.serialize node)
+                      else None ))
+             |> Array.of_list;
+         })
+  |> Answer.canonical
+
+let gen_answer_case rnd =
+  let t = gen_set_triple rnd in
+  let views = Array.of_list t.sviews in
+  let pick_view () = views.(Random.State.int rnd (Array.length views)) in
+  let fresh_query () =
+    Pattern.compile ~name:"q" (gen_vnode rnd ~labels:(doc_labels t.sdoc) 2)
+  in
+  let t, q =
+    match Random.State.int rnd 4 with
+    | 0 ->
+      (* Verbatim view: an exact single-view rewriting must exist. *)
+      (t, Pattern.rename (pick_view ()) "q")
+    | 1 ->
+      (* Derivative of a view: weakened annotations still rewrite (with
+         payload stripping); dropped subtrees force the fallback. *)
+      let v = pick_view () in
+      let q =
+        match view_variants v with
+        | [] -> v
+        | vs -> Qgen.pick rnd (Array.of_list vs)
+      in
+      (t, Pattern.rename q "q")
+    | 2 ->
+      (* Plant the two legs of a split as extra views so an intersection
+         rewriting exists for a query matching no single view. *)
+      let q = fresh_query () in
+      if Pattern.node_count q < 2 then (t, q)
+      else begin
+        let split = 1 + Random.State.int rnd (Pattern.node_count q - 1) in
+        let k = List.length t.sviews in
+        let top = Pattern.prune q split ~name:(Printf.sprintf "v%d" k) in
+        let bottom =
+          Pattern.subpattern q split ~name:(Printf.sprintf "v%d" (k + 1))
+        in
+        ({ t with sviews = t.sviews @ [ top; bottom ] }, q)
+      end
+    | _ ->
+      (* Unrelated query: usually the fallback, sometimes an accidental
+         rewriting. *)
+      (t, fresh_query ())
+  in
+  { aset = t; aquery = q }
+
+let check_answer c =
+  let detail = ref None in
+  let note phase msg =
+    if !detail = None then detail := Some (phase ^ ": " ^ msg)
+  in
+  (try
+     let store = Store.of_document (Xml_tree.copy c.aset.sdoc) in
+     let set = View_set.create store in
+     List.iter (fun pat -> ignore (View_set.add set pat)) c.aset.sviews;
+     let sources = List.map Answer.source_of_mview (View_set.views set) in
+     let compare_now phase =
+       let want = brute_rows store c.aquery in
+       match Answer.answer ~store ~sources c.aquery with
+       | None -> note phase "no plan and no fallback (unreachable with a store)"
+       | Some (plan, got) -> (
+         match Answer.diff ~expect:want ~got with
+         | None -> ()
+         | Some d -> note phase (Printf.sprintf "[%s] %s" (Answer.describe plan) d))
+     in
+     compare_now "before update";
+     if !detail = None then begin
+       ignore (View_set.update set (Update.parse c.aset.supdate));
+       compare_now "after update"
+     end
+   with exn -> note "check" ("escaped exception: " ^ Printexc.to_string exn));
+  Option.map (fun d -> { acx = c; adetail = d }) !detail
+
+(* {2 Answer replay} *)
+
+let repro_of_answer c =
+  let part s = Printf.sprintf "%d:%s" (String.length s) s in
+  String.concat "|"
+    (("xvmdta1"
+      :: string_of_int (List.length c.aset.sviews)
+      :: List.map (fun v -> part (Pattern.to_string v)) c.aset.sviews)
+    @ [
+        part (Pattern.to_string c.aquery);
+        part c.aset.supdate;
+        part (Xml_tree.serialize c.aset.sdoc);
+      ])
+
+let answer_of_repro s =
+  let fail () = invalid_arg "Difftest.answer_of_repro: malformed reproducer" in
+  let n = String.length s in
+  if not (n > 8 && String.sub s 0 8 = "xvmdta1|") then fail ();
+  let pos = ref 8 in
+  let expect c = if !pos < n && s.[!pos] = c then incr pos else fail () in
+  let number () =
+    let st = !pos in
+    while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do
+      incr pos
+    done;
+    if !pos = st then fail ();
+    int_of_string (String.sub s st (!pos - st))
+  in
+  let part () =
+    let len = number () in
+    expect ':';
+    if !pos + len > n then fail ();
+    let r = String.sub s !pos len in
+    pos := !pos + len;
+    r
+  in
+  let k = number () in
+  if k < 1 || k > 64 then fail ();
+  let views =
+    List.init k (fun i ->
+        expect '|';
+        view_of_compact ~name:(Printf.sprintf "v%d" i) (part ()))
+  in
+  expect '|';
+  let query = view_of_compact ~name:"q" (part ()) in
+  expect '|';
+  let update = part () in
+  expect '|';
+  let doc_s = part () in
+  if !pos <> n then fail ();
+  ignore (Update.parse update);
+  {
+    aset = { sdoc = Xml_parse.document doc_s; sviews = views; supdate = update };
+    aquery = query;
+  }
+
+let describe_answer m =
+  let c = m.acx in
+  Printf.sprintf
+    "answer-from-views disagreement\n\
+    \  views:  %s\n\
+    \  query:  %s\n\
+    \  update: %s\n\
+    \  doc:    %s (%d nodes)\n\
+    \  detail: %s\n\
+    \  replay: xvmcli difftest --replay %s"
+    (String.concat "  ;  " (List.map Pattern.to_string c.aset.sviews))
+    (Pattern.to_string c.aquery) c.aset.supdate
+    (Qgen.abbrev (Xml_tree.serialize c.aset.sdoc))
+    (Xml_tree.size c.aset.sdoc) m.adetail
+    (shell_quote (repro_of_answer c))
+
+let shrink_answer m =
+  let current = ref m in
+  let budget = ref 2000 in
+  let improved = ref true in
+  while !improved && !budget > 0 do
+    improved := false;
+    let c = !current.acx in
+    let t = c.aset in
+    let replace_view i v =
+      { c with
+        aset =
+          { t with sviews = List.mapi (fun k q -> if k = i then v else q) t.sviews }
+      }
+    in
+    let drop_views =
+      (* Dropping a view can only steer the plan toward the fallback; the
+         case stays well-formed. *)
+      if List.length t.sviews > 1 then
+        List.mapi
+          (fun i _ -> { c with aset = { t with sviews = without_nth t.sviews i } })
+          t.sviews
+      else []
+    in
+    let docs =
+      List.map (fun d -> { c with aset = { t with sdoc = d } }) (doc_variants t.sdoc)
+    in
+    let updates =
+      List.map
+        (fun u -> { c with aset = { t with supdate = u } })
+        (update_variants t.supdate)
+    in
+    let queries =
+      List.map (fun q -> { c with aquery = q }) (view_variants c.aquery)
+    in
+    let view_shrinks =
+      List.concat
+        (List.mapi
+           (fun i pat -> List.map (replace_view i) (view_variants pat))
+           t.sviews)
+    in
+    let candidates = drop_views @ docs @ updates @ queries @ view_shrinks in
+    (try
+       List.iter
+         (fun cand ->
+           if !budget > 0 then begin
+             decr budget;
+             match check_answer cand with
+             | Some m' ->
+               current := m';
+               improved := true;
+               raise Exit
+             | None -> ()
+           end)
+         candidates
+     with Exit -> ())
+  done;
+  !current
+
+let run_answer ~seed ~iters () =
+  let rnd = Random.State.make [| seed; 0xa457 |] in
+  let rc = Qgen.fresh_recorder () in
+  for _ = 1 to iters do
+    let c = gen_answer_case rnd in
+    match check_answer c with
+    | None -> ()
+    | Some m -> Qgen.record rc (describe_answer (shrink_answer m))
+  done;
+  Qgen.report_of rc ~iterations:iters
+
+(* {1 Independence-safety oracle}
+
+   Whenever the static analysis declares an (update, view) pair
+   independent, full maintenance on that view must be a no-op: zero delta
+   tuples, zero payload refreshes, no rebuild, an image identical before
+   and after — and, as ground truth, identical to recomputation from
+   scratch. The analyzer is pluggable so a deliberately broken one can be
+   proven catchable (and its counterexamples shrinkable). *)
+
+type indep_analyzer = Dtd.t -> Update.t -> Pattern.t -> bool
+
+type indep_mismatch = { icx : triple; idetail : string }
+
+(* Projection of a dump that ignores cell mutability. *)
+let dump_sig mv =
+  Mview.dump mv
+  |> List.map (fun (key, count, cells) ->
+         ( key,
+           count,
+           Array.to_list
+             (Array.map
+                (fun c -> (c.Mview.cell_value, c.Mview.cell_content))
+                cells) ))
+
+let check_indep ?(analyzer : indep_analyzer = Independence.independent) t =
+  let fail d = Some { icx = t; idetail = d } in
+  match
+    let doc = Xml_tree.copy t.doc in
+    let dtd = Dtd.infer doc in
+    let u = Update.parse t.update in
+    if not (analyzer dtd u t.view) then None
+    else begin
+      let store = Store.of_document doc in
+      let mv = Mview.materialize store t.view in
+      let before = dump_sig mv in
+      let r = Maint.propagate mv u in
+      (* [tuples_modified] alone is not a violation: maintenance may
+         conservatively refresh a payload to the same value (e.g. a text-
+         free insert below a [val] node); the image comparison right
+         after catches any refresh that actually changed something. *)
+      if
+        r.Maint.embeddings_added <> 0
+        || r.Maint.embeddings_removed <> 0
+        || r.Maint.fallback_recompute
+      then
+        fail
+          (Printf.sprintf
+             "declared independent, but maintenance produced delta tuples: \
+              +%d -%d embeddings, rebuild=%b"
+             r.Maint.embeddings_added r.Maint.embeddings_removed
+             r.Maint.fallback_recompute)
+      else if dump_sig mv <> before then
+        fail "declared independent, but the view image changed"
+      else begin
+        (* Ground truth: the untouched view must equal recomputation. *)
+        let omv =
+          recompute_engine.eval (Xml_tree.copy t.doc) t.view (Update.parse t.update)
+        in
+        match Recompute.diff mv omv with
+        | None -> None
+        | Some d -> fail ("declared independent, but recomputation differs: " ^ d)
+      end
+    end
+  with
+  | r -> r
+  | exception exn ->
+    fail ("escaped exception: " ^ Printexc.to_string exn)
+
+(* Bias half the triples toward updates over labels the view never
+   mentions — those are the pairs a useful analyzer should discharge. *)
+let gen_indep_triple rnd =
+  let t = gen_triple rnd in
+  if Random.State.bool rnd then t
+  else begin
+    let vtags = Array.to_list t.view.Pattern.tags in
+    let unused =
+      Array.to_list (doc_labels t.doc)
+      |> List.filter (fun l -> not (List.mem l vtags))
+    in
+    let pool = Array.of_list (absent_label :: unused) in
+    let l = Qgen.pick rnd pool in
+    let stmt =
+      if Random.State.bool rnd then "delete //" ^ l
+      else "insert into //" ^ l ^ " " ^ gen_fragment rnd
+    in
+    ignore (Update.parse stmt);
+    { t with update = stmt }
+  end
+
+let describe_indep m =
+  let t = m.icx in
+  Printf.sprintf
+    "independence-safety violation (DTD inferred from the document)\n\
+    \  view:   %s\n\
+    \  update: %s\n\
+    \  doc:    %s (%d nodes)\n\
+    \  detail: %s"
+    (Pattern.to_string t.view) t.update
+    (Qgen.abbrev (Xml_tree.serialize t.doc))
+    (doc_nodes t) m.idetail
+
+let shrink_indep ?analyzer m =
+  let current = ref m in
+  let budget = ref 2000 in
+  let improved = ref true in
+  while !improved && !budget > 0 do
+    improved := false;
+    let t = !current.icx in
+    let candidates = doc_candidates t @ update_candidates t @ view_candidates t in
+    (try
+       List.iter
+         (fun c ->
+           if !budget > 0 then begin
+             decr budget;
+             match check_indep ?analyzer c with
+             | Some m' ->
+               current := m';
+               improved := true;
+               raise Exit
+             | None -> ()
+           end)
+         candidates
+     with Exit -> ())
+  done;
+  !current
+
+let run_indep ?analyzer ~seed ~iters () =
+  let rnd = Random.State.make [| seed; 0x1dec |] in
+  let rc = Qgen.fresh_recorder () in
+  for _ = 1 to iters do
+    let t = gen_indep_triple rnd in
+    match check_indep ?analyzer t with
+    | None -> ()
+    | Some m -> Qgen.record rc (describe_indep (shrink_indep ?analyzer m))
+  done;
+  Qgen.report_of rc ~iterations:iters
+
 let run_recover ?(jobs = 1) ~seed ~iters () =
   let rnd = Random.State.make [| seed; 0xc4a5 |] in
   let rc = Qgen.fresh_recorder () in

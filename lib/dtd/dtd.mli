@@ -27,6 +27,9 @@ val root : t -> string
 (** [rule dtd label] is the content model of [label], if constrained. *)
 val rule : t -> string -> regex option
 
+(** Labels having a rule, sorted. *)
+val labels : t -> string list
+
 exception Parse_error of string
 
 (** [parse s] reads a compact textual syntax, one rule per line:
@@ -47,6 +50,18 @@ val word_matches : regex -> string list -> bool
 (** Symbols occurring in {e every} word of the language — the mandatory
     children used to derive Δ⁺ constraints (Examples 3.9 / 3.10). *)
 val mandatory : regex -> string list
+
+(** All symbols occurring in the expression, sorted — the
+    over-approximation of possible children used by the query-update
+    independence analysis. *)
+val alphabet : regex -> string list
+
+(** [infer doc] builds the coarsest DTD the document satisfies: one
+    [Star (Alt …)] rule per element label over every child label observed
+    anywhere under that label. [doc] always validates against it, and
+    label reachability is exact for [doc] — good enough to drive the
+    independence analysis when no authored DTD is available. *)
+val infer : Xml_tree.node -> t
 
 (** {1 Δ⁺ reasoning} *)
 

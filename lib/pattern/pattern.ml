@@ -104,6 +104,54 @@ let tag_matches tag (node : Xml_tree.node) =
     && String.sub tag 1 (String.length tag - 1) = node.Xml_tree.name
   | Xml_tree.Text -> tag = "#text"
 
+let tag_subsumes general specific =
+  general = specific
+  || general = "*"
+     && specific <> "#text"
+     && not (String.length specific > 0 && specific.[0] = '@')
+
+let subpattern t i ~name =
+  if i < 0 || i >= node_count t then invalid_arg "Pattern.subpattern";
+  (* Preorder layout: the subtree of [i] is the contiguous index range
+     [i .. i + |desc i|], so new index = old index - i. *)
+  let desc = descendants t i in
+  let count = 1 + List.length desc in
+  let sub f = Array.init count (fun j -> f (i + j)) in
+  {
+    name;
+    tags = sub (fun j -> t.tags.(j));
+    axes = sub (fun j -> if j = i then Descendant else t.axes.(j));
+    parents = sub (fun j -> if j = i then -1 else t.parents.(j) - i);
+    annots =
+      sub (fun j ->
+          if j = i then { store_id = true; store_val = false; store_cont = false }
+          else t.annots.(j));
+    vpreds = sub (fun j -> t.vpreds.(j));
+  }
+
+let prune t i ~name =
+  if i < 0 || i >= node_count t then invalid_arg "Pattern.prune";
+  let drop = descendants t i in
+  let keep = ref [] in
+  for j = node_count t - 1 downto 0 do
+    if not (List.mem j drop) then keep := j :: !keep
+  done;
+  let keep = Array.of_list !keep in
+  let pos = Array.make (node_count t) (-1) in
+  Array.iteri (fun new_i old_i -> pos.(old_i) <- new_i) keep;
+  {
+    name;
+    tags = Array.map (fun j -> t.tags.(j)) keep;
+    axes = Array.map (fun j -> t.axes.(j)) keep;
+    parents =
+      Array.map (fun j -> if t.parents.(j) = -1 then -1 else pos.(t.parents.(j))) keep;
+    annots =
+      Array.map
+        (fun j -> if j = i then { t.annots.(j) with store_id = true } else t.annots.(j))
+        keep;
+    vpreds = Array.map (fun j -> t.vpreds.(j)) keep;
+  }
+
 let vpred_holds t i node =
   match t.vpreds.(i) with
   | None -> true

@@ -67,6 +67,25 @@ val descendants : t -> int -> int list
     node? [*] accepts any element; ["@x"] accepts attribute [x]. *)
 val tag_matches : string -> Xml_tree.node -> bool
 
+(** [tag_subsumes general specific]: every document node accepted by
+    [specific] is accepted by [general] — equality, or [general = "*"]
+    with [specific] an element tag (attributes and ["#text"] are not
+    elements). The label-level test of the containment checker. *)
+val tag_subsumes : string -> string -> bool
+
+(** [subpattern pat i ~name] is the subtree of [pat] rooted at node [i]
+    as a standalone pattern: the root's axis becomes [Descendant] (a
+    standalone evaluation must reach the node anywhere in the document)
+    and its stored attributes are reduced to [ID] alone — the join key
+    the intersection planner stitches on. Descendant nodes keep their
+    axes, predicates and stored attributes. *)
+val subpattern : t -> int -> name:string -> t
+
+(** [prune pat i ~name] is [pat] with the strict descendants of node [i]
+    removed; node [i] additionally stores its [ID] (again the join key).
+    @raise Invalid_argument if [i] is out of range. *)
+val prune : t -> int -> name:string -> t
+
 (** [vpred_holds pat i node]: value predicate of node [i] (if any) holds
     on [node]. *)
 val vpred_holds : t -> int -> Xml_tree.node -> bool

@@ -5,14 +5,17 @@ type t = {
   mutable views : Mview.t list; (* reverse order *)
   index : (string, Mview.t) Hashtbl.t;
   mutable journal : (Update.t -> unit) option;
+  mutable indep : (Update.t -> Mview.t -> bool) option;
 }
 
 let create store =
-  { store; views = []; index = Hashtbl.create 16; journal = None }
+  { store; views = []; index = Hashtbl.create 16; journal = None; indep = None }
 
 let store t = t.store
 
 let set_journal t j = t.journal <- j
+
+let set_independence t p = t.indep <- p
 
 let name_of mv = mv.Mview.pat.Pattern.name
 
@@ -75,13 +78,29 @@ let update ?(jobs = 1) t u =
     []
   | _ ->
     let b = Timing.zero () in
+    (* Static schema-based independence (when a prover is installed via
+       [set_independence]): decided from the statement and the view
+       pattern alone, before target location, document mutation, watch
+       recording or any delta work. A statically-skipped view records no
+       watches either — if the prover is wrong, the view diverges
+       detectably instead of being silently rescued by a rebuild. *)
+    let static_skip =
+      match t.indep with None -> fun _ -> false | Some prove -> fun mv -> prove u mv
+    in
+    let pre = List.map (fun mv -> (mv, static_skip mv)) views in
+    let live = List.filter_map (fun (mv, sk) -> if sk then None else Some mv) pre in
     let targets =
       Timing.timed b
         (fun b v -> b.Timing.find_target <- v)
         (fun () -> Update.targets t.store u)
     in
     (* Predicate watches must be recorded per view before the mutation. *)
-    let watched = List.map (fun mv -> (mv, Maint.vpred_watches mv targets)) views in
+    let watched =
+      List.map
+        (fun (mv, sk) ->
+          (mv, if sk then None else Some (Maint.vpred_watches mv targets)))
+        pre
+    in
     let applied =
       Timing.timed b
         (fun b v -> b.Timing.apply_doc <- v)
@@ -94,9 +113,10 @@ let update ?(jobs = 1) t u =
             Maint.Repl (d, i))
     in
     (* Shared update-region index: built once, consumed per view. The
-       delete build is narrowed to the union of the views' label
-       footprints — every lookup any view can make stays answerable,
-       while slices for labels no view mentions are never extracted. *)
+       delete build is narrowed to the union of the {e live} views' label
+       footprints — statically-independent views never consult it, so
+       their labels add nothing; when the prover discharges every view
+       the build is skipped outright. *)
     let wanted =
       let star = ref false in
       let tags = Hashtbl.create 16 in
@@ -105,7 +125,7 @@ let update ?(jobs = 1) t u =
           let fp = mv.Mview.footprint in
           if fp.Mview.fp_star then star := true;
           Array.iter (fun tag -> Hashtbl.replace tags tag ()) fp.Mview.fp_tags)
-        views;
+        live;
       let l = Hashtbl.fold (fun k () acc -> k :: acc) tags [] in
       if !star then "*" :: l else l
     in
@@ -113,14 +133,19 @@ let update ?(jobs = 1) t u =
       Timing.timed b
         (fun b v -> b.Timing.compute_delta <- v)
         (fun () ->
-          match applied with
-          | Maint.Ins app ->
-            let sh = Delta.Shared.of_insert t.store app in
-            (Some sh, Batch.Labels sh)
-          | Maint.Del app ->
-            let sh = Delta.Shared.of_delete ~wanted t.store app in
-            (Some sh, Batch.Labels sh)
-          | Maint.Repl _ -> (None, Batch.Text_only))
+          (* [Text_only] is a placeholder when every view was discharged
+             statically: classification below never consults [labels] for
+             those views. *)
+          if live = [] then (None, Batch.Text_only)
+          else
+            match applied with
+            | Maint.Ins app ->
+              let sh = Delta.Shared.of_insert t.store app in
+              (Some sh, Batch.Labels sh)
+            | Maint.Del app ->
+              let sh = Delta.Shared.of_delete ~wanted t.store app in
+              (Some sh, Batch.Labels sh)
+            | Maint.Repl _ -> (None, Batch.Text_only))
     in
     let text_structural mv =
       match applied with
@@ -128,21 +153,26 @@ let update ?(jobs = 1) t u =
         Array.exists (( = ) "#text") mv.Mview.pat.Pattern.tags
       | Maint.Ins _ | Maint.Del _ -> false
     in
-    (* [`Skip] / [`Clean] / [`Commit] per view, in insertion order. *)
+    (* [`Skip] / [`Clean] / [`Commit] per view, in insertion order;
+       statically-discharged views (no recorded watches) skip outright. *)
     let classified =
       List.map
         (fun (mv, watches) ->
           let cls =
-            if Maint.watches_flipped mv watches || text_structural mv then `Commit
-            else if Batch.can_skip mv labels then `Skip
-            else `Clean
+            match watches with
+            | None -> `Skip
+            | Some w ->
+              if Maint.watches_flipped mv w || text_structural mv then `Commit
+              else if Batch.can_skip mv labels then `Skip
+              else `Clean
           in
           (mv, watches, cls))
         watched
     in
     let clean =
       List.filter_map
-        (fun (mv, w, c) -> if c = `Clean then Some (mv, w) else None)
+        (fun (mv, w, c) ->
+          match (c, w) with `Clean, Some w -> Some (mv, w) | _ -> None)
         classified
     in
     (* Read-only fan-out: no commit, no document mutation; Obs increments
@@ -162,7 +192,9 @@ let update ?(jobs = 1) t u =
         (fun (mv, watches, cls) ->
           match cls with
           | `Skip -> (mv, Maint.skipped_report ())
-          | `Commit -> (mv, Maint.propagate_applied ~watches mv applied)
+          | `Commit ->
+            let watches = match watches with Some w -> w | None -> assert false in
+            (mv, Maint.propagate_applied ~watches mv applied)
           | `Clean ->
             (match Array.find_opt (fun (m, _) -> m == mv) clean_reports with
             | Some r -> r

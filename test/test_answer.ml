@@ -1,0 +1,452 @@
+(* The answering subsystem under test: the containment checker against
+   brute-force homomorphism enumeration (with semantic witness replay
+   through [Embed]), the rewriting planner's three plan shapes on
+   handcrafted views, the seeded answer-from-views and independence
+   differential oracles, and the static independence analysis on
+   authored DTDs. *)
+
+let doc_of = Xml_parse.document
+
+let compact = Difftest.view_of_compact
+
+(* {1 Containment vs brute force} *)
+
+(* Small patterns: a root with at most three descendants over a tiny
+   alphabet, so exhaustive map enumeration stays trivial (<= 4^4). *)
+let gen_small_pattern =
+  let open QCheck.Gen in
+  let label = frequency [ (4, oneofl [ "a"; "b"; "c" ]); (1, pure "*") ] in
+  let axis = oneofl [ Pattern.Child; Pattern.Descendant ] in
+  let vpred =
+    frequency [ (4, pure None); (1, map (fun w -> Some w) (oneofl [ "x"; "y" ])) ]
+  in
+  let leaf =
+    let* tag = label in
+    let* ax = axis in
+    let* vp = vpred in
+    pure (Pattern.n ~axis:ax ~id:true ?vpred:vp tag [])
+  in
+  let* tag = label in
+  let* ax = axis in
+  let* vp = vpred in
+  let* shape = int_range 0 3 in
+  let* kids =
+    match shape with
+    | 0 -> pure []
+    | 1 -> map (fun k -> [ k ]) leaf
+    | 2 -> map (fun (a, b) -> [ a; b ]) (pair leaf leaf)
+    | _ ->
+      (* one nested chain: root -> mid -> leaf *)
+      let* mid_tag = label in
+      let* mid_ax = axis in
+      let* l = leaf in
+      pure [ Pattern.n ~axis:mid_ax ~id:true mid_tag [ l ] ]
+  in
+  pure (Pattern.compile ~name:"p" (Pattern.n ~axis:ax ~id:true ?vpred:vp tag kids))
+
+let arb_small_pattern = QCheck.make gen_small_pattern ~print:Pattern.to_string
+
+(* Independently-written validity predicate for a candidate map
+   [h : p -> q] — the oracle the search is checked against. *)
+let valid_hom (p : Pattern.t) (q : Pattern.t) h =
+  let ok_tag general specific =
+    general = specific
+    || general = "*"
+       && specific <> "#text"
+       && not (String.length specific > 0 && specific.[0] = '@')
+  in
+  let strict_desc j anc =
+    let rec up k = k >= 0 && (k = anc || up q.Pattern.parents.(k)) in
+    j <> anc && up q.Pattern.parents.(j)
+  in
+  let ok = ref true in
+  for i = 0 to Pattern.node_count p - 1 do
+    let j = h.(i) in
+    if not (ok_tag p.Pattern.tags.(i) q.Pattern.tags.(j)) then ok := false;
+    (match p.Pattern.vpreds.(i) with
+    | None -> ()
+    | Some c -> if q.Pattern.vpreds.(j) <> Some c then ok := false);
+    if i = 0 then begin
+      if
+        p.Pattern.axes.(0) = Pattern.Child
+        && not (j = 0 && q.Pattern.axes.(0) = Pattern.Child)
+      then ok := false
+    end
+    else begin
+      let pj = h.(p.Pattern.parents.(i)) in
+      match p.Pattern.axes.(i) with
+      | Pattern.Child ->
+        if not (q.Pattern.parents.(j) = pj && q.Pattern.axes.(j) = Pattern.Child)
+        then ok := false
+      | Pattern.Descendant -> if not (strict_desc j pj) then ok := false
+    end
+  done;
+  !ok
+
+(* Every map p -> q, exhaustively. *)
+let all_maps np nq =
+  let rec go i acc =
+    if i = np then [ Array.of_list (List.rev acc) ]
+    else
+      List.concat (List.init nq (fun j -> go (i + 1) (j :: acc)))
+  in
+  go 0 []
+
+let hom_set hs =
+  List.sort compare (List.map Array.to_list hs)
+
+let test_containment_vs_brute =
+  QCheck.Test.make ~count:500 ~name:"homomorphisms = brute-force enumeration"
+    (QCheck.pair arb_small_pattern arb_small_pattern)
+    (fun (p, q) ->
+      let got = hom_set (Containment.homomorphisms ~from:p ~into:q) in
+      let want =
+        hom_set
+          (List.filter (valid_hom p q)
+             (all_maps (Pattern.node_count p) (Pattern.node_count q)))
+      in
+      if got <> want then
+        QCheck.Test.fail_reportf "checker %d maps, oracle %d maps"
+          (List.length got) (List.length want);
+      true)
+
+(* Witness replay: a homomorphism [h : p -> q] composed with any document
+   embedding of [q] must be a document embedding of [p]. *)
+let test_containment_witness_replay =
+  QCheck.Test.make ~count:300 ~name:"witness replay over random documents"
+    (QCheck.triple Tutil.arb_doc arb_small_pattern arb_small_pattern)
+    (fun (doc, p, q) ->
+      match Containment.homomorphism ~from:p ~into:q with
+      | None -> true
+      | Some h ->
+        let store = Store.of_document doc in
+        let p_embs = Embed.embeddings store p in
+        List.iter
+          (fun eq ->
+            let composed = Array.map (fun i -> eq.(i)) h in
+            let mem =
+              List.exists
+                (fun ep ->
+                  Array.length ep = Array.length composed
+                  && Array.for_all2 Dewey.equal ep composed)
+                p_embs
+            in
+            if not mem then
+              QCheck.Test.fail_reportf
+                "composed q-embedding is not a p-embedding (hom %s)"
+                (String.concat ","
+                   (List.map string_of_int (Array.to_list h))))
+          (Embed.embeddings store q);
+        true)
+
+let test_contains_basics () =
+  let p s = compact ~name:"p" s in
+  Alcotest.(check bool) "//a contains /a" true
+    (Containment.contains (p "//a{id}") (p "/a{id}"));
+  Alcotest.(check bool) "/a does not contain //a" false
+    (Containment.contains (p "/a{id}") (p "//a{id}"));
+  Alcotest.(check bool) "star generalizes" true
+    (Containment.contains (p "//*{id}") (p "//b{id}"));
+  Alcotest.(check bool) "star never matches text" false
+    (Containment.contains (p "//*{id}") (p "//#text{id}"));
+  Alcotest.(check bool) "dropping a predicate generalizes" true
+    (Containment.contains (p "//a{id}") (p "//a{id}[/b]"));
+  Alcotest.(check bool) "vpred must be preserved" false
+    (Containment.contains (p "//a[val='x']{id}") (p "//a{id}"))
+
+(* {1 Answering plans on handcrafted views} *)
+
+let tdoc = "<r><a><b>x</b></a><a><b>y</b><c>w</c></a><b>z</b></r>"
+
+(* Each case: one store, the listed views materialized, the query
+   answered, the plan's describe-prefix asserted, and the rows compared
+   tuple-for-tuple against base recomputation. *)
+let check_plan ~views ~query ~expect () =
+  let store = Store.of_document (doc_of tdoc) in
+  let set = View_set.create store in
+  List.iteri
+    (fun i s ->
+      ignore (View_set.add set (compact ~name:(Printf.sprintf "v%d" i) s)))
+    views;
+  let q = compact ~name:"q" query in
+  let sources = List.map Answer.source_of_mview (View_set.views set) in
+  match Answer.answer ~store ~sources q with
+  | None -> Alcotest.fail "no answer despite a store"
+  | Some (plan, rows) ->
+    let d = Answer.describe plan in
+    if
+      String.length d < String.length expect
+      || String.sub d 0 (String.length expect) <> expect
+    then Alcotest.failf "expected a %s… plan, got %s" expect d;
+    (match Answer.diff ~expect:(Answer.base_rows store q) ~got:rows with
+    | None -> ()
+    | Some msg -> Alcotest.failf "views vs base: %s" msg)
+
+let test_single_exact =
+  check_plan ~views:[ "//a{id}[/b{id,val}]" ] ~query:"//a{id}[/b{id,val}]"
+    ~expect:"single("
+
+let test_single_val_eq =
+  check_plan ~views:[ "//a{id}[/b{id,val}]" ]
+    ~query:"//a{id}[/b[val='x']{id,val}]" ~expect:"single("
+
+let test_single_child_of =
+  check_plan ~views:[ "//r{id}[//b{id}]" ] ~query:"//r{id}[/b{id}]"
+    ~expect:"single("
+
+let test_single_root_at =
+  check_plan ~views:[ "//r{id}" ] ~query:"/r{id}" ~expect:"single("
+
+let test_single_projection =
+  check_plan ~views:[ "//b{id,val,cont}" ] ~query:"//b{id}" ~expect:"single("
+
+let test_count_merge =
+  (* The query stores only [r]; the three [b] bindings must merge into
+     one tuple of derivation count 3 on both sides. *)
+  check_plan ~views:[ "//r{id}[//b{id}]" ] ~query:"//r{id}[//b]"
+    ~expect:"single("
+
+let test_no_weakening_match =
+  (* A query [//] edge must not be answered from a view's stricter [/]
+     edge: with only that view, the planner falls back. *)
+  check_plan ~views:[ "//a{id}[/b{id}]" ] ~query:"//a{id}[//b{id}]"
+    ~expect:"fallback("
+
+let test_join () =
+  (* The split node must carry a subtree, or the pruned top leg would
+     already be the whole query and [single] legitimately wins. *)
+  let q = compact ~name:"q" "//a{id}[/b{id}[/#text{id,val}]][/c{id}]" in
+  let store = Store.of_document (doc_of tdoc) in
+  let set = View_set.create store in
+  ignore (View_set.add set (Pattern.prune q 1 ~name:"v0"));
+  ignore (View_set.add set (Pattern.subpattern q 1 ~name:"v1"));
+  let sources = List.map Answer.source_of_mview (View_set.views set) in
+  match Answer.answer ~store ~sources q with
+  | None -> Alcotest.fail "no answer despite a store"
+  | Some (plan, rows) ->
+    let d = Answer.describe plan in
+    if String.length d < 5 || String.sub d 0 5 <> "join(" then
+      Alcotest.failf "expected a join(… plan, got %s" d;
+    (match Answer.diff ~expect:(Answer.base_rows store q) ~got:rows with
+    | None -> ()
+    | Some msg -> Alcotest.failf "views vs base: %s" msg)
+
+let test_fallback = check_plan ~views:[ "//c{id}" ] ~query:"//b{id,val}" ~expect:"fallback("
+
+(* [Root_at] rests on the document root having no Dewey parent. *)
+let test_root_parent_none () =
+  let store = Store.of_document (doc_of tdoc) in
+  let rid = Store.id_of store (Store.root store) in
+  Alcotest.(check bool) "root has no parent" true (Dewey.parent rid = None);
+  match Xpath.eval (Store.root store) (Xpath.parse "//b") with
+  | [] -> Alcotest.fail "no b nodes"
+  | n :: _ ->
+    Alcotest.(check bool) "non-root has a parent" true
+      (Dewey.parent (Store.id_of store n) <> None)
+
+(* {1 prune / subpattern} *)
+
+let test_prune_subpattern () =
+  let q = compact ~name:"q" "//a{id}[/b{id,val}[/d]][/c{id}]" in
+  let top = Pattern.prune q 1 ~name:"t" in
+  let bottom = Pattern.subpattern q 1 ~name:"s" in
+  Alcotest.(check int) "prune drops b's subtree only" 3 (Pattern.node_count top);
+  Alcotest.(check int) "subpattern keeps b's subtree" 2
+    (Pattern.node_count bottom);
+  Alcotest.(check bool) "subpattern root is //-anchored" true
+    (bottom.Pattern.axes.(0) = Pattern.Descendant);
+  Alcotest.(check bool) "split keeps its ID in the top leg" true
+    top.Pattern.annots.(1).Pattern.store_id
+
+(* {1 Seeded differential oracles} *)
+
+let test_answer_oracle () =
+  let r = Difftest.run_answer ~seed:7 ~iters:400 () in
+  List.iter print_endline r.Qgen.failures;
+  Alcotest.(check int) "iterations" 400 r.Qgen.iterations;
+  Alcotest.(check int) "mismatches" 0 r.Qgen.failed
+
+let test_answer_repro_roundtrip () =
+  let rnd = Random.State.make [| 0xa45; 11 |] in
+  for _ = 1 to 50 do
+    let c = Difftest.gen_answer_case rnd in
+    let c' = Difftest.answer_of_repro (Difftest.repro_of_answer c) in
+    Alcotest.(check string) "query preserved"
+      (Pattern.to_string c.Difftest.aquery)
+      (Pattern.to_string c'.Difftest.aquery);
+    Alcotest.(check int) "view count preserved"
+      (List.length c.Difftest.aset.Difftest.sviews)
+      (List.length c'.Difftest.aset.Difftest.sviews);
+    Alcotest.(check string) "document preserved"
+      (Xml_tree.serialize c.Difftest.aset.Difftest.sdoc)
+      (Xml_tree.serialize c'.Difftest.aset.Difftest.sdoc)
+  done
+
+(* The acceptance bar: >= 1000 seeded cases, all clean. *)
+let test_indep_oracle () =
+  let r = Difftest.run_indep ~seed:7 ~iters:1000 () in
+  List.iter print_endline r.Qgen.failures;
+  Alcotest.(check int) "iterations" 1000 r.Qgen.iterations;
+  Alcotest.(check int) "mismatches" 0 r.Qgen.failed
+
+(* A deliberately unsound analyzer must be caught and its
+   counterexamples shrunk into replayable reports. *)
+let test_indep_broken_analyzer_caught () =
+  let r =
+    Difftest.run_indep ~analyzer:(fun _ _ _ -> true) ~seed:7 ~iters:400 ()
+  in
+  Alcotest.(check bool) "violations found" true (r.Qgen.failed > 0);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "report labels the violation" true
+        (String.length f > 0
+        && String.sub f 0 (String.length "independence-safety")
+           = "independence-safety"))
+    r.Qgen.failures
+
+(* The default analyzer discharges a real fraction of generated pairs —
+   the safety oracle is not vacuously green. *)
+let test_indep_not_vacuous () =
+  let rnd = Random.State.make [| 7; 0x1dec |] in
+  let n = 500 and indep = ref 0 in
+  for _ = 1 to n do
+    let t = Difftest.gen_indep_triple rnd in
+    let dtd = Dtd.infer t.Difftest.doc in
+    if
+      Independence.independent dtd
+        (Update.parse t.Difftest.update)
+        t.Difftest.view
+    then incr indep
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "discharge rate > 20%% (got %d/%d)" !indep n)
+    true
+    (!indep * 5 > n)
+
+(* {1 Static analysis on an authored DTD} *)
+
+let adtd =
+  Dtd.create ~root:"r"
+    [
+      ("r", Dtd.Star (Dtd.Alt (Dtd.Sym "a", Dtd.Sym "b")));
+      ("a", Dtd.Star (Dtd.Sym "c"));
+      ("b", Dtd.Epsilon);
+      ("c", Dtd.Epsilon);
+    ]
+
+let verdict_indep = function Independence.Independent _ -> true | _ -> false
+
+let test_analyze_delete () =
+  let view = compact ~name:"v" "//c{id}" in
+  Alcotest.(check bool) "delete //b cannot reach c" true
+    (verdict_indep (Independence.analyze adtd (Update.parse "delete //b") view));
+  Alcotest.(check bool) "delete //a deletes c's subtree" false
+    (verdict_indep (Independence.analyze adtd (Update.parse "delete //a") view));
+  Alcotest.(check bool) "unsatisfiable path" true
+    (verdict_indep (Independence.analyze adtd (Update.parse "delete //zz") view))
+
+let test_analyze_insert () =
+  let v_cont = compact ~name:"v" "//a{id,cont}" in
+  Alcotest.(check bool) "insert below a dirties a's cont" false
+    (verdict_indep
+       (Independence.analyze adtd (Update.parse "insert into //c <d/>") v_cont));
+  Alcotest.(check bool) "insert below b cannot touch a" true
+    (verdict_indep
+       (Independence.analyze adtd (Update.parse "insert into //b <d/>") v_cont));
+  let v_a = compact ~name:"v" "//b{id}" in
+  Alcotest.(check bool) "inserted fragment mentioning the view tag" false
+    (verdict_indep
+       (Independence.analyze adtd (Update.parse "insert into //a <b/>") v_a))
+
+let test_analyze_replace () =
+  let v_id = compact ~name:"v" "//a{id}" in
+  let v_val = compact ~name:"v" "//a{id,val}" in
+  let v_text = compact ~name:"v" "//a{id}[/#text{id}]" in
+  let u = Update.parse "replace value of //c with \"q\"" in
+  Alcotest.(check bool) "no payload, no text binding" true
+    (verdict_indep (Independence.analyze adtd u v_id));
+  Alcotest.(check bool) "val on an ancestor of the target" false
+    (verdict_indep (Independence.analyze adtd u v_val));
+  Alcotest.(check bool) "view binds #text" false
+    (verdict_indep (Independence.analyze adtd u v_text))
+
+let test_analyze_recursive_dtd () =
+  (* A recursive content model must not diverge; with every label
+     reachable from every other, nothing structural is independent. *)
+  let dtd =
+    Dtd.create ~root:"a"
+      [ ("a", Dtd.Star (Dtd.Alt (Dtd.Sym "a", Dtd.Sym "b"))); ("b", Dtd.Epsilon) ]
+  in
+  let view = compact ~name:"v" "//b{id}" in
+  Alcotest.(check bool) "recursive delete reaches b" false
+    (verdict_indep (Independence.analyze dtd (Update.parse "delete //a") view));
+  Alcotest.(check bool) "deleting leaf b cannot reach a" true
+    (verdict_indep
+       (Independence.analyze dtd (Update.parse "delete //b")
+          (compact ~name:"v" "//a{id}")))
+
+(* An update statically proven independent must be skippable inside
+   [View_set.update] without the view diverging from recomputation. *)
+let test_view_set_static_skip () =
+  let store = Store.of_document (doc_of tdoc) in
+  let set = View_set.create store in
+  let mv = View_set.add set (compact ~name:"v" "//c{id,val}") in
+  let hits = ref 0 in
+  View_set.set_independence set
+    (Some
+       (fun u mv ->
+         let r = Independence.prover (Dtd.infer (Store.root store)) u mv in
+         if r then incr hits;
+         r));
+  let reports = View_set.update set (Update.parse "delete //b") in
+  Alcotest.(check int) "prover discharged the view" 1 !hits;
+  (match reports with
+  | [ (_, r) ] ->
+    Alcotest.(check bool) "skipped report" true r.Maint.skipped_irrelevant
+  | _ -> Alcotest.fail "expected one report");
+  let fresh = Mview.materialize store mv.Mview.pat in
+  match Recompute.diff mv fresh with
+  | None -> ()
+  | Some d -> Alcotest.failf "skipped view diverged: %s" d
+
+let () =
+  Alcotest.run "answer"
+    [
+      ( "containment",
+        [
+          QCheck_alcotest.to_alcotest test_containment_vs_brute;
+          QCheck_alcotest.to_alcotest test_containment_witness_replay;
+          Alcotest.test_case "basic pairs" `Quick test_contains_basics;
+        ] );
+      ( "plans",
+        [
+          Alcotest.test_case "single exact" `Quick test_single_exact;
+          Alcotest.test_case "val compensation" `Quick test_single_val_eq;
+          Alcotest.test_case "child-of compensation" `Quick test_single_child_of;
+          Alcotest.test_case "root-at compensation" `Quick test_single_root_at;
+          Alcotest.test_case "payload projection" `Quick test_single_projection;
+          Alcotest.test_case "count merge" `Quick test_count_merge;
+          Alcotest.test_case "no //-from-/ weakening" `Quick test_no_weakening_match;
+          Alcotest.test_case "two-view join" `Quick test_join;
+          Alcotest.test_case "base fallback" `Quick test_fallback;
+          Alcotest.test_case "root parent is None" `Quick test_root_parent_none;
+          Alcotest.test_case "prune/subpattern shapes" `Quick test_prune_subpattern;
+        ] );
+      ( "oracles",
+        [
+          Alcotest.test_case "answer-from-views clean" `Quick test_answer_oracle;
+          Alcotest.test_case "reproducer roundtrip" `Quick test_answer_repro_roundtrip;
+          Alcotest.test_case "independence clean (1000)" `Quick test_indep_oracle;
+          Alcotest.test_case "broken analyzer caught" `Quick
+            test_indep_broken_analyzer_caught;
+          Alcotest.test_case "analysis not vacuous" `Quick test_indep_not_vacuous;
+        ] );
+      ( "independence analysis",
+        [
+          Alcotest.test_case "delete" `Quick test_analyze_delete;
+          Alcotest.test_case "insert" `Quick test_analyze_insert;
+          Alcotest.test_case "replace value" `Quick test_analyze_replace;
+          Alcotest.test_case "recursive DTD" `Quick test_analyze_recursive_dtd;
+          Alcotest.test_case "View_set static skip" `Quick test_view_set_static_skip;
+        ] );
+    ]

@@ -131,6 +131,102 @@ let test_parse_errors () =
   Alcotest.(check bool) "unclosed paren" true (bad "a = (b");
   Alcotest.(check bool) "trailing" true (bad "a = b c")
 
+(* {1 Edge cases: recursion, mixed content, optional/star models} *)
+
+let test_recursive_declarations () =
+  (* A self-referential content model is an ordinary regex over labels;
+     nothing in validation or delta reasoning may loop on it. *)
+  let t = parse "a = (a | b)*\nb = EMPTY" in
+  Alcotest.(check string) "root" "a" (root t);
+  (match validate_tree t (Xml_parse.document "<a><a><b/></a><b/><a/></a>") with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match validate_tree t (Xml_parse.document "<a><c/></a>") with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "undeclared child accepted");
+  Alcotest.(check (list (pair string string))) "star content ⇒ no constraints" []
+    (delta_constraints t)
+
+let test_delta_constraints_cycle () =
+  (* Mutually-mandatory labels: the transitive closure must terminate and
+     must contain both orientations but no self-pairs. *)
+  let t = create ~root:"r" [ ("r", Sym "a"); ("a", Sym "b"); ("b", Sym "a") ] in
+  let cs = delta_constraints t in
+  List.iter
+    (fun pair ->
+      Alcotest.(check bool)
+        (Printf.sprintf "(%s,%s)" (fst pair) (snd pair))
+        true (List.mem pair cs))
+    [ ("a", "b"); ("b", "a"); ("r", "a"); ("r", "b") ];
+  Alcotest.(check bool) "no self-pair" false
+    (List.exists (fun (x, y) -> x = y) cs)
+
+let test_mixed_content_transparency () =
+  (* Text and attributes are transparent to content models: only element
+     children are matched against the rule. *)
+  let t = create ~root:"a" [ ("a", Sym "b"); ("b", Epsilon) ] in
+  (match validate_tree t (Xml_parse.document "<a>t<b/>u</a>") with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("mixed content rejected: " ^ e));
+  (match validate_tree t (Xml_parse.document {|<a k="v"><b/></a>|}) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("attribute rejected: " ^ e));
+  match validate_tree t (Xml_parse.document "<a>t</a>") with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "missing mandatory b accepted"
+
+let test_optional_star_models () =
+  let t = parse "r = a?, b*\na = EMPTY\nb = EMPTY" in
+  List.iter
+    (fun s ->
+      match validate_tree t (Xml_parse.document s) with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (s ^ ": " ^ e))
+    [ "<r/>"; "<r><a/></r>"; "<r><b/><b/><b/></r>"; "<r><a/><b/></r>" ];
+  (match validate_tree t (Xml_parse.document "<r><a/><a/></r>") with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "two a's accepted by a?");
+  (* check_insert replays the whole child word: a second a is rejected,
+     while more b's always fit the star. *)
+  let root = Xml_parse.document "<r><a/><b/></r>" in
+  (match check_insert t ~parent:root ~forest:(Xml_parse.fragment "<a/>") with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "insert breaking a? accepted");
+  match check_insert t ~parent:root ~forest:(Xml_parse.fragment "<b/><b/>") with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("star insert rejected: " ^ e)
+
+let test_infer_shape () =
+  (* [infer] collects element children only — text/attributes must not
+     leak into the content models — and the document validates against
+     its own inferred DTD. *)
+  let doc = Xml_parse.document {|<r k="v">t<a>u<b/></a><a/>w</r>|} in
+  let t = infer doc in
+  Alcotest.(check string) "root" "r" (root t);
+  (match validate_tree t doc with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("doc invalid for own inferred DTD: " ^ e));
+  let al =
+    labels t
+    @ List.concat_map
+        (fun l -> match rule t l with None -> [] | Some re -> alphabet re)
+        (labels t)
+  in
+  Alcotest.(check bool) "no #text in any model" false (List.mem "#text" al);
+  Alcotest.(check bool) "no attribute in any model" false (List.mem "@k" al);
+  (* Inferred models are Star(Alt …): repetition is always allowed. *)
+  match check_insert t ~parent:doc ~forest:(Xml_parse.fragment "<a/><a/>") with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("repetition rejected by inferred model: " ^ e)
+
+let test_infer_validates_qcheck =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"validate_tree (infer doc) doc = Ok"
+       Tutil.arb_doc (fun doc ->
+         match validate_tree (infer doc) doc with
+         | Ok () -> true
+         | Error e -> QCheck.Test.fail_report e))
+
 let () =
   Alcotest.run "dtd"
     [
@@ -154,5 +250,16 @@ let () =
         [
           Alcotest.test_case "syntax" `Quick test_parse;
           Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "edge cases",
+        [
+          Alcotest.test_case "recursive declarations" `Quick
+            test_recursive_declarations;
+          Alcotest.test_case "constraint-closure cycle" `Quick
+            test_delta_constraints_cycle;
+          Alcotest.test_case "mixed content" `Quick test_mixed_content_transparency;
+          Alcotest.test_case "optional/star models" `Quick test_optional_star_models;
+          Alcotest.test_case "infer shape" `Quick test_infer_shape;
+          test_infer_validates_qcheck;
         ] );
     ]
