@@ -36,12 +36,10 @@ let only =
   in
   find 1
 
-let valid_sections =
-  [
-    "fig18"; "fig19"; "fig20"; "fig21"; "fig22"; "fig24"; "fig25"; "fig26";
-    "fig27"; "fig28"; "fig29"; "fig33"; "ablations"; "joinab"; "prims";
-    "figMV"; "fuzz"; "difftest"; "micro"; "serve"; "wal"; "answer";
-  ]
+(* The section list lives in [Bench_sections] (lib/benchreg), shared
+   with [xvmcli workload] — one registry, so the validation list, the
+   dispatch order and the CLI help text cannot drift apart. *)
+let valid_sections = Bench_sections.names
 
 (* A typo'd section name must not silently bench nothing. *)
 let () =
@@ -1252,6 +1250,237 @@ let figmv () =
       ("regions_del", Update.delete "/site/regions");
     ]
 
+(* {1 figHL: heavy-light adaptive maintenance under skew}
+
+   The beyond-the-paper result: a sweep of document skew × partition
+   threshold comparing eager maintenance (every update propagates
+   through every relevant view immediately) against adaptive heavy-light
+   maintenance (updates whose delta reaches a view through a
+   heavy-partitioned label defer; readers drain). The statement stream
+   interleaves hot updates (new bidders under every open auction — under
+   skew the hot auction's bidder fan-out is extreme, so the bidder label
+   classifies heavy) with light updates (person names — never heavy), in
+   a grow/shrink cycle so the document stays bounded. Reads (drain +
+   snapshot access) are timed separately at a fixed cadence; after every
+   read and at the end, each view must equal a fresh materialization of
+   its pattern over the committed store — the in-harness safety oracle
+   (the adaptive≡eager lockstep oracle is `xvmcli difftest --heavy`).
+
+   The crossover the figure is after: at high skew the hot updates route
+   heavy and defer, collapsing per-update latency; on the uniform
+   document no label ever classifies heavy, so the adaptive path *is*
+   the eager path plus classifier upkeep — the overhead bound. *)
+
+let fighl () =
+  header "figHL: heavy-light adaptive maintenance under skew";
+  let kb = if full then 1024 else 256 in
+  let cycles = if full then 24 else 16 in
+  let read_every = 12 in
+  let high_skew =
+    { Xmark_gen.zipf_alpha = 1.6; hot_share = 0.7; value_alpha = 1.4 }
+  in
+  let regimes =
+    [
+      ("uniform", None);
+      ("skew", Some Xmark_gen.default_skew);
+      ("skew_high", Some high_skew);
+    ]
+  in
+  let fanouts = [ 64; 256; 1024 ] in
+  let views =
+    [ Xmark_views.q1; Xmark_views.q2; Xmark_views.q3; Xmark_views.q4 ]
+  in
+  let stmts =
+    List.concat
+      (List.init cycles (fun i ->
+           [
+             Update.parse
+               "insert into /site/open_auctions/open_auction \
+                <bidder><increase>4.50</increase></bidder>";
+             (if i mod 2 = 0 then
+                Xmark_updates.insert (Xmark_updates.find "X1_L")
+              else Update.parse "delete /site/people/person/name");
+             Update.parse
+               "insert into /site/open_auctions/open_auction \
+                <bidder><increase>200.00</increase></bidder>";
+           ]))
+  in
+  let median xs =
+    match xs with
+    | [] -> 0.
+    | _ ->
+      let a = Array.of_list xs in
+      Array.sort compare a;
+      a.(Array.length a / 2)
+  in
+  (* One paired pass per configuration: twin eager/adaptive view sets
+     over identical document copies, driven through the statement stream
+     in lockstep. Each statement is timed on both sides back to back
+     (alternating which goes first, so allocator and GC drift cancels
+     out of the comparison instead of landing on whichever side runs
+     later). Every [read_every] statements both sides take a timed read
+     (drain + snapshot access), then the oracle: every adaptive view
+     must equal its eager twin tuple for tuple. *)
+  let pass ~label ~base ~fanout () =
+    let mk () =
+      let store = Store.of_document (Xml_tree.copy base) in
+      let set = View_set.create store in
+      List.iter (fun pat -> ignore (View_set.add set pat)) views;
+      set
+    in
+    let eset = mk () and aset = mk () in
+    (* Compact before timing: earlier sections (or passes) leave a large
+       fragmented major heap, and on this single-pass harness the GC debt
+       they bequeath lands asymmetrically on the twin loops — enough to
+       swamp the few-percent uniform-regime differences this section
+       exists to bound. *)
+    Gc.compact ();
+    let config =
+      {
+        Hl.default_config with
+        Hl.heavy_fanout = fanout;
+        Hl.heavy_count = 1 lsl 20;
+        Hl.drain_budget = 1 lsl 16;
+      }
+    in
+    View_set.set_adaptive aset (Some (Hl.create ~config (View_set.store aset)));
+    let eupd = ref [] and aupd = ref [] in
+    let ereads = ref [] and areads = ref [] in
+    let check_views () =
+      List.iter2
+        (fun emv amv ->
+          match Recompute.diff emv amv with
+          | None -> ()
+          | Some d ->
+            write_results ();
+            failwith
+              (Printf.sprintf "figHL %s: adaptive %s diverged from eager: %s"
+                 label amv.Mview.pat.Pattern.name d))
+        (View_set.views eset) (View_set.views aset)
+    in
+    List.iteri
+      (fun i u ->
+        let eager () =
+          let _, e = Obs.duration (fun () -> View_set.update eset u) in
+          eupd := e :: !eupd
+        in
+        let adaptive () =
+          let _, e = Obs.duration (fun () -> View_set.update aset u) in
+          aupd := e :: !aupd
+        in
+        if i mod 2 = 0 then (eager (); adaptive ()) else (adaptive (); eager ());
+        if (i + 1) mod read_every = 0 then begin
+          let _, e = Obs.duration (fun () -> View_set.drain_all eset) in
+          ereads := e :: !ereads;
+          let _, e = Obs.duration (fun () -> View_set.drain_all aset) in
+          areads := e :: !areads;
+          check_views ()
+        end)
+      stmts;
+    ignore (View_set.drain_all eset);
+    ignore (View_set.drain_all aset);
+    check_views ();
+    let hl_stats =
+      match View_set.adaptive aset with
+      | None -> []
+      | Some hl ->
+        let heavy = Hl.heavy_labels hl in
+        [
+          ("heavy_labels", Json.Str (String.concat "," heavy));
+          ("heavy_parts", Json.int (List.length heavy));
+          ("migrations", Json.int (Hl.migrations hl));
+          ("pending_rows", Json.int (Store.pending_rows (View_set.store aset)));
+        ]
+    in
+    let tot l = List.fold_left ( +. ) 0. l in
+    (* The headline comparison is the median of per-statement paired
+       ratios: each statement's two timings are adjacent in time, so
+       allocator/GC/machine drift hits both and divides out — raw
+       per-side medians (also reported) can drift ±10% between passes on
+       a noisy container. *)
+    let ratio =
+      median (List.map2 (fun e a -> e /. Float.max 1e-9 a) !eupd !aupd)
+    in
+    ( (median !eupd, median !ereads, tot !eupd),
+      (median !aupd, median !areads, tot !aupd),
+      ratio, hl_stats )
+  in
+  let run_pass ~label ~base ~fanout () =
+    if skip_counters then (pass ~label ~base ~fanout (), None)
+    else
+      let r, snap = Obs.with_scope (fun () -> pass ~label ~base ~fanout ()) in
+      (r, Some snap)
+  in
+  Printf.printf
+    "(document ~%d KB, %d statement(s)/pass, %d view(s); fanout = heavy \
+     threshold)\n"
+    kb (List.length stmts) (List.length views);
+  Printf.printf "  %-10s %7s %11s %13s %8s %9s %9s %6s %5s\n" "regime" "fanout"
+    "eager(ms)" "adaptive(ms)" "speedup" "e.read" "a.read" "heavy" "migr";
+  let best_skew_speedup = ref 0. and worst_uniform_overhead = ref 0. in
+  List.iter
+    (fun (rname, skew) ->
+      let base =
+        match skew with
+        | None -> Xmark_gen.document ~seed ~target_kb:kb
+        | Some sk -> Xmark_gen.document_skewed ~skew:sk ~seed ~target_kb:kb ()
+      in
+      let s0 = Store.of_document (Xml_tree.copy base) in
+      let bstat = Store.label_stat s0 "bidder" in
+      Printf.printf
+        "  %s: %d KB, %d bidder(s), max bidder fan-out %d\n%!" rname
+        (Xmark_gen.actual_bytes base / 1024)
+        bstat.Store.ls_count bstat.Store.ls_max_fanout;
+      List.iter
+        (fun f ->
+          let ( (e_med, e_read, e_total),
+                (a_med, a_read, a_total),
+                speedup,
+                hl_stats ),
+              a_prof =
+            run_pass
+              ~label:(Printf.sprintf "%s f=%d" rname f)
+              ~base ~fanout:f ()
+          in
+          if rname <> "uniform" then
+            best_skew_speedup := Float.max !best_skew_speedup speedup;
+          if rname = "uniform" then
+            worst_uniform_overhead :=
+              Float.max !worst_uniform_overhead ((1. /. Float.max 1e-7 speedup) -. 1.);
+          let nheavy, migr =
+            match hl_stats with
+            | _ :: ("heavy_parts", Json.Num n) :: ("migrations", Json.Num m) :: _
+              ->
+              (int_of_float n, int_of_float m)
+            | _ -> (0, 0)
+          in
+          Printf.printf
+            "  %-10s %7d %11.3f %13.3f %7.1fx %9.3f %9.3f %6d %5d\n%!" rname f
+            (ms e_med) (ms a_med) speedup (ms e_read) (ms a_read) nheavy migr;
+          record "figHL"
+            ([
+               ("regime", Json.Str rname);
+               ("heavy_fanout", Json.int f);
+               ("doc_kb", Json.int (Xmark_gen.actual_bytes base / 1024));
+               ("max_bidder_fanout", Json.int bstat.Store.ls_max_fanout);
+               ("statements", Json.int (List.length stmts));
+               ("eager_median_ms", Json.num (ms e_med));
+               ("adaptive_median_ms", Json.num (ms a_med));
+               ("speedup_median", Json.num speedup);
+               ("speedup_medians_unpaired", Json.num (e_med /. Float.max 1e-7 a_med));
+               ("eager_total_ms", Json.num (ms e_total));
+               ("adaptive_total_ms", Json.num (ms a_total));
+               ("eager_read_ms", Json.num (ms e_read));
+               ("adaptive_read_ms", Json.num (ms a_read));
+             ]
+            @ hl_stats @ counter_fields a_prof))
+        fanouts)
+    regimes;
+  Printf.printf
+    "  crossover: best skewed speedup %.1fx; uniform overhead %+.1f%%\n%!"
+    !best_skew_speedup
+    (100. *. !worst_uniform_overhead)
+
 (* {1 Fuzz oracle smoke}
 
    The round-trip fuzzing oracle in bounded mode: a fixed seed and a few
@@ -1640,24 +1869,13 @@ let answer_bench () =
         ])
     queries;
   (* Part 2: the independence skip, proven safe on every statement. The
-     DTD is re-inferred after each mutation so the soundness precondition
-     (document valid for the DTD) keeps holding as the document
-     drifts. *)
+     DTD must be re-inferred whenever the document changes so the
+     soundness precondition (document valid for the DTD) keeps holding —
+     but a statement that changed nothing can reuse the previous DTD, so
+     inference is memoized on the store's commit generation. The memo is
+     itself oracle-checked: a second, uncached sweep over an identical
+     document must discharge exactly the same number of pairs. *)
   let root2 = doc 64 in
-  let store2 = Store.of_document root2 in
-  let set2 = View_set.create store2 in
-  List.iter (fun (_, pat) -> ignore (View_set.add set2 pat)) Xmark_views.all;
-  let hits = ref 0 and pairs = ref 0 in
-  let install_prover () =
-    let dtd = Dtd.infer (Store.root store2) in
-    View_set.set_independence set2
-      (Some
-         (fun u mv ->
-           incr pairs;
-           let r = Independence.prover dtd u mv in
-           if r then incr hits;
-           r))
-  in
   let names =
     List.filteri
       (fun i _ -> i < 6)
@@ -1674,46 +1892,113 @@ let answer_bench () =
         ("none_ins", Update.parse "insert into //xyzzy <wrap/>");
       ]
   in
-  let nviews = List.length (View_set.views set2) in
-  List.iter
-    (fun (label, u) ->
-      install_prover ();
-      let reports = View_set.update set2 u in
-      let skipped =
-        List.length (List.filter (fun (_, r) -> r.Maint.skipped_irrelevant) reports)
+  let sweep ~memo ~verbose =
+    let store2 = Store.of_document (Xml_tree.copy root2) in
+    let set2 = View_set.create store2 in
+    List.iter (fun (_, pat) -> ignore (View_set.add set2 pat)) Xmark_views.all;
+    let hits = ref 0 and pairs = ref 0 in
+    let infers = ref 0 and memo_hits = ref 0 and infer_s = ref 0. in
+    let dtd_cache = ref None in
+    let current_dtd () =
+      let fresh () =
+        incr infers;
+        let dtd, dt = Obs.duration (fun () -> Dtd.infer (Store.root store2)) in
+        infer_s := !infer_s +. dt;
+        dtd
       in
-      Printf.printf "  %-10s: %2d/%2d view(s) skipped\n%!" label skipped nviews;
-      (* Safety oracle: every view — skipped or not — must equal a fresh
-         materialization over the post-update store. *)
-      List.iter
-        (fun mv ->
-          let fresh = Mview.materialize store2 mv.Mview.pat in
-          match Recompute.diff mv fresh with
-          | None -> ()
-          | Some d ->
-            write_results ();
-            failwith
-              (Printf.sprintf
-                 "answer bench: view %s diverged after %s (unsound skip?): %s"
-                 mv.Mview.pat.Pattern.name label d))
-        (View_set.views set2))
-    stmts;
-  let rate = float_of_int !hits /. float_of_int (max 1 !pairs) in
+      if not memo then fresh ()
+      else
+        let g = Store.generation store2 in
+        match !dtd_cache with
+        | Some (g', dtd) when g' = g ->
+          incr memo_hits;
+          dtd
+        | _ ->
+          let dtd = fresh () in
+          dtd_cache := Some (g, dtd);
+          dtd
+    in
+    let install_prover () =
+      let dtd = current_dtd () in
+      View_set.set_independence set2
+        (Some
+           (fun u mv ->
+             incr pairs;
+             let r = Independence.prover dtd u mv in
+             if r then incr hits;
+             r))
+    in
+    let nviews = List.length (View_set.views set2) in
+    List.iter
+      (fun (label, u) ->
+        install_prover ();
+        let reports = View_set.update set2 u in
+        let skipped =
+          List.length
+            (List.filter (fun (_, r) -> r.Maint.skipped_irrelevant) reports)
+        in
+        if verbose then
+          Printf.printf "  %-10s: %2d/%2d view(s) skipped\n%!" label skipped
+            nviews;
+        (* Safety oracle: every view — skipped or not — must equal a fresh
+           materialization over the post-update store. *)
+        List.iter
+          (fun mv ->
+            let fresh = Mview.materialize store2 mv.Mview.pat in
+            match Recompute.diff mv fresh with
+            | None -> ()
+            | Some d ->
+              write_results ();
+              failwith
+                (Printf.sprintf
+                   "answer bench: view %s diverged after %s (unsound skip?): %s"
+                   mv.Mview.pat.Pattern.name label d))
+          (View_set.views set2))
+      stmts;
+    (!hits, !pairs, !infers, !memo_hits, !infer_s, nviews)
+  in
+  let hits, pairs, infers, memo_hits, infer_s, nviews =
+    sweep ~memo:true ~verbose:true
+  in
+  let fresh_hits, fresh_pairs, fresh_infers, _, fresh_infer_s, _ =
+    sweep ~memo:false ~verbose:false
+  in
+  if hits <> fresh_hits || pairs <> fresh_pairs then begin
+    write_results ();
+    failwith
+      (Printf.sprintf
+         "answer bench: DTD memoization changed the sweep: %d/%d discharged \
+          with the memo vs %d/%d without"
+         hits pairs fresh_hits fresh_pairs)
+  end;
+  let rate = float_of_int hits /. float_of_int (max 1 pairs) in
   Printf.printf
     "  independence: %d/%d (update, view) pairs statically discharged (%.1f%%)\n%!"
-    !hits !pairs (100. *. rate);
+    hits pairs (100. *. rate);
+  Printf.printf
+    "  DTD inference: %d infer(s) + %d memo hit(s) (%.2f ms) vs %d uncached \
+     (%.2f ms); identical hit rate\n%!"
+    infers memo_hits (ms infer_s) fresh_infers (ms fresh_infer_s);
   record "answer"
     [
       ("metric", Json.Str "independence");
       ("statements", Json.int (List.length stmts));
       ("views", Json.int nviews);
-      ("indep_pairs", Json.int !pairs);
-      ("indep_hits", Json.int !hits);
+      ("indep_pairs", Json.int pairs);
+      ("indep_hits", Json.int hits);
       ("hit_rate", Json.num rate);
+      ("dtd_infers", Json.int infers);
+      ("dtd_memo_hits", Json.int memo_hits);
+      ("dtd_infer_ms", Json.num (ms infer_s));
+      ("dtd_infer_uncached_ms", Json.num (ms fresh_infer_s));
     ];
-  if !hits = 0 then begin
+  if hits = 0 then begin
     write_results ();
     failwith "answer bench: independence prover discharged no pair"
+  end;
+  if memo_hits = 0 then begin
+    write_results ();
+    failwith "answer bench: DTD memo never hit (no-op statements should reuse)"
   end
 
 let () =
@@ -1725,37 +2010,67 @@ let () =
     big_kb
     (Xmark_gen.actual_bytes d / 1024)
     (Xml_tree.size d);
-  if wanted "fig18" then
-    fig18_19 Insert "fig18" "Figure 18: PINT/PIMT time breakdown (insert propagation)";
-  if wanted "fig19" then
-    fig18_19 Delete "fig19" "Figure 19: PDDT/MT time breakdown (delete propagation)";
-  if wanted "fig20" then
-    fig20_21 Insert "fig20" "Figure 20: insert propagation, all XMark views";
-  if wanted "fig21" then
-    fig20_21 Delete "fig21" "Figure 21: delete propagation, all XMark views";
-  if wanted "fig22" then fig22_23 ();
-  if wanted "fig24" then fig24 ();
-  if wanted "fig25" then fig25 ();
-  if wanted "fig26" then
-    fig26_27 Insert "fig26" "Figure 26: PINT/PIMT vs full recomputation";
-  if wanted "fig27" then
-    fig26_27 Delete "fig27" "Figure 27: PDDT/PDMT vs full recomputation";
-  if wanted "fig28" then fig28 ();
-  if wanted "fig29" then fig29_32 ();
-  if wanted "fig33" then fig33_35 ();
-  if wanted "ablations" then begin
-    ablation_pruning ();
-    ablation_advisor ();
-    ablation_deferred ()
-  end;
-  if wanted "joinab" then join_ab ();
-  if wanted "prims" then prims ();
-  if wanted "figMV" then figmv ();
-  if wanted "fuzz" then fuzz_oracle ();
-  if wanted "difftest" then difftest_oracle ();
-  if wanted "serve" then serve_bench ();
-  if wanted "wal" then wal_bench ();
-  if wanted "answer" then answer_bench ();
-  if (not skip_micro) && wanted "micro" then micro ();
+  (* Dispatch is driven by the shared registry: a section registered in
+     [Bench_sections] without an implementation here fails loudly, and
+     an implementation not registered there can never run. *)
+  let impls =
+    [
+      ( "fig18",
+        fun () ->
+          fig18_19 Insert "fig18"
+            "Figure 18: PINT/PIMT time breakdown (insert propagation)" );
+      ( "fig19",
+        fun () ->
+          fig18_19 Delete "fig19"
+            "Figure 19: PDDT/MT time breakdown (delete propagation)" );
+      ( "fig20",
+        fun () ->
+          fig20_21 Insert "fig20" "Figure 20: insert propagation, all XMark views"
+      );
+      ( "fig21",
+        fun () ->
+          fig20_21 Delete "fig21" "Figure 21: delete propagation, all XMark views"
+      );
+      ("fig22", fig22_23);
+      ("fig24", fig24);
+      ("fig25", fig25);
+      ( "fig26",
+        fun () -> fig26_27 Insert "fig26" "Figure 26: PINT/PIMT vs full recomputation"
+      );
+      ( "fig27",
+        fun () -> fig26_27 Delete "fig27" "Figure 27: PDDT/PDMT vs full recomputation"
+      );
+      ("fig28", fig28);
+      ("fig29", fig29_32);
+      ("fig33", fig33_35);
+      ( "ablations",
+        fun () ->
+          ablation_pruning ();
+          ablation_advisor ();
+          ablation_deferred () );
+      ("joinab", join_ab);
+      ("prims", prims);
+      ("figMV", figmv);
+      ("figHL", fighl);
+      ("fuzz", fuzz_oracle);
+      ("difftest", difftest_oracle);
+      ("serve", serve_bench);
+      ("wal", wal_bench);
+      ("answer", answer_bench);
+      ("micro", fun () -> if not skip_micro then micro ());
+    ]
+  in
+  List.iter
+    (fun (name, _) ->
+      if not (Bench_sections.mem name) then
+        failwith ("bench section not in Bench_sections registry: " ^ name))
+    impls;
+  List.iter
+    (fun (name, _doc) ->
+      match List.assoc_opt name impls with
+      | Some f -> if wanted name then f ()
+      | None ->
+        failwith ("Bench_sections registers an unimplemented section: " ^ name))
+    Bench_sections.all;
   write_results ();
   print_newline ()

@@ -80,9 +80,25 @@ let with_metrics (metrics, boxed) f =
 (* {1 gen} *)
 
 let gen_cmd =
-  let run metrics size_kb seed output =
+  let run metrics size_kb seed skewed zipf_alpha hot_share value_alpha output =
     with_metrics metrics @@ fun () ->
-    let doc = Xmark_gen.document ~seed ~target_kb:size_kb in
+    let doc =
+      if skewed || zipf_alpha <> None || hot_share <> None || value_alpha <> None
+      then begin
+        let d = Xmark_gen.default_skew in
+        let skew =
+          {
+            Xmark_gen.zipf_alpha =
+              Option.value zipf_alpha ~default:d.Xmark_gen.zipf_alpha;
+            hot_share = Option.value hot_share ~default:d.Xmark_gen.hot_share;
+            value_alpha =
+              Option.value value_alpha ~default:d.Xmark_gen.value_alpha;
+          }
+        in
+        Xmark_gen.document_skewed ~skew ~seed ~target_kb:size_kb ()
+      end
+      else Xmark_gen.document ~seed ~target_kb:size_kb
+    in
     let text = Xml_tree.serialize ~decl:true doc in
     (match output with
     | None -> print_string text
@@ -96,12 +112,46 @@ let gen_cmd =
     Arg.(value & opt int 100 & info [ "size-kb" ] ~doc:"Approximate size in KB.")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let skewed =
+    Arg.(
+      value & flag
+      & info [ "skewed" ]
+          ~doc:
+            "Generate a skewed document (Zipfian sibling fan-out, hot-label \
+             concentration, skewed values) with the default skew knobs; any \
+             explicit knob below implies this flag.")
+  in
+  let zipf_alpha =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "zipf-alpha" ]
+          ~doc:"Zipf exponent for sibling fan-out (default 1.1; higher = more skew).")
+  in
+  let hot_share =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "hot-share" ]
+          ~doc:
+            "Fraction of the node budget concentrated under hot parents \
+             (default 0.5).")
+  in
+  let value_alpha =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "value-alpha" ]
+          ~doc:"Zipf exponent for drawing text values (default 1.2).")
+  in
   let output =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file.")
   in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate an XMark-style auction document.")
-    Term.(const run $ metrics_term $ size $ seed $ output)
+    Term.(
+      const run $ metrics_term $ size $ seed $ skewed $ zipf_alpha $ hot_share
+      $ value_alpha $ output)
 
 (* Parse→serialize→parse the raw document text and verify the second
    pass is the identity, reporting where ingestion would lose data. *)
@@ -372,9 +422,23 @@ let fuzz_cmd =
 (* {1 difftest} *)
 
 let difftest_cmd =
-  let run metrics seed iters replay multiview recover answer indep jobs =
+  let run metrics seed iters replay multiview recover answer indep heavy jobs =
     with_metrics metrics @@ fun () ->
     match replay with
+    | None when heavy ->
+      Printf.printf
+        "heavy-light oracle: adaptive (deferred, partitioned) maintenance vs \
+         eager at every read point (seed %d, %d iterations)\n\
+         %!"
+        seed iters;
+      let rep, t =
+        Timing.duration (fun () -> Difftest.run_heavy ~seed ~iters ())
+      in
+      List.iter print_endline rep.Qgen.failures;
+      Printf.printf "  %s  (%.1f ms)\n%!"
+        (Qgen.summary "adaptive=eager" rep)
+        (t *. 1000.);
+      if not (Qgen.ok rep) then exit 1
     | None when answer ->
       Printf.printf
         "answer-from-views oracle: Answer.answer vs brute-force embeddings, \
@@ -435,6 +499,29 @@ let difftest_cmd =
       | None -> print_endline "answer-from-views = brute force (both phases)"
       | Some m ->
         print_endline (Difftest.describe_answer m);
+        exit 1)
+    | Some repro when String.length repro >= 8 && String.sub repro 0 8 = "xvmdth1|"
+      ->
+      let c =
+        try Difftest.heavy_of_repro repro
+        with Invalid_argument msg ->
+          Printf.eprintf "difftest: %s\n" msg;
+          exit 2
+      in
+      Printf.printf
+        "replaying: %d views, %d statement(s), %d read(s), thresholds \
+         %d/%d/%d/%d, %d-node document\n\
+         %!"
+        (List.length c.Difftest.hc_set.Difftest.sviews)
+        (List.length c.Difftest.hc_stmts)
+        (List.length c.Difftest.hc_reads)
+        c.Difftest.hc_count c.Difftest.hc_fanout c.Difftest.hc_budget
+        c.Difftest.hc_tailb
+        (Xml_tree.size c.Difftest.hc_set.Difftest.sdoc);
+      (match Difftest.check_heavy c with
+      | None -> print_endline "adaptive = eager (every read point)"
+      | Some m ->
+        print_endline (Difftest.describe_heavy m);
         exit 1)
     | Some repro when String.length repro >= 8 && String.sub repro 0 8 = "xvmdtm1|"
       ->
@@ -551,6 +638,18 @@ let difftest_cmd =
              declares an (update, view) pair independent, maintenance must \
              be a no-op and equal recomputation from scratch.")
   in
+  let heavy =
+    Arg.(
+      value & flag
+      & info [ "heavy" ]
+          ~doc:
+            "Check heavy-light adaptive maintenance: a view set with the \
+             partition classifier installed (deliberately tiny thresholds, \
+             forcing rebalance storms and budget drains) against eager \
+             maintenance of the same statement sequence — tuple-for-tuple \
+             equality at every seeded read point and after the final \
+             drain.")
+  in
   let jobs =
     Arg.(
       value & opt pos_int 2
@@ -565,12 +664,13 @@ let difftest_cmd =
          "Cross-check the three maintenance engines on random (document, \
           view, update) triples — with $(b,--multiview), batched View_set \
           maintenance against one-by-one propagation; with $(b,--recover), \
-          kill-and-recover durability against an uninterrupted run; failing \
-          inputs are shrunk and printed as replayable reproducers. Exits 1 \
-          on any mismatch.")
+          kill-and-recover durability against an uninterrupted run; with \
+          $(b,--heavy), adaptive heavy-light maintenance against eager at \
+          every read point; failing inputs are shrunk and printed as \
+          replayable reproducers. Exits 1 on any mismatch.")
     Term.(
       const run $ metrics_term $ seed $ iters $ replay $ multiview $ recover
-      $ answer $ indep $ jobs)
+      $ answer $ indep $ heavy $ jobs)
 
 (* {1 answer} *)
 
@@ -1172,10 +1272,20 @@ let workload_cmd =
       (fun u ->
         Printf.printf "  %-7s (%-2s) %s\n" u.Xmark_updates.name u.Xmark_updates.cls
           u.Xmark_updates.path)
-      Xmark_updates.all
+      Xmark_updates.all;
+    (* Same registry the bench harness validates and dispatches from —
+       one definition, so this listing cannot drift from `--only`. *)
+    Printf.printf "bench sections (bench/main.exe --only <name>,...):\n";
+    List.iter
+      (fun (n, doc) -> Printf.printf "  %-10s %s\n" n doc)
+      Bench_sections.all
   in
   Cmd.v
-    (Cmd.info "workload" ~doc:"List the built-in benchmark views and updates.")
+    (Cmd.info "workload"
+       ~doc:
+         "List the built-in benchmark views, updates, and bench harness \
+          sections (the section list is generated from the same registry \
+          the bench's $(b,--only) flag validates against).")
     Term.(const run $ metrics_term $ const ())
 
 let () =

@@ -1,0 +1,16 @@
+(** The single registry of benchmark-harness sections.
+
+    The bench executable derives both its [--only] validation list and
+    its dispatch order from {!all}, and [xvmcli workload] prints the
+    same list — one definition, so the two sides cannot drift: a
+    section added here is validated, dispatched, and documented at
+    once, and a section missing from here cannot run at all. *)
+
+(** [(name, one-line description)] in dispatch order. *)
+val all : (string * string) list
+
+(** [List.map fst all]. *)
+val names : string list
+
+(** [mem name] — is [name] a registered section? *)
+val mem : string -> bool

@@ -1630,3 +1630,404 @@ let run_recover ?(jobs = 1) ~seed ~iters () =
     | Some msg -> Qgen.record rc msg
   done;
   Qgen.report_of rc ~iterations:iters
+
+(* {1 Heavy-light adaptive maintenance oracle}
+
+   Adaptive (heavy-light partitioned) maintenance claims observational
+   equivalence with eager maintenance: at every read point — after
+   draining deferred work — each view is tuple-for-tuple identical to
+   its eagerly-maintained twin, whatever mix of partition migrations
+   (rebalance storms under deliberately tiny thresholds), budget-forced
+   drains, store tail merges and drain-on-read interleavings happened in
+   between. Each case runs one statement sequence through two view sets
+   over copies of the same document — one with a classifier installed,
+   one eager — draining and comparing at seeded read points (a random
+   single view or the whole set) and once more at the end, where the
+   documents must also serialize identically. *)
+
+type heavy_case = {
+  hc_set : set_triple; (* document, views, first statement *)
+  hc_stmts : string list; (* full statement sequence, head = supdate *)
+  hc_reads : (int * int) list;
+      (* (statement index, view index or -1 for all): drain + compare *)
+  hc_count : int; (* Hl.heavy_count — deliberately tiny *)
+  hc_fanout : int; (* Hl.heavy_fanout *)
+  hc_budget : int; (* Hl.drain_budget *)
+  hc_tailb : int; (* store tail budget *)
+}
+
+type heavy_mismatch = { hcx : heavy_case; hdetail : string }
+
+let gen_heavy_case rnd =
+  let doc =
+    if Random.State.bool rnd then Qgen.skewed_document ~profile rnd
+    else Qgen.random_document ~profile rnd
+  in
+  let labels = doc_labels doc in
+  let k = 2 + Random.State.int rnd 3 in
+  let views =
+    List.init k (fun i ->
+        Pattern.compile ~name:(Printf.sprintf "v%d" i) (gen_vnode rnd ~labels 2))
+  in
+  let nstmts = 2 + Random.State.int rnd 6 in
+  let stmts =
+    List.init nstmts (fun _ ->
+        gen_recover_stmt rnd ~labels ~root_label:doc.Xml_tree.name)
+  in
+  let reads =
+    List.concat
+      (List.mapi
+         (fun i _ ->
+           if Random.State.int rnd 3 = 0 then
+             [ (i, if Random.State.bool rnd then -1 else Random.State.int rnd k) ]
+           else [])
+         stmts)
+  in
+  {
+    hc_set = { sdoc = doc; sviews = views; supdate = List.hd stmts };
+    hc_stmts = stmts;
+    hc_reads = reads;
+    hc_count = 1 + Random.State.int rnd 16;
+    hc_fanout = 1 + Random.State.int rnd 6;
+    hc_budget = 1 + Random.State.int rnd 16;
+    hc_tailb = 1 + Random.State.int rnd 8;
+  }
+
+let check_heavy0 c =
+  try
+    let build () =
+      let store = Store.of_document (Xml_tree.copy c.hc_set.sdoc) in
+      let set = View_set.create store in
+      List.iter (fun pat -> ignore (View_set.add set pat)) c.hc_set.sviews;
+      set
+    in
+    let aset = build () and eset = build () in
+    let cfg =
+      {
+        Hl.default_config with
+        Hl.heavy_count = c.hc_count;
+        Hl.heavy_fanout = c.hc_fanout;
+        Hl.drain_budget = c.hc_budget;
+        Hl.tail_budget = c.hc_tailb;
+      }
+    in
+    View_set.set_adaptive aset
+      (Some (Hl.create ~config:cfg (View_set.store aset)));
+    let mismatch = ref None in
+    let note msg = if !mismatch = None then mismatch := Some msg in
+    let compare_view ~at i =
+      if !mismatch = None then
+        let amv = List.nth (View_set.views aset) i in
+        let emv = List.nth (View_set.views eset) i in
+        match Recompute.diff amv emv with
+        | None -> ()
+        | Some d ->
+          note
+            (Printf.sprintf "after statement %d, view %d (%s): %s" at i
+               (Pattern.to_string (List.nth c.hc_set.sviews i))
+               d)
+    in
+    let nviews = List.length c.hc_set.sviews in
+    let read ~at which =
+      if which < 0 then begin
+        ignore (View_set.drain_all aset);
+        for i = 0 to nviews - 1 do
+          compare_view ~at i
+        done
+      end
+      else begin
+        (* Drain exactly one view: the others may legitimately stay
+           stale, so only the drained one is compared. *)
+        ignore
+          (View_set.drain_view aset
+             (List.nth c.hc_set.sviews which).Pattern.name);
+        compare_view ~at which
+      end
+    in
+    List.iteri
+      (fun i stmt ->
+        if !mismatch = None then begin
+          let u = Update.parse stmt in
+          ignore (View_set.update aset u);
+          ignore (View_set.update eset u);
+          List.iter
+            (fun (ri, which) ->
+              if ri = i && !mismatch = None then read ~at:i which)
+            c.hc_reads
+        end)
+      c.hc_stmts;
+    if !mismatch = None then begin
+      read ~at:(List.length c.hc_stmts - 1) (-1);
+      if !mismatch = None then begin
+        (match View_set.stale aset with
+        | [] -> ()
+        | l ->
+          note
+            (Printf.sprintf "stale views survived drain_all: %s"
+               (String.concat ", " l)));
+        let adoc = Xml_tree.serialize (Store.root (View_set.store aset)) in
+        let edoc = Xml_tree.serialize (Store.root (View_set.store eset)) in
+        if adoc <> edoc then note "documents diverged between the two engines"
+      end
+    end;
+    !mismatch
+  with exn -> Some ("escaped exception: " ^ Printexc.to_string exn)
+
+let check_heavy c =
+  Option.map (fun d -> { hcx = c; hdetail = d }) (check_heavy0 c)
+
+(* {2 Heavy replay} *)
+
+let repro_of_heavy c =
+  let part s = Printf.sprintf "%d:%s" (String.length s) s in
+  let cfg =
+    Printf.sprintf "%d,%d,%d,%d" c.hc_count c.hc_fanout c.hc_budget c.hc_tailb
+  in
+  let reads =
+    String.concat ","
+      (List.map (fun (i, w) -> Printf.sprintf "%d/%d" i w) c.hc_reads)
+  in
+  String.concat "|"
+    (("xvmdth1" :: part cfg :: part reads
+      :: string_of_int (List.length c.hc_set.sviews)
+      :: List.map (fun v -> part (Pattern.to_string v)) c.hc_set.sviews)
+    @ (string_of_int (List.length c.hc_stmts) :: List.map part c.hc_stmts)
+    @ [ part (Xml_tree.serialize c.hc_set.sdoc) ])
+
+let heavy_of_repro s =
+  let fail () = invalid_arg "Difftest.heavy_of_repro: malformed reproducer" in
+  let n = String.length s in
+  if not (n > 8 && String.sub s 0 8 = "xvmdth1|") then fail ();
+  let pos = ref 8 in
+  let expect c = if !pos < n && s.[!pos] = c then incr pos else fail () in
+  let number () =
+    let st = !pos in
+    while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do
+      incr pos
+    done;
+    if !pos = st then fail ();
+    int_of_string (String.sub s st (!pos - st))
+  in
+  let part () =
+    let len = number () in
+    expect ':';
+    if !pos + len > n then fail ();
+    let r = String.sub s !pos len in
+    pos := !pos + len;
+    r
+  in
+  let int_of str =
+    match int_of_string_opt str with Some v -> v | None -> fail ()
+  in
+  let ints_of sep str =
+    if str = "" then []
+    else List.map int_of (String.split_on_char sep str)
+  in
+  let cfg = ints_of ',' (part ()) in
+  let count, fanout, budget, tailb =
+    match cfg with
+    | [ a; b; c; d ] when a > 0 && b > 0 && c > 0 && d > 0 -> (a, b, c, d)
+    | _ -> fail ()
+  in
+  expect '|';
+  let reads_s = part () in
+  let reads =
+    if reads_s = "" then []
+    else
+      List.map
+        (fun p ->
+          match String.split_on_char '/' p with
+          | [ i; w ] -> (int_of i, int_of w)
+          | _ -> fail ())
+        (String.split_on_char ',' reads_s)
+  in
+  expect '|';
+  let k = number () in
+  if k < 1 || k > 64 then fail ();
+  let views =
+    List.init k (fun i ->
+        expect '|';
+        view_of_compact ~name:(Printf.sprintf "v%d" i) (part ()))
+  in
+  expect '|';
+  let m = number () in
+  if m < 1 || m > 256 then fail ();
+  let stmts =
+    List.init m (fun _ ->
+        expect '|';
+        part ())
+  in
+  expect '|';
+  let doc_s = part () in
+  if !pos <> n then fail ();
+  List.iter (fun st -> ignore (Update.parse st)) stmts;
+  List.iter
+    (fun (i, w) -> if i < 0 || i >= m || w < -1 || w >= k then fail ())
+    reads;
+  {
+    hc_set =
+      { sdoc = Xml_parse.document doc_s; sviews = views; supdate = List.hd stmts };
+    hc_stmts = stmts;
+    hc_reads = reads;
+    hc_count = count;
+    hc_fanout = fanout;
+    hc_budget = budget;
+    hc_tailb = tailb;
+  }
+
+let describe_heavy m =
+  let c = m.hcx in
+  Printf.sprintf
+    "heavy-light adaptive maintenance disagreement\n\
+    \  thresholds: count %d, fanout %d, drain budget %d, tail budget %d\n\
+    \  views:  %s\n\
+    \  statements: %s\n\
+    \  reads:  %s\n\
+    \  doc:    %s (%d nodes)\n\
+    \  detail: %s\n\
+    \  replay: xvmcli difftest --replay %s"
+    c.hc_count c.hc_fanout c.hc_budget c.hc_tailb
+    (String.concat "  ;  " (List.map Pattern.to_string c.hc_set.sviews))
+    (String.concat "  ;  " c.hc_stmts)
+    (String.concat ", "
+       (List.map
+          (fun (i, w) ->
+            if w < 0 then Printf.sprintf "after %d: all" i
+            else Printf.sprintf "after %d: v%d" i w)
+          c.hc_reads))
+    (Qgen.abbrev (Xml_tree.serialize c.hc_set.sdoc))
+    (Xml_tree.size c.hc_set.sdoc) m.hdetail
+    (shell_quote (repro_of_heavy c))
+
+(* {2 Heavy shrinking: drop reads, then whole statements (remapping the
+   read points), then whole views (remapping single-view reads), then
+   the document, the statements' paths/fragments, and finally nodes
+   inside the surviving views.} *)
+
+let shrink_heavy m =
+  let current = ref m in
+  let budget = ref 2000 in
+  let improved = ref true in
+  while !improved && !budget > 0 do
+    improved := false;
+    let c = !current.hcx in
+    let with_stmts c stmts =
+      {
+        c with
+        hc_stmts = stmts;
+        hc_set = { c.hc_set with supdate = List.hd stmts };
+        hc_reads =
+          List.filter (fun (i, _) -> i < List.length stmts) c.hc_reads;
+      }
+    in
+    let drop_reads =
+      List.mapi
+        (fun j _ -> { c with hc_reads = without_nth c.hc_reads j })
+        c.hc_reads
+    in
+    let drop_stmts =
+      if List.length c.hc_stmts > 1 then
+        List.mapi
+          (fun j _ ->
+            let stmts = without_nth c.hc_stmts j in
+            let reads =
+              List.filter_map
+                (fun (i, w) ->
+                  if i = j then None
+                  else if i > j then Some (i - 1, w)
+                  else Some (i, w))
+                c.hc_reads
+            in
+            { (with_stmts c stmts) with hc_reads = reads })
+          c.hc_stmts
+      else []
+    in
+    let drop_views =
+      if List.length c.hc_set.sviews > 1 then
+        List.mapi
+          (fun j _ ->
+            let reads =
+              List.filter_map
+                (fun (i, w) ->
+                  if w = j then Some (i, -1)
+                  else if w > j then Some (i, w - 1)
+                  else Some (i, w))
+                c.hc_reads
+            in
+            {
+              c with
+              hc_set =
+                { c.hc_set with sviews = without_nth c.hc_set.sviews j };
+              hc_reads = reads;
+            })
+          c.hc_set.sviews
+      else []
+    in
+    let docs =
+      List.map
+        (fun d -> { c with hc_set = { c.hc_set with sdoc = d } })
+        (doc_variants c.hc_set.sdoc)
+    in
+    let stmt_shrinks =
+      List.concat
+        (List.mapi
+           (fun j stmt ->
+             List.map
+               (fun u ->
+                 with_stmts c
+                   (List.mapi
+                      (fun i q -> if i = j then u else q)
+                      c.hc_stmts))
+               (update_variants stmt))
+           c.hc_stmts)
+    in
+    let view_shrinks =
+      List.concat
+        (List.mapi
+           (fun j pat ->
+             List.map
+               (fun v ->
+                 {
+                   c with
+                   hc_set =
+                     {
+                       c.hc_set with
+                       sviews =
+                         List.mapi
+                           (fun i q -> if i = j then v else q)
+                           c.hc_set.sviews;
+                     };
+                 })
+               (view_variants pat))
+           c.hc_set.sviews)
+    in
+    let candidates =
+      drop_reads @ drop_stmts @ drop_views @ docs @ stmt_shrinks @ view_shrinks
+    in
+    (try
+       List.iter
+         (fun cand ->
+           if !budget > 0 then begin
+             decr budget;
+             match check_heavy cand with
+             | Some m' ->
+               current := m';
+               improved := true;
+               raise Exit
+             | None -> ()
+           end)
+         candidates
+     with Exit -> ())
+  done;
+  !current
+
+let run_heavy ~seed ~iters () =
+  let rnd = Random.State.make [| seed; 0x4ea7 |] in
+  let rc = Qgen.fresh_recorder () in
+  for _ = 1 to iters do
+    let c = gen_heavy_case rnd in
+    match check_heavy c with
+    | None -> ()
+    | Some m -> Qgen.record rc (describe_heavy (shrink_heavy m))
+  done;
+  Qgen.report_of rc ~iterations:iters

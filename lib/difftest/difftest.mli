@@ -164,6 +164,55 @@ val set_of_repro : string -> set_triple
     mismatches are shrunk and recorded in the report's failure list. *)
 val run_sets : ?jobs:int -> seed:int -> iters:int -> unit -> Qgen.report
 
+(** {1 Heavy-light adaptive maintenance oracle}
+
+    The adaptive path's correctness claim: with a heavy-light
+    classifier installed ([View_set.set_adaptive]), every {e read} —
+    a drain of one view or of the whole set — observes view contents
+    tuple-for-tuple identical to eager maintenance of the same
+    statement sequence, whatever partition migrations, budget-forced
+    drains and store tail merges happened in between. Cases draw
+    skewed or uniform random documents, deliberately tiny thresholds
+    (so rebalance storms and drains fire constantly), and seeded read
+    points that interleave single-view drains with further deferred
+    updates; after the final statement everything is drained and the
+    documents must serialize identically too. *)
+
+type heavy_case = {
+  hc_set : set_triple;  (** document, views, first statement *)
+  hc_stmts : string list;  (** full statement sequence, head = [supdate] *)
+  hc_reads : (int * int) list;
+      (** (statement index, view index or [-1] for all): drain+compare *)
+  hc_count : int;  (** [Hl.heavy_count] — deliberately tiny *)
+  hc_fanout : int;  (** [Hl.heavy_fanout] *)
+  hc_budget : int;  (** [Hl.drain_budget] *)
+  hc_tailb : int;  (** store tail budget *)
+}
+
+type heavy_mismatch = { hcx : heavy_case; hdetail : string }
+
+val gen_heavy_case : Random.State.t -> heavy_case
+
+(** [check_heavy c]: adaptive vs eager on [c]; [None] when every read
+    point (and the final full drain) agreed. *)
+val check_heavy : heavy_case -> heavy_mismatch option
+
+val shrink_heavy : heavy_mismatch -> heavy_mismatch
+
+val describe_heavy : heavy_mismatch -> string
+
+(** Reproducer codec
+    (["xvmdth1|len:cfg|len:reads|k|len:view…|n|len:stmt…|len:doc"]);
+    the CLI replay dispatches on the prefix. *)
+val repro_of_heavy : heavy_case -> string
+
+(** @raise Invalid_argument on a malformed reproducer. *)
+val heavy_of_repro : string -> heavy_case
+
+(** [run_heavy ~seed ~iters] draws and checks [iters] heavy cases;
+    mismatches are shrunk and recorded in the report's failure list. *)
+val run_heavy : seed:int -> iters:int -> unit -> Qgen.report
+
 (** {1 Serve snapshot-isolation oracle}
 
     The live-server counterpart of {!run_sets}: a random view set plus a

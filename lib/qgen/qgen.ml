@@ -111,3 +111,54 @@ let rec gen_element profile rnd depth =
 
 let random_document ?(profile = ingestion) rnd =
   gen_element profile rnd (1 + Random.State.int rnd 3)
+
+(* Zipf draw over 0..n-1: P(i) ∝ 1/(i+1)^alpha. O(n) inversion — the
+   pools here are tiny. *)
+let zipf rnd ~alpha ~n =
+  let w i = 1. /. Float.pow (float_of_int (i + 1)) alpha in
+  let total = ref 0. in
+  for i = 0 to n - 1 do
+    total := !total +. w i
+  done;
+  let u = Random.State.float rnd !total in
+  let acc = ref 0. and chosen = ref (n - 1) and i = ref 0 in
+  while !i < n && !chosen = n - 1 do
+    acc := !acc +. w !i;
+    if u < !acc && !chosen = n - 1 then chosen := !i;
+    incr i
+  done;
+  !chosen
+
+(* A canonical tree with a skewed label law: labels are drawn Zipfian
+   (hot-label concentration) and some nodes grow a large run of
+   same-label children (extreme sibling fan-out) — the degenerate
+   shapes the heavy-light classifier must handle. Stays canonical: the
+   fan-out runs are element-only, so no adjacent text siblings. *)
+let skewed_document ?(profile = plain) rnd =
+  let hot_label () = profile.labels.(zipf rnd ~alpha:1.3 ~n:(Array.length profile.labels)) in
+  let hot_leaf () =
+    Xml_tree.element
+      ~children:[ Xml_tree.text (gen_text profile rnd) ]
+      (hot_label ())
+  in
+  let rec build depth =
+    let base = gen_element profile rnd depth in
+    if Random.State.int rnd 3 = 0 then begin
+      (* Graft a fan-out run of 8–40 same-label children. *)
+      let lab = hot_label () in
+      let n = 8 + Random.State.int rnd 33 in
+      let run =
+        List.init n (fun _ ->
+            if depth > 0 && Random.State.int rnd 8 = 0 then build (depth - 1)
+            else
+              Xml_tree.element
+                ~children:(if Random.State.bool rnd then [ hot_leaf () ] else [])
+                lab)
+      in
+      Xml_tree.element
+        ~children:(base :: run)
+        (hot_label ())
+    end
+    else base
+  in
+  build (1 + Random.State.int rnd 2)

@@ -73,3 +73,13 @@ val gen_element : profile -> Random.State.t -> int -> Xml_tree.node
 (** [random_document ?profile rnd] — one randomized canonical tree of
     depth 1–4 (default profile: {!ingestion}). *)
 val random_document : ?profile:profile -> Random.State.t -> Xml_tree.node
+
+(** [zipf rnd ~alpha ~n] draws [0..n-1] with P(i) ∝ 1/(i+1)^alpha. *)
+val zipf : Random.State.t -> alpha:float -> n:int -> int
+
+(** [skewed_document ?profile rnd] — a canonical tree with Zipfian
+    label concentration and occasional large same-label sibling runs:
+    the degenerate shapes the heavy-light classifier and its
+    differential oracle need to exercise (default profile:
+    {!plain}). *)
+val skewed_document : ?profile:profile -> Random.State.t -> Xml_tree.node

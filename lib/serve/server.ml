@@ -117,6 +117,13 @@ let apply_batch t batch =
   t.batch_count <- t.batch_count + 1;
   Obs.Counter.incr c_batches;
   Obs.Counter.incr c_epochs;
+  (* Snapshot publication is a read: under adaptive (heavy-light)
+     maintenance any view with deferred work must be drained before its
+     image is captured, and a drained view is a changed view. No-op
+     without a classifier installed. *)
+  List.iter
+    (fun name -> Hashtbl.replace changed name ())
+    (View_set.drain_all t.set);
   (* Durable ack: the batch's journal records are group-committed to
      disk {e before} the snapshot publishes. Publication is the
      acknowledgement — a reader can never observe state a crash would
@@ -152,7 +159,11 @@ let service_checkpoint t =
   if Atomic.exchange t.checkpoint_requested false then
     match t.durable with
     | None -> ()
-    | Some d -> Durable.checkpoint d t.set
+    | Some d ->
+      (* A checkpoint persists view images; stale (deferred) images
+         must never reach disk or recovery would resurrect them. *)
+      ignore (View_set.drain_all t.set);
+      Durable.checkpoint d t.set
 
 let request_checkpoint t =
   Atomic.set t.checkpoint_requested true;

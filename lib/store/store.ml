@@ -7,6 +7,11 @@ let c_span_rows = Obs.Scope.counter obs_span "rows"
 let obs_scan = Obs.Scope.v "store.scan"
 let c_scan_calls = Obs.Scope.counter obs_scan "calls"
 let c_scan_rows = Obs.Scope.counter obs_scan "rows"
+let obs_hl = Obs.Scope.v "store.hl"
+let c_hl_routed = Obs.Scope.counter obs_hl "routed_tail"
+let c_hl_drains = Obs.Scope.counter obs_hl "drains"
+let c_hl_drain_rows = Obs.Scope.counter obs_hl "drain_rows"
+let c_hl_merge_copies = Obs.Scope.counter obs_hl "merge_copies"
 
 module Dewey_tbl = Hashtbl.Make (struct
   type t = Dewey.t
@@ -17,8 +22,17 @@ end)
 
 (* [handles] is parallel to [sorted]: the arena handle of each entry's
    identifier, maintained through the same merge/purge passes so that
-   columnar scans ({!relation_handles}) never re-intern. *)
-type rel = { mutable sorted : entry array; mutable handles : int array }
+   columnar scans ({!relation_handles}) never re-intern. A relation is
+   physically two sorted runs: the [sorted]/[handles] main part plus a
+   (normally empty) [tail]/[tail_h] pending part holding committed rows
+   of heavy-partitioned labels that have not yet been merged into the
+   main arrays — readers see their union, in document order. *)
+type rel = {
+  mutable sorted : entry array;
+  mutable handles : int array;
+  mutable tail : entry array;
+  mutable tail_h : int array;
+}
 
 type t = {
   root : Xml_tree.node;
@@ -32,6 +46,11 @@ type t = {
   detached : Xml_tree.node Dewey_tbl.t;
       (* detached subtree roots, unregistered at commit *)
   mutable live : int;
+  mutable partition : (string -> bool) option;
+      (* heavy-label predicate: commit routes staged rows of heavy
+         labels into the pending tail instead of the main merge *)
+  mutable tail_budget : int; (* force a tail merge past this many rows *)
+  mutable generation : int; (* bumped by every effective commit *)
 }
 
 let root t = t.root
@@ -65,9 +84,57 @@ let rel_of t lab_code =
   match Hashtbl.find_opt t.rels lab_code with
   | Some r -> r
   | None ->
-    let r = { sorted = [||]; handles = [||] } in
+    let r = { sorted = [||]; handles = [||]; tail = [||]; tail_h = [||] } in
     Hashtbl.add t.rels lab_code r;
     r
+
+(* Merge two aligned sorted (entry, handle) runs into fresh arrays. *)
+let merge_runs (a, ah) (b, bh) =
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 then (b, bh)
+  else if nb = 0 then (a, ah)
+  else begin
+    let merged = Array.make (na + nb) a.(0) in
+    let mergedh = Array.make (na + nb) 0 in
+    let i = ref 0 and j = ref 0 in
+    for k = 0 to na + nb - 1 do
+      if !j >= nb || (!i < na && Dewey.compare a.(!i).id b.(!j).id <= 0) then begin
+        merged.(k) <- a.(!i);
+        mergedh.(k) <- ah.(!i);
+        incr i
+      end
+      else begin
+        merged.(k) <- b.(!j);
+        mergedh.(k) <- bh.(!j);
+        incr j
+      end
+    done;
+    (merged, mergedh)
+  end
+
+(* Readers never mutate the relation: stripe 0 of domain-parallel
+   propagation runs on the main domain, so an in-place drain on read
+   would race with child-domain scans of the same arrays. A non-empty
+   tail costs a fresh merged copy until an explicit {!drain_label} /
+   {!drain_all} (or a budget-crossing commit) folds it in. *)
+let rel_view r =
+  if Array.length r.tail = 0 then (r.sorted, r.handles)
+  else begin
+    Obs.Counter.incr c_hl_merge_copies;
+    merge_runs (r.sorted, r.handles) (r.tail, r.tail_h)
+  end
+
+let drain_rel r =
+  let n = Array.length r.tail in
+  if n > 0 then begin
+    let merged, mergedh = merge_runs (r.sorted, r.handles) (r.tail, r.tail_h) in
+    r.sorted <- merged;
+    r.handles <- mergedh;
+    r.tail <- [||];
+    r.tail_h <- [||];
+    Obs.Counter.incr c_hl_drains;
+    Obs.Counter.add c_hl_drain_rows n
+  end
 
 (* Interning at registration time keeps every live identifier (and all
    its ancestors) in the arena, so scans hand pre-interned handles to
@@ -124,6 +191,9 @@ let of_document ?dict ?ord_of root =
       staged_adds = [];
       detached = Dewey_tbl.create 16;
       live = 0;
+      partition = None;
+      tail_budget = max_int;
+      generation = 0;
     }
   in
   assign t ?ord_of root ~parent_id:None ~ord:Dewey.Ord.first;
@@ -155,26 +225,27 @@ let relation t label =
   match find_rel t label with
   | None -> [||]
   | Some r ->
+    let sorted, _ = rel_view r in
     Obs.Counter.incr c_scan_calls;
-    Obs.Counter.add c_scan_rows (Array.length r.sorted);
-    r.sorted
+    Obs.Counter.add c_scan_rows (Array.length sorted);
+    sorted
 
 let relation_handles t label =
   match find_rel t label with
   | None -> ([||], [||])
   | Some r ->
+    let (sorted, _) as v = rel_view r in
     Obs.Counter.incr c_scan_calls;
-    Obs.Counter.add c_scan_rows (Array.length r.sorted);
-    (r.sorted, r.handles)
+    Obs.Counter.add c_scan_rows (Array.length sorted);
+    v
 
 (* Subtrees are contiguous document-order intervals, so the entries of a
    sorted relation lying under [root] form one block: binary-search its
    two endpoints instead of scanning the relation. *)
-(* Subtree bounds of [root] in the sorted relation: [start, stop). *)
-let span_bounds r ~root =
+(* Subtree bounds of [root] in the sorted array: [start, stop). *)
+let span_bounds arr ~root =
   let track = Obs.enabled () in
   let probes = ref 0 in
-  let arr = r.sorted in
   let n = Array.length arr in
   (* First index with id >= root. *)
   let lo = ref 0 and hi = ref n in
@@ -204,24 +275,88 @@ let relation_span t label ~root =
   match find_rel t label with
   | None -> [||]
   | Some r ->
-    let start, stop = span_bounds r ~root in
-    if stop <= start then [||] else Array.sub r.sorted start (stop - start)
+    let sorted, _ = rel_view r in
+    let start, stop = span_bounds sorted ~root in
+    if stop <= start then [||] else Array.sub sorted start (stop - start)
 
 let relation_span_handles t label ~root =
   match find_rel t label with
   | None -> ([||], [||])
   | Some r ->
-    let start, stop = span_bounds r ~root in
+    let sorted, handles = rel_view r in
+    let start, stop = span_bounds sorted ~root in
     if stop <= start then ([||], [||])
     else
-      ( Array.sub r.sorted start (stop - start),
-        Array.sub r.handles start (stop - start) )
+      ( Array.sub sorted start (stop - start),
+        Array.sub handles start (stop - start) )
 
 let relation_labels t =
   Hashtbl.fold
     (fun code r acc ->
-      if Array.length r.sorted > 0 then Label_dict.label t.dict code :: acc else acc)
+      if Array.length r.sorted > 0 || Array.length r.tail > 0 then
+        Label_dict.label t.dict code :: acc
+      else acc)
     t.rels []
+
+let relation_size t label =
+  match find_rel t label with
+  | None -> 0
+  | Some r -> Array.length r.sorted + Array.length r.tail
+
+let pending_rows t =
+  Hashtbl.fold (fun _ r acc -> acc + Array.length r.tail) t.rels 0
+
+let drain_label t label =
+  match find_rel t label with None -> () | Some r -> drain_rel r
+
+let drain_all t = Hashtbl.iter (fun _ r -> drain_rel r) t.rels
+
+let set_partition t ?tail_budget pred =
+  (* Changing the predicate invalidates the routing of already-buffered
+     rows; fold everything in first so invariants restart clean. *)
+  drain_all t;
+  t.partition <- pred;
+  t.tail_budget <-
+    (match tail_budget with
+    | Some b when b > 0 -> b
+    | Some _ | None -> max_int)
+
+let generation t = t.generation
+
+(* {2 Per-label statistics}
+
+   Frequency and sibling fan-out of each label over the live identifier
+   set, computed by one pass over the (merged) relation: every entry's
+   parent prefix is counted in a scratch table. O(|R_label|) per call —
+   callers (the heavy-light rebalancer) are expected to amortize. *)
+type label_stat = { ls_count : int; ls_parents : int; ls_max_fanout : int }
+
+let stat_of_arrays sorted tail =
+  let fanout = Dewey_tbl.create 64 in
+  let bump e =
+    match Dewey.parent e.id with
+    | None -> ()
+    | Some p ->
+      let prev = try Dewey_tbl.find fanout p with Not_found -> 0 in
+      Dewey_tbl.replace fanout p (prev + 1)
+  in
+  Array.iter bump sorted;
+  Array.iter bump tail;
+  let parents = Dewey_tbl.length fanout in
+  let max_fanout = Dewey_tbl.fold (fun _ n acc -> max n acc) fanout 0 in
+  {
+    ls_count = Array.length sorted + Array.length tail;
+    ls_parents = parents;
+    ls_max_fanout = max_fanout;
+  }
+
+let label_stat t label =
+  match find_rel t label with
+  | None -> { ls_count = 0; ls_parents = 0; ls_max_fanout = 0 }
+  | Some r -> stat_of_arrays r.sorted r.tail
+
+let label_stats t =
+  List.map (fun lab -> (lab, label_stat t lab)) (relation_labels t)
 
 let attach t ~parent forest =
   let parent_id = id_of t parent in
@@ -298,6 +433,8 @@ let commit t =
      main-domain-only operation. *)
   if not (Domain.is_main_domain ()) then
     invalid_arg "Store.commit: must be called from the main domain";
+  if t.staged_adds <> [] || Dewey_tbl.length t.detached > 0 then
+    t.generation <- t.generation + 1;
   if t.staged_adds <> [] then begin
     let by_label = Hashtbl.create 16 in
     List.iter
@@ -318,29 +455,30 @@ let commit t =
         let freshh =
           Array.map (fun e -> Hashtbl.find t.hids e.node.Xml_tree.serial) fresh
         in
-        (* Merge the (small) sorted batch into the sorted relation,
-           keeping the handle array aligned. *)
-        let old = r.sorted and oldh = r.handles in
-        let merged = Array.make (Array.length old + Array.length fresh) fresh.(0) in
-        let mergedh = Array.make (Array.length merged) 0 in
-        let i = ref 0 and j = ref 0 in
-        for k = 0 to Array.length merged - 1 do
-          if
-            !j >= Array.length fresh
-            || (!i < Array.length old && Dewey.compare old.(!i).id fresh.(!j).id <= 0)
-          then begin
-            merged.(k) <- old.(!i);
-            mergedh.(k) <- oldh.(!i);
-            incr i
-          end
-          else begin
-            merged.(k) <- fresh.(!j);
-            mergedh.(k) <- freshh.(!j);
-            incr j
-          end
-        done;
-        r.sorted <- merged;
-        r.handles <- mergedh)
+        let heavy =
+          match t.partition with
+          | None -> false
+          | Some pred -> pred (Label_dict.label t.dict lab)
+        in
+        if heavy then begin
+          (* Heavy label: buffer the batch in the pending tail — O(|tail|
+             + |batch|) instead of O(|R|) — and only fold into the main
+             run once the tail crosses its amortization budget. *)
+          let tail, tail_h = merge_runs (r.tail, r.tail_h) (fresh, freshh) in
+          r.tail <- tail;
+          r.tail_h <- tail_h;
+          Obs.Counter.add c_hl_routed (Array.length fresh);
+          if Array.length tail >= t.tail_budget then drain_rel r
+        end
+        else begin
+          (* Light label: the eager path. A label freshly demoted from
+             heavy may still carry a tail — fold it in first so the
+             single merge below sees one sorted main run. *)
+          drain_rel r;
+          let merged, mergedh = merge_runs (r.sorted, r.handles) (fresh, freshh) in
+          r.sorted <- merged;
+          r.handles <- mergedh
+        end)
       by_label;
     t.staged_adds <- []
   end;
@@ -367,23 +505,29 @@ let commit t =
         | None -> ()
         | Some r ->
           (* Single pass: compact live entries toward the front in place,
-             then truncate — no pre-scan, no Seq allocation. *)
-          let arr = r.sorted and h = r.handles in
-          let n = Array.length arr in
-          let k = ref 0 in
-          for i = 0 to n - 1 do
-            let e = arr.(i) in
-            if Hashtbl.mem t.ids e.node.Xml_tree.serial then begin
-              if !k < i then begin
-                arr.(!k) <- e;
-                h.(!k) <- h.(i)
-              end;
-              incr k
-            end
-          done;
-          if !k < n then begin
-            r.sorted <- Array.sub arr 0 !k;
-            r.handles <- Array.sub h 0 !k
-          end)
+             then truncate — no pre-scan, no Seq allocation. The pending
+             tail is purged the same way: a heavy-buffered row can be
+             detached before its tail is ever drained. *)
+          let purge arr h set =
+            let n = Array.length arr in
+            let k = ref 0 in
+            for i = 0 to n - 1 do
+              let e = arr.(i) in
+              if Hashtbl.mem t.ids e.node.Xml_tree.serial then begin
+                if !k < i then begin
+                  arr.(!k) <- e;
+                  h.(!k) <- h.(i)
+                end;
+                incr k
+              end
+            done;
+            if !k < n then set (Array.sub arr 0 !k) (Array.sub h 0 !k)
+          in
+          purge r.sorted r.handles (fun a h ->
+              r.sorted <- a;
+              r.handles <- h);
+          purge r.tail r.tail_h (fun a h ->
+              r.tail <- a;
+              r.tail_h <- h))
       touched
   end

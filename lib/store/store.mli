@@ -79,6 +79,61 @@ val relation_span_handles :
 (** Labels having a non-empty committed relation. *)
 val relation_labels : t -> string list
 
+(** Committed rows of [label] (main part + pending tail). *)
+val relation_size : t -> string -> int
+
+(** {1 Heavy-light partitioning}
+
+    Each canonical relation is physically two sorted runs: an eagerly
+    merge-maintained main part and a (normally empty) pending tail.
+    With no partition predicate installed — the default — the tail is
+    never populated and the store behaves exactly as before. With a
+    predicate, {!commit} routes the staged batches of {e heavy} labels
+    into the tail (cost O(|tail| + |batch|) instead of O(|R|)), folding
+    the tail into the main run only when it crosses the configured
+    budget or on an explicit drain. Readers always see the union of the
+    two runs, in document order, and never mutate the relation — a
+    non-empty tail costs them a fresh merged copy, so drains should
+    happen at the serialization points the caller controls. *)
+
+(** [set_partition store ?tail_budget pred] installs (or, with [None],
+    removes) the heavy-label predicate, first draining every pending
+    tail so routing invariants restart clean. [tail_budget] caps the
+    pending rows a single relation may buffer before {!commit}
+    force-merges it (default: unbounded). *)
+val set_partition : t -> ?tail_budget:int -> (string -> bool) option -> unit
+
+(** Total rows currently buffered in pending tails. *)
+val pending_rows : t -> int
+
+(** Fold [label]'s pending tail into its main run. *)
+val drain_label : t -> string -> unit
+
+(** Fold every pending tail into its main run. *)
+val drain_all : t -> unit
+
+(** Commit counter: bumped by every {!commit} that changed the
+    canonical relations (staged insertions or sweeps of detached
+    subtrees). A stable generation means the document is unchanged —
+    derived artifacts keyed on it (inferred DTDs, statistics) stay
+    valid. *)
+val generation : t -> int
+
+(** {1 Per-label statistics} *)
+
+type label_stat = {
+  ls_count : int;  (** live nodes with this label *)
+  ls_parents : int;  (** distinct parents of those nodes *)
+  ls_max_fanout : int;  (** max same-label siblings under one parent *)
+}
+
+(** [label_stat store label] scans the relation once — O(|R_label|);
+    callers amortize (see [Viewmaint.Hl]). *)
+val label_stat : t -> string -> label_stat
+
+(** Statistics for every label with a non-empty relation. *)
+val label_stats : t -> (string * label_stat) list
+
 (** {1 Updates} *)
 
 (** [attach store ~parent forest] appends the trees of [forest] as the last

@@ -35,12 +35,27 @@ val relevant : Mview.t -> update_labels -> bool
     flipped watch forces the rebuild path regardless. *)
 val can_skip : Mview.t -> update_labels -> bool
 
+(** [routes_heavy ~heavy mv labels]: the update's delta reaches [mv]
+    through a label the [heavy] predicate classifies as heavy — the
+    adaptive maintenance path defers such deltas into the view's side
+    buffer instead of propagating eagerly. *)
+val routes_heavy : heavy:(string -> bool) -> Mview.t -> update_labels -> bool
+
 (** [parallel_map ~jobs tasks] runs the thunks across [jobs] domains
     (round-robin striping, stripe 0 on the calling domain) and returns
     their results in task order. [jobs] is clamped to
     [1 .. Array.length tasks], so [jobs <= 1] — including zero and
     negative values — degenerates to a plain sequential map on the
     calling domain: same results, no spawning.
-    If a task raises, the exception is re-raised after all domains have
-    been joined and their Obs contributions merged. *)
+
+    Worker domains come from a lazily-grown persistent pool (spawned
+    once, parked between calls, stopped at exit) rather than a fresh
+    [Domain.spawn] per call; stripe assignment, Obs contribution merge
+    order and exception selection are by stripe index either way, so
+    results are bit-identical to the unpooled implementation.
+    If a task raises, the exception is re-raised after all stripes have
+    been awaited and their Obs contributions merged. *)
 val parallel_map : jobs:int -> (unit -> 'a) array -> 'a array
+
+(** Persistent worker domains currently in the pool (for tests). *)
+val pool_size : unit -> int

@@ -46,6 +46,14 @@ module Shared = struct
   let mem_label t l = Hashtbl.mem t.sh_by_label l
   let has_elements t = Array.length (fst t.sh_star) > 0
 
+  let exists_label t pred =
+    Hashtbl.fold (fun l _ acc -> acc || pred l) t.sh_by_label false
+
+  let label_counts t =
+    Hashtbl.fold
+      (fun l (es, _) acc -> (l, Array.length es) :: acc)
+      t.sh_by_label []
+
   let is_element_label l =
     String.length l = 0 || (l.[0] <> '@' && l.[0] <> '#')
 

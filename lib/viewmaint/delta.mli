@@ -44,6 +44,15 @@ module Shared : sig
   val has_elements : t -> bool
   (** The update region contains at least one element node — i.e. a [*]
       pattern tag is touched. *)
+
+  val exists_label : t -> (string -> bool) -> bool
+  (** Some label in the update region satisfies the predicate. The
+      heavy-light router uses it to decide whether a delta touches the
+      heavy partition at all. *)
+
+  val label_counts : t -> (string * int) list
+  (** Indexed labels with their region entry counts — the unit of the
+      heavy-light amortization (deferred delta work) accounting. *)
 end
 
 (** [of_shared sh pat] extracts the view-specific Δ tables from the shared

@@ -1,0 +1,141 @@
+(* Heavy-light label classifier and rebalancer. See hl.mli. *)
+
+let obs_hl = Obs.Scope.v "maint.hl"
+let c_promotions = Obs.Scope.counter obs_hl "promotions"
+let c_demotions = Obs.Scope.counter obs_hl "demotions"
+let c_rescans = Obs.Scope.counter obs_hl "rescans"
+let c_rescan_rows = Obs.Scope.counter obs_hl "rescan_rows"
+
+type config = {
+  heavy_count : int;
+  heavy_fanout : int;
+  demote_factor : float;
+  drain_budget : int;
+  tail_budget : int;
+}
+
+let default_config =
+  {
+    heavy_count = 1 lsl 20;
+    heavy_fanout = 64;
+    demote_factor = 0.5;
+    drain_budget = 256;
+    tail_budget = 4096;
+  }
+
+(* Cached per-label view of the store statistics: [lc_count] is refreshed
+   on every rebalance (O(1) per label from the relation arrays); the
+   fan-out is an O(|R_label|) rescan and therefore only refreshed after
+   the count has drifted by a constant fraction since the last rescan —
+   the classic amortization argument: total rescan work is O(total rows
+   inserted), a constant factor over the updates that caused it. *)
+type cache = {
+  mutable lc_count : int;
+  mutable lc_scanned : int; (* count at last fan-out rescan *)
+  mutable lc_fanout : int;
+}
+
+type t = {
+  cfg : config;
+  store : Store.t;
+  heavy : (string, unit) Hashtbl.t;
+  cached : (string, cache) Hashtbl.t;
+  mutable migrations : int;
+}
+
+let config t = t.cfg
+let is_heavy t lab = Hashtbl.mem t.heavy lab
+let migrations t = t.migrations
+
+let heavy_labels t =
+  List.sort compare (Hashtbl.fold (fun l () acc -> l :: acc) t.heavy [])
+
+let cache_of t lab =
+  match Hashtbl.find_opt t.cached lab with
+  | Some c -> c
+  | None ->
+    let c = { lc_count = 0; lc_scanned = -1; lc_fanout = 0 } in
+    Hashtbl.add t.cached lab c;
+    c
+
+let rescan t lab c =
+  let st = Store.label_stat t.store lab in
+  c.lc_scanned <- st.Store.ls_count;
+  c.lc_count <- st.Store.ls_count;
+  c.lc_fanout <- st.Store.ls_max_fanout;
+  Obs.Counter.incr c_rescans;
+  Obs.Counter.add c_rescan_rows st.Store.ls_count
+
+(* Refresh [lab]'s cache and flip its partition if a threshold was
+   crossed (with hysteresis on the way down so a label oscillating
+   around a threshold does not migrate every update). Returns whether
+   the label migrated. *)
+let classify t lab =
+  let cfg = t.cfg in
+  let c = cache_of t lab in
+  c.lc_count <- Store.relation_size t.store lab;
+  if abs (c.lc_count - c.lc_scanned) >= max 8 (abs c.lc_scanned / 4) then
+    rescan t lab c;
+  let was = Hashtbl.mem t.heavy lab in
+  let demote_count = float_of_int cfg.heavy_count *. cfg.demote_factor in
+  let demote_fanout = float_of_int cfg.heavy_fanout *. cfg.demote_factor in
+  let now =
+    if was then
+      not
+        (float_of_int c.lc_count < demote_count
+        && float_of_int c.lc_fanout < demote_fanout)
+    else c.lc_count >= cfg.heavy_count || c.lc_fanout >= cfg.heavy_fanout
+  in
+  if now && not was then begin
+    Hashtbl.replace t.heavy lab ();
+    t.migrations <- t.migrations + 1;
+    Obs.Counter.incr c_promotions;
+    true
+  end
+  else if was && not now then begin
+    Hashtbl.remove t.heavy lab;
+    t.migrations <- t.migrations + 1;
+    Obs.Counter.incr c_demotions;
+    (* A demoted label goes back on the eager path; its buffered rows
+       must be folded in now so readers stop paying the merged view. *)
+    Store.drain_label t.store lab;
+    true
+  end
+  else false
+
+let rebalance t =
+  (* Labels currently classified heavy may have emptied out of
+     [relation_labels]; visit them too so they can demote. *)
+  let seen = Hashtbl.create 64 in
+  let visit lab =
+    if not (Hashtbl.mem seen lab) then begin
+      Hashtbl.add seen lab ();
+      ignore (classify t lab)
+    end
+  in
+  List.iter visit (Store.relation_labels t.store);
+  List.iter visit (heavy_labels t)
+
+let create ?(config = default_config) store =
+  let t =
+    {
+      cfg = config;
+      store;
+      heavy = Hashtbl.create 16;
+      cached = Hashtbl.create 64;
+      migrations = 0;
+    }
+  in
+  List.iter
+    (fun lab ->
+      let c = cache_of t lab in
+      rescan t lab c;
+      ignore (classify t lab))
+    (Store.relation_labels store);
+  (* Initial classification is not a migration. *)
+  t.migrations <- 0;
+  Store.set_partition store ~tail_budget:config.tail_budget
+    (Some (fun lab -> Hashtbl.mem t.heavy lab));
+  t
+
+let detach t = Store.set_partition t.store None

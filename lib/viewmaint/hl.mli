@@ -1,0 +1,55 @@
+(** Heavy-light label classifier for adaptive maintenance (following the
+    heavy-light partitioning of Kara–Olteanu-style IVM, transposed to
+    the paper's algebra): a label is {e heavy} when its canonical
+    relation is large or its same-label sibling fan-out is extreme —
+    exactly the labels whose materialized snowcap tables make eager
+    per-update propagation expensive. The classifier installs a
+    partition predicate into the store ({!Store.set_partition}), so
+    commits buffer heavy-label batches in pending tails, and tracks
+    threshold crossings with hysteresis, migrating labels between the
+    partitions with amortized cost accounting (fan-out is rescanned only
+    after a label's cardinality drifts by a constant fraction).
+
+    Counters under the [maint.hl] scope: [promotions] / [demotions]
+    (partition migrations), [rescans] / [rescan_rows] (amortized
+    statistics work). *)
+
+type t
+
+type config = {
+  heavy_count : int;  (** heavy when the relation has ≥ this many rows *)
+  heavy_fanout : int;  (** … or some parent has ≥ this many same-label children *)
+  demote_factor : float;
+      (** hysteresis: demote only below [factor ×] both thresholds *)
+  drain_budget : int;
+      (** deferred work units a view buffers before a forced drain
+          (consumed by [View_set]) *)
+  tail_budget : int;
+      (** pending rows a relation buffers before commit force-merges *)
+}
+
+(** Count threshold effectively off (2^20), fan-out 64, demote at half,
+    view drain budget 256, store tail budget 4096. *)
+val default_config : config
+
+(** [create ?config store] scans every relation once, classifies, and
+    installs the partition predicate into [store]. *)
+val create : ?config:config -> Store.t -> t
+
+val config : t -> config
+val is_heavy : t -> string -> bool
+
+(** Heavy labels, sorted. *)
+val heavy_labels : t -> string list
+
+(** Partition migrations (promotions + demotions) since creation. *)
+val migrations : t -> int
+
+(** [rebalance t] refreshes every label's statistics (cheap count check
+    per label; fan-out rescan only after significant drift) and migrates
+    threshold-crossers. Demotion drains the label's pending tail. Call
+    once per applied update, after {!Store.commit}. *)
+val rebalance : t -> unit
+
+(** Remove the partition predicate from the store (drains all tails). *)
+val detach : t -> unit

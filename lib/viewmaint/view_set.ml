@@ -1,3 +1,20 @@
+let obs_defer = Obs.Scope.v "maint.defer"
+let c_deferrals = Obs.Scope.counter obs_defer "deferrals"
+let c_defer_work = Obs.Scope.counter obs_defer "deferred_work"
+let c_drains = Obs.Scope.counter obs_defer "drains"
+let c_budget_drains = Obs.Scope.counter obs_defer "budget_drains"
+
+(* Per-view deferral state of the adaptive (heavy-light) path: [stale]
+   means the materialized image no longer reflects the committed
+   document; [work] is the accumulated deferred delta work (shared-index
+   entry counts), compared against the drain budget. No update payload
+   is buffered — a drain is an exact [Mview.rebuild] from the committed
+   store, which covers any mix of deferred inserts, deletes, replaces
+   and value-predicate flips. *)
+type buf = { mutable stale : bool; mutable work : int }
+
+type adaptive = { hl : Hl.t; bufs : (string, buf) Hashtbl.t }
+
 (* Views live in [views] (reverse insertion order, as before) for ordered
    traversal, and in [index] for O(1) name lookup. *)
 type t = {
@@ -6,10 +23,18 @@ type t = {
   index : (string, Mview.t) Hashtbl.t;
   mutable journal : (Update.t -> unit) option;
   mutable indep : (Update.t -> Mview.t -> bool) option;
+  mutable adaptive : adaptive option;
 }
 
 let create store =
-  { store; views = []; index = Hashtbl.create 16; journal = None; indep = None }
+  {
+    store;
+    views = [];
+    index = Hashtbl.create 16;
+    journal = None;
+    indep = None;
+    adaptive = None;
+  }
 
 let store t = t.store
 
@@ -41,9 +66,66 @@ let add_view t mv =
 
 let remove t name =
   Hashtbl.remove t.index name;
-  t.views <- List.filter (fun mv -> name_of mv <> name) t.views
+  t.views <- List.filter (fun mv -> name_of mv <> name) t.views;
+  match t.adaptive with
+  | None -> ()
+  | Some a -> Hashtbl.remove a.bufs name
 
 let views t = List.rev t.views
+
+(* {2 Adaptive (heavy-light) maintenance} *)
+
+let buf_of a name =
+  match Hashtbl.find_opt a.bufs name with
+  | Some b -> b
+  | None ->
+    let b = { stale = false; work = 0 } in
+    Hashtbl.add a.bufs name b;
+    b
+
+let stale t =
+  match t.adaptive with
+  | None -> []
+  | Some a ->
+    List.filter_map
+      (fun mv ->
+        match Hashtbl.find_opt a.bufs (name_of mv) with
+        | Some b when b.stale -> Some (name_of mv)
+        | Some _ | None -> None)
+      (views t)
+
+let drain_view t name =
+  match t.adaptive with
+  | None -> false
+  | Some a -> (
+    match (find t name, Hashtbl.find_opt a.bufs name) with
+    | Some mv, Some b when b.stale ->
+      (* Fold the store's pending tails in first so the rebuild scans
+         plain main runs instead of paying a merged copy per lookup. *)
+      Store.drain_all t.store;
+      Mview.rebuild mv;
+      b.stale <- false;
+      b.work <- 0;
+      Obs.Counter.incr c_drains;
+      true
+    | _ -> false)
+
+let drain_all t =
+  List.filter (fun name -> drain_view t name) (List.map name_of (views t))
+
+let set_adaptive t hl =
+  (* Leaving adaptive mode (or swapping classifiers) must not leave
+     stale images behind. *)
+  ignore (drain_all t);
+  (match t.adaptive with
+  | Some a -> Hl.detach a.hl
+  | None -> ());
+  t.adaptive <-
+    (match hl with
+    | None -> None
+    | Some hl -> Some { hl; bufs = Hashtbl.create 16 })
+
+let adaptive t = Option.map (fun a -> a.hl) t.adaptive
 
 (* One update, N views. The work that does not depend on the view — find
    targets, mutate the document, extract the update region — runs once;
@@ -75,6 +157,7 @@ let update ?(jobs = 1) t u =
     (* No views: still apply the document side. *)
     let _, _ = Maint.apply_only t.store u in
     Store.commit t.store;
+    (match t.adaptive with None -> () | Some a -> Hl.rebalance a.hl);
     []
   | _ ->
     let b = Timing.zero () in
@@ -153,18 +236,41 @@ let update ?(jobs = 1) t u =
         Array.exists (( = ) "#text") mv.Mview.pat.Pattern.tags
       | Maint.Ins _ | Maint.Del _ -> false
     in
-    (* [`Skip] / [`Clean] / [`Commit] per view, in insertion order;
-       statically-discharged views (no recorded watches) skip outright. *)
+    (* [`Skip] / [`Clean] / [`Commit] / [`Defer] per view, in insertion
+       order; statically-discharged views (no recorded watches) skip
+       outright. [`Defer] exists only in adaptive mode: the update's
+       delta reaches the view through a heavy-partitioned label, or the
+       view is already stale — either way propagation is deferred (the
+       view is marked stale and the work accounted against its drain
+       budget) instead of paying the eager path. A stale view must
+       never run incremental propagation or the exact-rebuild-now path:
+       both assume the image matches the pre-update document. *)
+    let heavy_route =
+      match t.adaptive with
+      | None -> fun _ -> false
+      | Some a -> fun mv -> Batch.routes_heavy ~heavy:(Hl.is_heavy a.hl) mv labels
+    in
     let classified =
       List.map
         (fun (mv, watches) ->
           let cls =
             match watches with
             | None -> `Skip
-            | Some w ->
-              if Maint.watches_flipped mv w || text_structural mv then `Commit
-              else if Batch.can_skip mv labels then `Skip
-              else `Clean
+            | Some w -> (
+              let is_stale =
+                match t.adaptive with
+                | Some a -> (buf_of a (name_of mv)).stale
+                | None -> false
+              in
+              let forced = Maint.watches_flipped mv w || text_structural mv in
+              match is_stale with
+              | true -> if (not forced) && Batch.can_skip mv labels then `Skip else `Defer
+              | false ->
+                let defer = heavy_route mv in
+                if forced then if defer then `Defer else `Commit
+                else if Batch.can_skip mv labels then `Skip
+                else if defer then `Defer
+                else `Clean)
           in
           (mv, watches, cls))
         watched
@@ -187,11 +293,33 @@ let update ?(jobs = 1) t u =
     Timing.timed b
       (fun b v -> b.Timing.update_aux <- v)
       (fun () -> Store.commit t.store);
+    (* Deferred work units: the shared index's total entry count — the
+       delta rows a drain will have to reconcile — plus one for the
+       statement itself (replace-value deltas are single-row). *)
+    let stmt_work =
+      match labels with
+      | Batch.Text_only -> 1
+      | Batch.Labels sh ->
+        List.fold_left
+          (fun acc (_, n) -> acc + n)
+          1
+          (Delta.Shared.label_counts sh)
+    in
     let reports =
       List.map
         (fun (mv, watches, cls) ->
           match cls with
           | `Skip -> (mv, Maint.skipped_report ())
+          | `Defer ->
+            (match t.adaptive with
+            | Some a ->
+              let b = buf_of a (name_of mv) in
+              b.stale <- true;
+              b.work <- b.work + stmt_work;
+              Obs.Counter.incr c_deferrals;
+              Obs.Counter.add c_defer_work stmt_work
+            | None -> assert false);
+            (mv, Maint.skipped_report ())
           | `Commit ->
             let watches = match watches with Some w -> w | None -> assert false in
             (mv, Maint.propagate_applied ~watches mv applied)
@@ -214,4 +342,21 @@ let update ?(jobs = 1) t u =
       first.Maint.timing.Timing.update_aux <-
         first.Maint.timing.Timing.update_aux +. b.Timing.update_aux
     | [] -> ());
+    (* Adaptive post-step, on the committed store: drain any view whose
+       accumulated deferred work crossed its amortization budget, then
+       let the classifier migrate threshold-crossing labels. *)
+    (match t.adaptive with
+    | None -> ()
+    | Some a ->
+      let budget = (Hl.config a.hl).Hl.drain_budget in
+      List.iter
+        (fun mv ->
+          let name = name_of mv in
+          match Hashtbl.find_opt a.bufs name with
+          | Some bf when bf.stale && bf.work >= budget ->
+            Obs.Counter.incr c_budget_drains;
+            ignore (drain_view t name)
+          | Some _ | None -> ())
+        views;
+      Hl.rebalance a.hl);
     reports

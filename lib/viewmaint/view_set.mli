@@ -40,6 +40,43 @@ val set_journal : t -> (Update.t -> unit) option -> unit
     [Difftest.run_indep] exists to catch unsound provers). *)
 val set_independence : t -> (Update.t -> Mview.t -> bool) option -> unit
 
+(** {1 Adaptive (heavy-light) maintenance}
+
+    With a classifier installed ({!set_adaptive}), {!update} defers
+    propagation for any view the update's delta reaches through a
+    heavy-partitioned label (see [Hl] and [Batch.routes_heavy]): the
+    view is marked {e stale}, its report is the zeroed skipped report,
+    and the deferred delta work is accounted against the classifier's
+    drain budget. No payload is buffered — a drain is an exact
+    [Mview.rebuild] from the committed store, so it reconciles any mix
+    of deferred inserts, deletes, replaces and value-predicate flips.
+    Drains happen when a view's accumulated work crosses the budget, or
+    explicitly via {!drain_view} / {!drain_all} — which readers
+    (snapshot publication in [Serve], any direct [Mview] consumer) must
+    call before trusting view contents. Non-heavy-routing updates take
+    the usual eager path, so on documents with no heavy labels adaptive
+    maintenance behaves exactly like eager maintenance. *)
+
+(** [set_adaptive set hl] installs (or, with [None], removes) the
+    heavy-light classifier. Any stale views are drained first, and the
+    previous classifier's store partition is detached. *)
+val set_adaptive : t -> Hl.t option -> unit
+
+(** The installed classifier, if any. *)
+val adaptive : t -> Hl.t option
+
+(** Names of views whose materialized image is stale (deferred work
+    pending), in insertion order. *)
+val stale : t -> string list
+
+(** [drain_view set name] rebuilds the named view from the committed
+    store if it was stale. Returns whether a drain happened. *)
+val drain_view : t -> string -> bool
+
+(** Drain every stale view; returns the drained names in insertion
+    order. *)
+val drain_all : t -> string list
+
 (** [find set name] — the view named [name], if any. O(1): views are
     name-indexed in a hash table besides the insertion-ordered list. *)
 val find : t -> string -> Mview.t option

@@ -27,6 +27,43 @@ let maybe st p node = if Random.State.float st 1.0 < p then [ node () ] else []
 
 let increase_values = [| "1.50"; "3.00"; "4.50"; "6.00"; "7.50"; "9.00"; "13.50" |]
 
+(* {1 Skew}
+
+   Knobs for the two-regime documents the heavy-light bench needs: a
+   Zipfian distribution of bidders across open auctions (extreme
+   same-label sibling fan-out under a few hot auctions), concentration
+   of the skew budget on the hottest labels, and a Zipfian draw over
+   the increase/current value pool (skewed value distributions, hence
+   skewed self-join selectivity). [document ~skew:None] consumes the
+   RNG exactly as before, so existing seeds keep their documents. *)
+
+type skew = { zipf_alpha : float; hot_share : float; value_alpha : float }
+
+let default_skew = { zipf_alpha = 1.1; hot_share = 0.5; value_alpha = 1.2 }
+
+(* Draw 0..n-1 with P(i) ∝ 1/(i+1)^alpha — O(n) inversion, fine for the
+   small pools the generator draws from. *)
+let zipf_index st ~alpha ~n =
+  let total = ref 0. in
+  for i = 0 to n - 1 do
+    total := !total +. (1. /. Float.pow (float_of_int (i + 1)) alpha)
+  done;
+  let u = Random.State.float st !total in
+  let acc = ref 0. and chosen = ref (n - 1) and i = ref 0 in
+  while !i < n && !chosen = n - 1 do
+    acc := !acc +. (1. /. Float.pow (float_of_int (!i + 1)) alpha);
+    if u < !acc && !chosen = n - 1 then chosen := !i;
+    incr i
+  done;
+  !chosen
+
+(* Integer shares of [total] proportional to Zipf weights over [n]
+   ranks: rank 0 (the hot auction) takes the lion's share. *)
+let zipf_shares ~alpha ~n ~total =
+  let w = Array.init n (fun i -> 1. /. Float.pow (float_of_int (i + 1)) alpha) in
+  let sum = Array.fold_left ( +. ) 0. w in
+  Array.map (fun wi -> int_of_float (float_of_int total *. wi /. sum)) w
+
 let gen_person st i =
   let profile () =
     el "profile"
@@ -102,7 +139,11 @@ let gen_item st ~continent:_ i =
                       ];
                 ]))
 
-let gen_bidder st ~n_persons =
+(* [inc] draws one value from the increase pool — uniform by default,
+   Zipf-skewed under a skew profile. *)
+let uniform_inc st = increase_values.(Random.State.int st (Array.length increase_values))
+
+let gen_bidder st ~inc ~n_persons =
   el "bidder"
     ~children:
       [
@@ -113,12 +154,15 @@ let gen_bidder st ~n_persons =
         el "personref"
           ~children:
             [ attr "person" (Printf.sprintf "person%d" (Random.State.int st (min 40 n_persons))) ];
-        el "increase"
-          ~children:[ txt increase_values.(Random.State.int st (Array.length increase_values)) ];
+        el "increase" ~children:[ txt (inc st) ];
       ]
 
-let gen_open_auction st i ~n_persons ~n_items =
-  let bidders = List.init (Random.State.int st 5) (fun _ -> gen_bidder st ~n_persons) in
+let gen_open_auction st i ~inc ~extra_bidders ~n_persons ~n_items =
+  let bidders =
+    List.init
+      (Random.State.int st 5 + extra_bidders)
+      (fun _ -> gen_bidder st ~inc ~n_persons)
+  in
   el "open_auction"
     ~children:
       ([ attr "id" (Printf.sprintf "open_auction%d" i);
@@ -176,15 +220,41 @@ let item_bytes = 460
 let open_bytes = 560
 let closed_bytes = 330
 let category_bytes = 110
+let bidder_bytes = 180
 
-let document ~seed ~target_kb =
+let gen_document ?skew ~seed ~target_kb () =
   let st = Random.State.make [| seed; target_kb |] in
-  let budget = target_kb * 1024 in
+  let full_budget = target_kb * 1024 in
+  (* Under a skew profile, the hot share of the byte budget is spent on
+     extra Zipf-distributed bidders instead of base entities, so skewed
+     and uniform documents of the same [target_kb] stay comparable in
+     total size. *)
+  let budget =
+    match skew with
+    | None -> full_budget
+    | Some sk ->
+      int_of_float (float_of_int full_budget *. (1. -. sk.hot_share))
+  in
   let n_persons = max 14 (budget * 25 / 100 / person_bytes) in
   let n_items = max 6 (budget * 30 / 100 / item_bytes) in
   let n_open = max 4 (budget * 25 / 100 / open_bytes) in
   let n_closed = max 2 (budget * 12 / 100 / closed_bytes) in
   let n_categories = max 2 (budget * 4 / 100 / category_bytes) in
+  let inc =
+    match skew with
+    | None -> uniform_inc
+    | Some sk ->
+      fun st ->
+        increase_values.(zipf_index st ~alpha:sk.value_alpha
+                           ~n:(Array.length increase_values))
+  in
+  let extra_bidders =
+    match skew with
+    | None -> Array.make n_open 0
+    | Some sk ->
+      let total = (full_budget - budget) / bidder_bytes in
+      zipf_shares ~alpha:sk.zipf_alpha ~n:n_open ~total
+  in
   let regions =
     el "regions"
       ~children:
@@ -202,12 +272,20 @@ let document ~seed ~target_kb =
   let people = el "people" ~children:(List.init n_persons (gen_person st)) in
   let open_auctions =
     el "open_auctions"
-      ~children:(List.init n_open (fun i -> gen_open_auction st i ~n_persons ~n_items))
+      ~children:
+        (List.init n_open (fun i ->
+             gen_open_auction st i ~inc ~extra_bidders:extra_bidders.(i)
+               ~n_persons ~n_items))
   in
   let closed_auctions =
     el "closed_auctions"
       ~children:(List.init n_closed (fun _ -> gen_closed_auction st ~n_persons ~n_items))
   in
   el "site" ~children:[ regions; categories; people; open_auctions; closed_auctions ]
+
+let document ~seed ~target_kb = gen_document ~seed ~target_kb ()
+
+let document_skewed ?(skew = default_skew) ~seed ~target_kb () =
+  gen_document ~skew ~seed ~target_kb ()
 
 let actual_bytes = Xml_tree.serialized_size

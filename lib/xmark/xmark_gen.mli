@@ -13,6 +13,31 @@
     is roughly [target_kb] kilobytes. *)
 val document : seed:int -> target_kb:int -> Xml_tree.node
 
+(** {1 Skewed documents}
+
+    Knobs for two-regime documents (the heavy-light maintenance bench):
+    bidders are redistributed across open auctions by a Zipfian law —
+    the hottest auction concentrates an extreme same-label sibling
+    fan-out of [bidder] children — and increase/current values are
+    drawn Zipf-skewed from the value pool, skewing self-join
+    selectivity. The hot share of the byte budget is carved out of the
+    base entities, so a skewed document stays roughly the same total
+    size as the uniform document of the same [target_kb]. *)
+
+type skew = {
+  zipf_alpha : float;  (** Zipf exponent of the bidder-per-auction law *)
+  hot_share : float;  (** byte-budget fraction spent on hot bidders (0..1) *)
+  value_alpha : float;  (** Zipf exponent of the increase-value draw *)
+}
+
+(** [zipf_alpha = 1.1], [hot_share = 0.5], [value_alpha = 1.2]. *)
+val default_skew : skew
+
+(** [document_skewed ?skew ~seed ~target_kb ()] — like {!document} with
+    the skew profile applied (default {!default_skew}). *)
+val document_skewed :
+  ?skew:skew -> seed:int -> target_kb:int -> unit -> Xml_tree.node
+
 (** Serialized size of a generated document, in bytes (convenience
     re-export of [Xml_tree.serialized_size]). *)
 val actual_bytes : Xml_tree.node -> int

@@ -258,6 +258,59 @@ let test_prune_subpattern () =
   Alcotest.(check bool) "split keeps its ID in the top leg" true
     top.Pattern.annots.(1).Pattern.store_id
 
+(* Degenerate split points — the pattern root, a leaf, and a node that
+   already stores a payload. The two legs re-enter the planner as views
+   of the original query; whatever plan shape it picks (join, single
+   with compensation, fallback), the rows must match base evaluation.
+   Locks in the join-emit index fix for splits where one leg is trivial
+   or the split node carries stored attributes. *)
+
+let rec subtree_size q i =
+  List.fold_left (fun acc c -> acc + subtree_size q c) 1 (Pattern.children q i)
+
+let degenerate_splits q =
+  let n = Pattern.node_count q in
+  let rec leaf i =
+    if i >= n then 0 else if Pattern.children q i = [] then i else leaf (i + 1)
+  in
+  let stored = ref 0 in
+  Array.iteri
+    (fun i (a : Pattern.annot) ->
+      if !stored = 0 && (a.Pattern.store_val || a.Pattern.store_cont) then
+        stored := i)
+    q.Pattern.annots;
+  List.sort_uniq compare [ 0; leaf 0; !stored ]
+
+let prop_degenerate_splits =
+  Tutil.qtest ~count:150 "prune ⋈ subpattern answers q at degenerate splits"
+    (QCheck.pair Tutil.arb_doc Tutil.arb_pattern) (fun (doc, q) ->
+      List.for_all
+        (fun i ->
+          let top = Pattern.prune q i ~name:"t" in
+          let bottom = Pattern.subpattern q i ~name:"s" in
+          (* Structural invariants of the split itself: the join key is
+             stored on both sides, the bottom leg is //-anchored, and
+             node counts partition the query (the split node counted in
+             both legs). *)
+          top.Pattern.annots.(i).Pattern.store_id
+          && bottom.Pattern.axes.(0) = Pattern.Descendant
+          && bottom.Pattern.annots.(0).Pattern.store_id
+          && Pattern.node_count bottom = subtree_size q i
+          && Pattern.node_count top
+             = Pattern.node_count q - subtree_size q i + 1
+          && (i <> 0 || Pattern.node_count top = 1)
+          &&
+          let store = Store.of_document (Xml_tree.copy doc) in
+          let set = View_set.create store in
+          ignore (View_set.add set top);
+          ignore (View_set.add set bottom);
+          let sources = List.map Answer.source_of_mview (View_set.views set) in
+          match Answer.answer ~store ~sources q with
+          | None -> false
+          | Some (_, rows) ->
+            Answer.diff ~expect:(Answer.base_rows store q) ~got:rows = None)
+        (degenerate_splits q))
+
 (* {1 Seeded differential oracles} *)
 
 let test_answer_oracle () =
@@ -431,6 +484,7 @@ let () =
           Alcotest.test_case "base fallback" `Quick test_fallback;
           Alcotest.test_case "root parent is None" `Quick test_root_parent_none;
           Alcotest.test_case "prune/subpattern shapes" `Quick test_prune_subpattern;
+          prop_degenerate_splits;
         ] );
       ( "oracles",
         [

@@ -167,6 +167,92 @@ let test_parallel_map () =
   | exception Failure m -> Alcotest.(check string) "exception propagated" "boom" m
   | _ -> Alcotest.fail "worker exception swallowed"
 
+(* {1 Adaptive (heavy-light) maintenance} *)
+
+let test_adaptive_defer_and_drain () =
+  (* Thresholds tuned so label [b] (sibling fan-out 2 under the first
+     [a]) classifies heavy: an insert whose delta reaches the view
+     through [b] defers (zeroed skipped report, view stale); a read
+     drains back to exactly the eager/recompute result. *)
+  let store = fresh_store () in
+  let set = View_set.create store in
+  let mv = View_set.add set (v_ab "w") in
+  let config =
+    { Hl.default_config with Hl.heavy_fanout = 2; Hl.heavy_count = 1 lsl 20 }
+  in
+  View_set.set_adaptive set (Some (Hl.create ~config store));
+  (match View_set.adaptive set with
+  | Some hl ->
+    Alcotest.(check bool) "b classified heavy" true (Hl.is_heavy hl "b")
+  | None -> Alcotest.fail "classifier not installed");
+  let stmt = Update.insert ~into:"/r/a" "<b>9</b>" in
+  let reports = View_set.update set stmt in
+  let r = List.assq mv reports in
+  Alcotest.(check bool) "deferred: zeroed skipped report" true
+    r.Maint.skipped_irrelevant;
+  Alcotest.(check (list string)) "view stale" [ "w" ] (View_set.stale set);
+  Alcotest.(check bool) "drain rebuilt the view" true (View_set.drain_view set "w");
+  Alcotest.(check (list string)) "nothing stale after drain" [] (View_set.stale set);
+  Alcotest.(check bool) "second drain is a no-op" false
+    (View_set.drain_view set "w");
+  check_against_recompute mv (v_ab "w") stmt;
+  (* Detaching the classifier drains implicitly and restores pure eager
+     behavior. *)
+  View_set.set_adaptive set None;
+  let reports = View_set.update set (Update.insert ~into:"/r/a" "<b>10</b>") in
+  let r = List.assq mv reports in
+  Alcotest.(check bool) "eager again after detach" false r.Maint.skipped_irrelevant
+
+let test_adaptive_light_stays_eager () =
+  (* No label crosses the (default, huge) thresholds: the adaptive path
+     must be observationally the eager path — no deferral, no stale
+     views, identical extent. *)
+  let store = fresh_store () in
+  let set = View_set.create store in
+  let mv = View_set.add set (v_ab "w") in
+  View_set.set_adaptive set (Some (Hl.create store));
+  let stmt = Update.insert ~into:"/r/a" "<b>9</b>" in
+  let reports = View_set.update set stmt in
+  let r = List.assq mv reports in
+  Alcotest.(check bool) "not deferred" false r.Maint.skipped_irrelevant;
+  Alcotest.(check (list string)) "nothing stale" [] (View_set.stale set);
+  check_against_recompute mv (v_ab "w") stmt
+
+(* {1 Worker pool reuse}
+
+   Regression for the persistent domain pool behind [parallel_map]: a
+   fan-out leases parked workers instead of spawning fresh domains per
+   call, so after the first map the pool is warm and a second identical
+   map leaves its size unchanged — while results, task order and
+   exception propagation stay exactly as in the cold path (the
+   bit-identical jobs>1 ≡ jobs=1 property above runs through the same
+   pool). *)
+
+let test_pool_reuse () =
+  let tasks = Array.init 9 (fun i () -> i + 1) in
+  ignore (Batch.parallel_map ~jobs:4 tasks);
+  let warm = Batch.pool_size () in
+  Alcotest.(check bool) "pool retains workers" true (warm >= 3);
+  ignore (Batch.parallel_map ~jobs:4 tasks);
+  Alcotest.(check int) "second run reuses workers" warm (Batch.pool_size ());
+  Alcotest.(check (array int))
+    "pooled results in task order"
+    (Array.init 9 (fun i -> i + 1))
+    (Batch.parallel_map ~jobs:4 tasks);
+  (match
+     Batch.parallel_map ~jobs:4
+       [| (fun () -> 1); (fun () -> failwith "pow"); (fun () -> 3) |]
+   with
+  | exception Failure m ->
+    Alcotest.(check string) "exception via pooled worker" "pow" m
+  | _ -> Alcotest.fail "pooled worker exception swallowed");
+  (* A worker that carried an exception is released back parked, not
+     poisoned: the next map over it still computes. *)
+  Alcotest.(check (array int))
+    "pool alive after exception" [| 2; 4; 6 |]
+    (Batch.parallel_map ~jobs:3 [| (fun () -> 2); (fun () -> 4); (fun () -> 6) |]);
+  Alcotest.(check int) "exception did not grow the pool" warm (Batch.pool_size ())
+
 let par_scope = Obs.Scope.v "test.batch"
 let par_ticks = Obs.Scope.counter par_scope "ticks"
 
@@ -223,6 +309,13 @@ let () =
             test_star_never_skipped;
           prop_skip_safety;
         ] );
+      ( "adaptive",
+        [
+          Alcotest.test_case "heavy delta defers; drain reconciles" `Quick
+            test_adaptive_defer_and_drain;
+          Alcotest.test_case "no heavy labels = eager behavior" `Quick
+            test_adaptive_light_stays_eager;
+        ] );
       ( "parallel",
         [
           Alcotest.test_case "jobs>1 bit-identical to jobs=1" `Quick
@@ -233,6 +326,8 @@ let () =
             test_parallel_map;
           Alcotest.test_case "child-domain counter merge" `Quick
             test_par_counter_merge;
+          Alcotest.test_case "worker pool reused across maps" `Quick
+            test_pool_reuse;
         ] );
       ( "counters",
         [

@@ -22,6 +22,49 @@ let test_bounded_set_run () =
   Alcotest.(check int) "iterations" 150 r.Qgen.iterations;
   Alcotest.(check int) "mismatches" 0 r.Qgen.failed
 
+(* The heavy-light oracle: adaptive (deferred, partitioned) maintenance
+   against eager, tuple-for-tuple at every seeded read point, under
+   deliberately tiny thresholds that force rebalance storms and budget
+   drains. *)
+let test_bounded_heavy_run () =
+  let r = Difftest.run_heavy ~seed:7 ~iters:150 () in
+  List.iter print_endline r.Qgen.failures;
+  Alcotest.(check int) "iterations" 150 r.Qgen.iterations;
+  Alcotest.(check int) "mismatches" 0 r.Qgen.failed
+
+let test_heavy_repro_roundtrip () =
+  let rnd = Random.State.make [| 0x4ea7; 29 |] in
+  for _ = 1 to 50 do
+    let c = Difftest.gen_heavy_case rnd in
+    let c' = Difftest.heavy_of_repro (Difftest.repro_of_heavy c) in
+    Alcotest.(check int) "view count preserved"
+      (List.length c.Difftest.hc_set.Difftest.sviews)
+      (List.length c'.Difftest.hc_set.Difftest.sviews);
+    Alcotest.(check (list string)) "statements preserved" c.Difftest.hc_stmts
+      c'.Difftest.hc_stmts;
+    Alcotest.(check (list (pair int int))) "read points preserved"
+      c.Difftest.hc_reads c'.Difftest.hc_reads;
+    Alcotest.(check (list int)) "thresholds preserved"
+      [ c.Difftest.hc_count; c.Difftest.hc_fanout; c.Difftest.hc_budget;
+        c.Difftest.hc_tailb ]
+      [ c'.Difftest.hc_count; c'.Difftest.hc_fanout; c'.Difftest.hc_budget;
+        c'.Difftest.hc_tailb ];
+    Alcotest.(check string) "document preserved"
+      (Xml_tree.serialize c.Difftest.hc_set.Difftest.sdoc)
+      (Xml_tree.serialize c'.Difftest.hc_set.Difftest.sdoc)
+  done;
+  List.iter
+    (fun s ->
+      match Difftest.heavy_of_repro s with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "malformed heavy reproducer %S accepted" s)
+    [
+      "";
+      "xvmdth1|";
+      "xvmdth1|7:1,2,3,4|0:|0|4:<a/>";
+      "xvmdth1|8:0,2,3,4|0:|1|4://a|1|9:delete //a|4:<a/>";
+    ]
+
 let test_set_repro_roundtrip () =
   let rnd = Random.State.make [| 0x5e7; 13 |] in
   for _ = 1 to 50 do
@@ -279,6 +322,8 @@ let () =
           Alcotest.test_case "bounded seeded run is clean" `Quick test_bounded_run;
           Alcotest.test_case "bounded multi-view set run is clean" `Quick
             test_bounded_set_run;
+          Alcotest.test_case "bounded heavy-light run is clean" `Quick
+            test_bounded_heavy_run;
           Alcotest.test_case "work profile replays identically" `Quick
             test_work_profile_replay;
           Alcotest.test_case "mismatch carries its work profile" `Quick
@@ -293,6 +338,8 @@ let () =
             test_repro_roundtrip;
           Alcotest.test_case "set reproducer encode/decode round-trip" `Quick
             test_set_repro_roundtrip;
+          Alcotest.test_case "heavy reproducer encode/decode round-trip" `Quick
+            test_heavy_repro_roundtrip;
         ] );
       ("degenerate updates", degenerate_cases);
       ( "shrinker",

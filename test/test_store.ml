@@ -127,6 +127,61 @@ let test_relation_span_boundaries () =
   Alcotest.(check int) "empty relation" 0
     (Array.length (Store.relation_span s "zzz" ~root:root_id))
 
+(* {1 Heavy-light partition} *)
+
+let test_label_stats () =
+  let s = fixture () in
+  let st = Store.label_stat s "b" in
+  Alcotest.(check int) "b count" 4 st.Store.ls_count;
+  (* Parents of the four [b]s: the two [c]s and [f]. *)
+  Alcotest.(check int) "b parents" 3 st.Store.ls_parents;
+  Alcotest.(check int) "b max fan-out" 2 st.Store.ls_max_fanout;
+  let st = Store.label_stat s "zzz" in
+  Alcotest.(check int) "empty label count" 0 st.Store.ls_count
+
+let test_partition_tail_and_drain () =
+  let s = fixture () in
+  (* Label [b] is heavy: committed adds buffer in its pending tail;
+     readers still see the merged relation (fresh copy, never mutating
+     shared state); an explicit drain folds the tail into the main run. *)
+  Store.set_partition s (Some (( = ) "b"));
+  let g0 = Store.generation s in
+  let f = List.nth (Xml_tree.element_children (Store.root s)) 1 in
+  Store.attach s ~parent:f (Xml_parse.fragment "<b>new</b><c/>");
+  Store.commit s;
+  Alcotest.(check bool) "generation bumped" true (Store.generation s > g0);
+  Alcotest.(check int) "b adds buffered in tail" 1 (Store.pending_rows s);
+  Alcotest.(check int) "reader sees merged relation" 5
+    (Array.length (Store.relation s "b"));
+  Alcotest.(check bool) "merged view sorted" true (ids_sorted (Store.relation s "b"));
+  Alcotest.(check int) "light label merged eagerly" 3
+    (Array.length (Store.relation s "c"));
+  Alcotest.(check int) "relation_size counts the tail" 5
+    (Store.relation_size s "b");
+  Store.drain_label s "b";
+  Alcotest.(check int) "drain empties the tail" 0 (Store.pending_rows s);
+  Alcotest.(check int) "relation unchanged by drain" 5
+    (Array.length (Store.relation s "b"));
+  (* Removing the partition drains implicitly. *)
+  Store.attach s ~parent:f (Xml_parse.fragment "<b>again</b>");
+  Store.commit s;
+  Alcotest.(check int) "buffered again" 1 (Store.pending_rows s);
+  Store.set_partition s None;
+  Alcotest.(check int) "detach drains" 0 (Store.pending_rows s);
+  Alcotest.(check int) "all rows present" 6 (Array.length (Store.relation s "b"))
+
+let test_partition_tail_budget () =
+  let s = fixture () in
+  (* A tail budget of 1 force-merges at commit once the tail would hold
+     more than one row: two buffered adds must land drained. *)
+  Store.set_partition s ~tail_budget:1 (Some (( = ) "b"));
+  let f = List.nth (Xml_tree.element_children (Store.root s)) 1 in
+  Store.attach s ~parent:f (Xml_parse.fragment "<b>p</b><b>q</b>");
+  Store.commit s;
+  Alcotest.(check int) "budget forced the merge" 0 (Store.pending_rows s);
+  Alcotest.(check int) "rows all in the main run" 6
+    (Array.length (Store.relation s "b"))
+
 let test_shared_dict () =
   let dict = Label_dict.create () in
   let s1 = Store.of_document ~dict (Xml_parse.document "<a><b/></a>") in
@@ -153,5 +208,13 @@ let () =
           Alcotest.test_case "detach + commit" `Quick test_detach_commit;
           Alcotest.test_case "attach then detach" `Quick
             test_attach_then_detach_before_commit;
+        ] );
+      ( "partition",
+        [
+          Alcotest.test_case "label statistics" `Quick test_label_stats;
+          Alcotest.test_case "heavy tail buffering + drain" `Quick
+            test_partition_tail_and_drain;
+          Alcotest.test_case "tail budget forces merge" `Quick
+            test_partition_tail_budget;
         ] );
     ]
